@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: run a calibrated
+ * workload on one machine arm and collect counters or per-request
+ * latency samples.
+ *
+ * Every bench prints the paper's corresponding table/figure rows
+ * next to the measured values. Absolute numbers are not expected to
+ * match (the substrate is a simulator, not the authors' Xeon); the
+ * shape — who wins, roughly by what factor — is the claim under
+ * reproduction.
+ */
+
+#ifndef DLSIM_BENCH_COMMON_HH
+#define DLSIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/cdf.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+#include "workload/engine.hh"
+#include "workload/profiles.hh"
+
+namespace dlsim::bench
+{
+
+/** Result of one measured arm. */
+struct ArmResult
+{
+    cpu::PerfCounters counters;
+    /** Latency samples per request kind (cycles). */
+    std::vector<stats::SampleSet> latency;
+    /** Distinct trampolines executed (profiling arms only). */
+    std::uint64_t distinctTrampolines = 0;
+    /** Skip-unit stats (enhanced arms only). */
+    core::SkipUnitStats skipStats;
+};
+
+/** Run one arm of an experiment. */
+inline ArmResult
+runArm(const workload::WorkloadParams &wl,
+       const workload::MachineConfig &mc, int warmup, int requests)
+{
+    workload::Workbench wb(wl, mc);
+    wb.warmup(static_cast<std::uint32_t>(warmup));
+
+    ArmResult result;
+    result.latency.resize(wl.requests.size());
+    for (int i = 0; i < requests; ++i) {
+        const auto r = wb.runRequest();
+        result.latency[r.kind].add(static_cast<double>(r.cycles));
+    }
+    result.counters = wb.core().counters();
+    if (mc.profileTrampolines)
+        result.distinctTrampolines =
+            wb.distinctTrampolinesExecuted();
+    if (wb.core().skipUnit())
+        result.skipStats = wb.core().skipUnit()->stats();
+    return result;
+}
+
+/** Convenience: base-machine arm. */
+inline workload::MachineConfig
+baseMachine()
+{
+    return workload::MachineConfig{};
+}
+
+/** Convenience: paper-default enhanced arm (256-entry ABTB). */
+inline workload::MachineConfig
+enhancedMachine()
+{
+    workload::MachineConfig mc;
+    mc.enhanced = true;
+    return mc;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("================================================"
+                "===============\n");
+    std::printf("dlsim reproduction: %s\n", what);
+    std::printf("paper reference: %s\n", paper_ref);
+    std::printf("================================================"
+                "===============\n\n");
+}
+
+} // namespace dlsim::bench
+
+#endif // DLSIM_BENCH_COMMON_HH

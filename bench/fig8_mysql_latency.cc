@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 8 + Table 6: MySQL TPC-C NewOrder/Payment response-time
+ * CDFs and the 50/75/90/95th-percentile summary, base vs enhanced.
+ *
+ * Paper's Table 6 (milliseconds):
+ *           NewOrder base/enh   Payment base/enh
+ *   50%        43.5 / 43.0        17.9 / 17.7
+ *   75%        57.3 / 56.9        27.9 / 27.2
+ *   90%        72.8 / 72.3        37.2 / 35.9
+ *   95%        87.1 / 86.8        44.4 / 43.0
+ * Shape: the base system needs more time at every percentile.
+ */
+
+#include "common.hh"
+
+using namespace dlsim;
+using namespace dlsim::bench;
+
+int
+main()
+{
+    banner("Figure 8 / Table 6 — MySQL request latency, "
+           "base vs enhanced",
+           "Section 5.4, Figure 8 and Table 6");
+
+    const auto wl = workload::mysqlProfile();
+    constexpr int Warmup = 200, Requests = 2500;
+    auto base = runArm(wl, baseMachine(), Warmup, Requests);
+    auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+
+    const double paper[2][4][2] = {
+        {{43.5, 43.0}, {57.3, 56.9}, {72.8, 72.3}, {87.1, 86.8}},
+        {{17.9, 17.7}, {27.9, 27.2}, {37.2, 35.9}, {44.4, 43.0}},
+    };
+    const double percentiles[4] = {50, 75, 90, 95};
+
+    for (std::size_t k = 0; k < wl.requests.size(); ++k) {
+        auto &b = base.latency[k];
+        auto &e = enh.latency[k];
+        b.trimOutliers();
+        e.trimOutliers();
+
+        std::printf("--- %s ---\n", wl.requests[k].name.c_str());
+        stats::TablePrinter t({"Percentile", "Base (cycles)",
+                               "Enhanced (cycles)", "Delta",
+                               "Paper base (ms)",
+                               "Paper enhanced (ms)"});
+        for (int p = 0; p < 4; ++p) {
+            const double pb = b.percentile(percentiles[p]);
+            const double pe = e.percentile(percentiles[p]);
+            t.addRow({stats::TablePrinter::num(percentiles[p], 0) +
+                          "%",
+                      stats::TablePrinter::num(pb, 0),
+                      stats::TablePrinter::num(pe, 0),
+                      stats::TablePrinter::num(
+                          100.0 * (pb - pe) / pb, 2) + "%",
+                      stats::TablePrinter::num(paper[k][p][0], 1),
+                      stats::TablePrinter::num(paper[k][p][1],
+                                               1)});
+        }
+        std::printf("%s", t.render().c_str());
+
+        // The CDF series of Fig. 8 proper.
+        std::printf("CDF (fraction served within X cycles):\n");
+        for (double frac : {0.55, 0.65, 0.75, 0.85, 0.95}) {
+            const double xb = b.percentile(100 * frac);
+            std::printf("  %.0f%%: base %.0f, enhanced %.0f, "
+                        "enhanced serves %.1f%% at base's "
+                        "latency\n",
+                        100 * frac, xb,
+                        e.percentile(100 * frac),
+                        100.0 * e.fractionBelow(xb));
+        }
+        std::printf("\n");
+    }
+    std::printf("expected shape: base needs more time than "
+                "enhanced at every percentile\n");
+    return 0;
+}

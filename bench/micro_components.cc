@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's component
+ * models: per-operation costs of the structures the experiments
+ * lean on, plus end-to-end simulated instruction throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/btb.hh"
+#include "core/abtb.hh"
+#include "core/bloom_filter.hh"
+#include "core/skip_unit.hh"
+#include "mem/address_space.hh"
+#include "mem/cache.hh"
+#include "stats/rng.hh"
+#include "workload/engine.hh"
+#include "workload/profiles.hh"
+
+using namespace dlsim;
+
+static void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    mem::Cache cache(mem::CacheParams{"l1", 32 * 1024, 8, 64});
+    cache.access(0x1000, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(0x1000, 0));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+static void
+BM_CacheAccessStreaming(benchmark::State &state)
+{
+    mem::Cache cache(mem::CacheParams{"l1", 32 * 1024, 8, 64});
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, 0));
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheAccessStreaming);
+
+static void
+BM_BtbLookupHit(benchmark::State &state)
+{
+    branch::Btb btb(branch::BtbParams{});
+    btb.update(0x1000, 0x2000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(btb.lookup(0x1000));
+}
+BENCHMARK(BM_BtbLookupHit);
+
+static void
+BM_AbtbLookup(benchmark::State &state)
+{
+    core::Abtb abtb(core::AbtbParams{
+        static_cast<std::uint32_t>(state.range(0)), 4});
+    for (int i = 0; i < state.range(0); ++i)
+        abtb.insert(0x1000 + 16 * i, i, 0);
+    std::uint64_t t = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(abtb.lookup(t));
+        t = 0x1000 + ((t + 16) & 0xfff);
+    }
+}
+BENCHMARK(BM_AbtbLookup)->Arg(16)->Arg(256)->Arg(1024);
+
+static void
+BM_BloomProbe(benchmark::State &state)
+{
+    core::BloomFilter bloom(
+        static_cast<std::uint32_t>(state.range(0)), 4);
+    stats::Rng rng(1);
+    for (int i = 0; i < 500; ++i)
+        bloom.insert(rng.next() & ~7ull);
+    std::uint64_t addr = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bloom.mayContain(addr));
+        addr += 8;
+    }
+}
+BENCHMARK(BM_BloomProbe)->Arg(1024)->Arg(32768);
+
+static void
+BM_AddressSpaceRead(benchmark::State &state)
+{
+    mem::AddressSpace as;
+    as.map(0x1000, 1 << 20, mem::PermRead | mem::PermWrite,
+           mem::RegionKind::Data, "d");
+    as.poke64(0x2000, 7);
+    mem::MemFault fault;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(as.read64(0x2000, fault));
+}
+BENCHMARK(BM_AddressSpaceRead);
+
+static void
+BM_SkipUnitRetirePattern(benchmark::State &state)
+{
+    core::TrampolineSkipUnit unit;
+    for (auto _ : state) {
+        unit.retireControl(isa::Opcode::CallRel, 0x401020, 0);
+        unit.retireControl(isa::Opcode::JmpIndMem,
+                           0x7f0000001000, 0x403010);
+    }
+    benchmark::DoNotOptimize(unit.stats().populations);
+}
+BENCHMARK(BM_SkipUnitRetirePattern);
+
+/** End-to-end: simulated instructions per wall-clock second. */
+static void
+BM_SimulatedInstructionThroughput(benchmark::State &state)
+{
+    workload::MachineConfig mc;
+    mc.enhanced = state.range(0) != 0;
+    workload::Workbench wb(workload::memcachedProfile(), mc);
+    wb.warmup(50);
+    std::uint64_t insts = 0;
+    for (auto _ : state)
+        insts += wb.runRequest().instructions;
+    state.counters["sim_insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedInstructionThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 2: "Instructions in trampoline per kilo instruction".
+ *
+ * Paper values: Apache 12.23, Firefox 0.72, Memcached 1.75,
+ * MySQL 5.56 — the opportunity the mechanism targets. The key
+ * shape: Apache >> MySQL > Memcached > Firefox.
+ */
+
+#include "common.hh"
+
+using namespace dlsim;
+using namespace dlsim::bench;
+
+int
+main()
+{
+    banner("Table 2 — trampoline instructions PKI",
+           "Section 5.1, Table 2");
+
+    struct Row
+    {
+        const char *name;
+        double paper;
+        int requests;
+    };
+    const Row rows[] = {
+        {"apache", 12.23, 900},
+        {"firefox", 0.72, 500},
+        {"memcached", 1.75, 600},
+        {"mysql", 5.56, 700},
+    };
+
+    stats::TablePrinter table({"Workload", "Measured PKI",
+                               "Paper PKI", "Insts/request"});
+    for (const auto &row : rows) {
+        const auto arm =
+            runArm(workload::profileByName(row.name),
+                   baseMachine(), 120, row.requests);
+        const auto &c = arm.counters;
+        table.addRow(
+            {row.name,
+             stats::TablePrinter::num(c.pki(c.trampolineInsts)),
+             stats::TablePrinter::num(row.paper),
+             stats::TablePrinter::num(
+                 double(c.instructions) / row.requests, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expected shape: apache >> mysql > memcached > "
+                "firefox\n");
+    return 0;
+}

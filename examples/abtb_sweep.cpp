@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sweep the ABTB size on the memcached workload and print the
+ * fraction of trampolines skipped — the per-workload view behind
+ * the paper's Fig. 5 ("with just 16 entries we can skip more than
+ * 75% of the trampolines").
+ */
+
+#include <cstdio>
+
+#include "stats/table.hh"
+#include "workload/engine.hh"
+#include "workload/profiles.hh"
+
+using namespace dlsim;
+using namespace dlsim::workload;
+
+int
+main()
+{
+    std::printf("Trampolines skipped vs ABTB size (memcached)\n\n");
+
+    stats::TablePrinter table(
+        {"ABTB entries", "Storage (bytes)", "Skipped", "Executed",
+         "Skip rate"});
+
+    for (std::uint32_t entries : {1u, 2u, 4u, 8u, 16u, 32u, 64u,
+                                  128u, 256u, 512u, 1024u}) {
+        MachineConfig mc;
+        mc.enhanced = true;
+        mc.abtbEntries = entries;
+        mc.abtbAssoc = std::min(entries, 4u);
+
+        Workbench wb(memcachedProfile(), mc);
+        wb.warmup(100);
+        for (int i = 0; i < 400; ++i)
+            wb.runRequest();
+
+        const auto c = wb.core().counters();
+        const auto total =
+            c.skippedTrampolines + c.trampolineJmps;
+        const double rate =
+            total ? 100.0 * double(c.skippedTrampolines) /
+                        double(total)
+                  : 0.0;
+        table.addRow(
+            {std::to_string(entries),
+             std::to_string(entries * 12),
+             stats::TablePrinter::num(c.skippedTrampolines),
+             stats::TablePrinter::num(c.trampolineJmps),
+             stats::TablePrinter::num(rate, 1) + "%"});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A guided tour of the dynamic-linking machinery: process layout,
+ * PLT disassembly, lazy GOT state before and after the first call,
+ * ifunc resolution, and library unload/reload.
+ */
+
+#include <cstdio>
+
+#include "cpu/core.hh"
+#include "elf/builder.hh"
+#include "linker/dynamic_linker.hh"
+#include "linker/loader.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+
+int
+main()
+{
+    // -- Build an app that calls `greet` and the ifunc `memfill`.
+    elf::ModuleBuilder app("app");
+    app.setDataSize(4096);
+    auto &main_fn = app.function("entry");
+    main_fn.callExternal("greet");
+    main_fn.callExternal("memfill");
+    main_fn.ret();
+
+    elf::ModuleBuilder lib("libgreet");
+    auto &greet = lib.function("greet");
+    greet.movImm(RegRet, 1);
+    greet.ret();
+    auto &generic = lib.function("memfill_generic");
+    generic.movImm(RegRet, 100);
+    generic.ret();
+    auto &avx = lib.function("memfill_avx");
+    avx.movImm(RegRet, 200);
+    avx.ret();
+    lib.exportIfunc("memfill", {"memfill_generic", "memfill_avx"});
+
+    // -- Load with the conventional memory map.
+    linker::LoaderOptions opts;
+    opts.hwCapLevel = 1; // pretend the CPU has the fancy ISA
+    linker::Loader loader(opts);
+    auto image = loader.load(app.build(), {lib.build()});
+    linker::DynamicLinker dl(*image);
+
+    std::printf("=== Process layout ===\n%s\n",
+                image->dumpLayout().c_str());
+
+    // -- Disassemble the app's PLT entry for `greet` (Fig. 2).
+    const auto &exe = image->moduleAt(0);
+    std::printf("=== PLT entry for %s ===\n",
+                image->trampolineSymbol(exe.pltEntryVas[0])
+                    .c_str());
+    Addr va = exe.pltEntryVas[0];
+    for (int i = 0; i < 3; ++i) {
+        const auto *slot = image->decode(va);
+        std::printf("  %#llx: %s\n", (unsigned long long)va,
+                    slot->inst.toString(va).c_str());
+        va += slot->inst.size;
+    }
+
+    // -- GOT state before/after lazy resolution.
+    auto got = [&](int k) {
+        return image->addressSpace().peek64(exe.gotSlotAddrs[k]);
+    };
+    std::printf("\n=== Lazy binding ===\n");
+    std::printf("GOT[greet]   before: %#llx (lazy, points into "
+                "the PLT)\n",
+                (unsigned long long)got(0));
+
+    cpu::Core core;
+    core.attachProcess(image.get(), &dl, 0);
+    core.initStack(loader.stackTop());
+    const auto r = core.callFunction(
+        image->symbolAddress("entry"));
+    std::printf("GOT[greet]   after : %#llx (== greet)\n",
+                (unsigned long long)got(0));
+    std::printf("GOT[memfill] after : %#llx (== memfill_avx, "
+                "picked by the ifunc selector)\n",
+                (unsigned long long)got(1));
+    std::printf("entry() returned %llu (memfill_avx's 200)\n",
+                (unsigned long long)r.returnValue);
+    std::printf("resolver ran %llu times (%llu ifunc)\n",
+                (unsigned long long)dl.resolutionCount(),
+                (unsigned long long)dl.ifuncResolutionCount());
+
+    // -- Unload and replace the library.
+    std::printf("\n=== dlclose / dlopen ===\n");
+    loader.dlclose(*image, "libgreet", [&](Addr a) {
+        std::printf("  GOT write at %#llx reported to the core\n",
+                    (unsigned long long)a);
+        core.onExternalGotWrite(a);
+    });
+    std::printf("GOT[greet] re-lazified: %#llx\n",
+                (unsigned long long)got(0));
+
+    elf::ModuleBuilder lib2("libgreet2");
+    auto &g2 = lib2.function("greet");
+    g2.movImm(RegRet, 2);
+    g2.ret();
+    auto &m2 = lib2.function("memfill");
+    m2.movImm(RegRet, 300);
+    m2.ret();
+    loader.dlopen(*image, lib2.build());
+
+    const auto r2 = core.callFunction(
+        image->symbolAddress("entry"));
+    std::printf("entry() now returns %llu (new library's 300)\n",
+                (unsigned long long)r2.returnValue);
+    return 0;
+}

@@ -1,0 +1,76 @@
+#include "branch/btb.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace dlsim::branch
+{
+
+Btb::Btb(const BtbParams &params) : params_(params)
+{
+    assert(params_.assoc > 0 && params_.entries >= params_.assoc);
+    numSets_ = params_.entries / params_.assoc;
+    assert(std::has_single_bit(numSets_));
+    entries_.resize(numSets_ * params_.assoc);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    ++lookups_;
+    ++tick_;
+    Entry *base = &entries_[setOf(pc) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.pc == pc) {
+            e.lastUse = tick_;
+            ++hits_;
+            return e.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    ++tick_;
+    Entry *base = &entries_[setOf(pc) * params_.assoc];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.lastUse = tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lastUse = tick_;
+}
+
+void
+Btb::invalidate(Addr pc)
+{
+    Entry *base = &entries_[setOf(pc) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].pc == pc)
+            base[w].valid = false;
+    }
+}
+
+void
+Btb::invalidateAll()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+} // namespace dlsim::branch

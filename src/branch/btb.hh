@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Branch target buffer.
+ *
+ * The BTB is the structure the paper's mechanism piggybacks on: the
+ * ABTB-driven update path trains the BTB entry of a library call site
+ * with the *library function* address instead of the trampoline
+ * address, which is what makes the front end skip the trampoline.
+ * The BTB itself needs no modification — exactly the paper's claim.
+ */
+
+#ifndef DLSIM_BRANCH_BTB_HH
+#define DLSIM_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dlsim::branch
+{
+
+using isa::Addr;
+
+/** BTB geometry (2K entries, typical of the paper's era of core). */
+struct BtbParams
+{
+    std::uint32_t entries = 2048;
+    std::uint32_t assoc = 4;
+};
+
+/** Set-associative, fully tagged branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(const BtbParams &params);
+
+    /** Predicted target for the branch at pc, if any. */
+    std::optional<Addr> lookup(Addr pc);
+
+    /** Train the entry for pc with a resolved target. */
+    void update(Addr pc, Addr target);
+
+    /** Remove the entry for pc (used by tests). */
+    void invalidate(Addr pc);
+
+    /** Flush everything (context switch without ASIDs). */
+    void invalidateAll();
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return lookups_ - hits_; }
+    void clearStats() { lookups_ = hits_ = 0; }
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setOf(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) & (numSets_ - 1));
+    }
+
+    BtbParams params_;
+    std::uint64_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace dlsim::branch
+
+#endif // DLSIM_BRANCH_BTB_HH

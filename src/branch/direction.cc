@@ -1,0 +1,132 @@
+#include "branch/direction.hh"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace dlsim::branch
+{
+
+namespace
+{
+
+constexpr std::uint8_t WeaklyNotTaken = 1;
+
+std::uint8_t
+bump(std::uint8_t counter, bool taken)
+{
+    if (taken)
+        return counter < 3 ? counter + 1 : 3;
+    return counter > 0 ? counter - 1 : 0;
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table_(entries, WeaklyNotTaken)
+{
+    assert(std::has_single_bit(entries));
+}
+
+bool
+BimodalPredictor::predict(Addr pc)
+{
+    return table_[indexOf(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    auto &c = table_[indexOf(pc)];
+    c = bump(c, taken);
+}
+
+void
+BimodalPredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), WeaklyNotTaken);
+}
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 std::uint32_t historyBits)
+    : table_(entries, WeaklyNotTaken),
+      historyMask_((1ull << historyBits) - 1)
+{
+    assert(std::has_single_bit(entries));
+    assert(historyBits > 0 && historyBits < 64);
+}
+
+bool
+GsharePredictor::predict(Addr pc)
+{
+    return table_[indexOf(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    auto &c = table_[indexOf(pc)];
+    c = bump(c, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), WeaklyNotTaken);
+    history_ = 0;
+}
+
+TournamentPredictor::TournamentPredictor(std::size_t entries,
+                                         std::uint32_t historyBits)
+    : bimodal_(entries), gshare_(entries, historyBits),
+      chooser_(entries, 2) // weakly favour gshare
+{
+    assert(std::has_single_bit(entries));
+}
+
+bool
+TournamentPredictor::predict(Addr pc)
+{
+    const bool use_gshare = chooser_[chooserIndex(pc)] >= 2;
+    return use_gshare ? gshare_.predict(pc)
+                      : bimodal_.predict(pc);
+}
+
+void
+TournamentPredictor::update(Addr pc, bool taken)
+{
+    const bool b = bimodal_.predict(pc) == taken;
+    const bool g = gshare_.predict(pc) == taken;
+    auto &choice = chooser_[chooserIndex(pc)];
+    if (g && !b) {
+        choice = bump(choice, true);
+    } else if (b && !g) {
+        choice = bump(choice, false);
+    }
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+void
+TournamentPredictor::reset()
+{
+    bimodal_.reset();
+    gshare_.reset();
+    std::fill(chooser_.begin(), chooser_.end(), 2);
+}
+
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const std::string &kind)
+{
+    if (kind == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (kind == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (kind == "tournament")
+        return std::make_unique<TournamentPredictor>();
+    throw std::invalid_argument("unknown direction predictor: " +
+                                kind);
+}
+
+} // namespace dlsim::branch

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Conditional-branch direction predictors.
+ *
+ * Two classic schemes are provided behind one interface: a bimodal
+ * table of 2-bit saturating counters, and a gshare predictor (global
+ * history XOR pc). The workloads' conditional branches are partly
+ * data-dependent, so direction mispredictions contribute to the
+ * "Branch Mispredictions" row of Table 4 alongside the target
+ * mispredictions the trampoline mechanism removes.
+ */
+
+#ifndef DLSIM_BRANCH_DIRECTION_HH
+#define DLSIM_BRANCH_DIRECTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dlsim::branch
+{
+
+using isa::Addr;
+
+/** Interface for direction predictors. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict taken/not-taken for the conditional branch at pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Reset all state. */
+    virtual void reset() = 0;
+};
+
+/** Table of 2-bit saturating counters indexed by pc. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    /** @param entries Table size; must be a power of two. */
+    explicit BimodalPredictor(std::size_t entries = 16384);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t indexOf(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) &
+                                        (table_.size() - 1));
+    }
+
+    std::vector<std::uint8_t> table_;
+};
+
+/** Global-history predictor: index = (pc >> 2) XOR GHR. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries     Table size; must be a power of two.
+     * @param historyBits Global history length.
+     */
+    explicit GsharePredictor(std::size_t entries = 16384,
+                             std::uint32_t historyBits = 12);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t indexOf(Addr pc) const
+    {
+        return static_cast<std::size_t>(((pc >> 2) ^ history_) &
+                                        (table_.size() - 1));
+    }
+
+    std::vector<std::uint8_t> table_;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+};
+
+/**
+ * Tournament predictor: bimodal and gshare components with a
+ * per-pc chooser of 2-bit counters selecting whichever component
+ * has been predicting this branch better (Alpha 21264 style).
+ */
+class TournamentPredictor : public DirectionPredictor
+{
+  public:
+    explicit TournamentPredictor(std::size_t entries = 16384,
+                                 std::uint32_t historyBits = 12);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t chooserIndex(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) &
+                                        (chooser_.size() - 1));
+    }
+
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    /** 0-1 favour bimodal, 2-3 favour gshare. */
+    std::vector<std::uint8_t> chooser_;
+};
+
+/** Factory by name ("bimodal", "gshare", or "tournament"). */
+std::unique_ptr<DirectionPredictor> makeDirectionPredictor(
+    const std::string &kind);
+
+} // namespace dlsim::branch
+
+#endif // DLSIM_BRANCH_DIRECTION_HH

@@ -1,0 +1,91 @@
+#include "branch/indirect.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace dlsim::branch
+{
+
+IndirectPredictor::IndirectPredictor(
+    const IndirectPredictorParams &params)
+    : params_(params)
+{
+    assert(params_.assoc > 0 &&
+           params_.entries >= params_.assoc);
+    numSets_ = params_.entries / params_.assoc;
+    assert(std::has_single_bit(numSets_));
+    entries_.resize(numSets_ * params_.assoc);
+}
+
+std::uint64_t
+IndirectPredictor::indexTag(Addr pc) const
+{
+    // Mix the pc with the folded path history; the full mixed
+    // value serves as the tag, its low bits as the set index.
+    std::uint64_t x = (pc >> 2) ^ (history_ * 0x9e3779b9u);
+    x ^= x >> 17;
+    return x;
+}
+
+std::optional<Addr>
+IndirectPredictor::predict(Addr pc)
+{
+    ++tick_;
+    const std::uint64_t it = indexTag(pc);
+    Entry *base =
+        &entries_[(it & (numSets_ - 1)) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == it) {
+            e.lastUse = tick_;
+            return e.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+IndirectPredictor::update(Addr pc, Addr target)
+{
+    ++tick_;
+    const std::uint64_t it = indexTag(pc);
+    Entry *base =
+        &entries_[(it & (numSets_ - 1)) * params_.assoc];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == it) {
+            e.target = target;
+            e.lastUse = tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid &&
+                   e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->tag = it;
+    victim->target = target;
+    victim->lastUse = tick_;
+}
+
+void
+IndirectPredictor::updateHistory(Addr target)
+{
+    const std::uint64_t mask =
+        (1ull << params_.historyBits) - 1;
+    history_ = ((history_ << 2) ^ (target >> 4)) & mask;
+}
+
+void
+IndirectPredictor::reset()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    history_ = 0;
+}
+
+} // namespace dlsim::branch

@@ -1,0 +1,100 @@
+#include "branch/predictor.hh"
+
+namespace dlsim::branch
+{
+
+BranchPredictor::BranchPredictor(const PredictorParams &params)
+    : btb_(params.btb),
+      direction_(makeDirectionPredictor(params.direction)),
+      ras_(params.rasDepth), indirect_(params.indirect)
+{
+}
+
+Addr
+BranchPredictor::predictNext(const isa::Instruction &inst, Addr pc)
+{
+    const Addr fallthrough = pc + inst.size;
+    switch (inst.op) {
+      case isa::Opcode::CondBr: {
+        if (!direction_->predict(pc))
+            return fallthrough;
+        const auto target = btb_.lookup(pc);
+        return target ? *target : fallthrough;
+      }
+      case isa::Opcode::CallRel: {
+        ras_.push(fallthrough);
+        const auto target = btb_.lookup(pc);
+        return target ? *target : fallthrough;
+      }
+      case isa::Opcode::CallIndReg:
+      case isa::Opcode::CallIndMem: {
+        ras_.push(fallthrough);
+        if (indirect_.params().enabled) {
+            if (const auto t = indirect_.predict(pc))
+                return *t;
+        }
+        const auto target = btb_.lookup(pc);
+        return target ? *target : fallthrough;
+      }
+      case isa::Opcode::JmpRel: {
+        const auto target = btb_.lookup(pc);
+        return target ? *target : fallthrough;
+      }
+      case isa::Opcode::JmpIndReg:
+      case isa::Opcode::JmpIndMem: {
+        if (indirect_.params().enabled) {
+            if (const auto t = indirect_.predict(pc))
+                return *t;
+        }
+        const auto target = btb_.lookup(pc);
+        return target ? *target : fallthrough;
+      }
+      case isa::Opcode::Ret: {
+        const auto target = ras_.pop();
+        return target ? *target : fallthrough;
+      }
+      default:
+        return fallthrough;
+    }
+}
+
+void
+BranchPredictor::resolve(const isa::Instruction &inst, Addr pc,
+                         bool taken, Addr effective_next)
+{
+    switch (inst.op) {
+      case isa::Opcode::CondBr:
+        direction_->update(pc, taken);
+        if (taken)
+            btb_.update(pc, effective_next);
+        break;
+      case isa::Opcode::CallRel:
+      case isa::Opcode::JmpRel:
+        btb_.update(pc, effective_next);
+        break;
+      case isa::Opcode::CallIndReg:
+      case isa::Opcode::CallIndMem:
+      case isa::Opcode::JmpIndReg:
+      case isa::Opcode::JmpIndMem:
+        btb_.update(pc, effective_next);
+        if (indirect_.params().enabled)
+            indirect_.update(pc, effective_next);
+        break;
+      case isa::Opcode::Ret:
+        // The RAS self-corrects via pushes/pops.
+        break;
+      default:
+        break;
+    }
+    if (indirect_.params().enabled && taken)
+        indirect_.updateHistory(effective_next);
+}
+
+void
+BranchPredictor::contextSwitch()
+{
+    ras_.clear();
+    indirect_.reset();
+}
+
+} // namespace dlsim::branch

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Front-end branch predictor facade: BTB + direction predictor +
+ * return address stack behind the two calls the core makes —
+ * predictNext() at fetch and resolve() at branch resolution.
+ *
+ * The trampoline-skip mechanism needs no changes here: the core
+ * passes the *effective* resolved target (possibly substituted by
+ * the ABTB) into resolve(), and the standard update path trains the
+ * BTB with it. This mirrors the paper's claim that the front end is
+ * unmodified.
+ */
+
+#ifndef DLSIM_BRANCH_PREDICTOR_HH
+#define DLSIM_BRANCH_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+
+#include "branch/btb.hh"
+#include "branch/direction.hh"
+#include "branch/indirect.hh"
+#include "branch/ras.hh"
+#include "isa/instruction.hh"
+
+namespace dlsim::branch
+{
+
+/** Predictor configuration. */
+struct PredictorParams
+{
+    BtbParams btb;
+    std::string direction = "gshare";
+    std::size_t rasDepth = 32;
+    /** Optional VPC-style indirect target cache (§6 related work).*/
+    IndirectPredictorParams indirect;
+};
+
+/** The front-end predictor ensemble. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const PredictorParams &params);
+
+    /**
+     * Fetch-time prediction of the next pc for a control-transfer
+     * instruction at pc. Calls push the return address stack;
+     * returns pop it.
+     */
+    Addr predictNext(const isa::Instruction &inst, Addr pc);
+
+    /**
+     * Resolution-time training.
+     * @param taken          Whether the transfer redirected.
+     * @param effective_next The correct next pc (post-ABTB).
+     */
+    void resolve(const isa::Instruction &inst, Addr pc, bool taken,
+                 Addr effective_next);
+
+    /** Context switch: clear the RAS (speculative state). */
+    void contextSwitch();
+
+    Btb &btb() { return btb_; }
+    const Btb &btb() const { return btb_; }
+    ReturnAddressStack &ras() { return ras_; }
+    IndirectPredictor &indirect() { return indirect_; }
+
+  private:
+    Btb btb_;
+    std::unique_ptr<DirectionPredictor> direction_;
+    ReturnAddressStack ras_;
+    IndirectPredictor indirect_;
+};
+
+} // namespace dlsim::branch
+
+#endif // DLSIM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,40 @@
+#include "branch/ras.hh"
+
+#include <cassert>
+
+namespace dlsim::branch
+{
+
+ReturnAddressStack::ReturnAddressStack(std::size_t depth)
+    : stack_(depth, 0)
+{
+    assert(depth > 0);
+}
+
+void
+ReturnAddressStack::push(Addr ret_addr)
+{
+    stack_[top_] = ret_addr;
+    top_ = (top_ + 1) % stack_.size();
+    if (occupancy_ < stack_.size())
+        ++occupancy_;
+}
+
+std::optional<Addr>
+ReturnAddressStack::pop()
+{
+    if (occupancy_ == 0)
+        return std::nullopt;
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --occupancy_;
+    return stack_[top_];
+}
+
+void
+ReturnAddressStack::clear()
+{
+    top_ = 0;
+    occupancy_ = 0;
+}
+
+} // namespace dlsim::branch

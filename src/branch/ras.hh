@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Return address stack used to predict `ret` targets.
+ */
+
+#ifndef DLSIM_BRANCH_RAS_HH
+#define DLSIM_BRANCH_RAS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dlsim::branch
+{
+
+using isa::Addr;
+
+/**
+ * Circular return address stack. Overflow silently wraps (overwriting
+ * the oldest entry) and underflow predicts nothing, matching typical
+ * hardware behaviour.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::size_t depth = 32);
+
+    /** Push the return address of a call. */
+    void push(Addr ret_addr);
+
+    /** Pop the predicted target of a ret, if the stack is nonempty. */
+    std::optional<Addr> pop();
+
+    /** Reset (context switch). */
+    void clear();
+
+    std::size_t depth() const { return stack_.size(); }
+    std::size_t occupancy() const { return occupancy_; }
+
+  private:
+    std::vector<Addr> stack_;
+    std::size_t top_ = 0;
+    std::size_t occupancy_ = 0;
+};
+
+} // namespace dlsim::branch
+
+#endif // DLSIM_BRANCH_RAS_HH

@@ -1,0 +1,91 @@
+#include "core/abtb.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace dlsim::core
+{
+
+Abtb::Abtb(const AbtbParams &params) : params_(params)
+{
+    assert(params_.assoc > 0);
+    assert(params_.entries >= params_.assoc);
+    numSets_ = params_.entries / params_.assoc;
+    assert(std::has_single_bit(numSets_));
+    ways_.resize(numSets_ * params_.assoc);
+}
+
+std::optional<AbtbEntry>
+Abtb::lookup(Addr trampoline, std::uint16_t asid)
+{
+    ++lookups_;
+    ++tick_;
+    Way *base = &ways_[setOf(trampoline) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.entry.trampoline == trampoline &&
+            way.entry.asid == asid) {
+            way.lastUse = tick_;
+            ++hits_;
+            return way.entry;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Abtb::insert(Addr trampoline, Addr function, Addr got_addr,
+             std::uint16_t asid)
+{
+    ++tick_;
+    ++inserts_;
+    Way *base = &ways_[setOf(trampoline) * params_.assoc];
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.entry.trampoline == trampoline &&
+            way.entry.asid == asid) {
+            way.entry.function = function;
+            way.entry.gotAddr = got_addr;
+            way.lastUse = tick_;
+            return;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid &&
+                   way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->entry = {trampoline, function, got_addr, asid};
+    victim->lastUse = tick_;
+}
+
+void
+Abtb::flushAll()
+{
+    for (auto &way : ways_)
+        way.valid = false;
+}
+
+std::uint64_t
+Abtb::occupancy() const
+{
+    std::uint64_t n = 0;
+    for (const auto &way : ways_) {
+        if (way.valid)
+            ++n;
+    }
+    return n;
+}
+
+void
+Abtb::clearStats()
+{
+    lookups_ = hits_ = inserts_ = evictions_ = 0;
+}
+
+} // namespace dlsim::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The Alternate BTB (ABTB) — the paper's central hardware structure.
+ *
+ * A retire-time table mapping a trampoline's address to the library
+ * function the trampoline branches to. Each entry costs 12 bytes
+ * (two 48-bit virtual addresses, paper §5.3): 256 entries therefore
+ * total under 1.5KB, the headline hardware budget.
+ *
+ * The table sits off the critical fetch path: it is consulted at
+ * branch *resolution* (is the resolved target a known trampoline?)
+ * and written at *retire* (call followed by memory-indirect jump).
+ */
+
+#ifndef DLSIM_CORE_ABTB_HH
+#define DLSIM_CORE_ABTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dlsim::core
+{
+
+using isa::Addr;
+
+/** Bytes of storage per ABTB entry (two 48-bit addresses). */
+constexpr std::uint32_t AbtbEntryBytes = 12;
+
+/** ABTB geometry. */
+struct AbtbParams
+{
+    std::uint32_t entries = 256;
+    std::uint32_t assoc = 4;
+};
+
+/** One ABTB mapping. */
+struct AbtbEntry
+{
+    Addr trampoline = 0; ///< Key: address of the PLT entry.
+    Addr function = 0;   ///< Value: the trampoline's branch target.
+    Addr gotAddr = 0;    ///< Slot the target was loaded from
+                         ///< (checker/diagnostics; the hardware
+                         ///< stores this only in the bloom filter).
+    std::uint16_t asid = 0; ///< Address-space tag (ASID retention,
+                            ///< paper §3.3 "context switch").
+};
+
+/** The alternate BTB table. */
+class Abtb
+{
+  public:
+    explicit Abtb(const AbtbParams &params);
+
+    /** Resolution-time lookup by resolved branch target. */
+    std::optional<AbtbEntry> lookup(Addr trampoline,
+                                    std::uint16_t asid = 0);
+
+    /** Retire-time insert of a (trampoline -> function) mapping. */
+    void insert(Addr trampoline, Addr function, Addr got_addr,
+                std::uint16_t asid = 0);
+
+    /** Clear every entry (bloom hit, context switch, or explicit). */
+    void flushAll();
+
+    /** Storage cost in bytes (paper §5.3 accounting). */
+    std::uint64_t sizeBytes() const
+    {
+        return std::uint64_t{params_.entries} * AbtbEntryBytes;
+    }
+
+    const AbtbParams &params() const { return params_; }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t inserts() const { return inserts_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t occupancy() const;
+
+    void clearStats();
+
+  private:
+    struct Way
+    {
+        AbtbEntry entry;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setOf(Addr trampoline) const
+    {
+        // Trampolines are 16-byte aligned.
+        return static_cast<std::size_t>((trampoline >> 4) &
+                                        (numSets_ - 1));
+    }
+
+    AbtbParams params_;
+    std::uint64_t numSets_;
+    std::vector<Way> ways_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t inserts_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace dlsim::core
+
+#endif // DLSIM_CORE_ABTB_HH

@@ -1,0 +1,66 @@
+#include "core/bloom_filter.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace dlsim::core
+{
+
+BloomFilter::BloomFilter(std::uint32_t bits, std::uint32_t hashes)
+    : hashes_(hashes)
+{
+    assert(bits >= 64 && std::has_single_bit(bits));
+    assert(hashes >= 1);
+    word_.resize(bits / 64, 0);
+    mask_ = bits - 1;
+}
+
+std::uint64_t
+BloomFilter::hash(Addr addr, std::uint32_t i) const
+{
+    // GOT slots are 8-byte aligned; drop the low bits, then mix with
+    // a different odd multiplier per hash function.
+    std::uint64_t x = (addr >> 3) + 0x9e3779b97f4a7c15ull * (i + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return (x ^ (x >> 31)) & mask_;
+}
+
+void
+BloomFilter::insert(Addr addr)
+{
+    ++insertions_;
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+        const std::uint64_t bit = hash(addr, i);
+        word_[bit >> 6] |= 1ull << (bit & 63);
+    }
+}
+
+bool
+BloomFilter::mayContain(Addr addr) const
+{
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+        const std::uint64_t bit = hash(addr, i);
+        if (!(word_[bit >> 6] & (1ull << (bit & 63))))
+            return false;
+    }
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    std::fill(word_.begin(), word_.end(), 0);
+}
+
+double
+BloomFilter::occupancy() const
+{
+    std::uint64_t set = 0;
+    for (const auto w : word_)
+        set += static_cast<std::uint64_t>(std::popcount(w));
+    return static_cast<double>(set) /
+           static_cast<double>(word_.size() * 64);
+}
+
+} // namespace dlsim::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bloom filter over GOT-slot addresses (paper §3.1).
+ *
+ * The filter stores the addresses of the GOT entries backing current
+ * ABTB entries. A retired store (or an inbound coherence
+ * invalidation) whose address hits the filter may invalidate an ABTB
+ * mapping, so the whole ABTB is cleared — conservative but correct,
+ * and in practice triggered only once per library call at program
+ * start, when the lazy resolver writes each slot.
+ *
+ * The filter is insert-only; it is cleared together with the ABTB.
+ */
+
+#ifndef DLSIM_CORE_BLOOM_FILTER_HH
+#define DLSIM_CORE_BLOOM_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dlsim::core
+{
+
+using isa::Addr;
+
+/** A k-hash bloom filter over 64-bit addresses. */
+class BloomFilter
+{
+  public:
+    /**
+     * @param bits   Number of filter bits; must be a power of two.
+     * @param hashes Number of hash functions (k).
+     */
+    explicit BloomFilter(std::uint32_t bits = 1024,
+                         std::uint32_t hashes = 2);
+
+    void insert(Addr addr);
+
+    /** May return true for addresses never inserted (false
+     *  positives); never returns false for inserted ones. */
+    bool mayContain(Addr addr) const;
+
+    void clear();
+
+    std::uint32_t bits() const
+    {
+        return static_cast<std::uint32_t>(word_.size() * 64);
+    }
+    std::uint32_t numHashes() const { return hashes_; }
+    std::uint64_t insertions() const { return insertions_; }
+
+    /** Fraction of set bits (diagnostic for sizing ablations). */
+    double occupancy() const;
+
+    /** Storage cost in bytes. */
+    std::uint64_t sizeBytes() const { return word_.size() * 8; }
+
+  private:
+    std::uint64_t hash(Addr addr, std::uint32_t i) const;
+
+    std::vector<std::uint64_t> word_;
+    std::uint32_t hashes_;
+    std::uint64_t mask_;
+    std::uint64_t insertions_ = 0;
+};
+
+} // namespace dlsim::core
+
+#endif // DLSIM_CORE_BLOOM_FILTER_HH

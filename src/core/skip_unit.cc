@@ -1,0 +1,117 @@
+#include "core/skip_unit.hh"
+
+namespace dlsim::core
+{
+
+TrampolineSkipUnit::TrampolineSkipUnit(const SkipUnitParams &params)
+    : params_(params), abtb_(params.abtb),
+      bloom_(params.bloomBits, params.bloomHashes)
+{
+}
+
+std::optional<AbtbEntry>
+TrampolineSkipUnit::substituteTarget(Addr resolved_target)
+{
+    const auto entry = abtb_.lookup(resolved_target, asid_);
+    if (!entry)
+        return std::nullopt;
+    ++stats_.substitutions;
+    return entry;
+}
+
+void
+TrampolineSkipUnit::retireControl(isa::Opcode op, Addr actual_target,
+                                  Addr load_src_addr)
+{
+    // Population heuristic (§3.2): a retired call followed — within
+    // the configured pattern window — by a retired memory-indirect
+    // jump identifies a trampoline. Only memory-indirect jumps
+    // qualify: the bloom filter needs the load-source (GOT slot)
+    // address; returns and register-indirect jumps have no guarded
+    // slot and must not populate.
+    if (patternArmed_ && op == isa::Opcode::JmpIndMem) {
+        abtb_.insert(lastCallTarget_, actual_target, load_src_addr,
+                     asid_);
+        if (!params_.explicitInvalidation) {
+            bloom_.insert(load_src_addr);
+            bloomShadow_.insert(load_src_addr);
+        }
+        ++stats_.populations;
+    }
+
+    patternArmed_ = isa::isCall(op);
+    if (patternArmed_) {
+        lastCallTarget_ = actual_target;
+        windowLeft_ = params_.patternWindow;
+    }
+}
+
+void
+TrampolineSkipUnit::flushFor(std::uint64_t SkipUnitStats::*counter,
+                             Addr addr, bool check_bloom)
+{
+    if (check_bloom) {
+        if (params_.explicitInvalidation)
+            return; // §3.4: stores are ignored entirely.
+        if (!bloom_.mayContain(addr))
+            return;
+        if (!bloomShadow_.count(addr))
+            ++stats_.falsePositiveFlushes;
+    }
+    abtb_.flushAll();
+    bloom_.clear();
+    bloomShadow_.clear();
+    ++(stats_.*counter);
+}
+
+void
+TrampolineSkipUnit::retireStore(Addr addr)
+{
+    // A store between the call and the indirect jump could alias
+    // the GOT slot; the pattern must not survive it.
+    patternArmed_ = false;
+    flushFor(&SkipUnitStats::storeFlushes, addr, true);
+}
+
+void
+TrampolineSkipUnit::retireOther()
+{
+    // Simple instructions consume the pattern window (the ARM
+    // trampoline's address-materialising prologue).
+    if (patternArmed_) {
+        if (windowLeft_ == 0)
+            patternArmed_ = false;
+        else
+            --windowLeft_;
+    }
+}
+
+void
+TrampolineSkipUnit::coherenceInvalidate(Addr addr)
+{
+    flushFor(&SkipUnitStats::coherenceFlushes, addr, true);
+}
+
+void
+TrampolineSkipUnit::contextSwitch()
+{
+    patternArmed_ = false;
+    if (params_.asidRetention)
+        return;
+    flushFor(&SkipUnitStats::contextSwitchFlushes, 0, false);
+}
+
+void
+TrampolineSkipUnit::explicitFlush()
+{
+    flushFor(&SkipUnitStats::explicitFlushes, 0, false);
+}
+
+std::uint64_t
+TrampolineSkipUnit::hardwareBytes() const
+{
+    return abtb_.sizeBytes() +
+           (params_.explicitInvalidation ? 0 : bloom_.sizeBytes());
+}
+
+} // namespace dlsim::core

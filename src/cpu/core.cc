@@ -1,0 +1,555 @@
+#include "cpu/core.hh"
+
+#include <sstream>
+
+namespace dlsim::cpu
+{
+
+namespace
+{
+
+std::string
+hexAddr(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+Core::Core(const CoreParams &params)
+    : params_(params), hierarchy_(params.mem),
+      predictor_(params.predictor)
+{
+    if (params_.skipUnitEnabled) {
+        skipUnit_ =
+            std::make_unique<core::TrampolineSkipUnit>(params_.skip);
+    }
+    if (!params_.tracePath.empty()) {
+        traceWriter_ =
+            std::make_unique<trace::TraceWriter>(params_.tracePath);
+    }
+}
+
+void
+Core::attachProcess(linker::Image *image,
+                    linker::DynamicLinker *linker, std::uint16_t asid)
+{
+    image_ = image;
+    linker_ = linker;
+    asid_ = asid;
+    curSlot_ = nullptr;
+    if (skipUnit_)
+        skipUnit_->setAsid(asid);
+}
+
+void
+Core::contextSwitch(linker::Image *image,
+                    linker::DynamicLinker *linker, std::uint16_t asid)
+{
+    if (!params_.asidTlbRetention)
+        hierarchy_.flushTlbs();
+    predictor_.contextSwitch();
+    if (skipUnit_)
+        skipUnit_->contextSwitch();
+    attachProcess(image, linker, asid);
+}
+
+void
+Core::setState(const MachineState &state)
+{
+    state_ = state;
+    curSlot_ = nullptr;
+}
+
+void
+Core::initStack(Addr stack_top)
+{
+    state_.regs[isa::RegSp] = stack_top - 64;
+}
+
+std::uint64_t
+Core::readData(Addr addr)
+{
+    ++loads_;
+    cycles_ += hierarchy_.data(addr, asid_).extraCycles;
+    mem::MemFault fault = mem::MemFault::None;
+    const auto value = image_->addressSpace().read64(addr, fault);
+    if (fault != mem::MemFault::None) {
+        throw SimError("load fault at " + hexAddr(addr) + " (pc " +
+                       hexAddr(state_.pc) + ")");
+    }
+    return value;
+}
+
+void
+Core::writeData(Addr addr, std::uint64_t value)
+{
+    ++stores_;
+    cycles_ += hierarchy_.data(addr, asid_).extraCycles;
+    const auto fault = image_->addressSpace().write64(addr, value);
+    if (fault != mem::MemFault::None) {
+        throw SimError("store fault at " + hexAddr(addr) + " (pc " +
+                       hexAddr(state_.pc) + ")");
+    }
+    if (storeSnoopHook_)
+        storeSnoopHook_(addr);
+}
+
+bool
+Core::condTaken(isa::CondKind cond, std::uint64_t value)
+{
+    switch (cond) {
+      case isa::CondKind::Eq0:
+        return value == 0;
+      case isa::CondKind::Ne0:
+        return value != 0;
+      case isa::CondKind::Lt0:
+        return static_cast<std::int64_t>(value) < 0;
+      case isa::CondKind::Ge0:
+        return static_cast<std::int64_t>(value) >= 0;
+    }
+    return false;
+}
+
+std::uint64_t
+Core::aluEval(isa::AluKind kind, std::uint64_t a, std::uint64_t b)
+{
+    switch (kind) {
+      case isa::AluKind::Add:
+        return a + b;
+      case isa::AluKind::Sub:
+        return a - b;
+      case isa::AluKind::And:
+        return a & b;
+      case isa::AluKind::Or:
+        return a | b;
+      case isa::AluKind::Xor:
+        return a ^ b;
+      case isa::AluKind::Mul:
+        return a * b;
+      case isa::AluKind::Shr:
+        return a >> (b & 63);
+    }
+    return 0;
+}
+
+void
+Core::serviceResolver()
+{
+    auto &regs = state_.regs;
+
+    // Stack on entry: [sp]=module id (PLT0), [sp+8]=relocation
+    // index (PLT entry), [sp+16]=original return address.
+    const auto module_id =
+        static_cast<std::uint32_t>(readData(regs[isa::RegSp]));
+    regs[isa::RegSp] += 8;
+    const auto reloc_idx =
+        static_cast<std::uint32_t>(readData(regs[isa::RegSp]));
+    regs[isa::RegSp] += 8;
+
+    const auto result = linker_->resolve(module_id, reloc_idx);
+
+    // The GOT update is an architectural store: the D-cache sees it
+    // and — crucially — the bloom filter snoops it, flushing the
+    // ABTB exactly once per symbol, at startup (§3.2).
+    writeData(result.gotAddr, result.value);
+    if (traceWriter_) {
+        trace::TraceEvent ev;
+        ev.kind = trace::EventKind::Store;
+        ev.pc = linker::ResolverVa;
+        ev.addr = result.gotAddr;
+        traceWriter_->append(ev);
+    }
+    if (skipUnit_) {
+        skipUnit_->retireStore(result.gotAddr);
+        // §3.4 alternate implementation: no bloom filter, so the
+        // (modified) dynamic linker executes the architecturally
+        // visible flush after every GOT update.
+        if (params_.skip.explicitInvalidation)
+            skipUnit_->explicitFlush();
+    }
+
+    // Synthetic cost of the symbol hash lookup in ld.so.
+    instructions_ += params_.resolverInsts;
+    cycles_ += params_.resolverCycles;
+    ++resolverCalls_;
+
+    state_.pc = result.target;
+    curSlot_ = nullptr;
+}
+
+void
+Core::step()
+{
+    if (state_.pc == linker::ResolverVa) {
+        serviceResolver();
+        return;
+    }
+
+    if (!curSlot_ || curSlot_->va != state_.pc)
+        curSlot_ = image_->decode(state_.pc);
+    if (!curSlot_)
+        throw SimError("undecodable pc " + hexAddr(state_.pc));
+
+    const linker::Slot &slot = *curSlot_;
+    const isa::Instruction &inst = slot.inst;
+    const Addr pc = state_.pc;
+    const Addr fallthrough = pc + inst.size;
+
+    // Fetch. Base throughput is issueWidth instructions per
+    // cycle; miss penalties serialise on top.
+    cycles_ += hierarchy_.fetch(pc, asid_).extraCycles;
+    if (++issueSlot_ >= params_.issueWidth) {
+        ++cycles_;
+        issueSlot_ = 0;
+    }
+    ++instructions_;
+    if (slot.flags & linker::FlagPlt) {
+        ++trampolineInsts_;
+        if (slot.flags & linker::FlagPltJmp) {
+            ++trampolineJmps_;
+            if (params_.profileTrampolines)
+                ++trampolineCounts_[pc];
+        }
+    }
+
+    const bool is_ctl = isa::isControl(inst.op);
+    Addr predicted = fallthrough;
+    if (is_ctl)
+        predicted = predictor_.predictNext(inst, pc);
+
+    auto &regs = state_.regs;
+    const auto effAddr = [&]() -> Addr {
+        return inst.memBase == isa::NoReg
+                   ? static_cast<Addr>(inst.imm)
+                   : regs[inst.memBase] +
+                         static_cast<Addr>(inst.imm);
+    };
+
+    Addr next = fallthrough;
+    bool redirected = false;
+    Addr load_src = 0;
+    bool did_store = false;
+    Addr store_addr = 0;
+
+    switch (inst.op) {
+      case isa::Opcode::Nop:
+        break;
+      case isa::Opcode::IntAlu: {
+        const std::uint64_t b = inst.src2 == isa::NoReg
+                                    ? static_cast<std::uint64_t>(
+                                          inst.imm)
+                                    : regs[inst.src2];
+        regs[inst.dst] = aluEval(inst.alu, regs[inst.src1], b);
+        break;
+      }
+      case isa::Opcode::MovImm:
+        regs[inst.dst] = static_cast<std::uint64_t>(inst.imm);
+        break;
+      case isa::Opcode::Load:
+        regs[inst.dst] = readData(effAddr());
+        break;
+      case isa::Opcode::Store: {
+        store_addr = effAddr();
+        writeData(store_addr, regs[inst.src1]);
+        did_store = true;
+        break;
+      }
+      case isa::Opcode::Push:
+        regs[isa::RegSp] -= 8;
+        store_addr = regs[isa::RegSp];
+        writeData(store_addr, regs[inst.src1]);
+        did_store = true;
+        break;
+      case isa::Opcode::PushImm:
+        regs[isa::RegSp] -= 8;
+        store_addr = regs[isa::RegSp];
+        writeData(store_addr,
+                  static_cast<std::uint64_t>(inst.imm));
+        did_store = true;
+        break;
+      case isa::Opcode::Pop:
+        regs[inst.dst] = readData(regs[isa::RegSp]);
+        regs[isa::RegSp] += 8;
+        break;
+      case isa::Opcode::CallRel:
+      case isa::Opcode::CallIndReg:
+      case isa::Opcode::CallIndMem: {
+        if (inst.op == isa::Opcode::CallRel) {
+            next = fallthrough + static_cast<Addr>(inst.imm);
+        } else if (inst.op == isa::Opcode::CallIndReg) {
+            next = regs[inst.src1];
+        } else {
+            load_src = effAddr();
+            next = readData(load_src);
+        }
+        regs[isa::RegSp] -= 8;
+        store_addr = regs[isa::RegSp];
+        writeData(store_addr, fallthrough);
+        did_store = true;
+        redirected = true;
+        break;
+      }
+      case isa::Opcode::JmpRel:
+        next = fallthrough + static_cast<Addr>(inst.imm);
+        redirected = true;
+        break;
+      case isa::Opcode::JmpIndReg:
+        next = regs[inst.src1];
+        redirected = true;
+        break;
+      case isa::Opcode::JmpIndMem:
+        load_src = effAddr();
+        next = readData(load_src);
+        redirected = true;
+        break;
+      case isa::Opcode::CondBr: {
+        ++condBranches_;
+        if (condTaken(inst.cond, regs[inst.src1])) {
+            next = fallthrough + static_cast<Addr>(inst.imm);
+            redirected = true;
+        }
+        break;
+      }
+      case isa::Opcode::Ret:
+        next = readData(regs[isa::RegSp]);
+        regs[isa::RegSp] += 8;
+        redirected = true;
+        break;
+      case isa::Opcode::Halt:
+        state_.halted = true;
+        break;
+      case isa::Opcode::AbtbFlush:
+        if (skipUnit_)
+            skipUnit_->explicitFlush();
+        break;
+    }
+
+    // Branch resolution, with the ABTB consulted on the
+    // architecturally resolved target (§3.2 back end).
+    Addr effective = next;
+    if (is_ctl) {
+        if (skipUnit_ && redirected) {
+            if (const auto entry =
+                    skipUnit_->substituteTarget(next)) {
+                if (params_.checkSkips) {
+                    const auto got_value =
+                        image_->addressSpace().peek64(
+                            entry->gotAddr);
+                    if (got_value != entry->function) {
+                        throw SimError(
+                            "ABTB checker: stale entry for "
+                            "trampoline " +
+                            hexAddr(entry->trampoline));
+                    }
+                }
+                effective = entry->function;
+                ++skippedTrampolines_;
+            }
+        }
+        ++branches_;
+        if (predicted != effective) {
+            ++mispredicts_;
+            cycles_ += params_.mispredictPenalty;
+            if (inst.op == isa::Opcode::CondBr)
+                ++condMispredicts_;
+        }
+        predictor_.resolve(inst, pc, redirected, effective);
+    }
+
+    // Retire hooks, in program order: the store side of a call
+    // retires before its control side arms the pattern detector.
+    if (skipUnit_) {
+        if (did_store)
+            skipUnit_->retireStore(store_addr);
+        if (is_ctl)
+            skipUnit_->retireControl(inst.op, next, load_src);
+        else if (!did_store)
+            skipUnit_->retireOther();
+    }
+
+    // Retire-stream tracing (the Pin-collection analogue); same
+    // store-before-control ordering as the live hooks.
+    if (traceWriter_) {
+        if (did_store) {
+            trace::TraceEvent ev;
+            ev.kind = trace::EventKind::Store;
+            ev.pc = pc;
+            ev.addr = store_addr;
+            traceWriter_->append(ev);
+        }
+        trace::TraceEvent ev;
+        if (is_ctl) {
+            ev.kind = trace::EventKind::Control;
+            ev.op = inst.op;
+            ev.flags = slot.flags;
+            ev.taken = redirected ? 1 : 0;
+            ev.pc = pc;
+            ev.addr = next;
+            ev.loadSrc = load_src;
+        } else {
+            ev.kind = trace::EventKind::Other;
+            ev.op = inst.op;
+            ev.pc = pc;
+        }
+        traceWriter_->append(ev);
+    }
+
+    // Call-site profiler (Pin-tool stand-in): record each PLT
+    // trampoline's entering instruction and resolved target.
+    if (params_.collectCallSiteTrace && is_ctl) {
+        if ((slot.flags & linker::FlagPltJmp) && hasLastCtl_) {
+            const linker::Slot *target_slot = image_->decode(next);
+            const bool still_lazy =
+                next == linker::ResolverVa ||
+                (target_slot &&
+                 (target_slot->flags & linker::FlagPlt));
+            if (!still_lazy &&
+                tracedSites_.insert(lastCtlVa_).second) {
+                trace_.push_back({lastCtlVa_, pc, next,
+                                  !lastCtlWasCall_});
+            }
+        }
+        hasLastCtl_ = true;
+        lastCtlVa_ = pc;
+        lastCtlWasCall_ = isa::isCall(inst.op);
+    }
+
+    // Advance.
+    if (is_ctl && (redirected || effective != fallthrough)) {
+        // Taken transfer: the fetch group ends here.
+        if (issueSlot_ != 0) {
+            ++cycles_;
+            issueSlot_ = 0;
+        }
+        state_.pc = effective;
+        curSlot_ = nullptr;
+    } else {
+        state_.pc = fallthrough;
+        curSlot_ = image_->nextSlot(curSlot_);
+    }
+}
+
+std::uint64_t
+Core::run(std::uint64_t max_insts)
+{
+    const std::uint64_t start = instructions_;
+    while (!state_.halted && state_.pc != MagicReturnVa &&
+           instructions_ - start < max_insts) {
+        step();
+    }
+    return instructions_ - start;
+}
+
+void
+Core::beginCall(Addr function, std::uint64_t arg0,
+                std::uint64_t arg1, std::uint64_t arg2)
+{
+    state_.halted = false;
+    state_.regs[isa::RegArg0] = arg0;
+    state_.regs[isa::RegArg1] = arg1;
+    state_.regs[isa::RegArg2] = arg2;
+
+    state_.regs[isa::RegSp] -= 8;
+    image_->addressSpace().poke64(state_.regs[isa::RegSp],
+                                  MagicReturnVa);
+    state_.pc = function;
+    curSlot_ = nullptr;
+}
+
+bool
+Core::runQuantum(std::uint64_t max_insts)
+{
+    const std::uint64_t start = instructions_;
+    while (!state_.halted && state_.pc != MagicReturnVa &&
+           instructions_ - start < max_insts) {
+        step();
+    }
+    return state_.halted || state_.pc == MagicReturnVa;
+}
+
+Core::CallResult
+Core::callFunction(Addr function, std::uint64_t arg0,
+                   std::uint64_t arg1, std::uint64_t arg2)
+{
+    beginCall(function, arg0, arg1, arg2);
+
+    const std::uint64_t insts0 = instructions_;
+    const std::uint64_t cycles0 = cycles_;
+    while (!state_.halted && state_.pc != MagicReturnVa)
+        step();
+
+    CallResult result;
+    result.instructions = instructions_ - insts0;
+    result.cycles = cycles_ - cycles0;
+    result.returnValue = state_.regs[isa::RegRet];
+    return result;
+}
+
+PerfCounters
+Core::counters() const
+{
+    PerfCounters c;
+    c.instructions = instructions_;
+    c.cycles = cycles_;
+    c.trampolineInsts = trampolineInsts_;
+    c.trampolineJmps = trampolineJmps_;
+    c.skippedTrampolines = skippedTrampolines_;
+    c.loads = loads_;
+    c.stores = stores_;
+    c.branches = branches_;
+    c.mispredicts = mispredicts_;
+    c.condBranches = condBranches_;
+    c.condMispredicts = condMispredicts_;
+    c.l1iMisses = hierarchy_.l1i().misses();
+    c.l1dMisses = hierarchy_.l1d().misses();
+    c.l2Misses = hierarchy_.l2().misses();
+    c.l3Misses = hierarchy_.l3().misses();
+    c.itlbMisses = hierarchy_.itlb().misses();
+    c.dtlbMisses = hierarchy_.dtlb().misses();
+    c.btbLookups = predictor_.btb().lookups();
+    c.btbMisses = predictor_.btb().misses();
+    c.resolverCalls = resolverCalls_;
+    return c;
+}
+
+void
+Core::clearStats()
+{
+    instructions_ = cycles_ = 0;
+    trampolineInsts_ = trampolineJmps_ = skippedTrampolines_ = 0;
+    loads_ = stores_ = 0;
+    branches_ = mispredicts_ = 0;
+    condBranches_ = condMispredicts_ = 0;
+    resolverCalls_ = 0;
+    hierarchy_.clearStats();
+    predictor_.btb().clearStats();
+    if (skipUnit_)
+        skipUnit_->clearStats();
+}
+
+void
+Core::clearCallSiteTrace()
+{
+    trace_.clear();
+    tracedSites_.clear();
+    hasLastCtl_ = false;
+}
+
+void
+Core::onExternalGotWrite(Addr addr)
+{
+    if (skipUnit_)
+        skipUnit_->coherenceInvalidate(addr);
+}
+
+void
+Core::closeTrace()
+{
+    if (traceWriter_)
+        traceWriter_->close();
+}
+
+} // namespace dlsim::cpu

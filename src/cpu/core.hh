@@ -1,0 +1,303 @@
+/**
+ * @file
+ * The simulated CPU core.
+ *
+ * An execution-driven, in-order model with a front-end-accurate
+ * timing account: every retired instruction costs one base cycle
+ * plus the penalties of its I-side access (I-TLB, L1I, L2, L3), its
+ * data access (D-TLB, L1D, ...), and a pipeline-refill penalty on
+ * branch misprediction. This is the machinery needed to measure what
+ * the paper measures — structure pressure and the cycles it costs —
+ * without modelling an out-of-order backend the results don't depend
+ * on.
+ *
+ * The paper's mechanism hooks in at exactly the points §3 describes:
+ *
+ *  - Branch resolution consults TrampolineSkipUnit::substituteTarget
+ *    with the architecturally resolved target; on a hit the returned
+ *    function address becomes the effective target: it is compared
+ *    against the front-end prediction, trains the BTB, and execution
+ *    continues there — the trampoline is never fetched, never
+ *    retired, and performs no GOT load.
+ *  - The retire stream drives ABTB population (call followed by a
+ *    memory-indirect jump) and bloom-filter snooping of stores.
+ *
+ * The core also provides the evaluation methodology substrate: a
+ * call-site profiler (standing in for the paper's Pin tool) and a
+ * resolver trap that runs the DynamicLinker with its GOT store
+ * performed architecturally on the data path.
+ */
+
+#ifndef DLSIM_CPU_CORE_HH
+#define DLSIM_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "branch/predictor.hh"
+#include "core/skip_unit.hh"
+#include "cpu/perf_counters.hh"
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+#include "linker/dynamic_linker.hh"
+#include "linker/image.hh"
+#include "linker/patcher.hh"
+#include "mem/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace dlsim::cpu
+{
+
+using isa::Addr;
+
+/** Sentinel return address used by Core::callFunction. */
+constexpr Addr MagicReturnVa = 0x0000700000001000ull;
+
+/** Architectural register state of one hart/process. */
+struct MachineState
+{
+    std::array<std::uint64_t, isa::NumRegs> regs{};
+    Addr pc = 0;
+    bool halted = false;
+};
+
+/** Fatal simulation errors (bad memory access, undecodable pc). */
+class SimError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Core configuration. */
+struct CoreParams
+{
+    mem::HierarchyParams mem;
+    branch::PredictorParams predictor;
+
+    /** Pipeline refill cost of a branch misprediction. */
+    std::uint32_t mispredictPenalty = 15;
+
+    /**
+     * Superscalar issue width: instructions retired per base
+     * cycle. Taken control transfers end the fetch group (the
+     * classic taken-branch bubble), so every executed trampoline
+     * costs a group break on a wide machine — one of the costs
+     * trampoline elision removes. Default 4, the width of the
+     * paper's Core2-class Xeon testbed.
+     */
+    std::uint32_t issueWidth = 4;
+
+    /** Enable the paper's mechanism. */
+    bool skipUnitEnabled = false;
+    core::SkipUnitParams skip;
+
+    /**
+     * Synthetic cost of one lazy-resolver invocation (the symbol
+     * hash lookup ld.so performs), charged on top of the
+     * architectural pops and GOT store the trap performs.
+     */
+    std::uint64_t resolverInsts = 300;
+    std::uint64_t resolverCycles = 900;
+
+    /** Record library call sites (the Pin-tool stand-in). */
+    bool collectCallSiteTrace = false;
+
+    /**
+     * Count executions per trampoline (Table 3 / Fig. 4 census).
+     * Costs a hash update per trampoline execution.
+     */
+    bool profileTrampolines = false;
+
+    /**
+     * When non-empty, record the retire stream (control transfers,
+     * stores, and instruction counts) to this file for trace-driven
+     * replay (src/trace) — the Pin-collection analogue.
+     */
+    std::string tracePath;
+
+    /**
+     * Architectural checker: on every substitution, verify that the
+     * GOT slot still holds the memoized function address — i.e.,
+     * that a skip can never diverge from the unmodified machine.
+     */
+    bool checkSkips = true;
+
+    /** Retain TLB entries across context switches (ASIDs). */
+    bool asidTlbRetention = false;
+};
+
+/** The simulated core. */
+class Core
+{
+  public:
+    explicit Core(const CoreParams &params = {});
+
+    /** @name Process attachment @{ */
+    /** Attach (without flushing) — initial program placement. */
+    void attachProcess(linker::Image *image,
+                       linker::DynamicLinker *linker,
+                       std::uint16_t asid);
+
+    /**
+     * OS context switch to another process: flushes TLBs (unless
+     * ASID retention), the RAS, and the ABTB (per §3.3, unless its
+     * ASID retention is configured).
+     */
+    void contextSwitch(linker::Image *image,
+                       linker::DynamicLinker *linker,
+                       std::uint16_t asid);
+    /** @} */
+
+    MachineState &state() { return state_; }
+    void setState(const MachineState &state);
+
+    /** Point the stack pointer at the top of the stack region. */
+    void initStack(Addr stack_top);
+
+    /**
+     * Run until Halt (or max_insts retired).
+     * @return Instructions retired by this call.
+     */
+    std::uint64_t run(std::uint64_t max_insts = UINT64_MAX);
+
+    /** Result of one function invocation. */
+    struct CallResult
+    {
+        std::uint64_t instructions = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t returnValue = 0;
+    };
+
+    /**
+     * Call a function at `function` with up to three integer
+     * arguments, running until it returns. Used by the request-
+     * driven workload engines to measure per-request latency.
+     */
+    CallResult callFunction(Addr function,
+                            std::uint64_t arg0 = 0,
+                            std::uint64_t arg1 = 0,
+                            std::uint64_t arg2 = 0);
+
+    /** @name Resumable calls (multicore interleaving) @{ */
+    /** Set up a call like callFunction but do not run. */
+    void beginCall(Addr function, std::uint64_t arg0 = 0,
+                   std::uint64_t arg1 = 0, std::uint64_t arg2 = 0);
+
+    /**
+     * Run at most `max_insts` instructions of the in-progress call.
+     * @return True once the call has returned (or the hart halted).
+     */
+    bool runQuantum(std::uint64_t max_insts);
+    /** @} */
+
+    /**
+     * Snoop hook invoked (with the store address) after every
+     * retired store of this core; a multicore system uses it to
+     * broadcast coherence invalidations to the other cores.
+     */
+    void setStoreSnoopHook(std::function<void(Addr)> hook)
+    {
+        storeSnoopHook_ = std::move(hook);
+    }
+
+    /** Snapshot of all performance counters. */
+    PerfCounters counters() const;
+
+    /** Zero all statistics (leaves cache/predictor *contents*). */
+    void clearStats();
+
+    /** Null when the mechanism is disabled. */
+    core::TrampolineSkipUnit *skipUnit() { return skipUnit_.get(); }
+    const core::TrampolineSkipUnit *skipUnit() const
+    {
+        return skipUnit_.get();
+    }
+
+    branch::BranchPredictor &predictor() { return predictor_; }
+    mem::Hierarchy &hierarchy() { return hierarchy_; }
+    const CoreParams &params() const { return params_; }
+    linker::Image *image() { return image_; }
+
+    /** @name Profiler output (Pin-tool stand-in) @{ */
+    const linker::CallSiteTrace &callSiteTrace() const
+    {
+        return trace_;
+    }
+    void clearCallSiteTrace();
+
+    /** Per-trampoline execution counts (profileTrampolines mode). */
+    const std::unordered_map<Addr, std::uint64_t> &
+    trampolineCounts() const
+    {
+        return trampolineCounts_;
+    }
+    /** @} */
+
+    /**
+     * External (non-CPU) write to a GOT address, e.g. by dlclose.
+     * Forwarded to the skip unit as a coherence invalidation and to
+     * the caches.
+     */
+    void onExternalGotWrite(Addr addr);
+
+    /** Flush and finalise the retire trace (tracePath mode). */
+    void closeTrace();
+
+  private:
+    void step();
+    void serviceResolver();
+
+    std::uint64_t readData(Addr addr);
+    void writeData(Addr addr, std::uint64_t value);
+
+    static bool condTaken(isa::CondKind cond, std::uint64_t value);
+    static std::uint64_t aluEval(isa::AluKind kind, std::uint64_t a,
+                                 std::uint64_t b);
+
+    CoreParams params_;
+    mem::Hierarchy hierarchy_;
+    branch::BranchPredictor predictor_;
+    std::unique_ptr<core::TrampolineSkipUnit> skipUnit_;
+
+    linker::Image *image_ = nullptr;
+    linker::DynamicLinker *linker_ = nullptr;
+    std::uint16_t asid_ = 0;
+
+    MachineState state_;
+    const linker::Slot *curSlot_ = nullptr;
+    std::function<void(Addr)> storeSnoopHook_;
+    std::unique_ptr<trace::TraceWriter> traceWriter_;
+
+    /** @name Core-owned counters @{ */
+    std::uint64_t instructions_ = 0;
+    std::uint64_t cycles_ = 0;
+    std::uint32_t issueSlot_ = 0;
+    std::uint64_t trampolineInsts_ = 0;
+    std::uint64_t trampolineJmps_ = 0;
+    std::uint64_t skippedTrampolines_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t condBranches_ = 0;
+    std::uint64_t condMispredicts_ = 0;
+    std::uint64_t resolverCalls_ = 0;
+    /** @} */
+
+    /** Profiler state. */
+    std::unordered_map<Addr, std::uint64_t> trampolineCounts_;
+    linker::CallSiteTrace trace_;
+    std::unordered_set<Addr> tracedSites_;
+    bool hasLastCtl_ = false;
+    Addr lastCtlVa_ = 0;
+    bool lastCtlWasCall_ = false;
+};
+
+} // namespace dlsim::cpu
+
+#endif // DLSIM_CPU_CORE_HH

@@ -1,0 +1,74 @@
+#include "cpu/perf_counters.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dlsim::cpu
+{
+
+double
+PerfCounters::pki(std::uint64_t counter) const
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(counter) /
+           static_cast<double>(instructions);
+}
+
+double
+PerfCounters::ipc() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(instructions) /
+           static_cast<double>(cycles);
+}
+
+PerfCounters
+PerfCounters::operator-(const PerfCounters &other) const
+{
+    PerfCounters d;
+    d.instructions = instructions - other.instructions;
+    d.cycles = cycles - other.cycles;
+    d.trampolineInsts = trampolineInsts - other.trampolineInsts;
+    d.trampolineJmps = trampolineJmps - other.trampolineJmps;
+    d.skippedTrampolines =
+        skippedTrampolines - other.skippedTrampolines;
+    d.loads = loads - other.loads;
+    d.stores = stores - other.stores;
+    d.branches = branches - other.branches;
+    d.mispredicts = mispredicts - other.mispredicts;
+    d.condBranches = condBranches - other.condBranches;
+    d.condMispredicts = condMispredicts - other.condMispredicts;
+    d.l1iMisses = l1iMisses - other.l1iMisses;
+    d.l1dMisses = l1dMisses - other.l1dMisses;
+    d.l2Misses = l2Misses - other.l2Misses;
+    d.l3Misses = l3Misses - other.l3Misses;
+    d.itlbMisses = itlbMisses - other.itlbMisses;
+    d.dtlbMisses = dtlbMisses - other.dtlbMisses;
+    d.btbLookups = btbLookups - other.btbLookups;
+    d.btbMisses = btbMisses - other.btbMisses;
+    d.resolverCalls = resolverCalls - other.resolverCalls;
+    return d;
+}
+
+std::string
+PerfCounters::toString() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    os << "instructions:          " << instructions << "\n"
+       << "cycles:                " << cycles << " (IPC " << ipc()
+       << ")\n"
+       << "trampoline insts PKI:  " << pki(trampolineInsts) << "\n"
+       << "skipped trampolines:   " << skippedTrampolines << "\n"
+       << "I-$ misses PKI:        " << pki(l1iMisses) << "\n"
+       << "I-TLB misses PKI:      " << pki(itlbMisses) << "\n"
+       << "D-$ misses PKI:        " << pki(l1dMisses) << "\n"
+       << "D-TLB misses PKI:      " << pki(dtlbMisses) << "\n"
+       << "branch mispredicts PKI:" << pki(mispredicts) << "\n"
+       << "resolver calls:        " << resolverCalls << "\n";
+    return os.str();
+}
+
+} // namespace dlsim::cpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Performance-counter block: everything the paper measures with
+ * VTune (Table 4) plus the mechanism-specific counters the proposed
+ * hardware would expose.
+ *
+ * All Table 4 quantities are reported per kilo-instruction (PKI),
+ * normalised by retired instructions.
+ */
+
+#ifndef DLSIM_CPU_PERF_COUNTERS_HH
+#define DLSIM_CPU_PERF_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dlsim::cpu
+{
+
+/** One snapshot of all counters. */
+struct PerfCounters
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    /** Instructions retired inside PLT sections (Table 2). */
+    std::uint64_t trampolineInsts = 0;
+    /** Trampoline indirect jumps retired (executed invocations). */
+    std::uint64_t trampolineJmps = 0;
+    /** Trampolines skipped by the ABTB mechanism. */
+    std::uint64_t skippedTrampolines = 0;
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t l3Misses = 0;
+    std::uint64_t itlbMisses = 0;
+    std::uint64_t dtlbMisses = 0;
+
+    std::uint64_t btbLookups = 0;
+    std::uint64_t btbMisses = 0;
+
+    std::uint64_t resolverCalls = 0;
+
+    /** Per-kilo-instruction view of any counter. */
+    double pki(std::uint64_t counter) const;
+
+    /** Instructions per cycle. */
+    double ipc() const;
+
+    /** counters of `this` minus `other` (for interval measurement). */
+    PerfCounters operator-(const PerfCounters &other) const;
+
+    /** Multi-line human-readable dump. */
+    std::string toString() const;
+};
+
+} // namespace dlsim::cpu
+
+#endif // DLSIM_CPU_PERF_COUNTERS_HH

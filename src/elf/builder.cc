@@ -1,0 +1,269 @@
+#include "elf/builder.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dlsim::elf
+{
+
+// -- FunctionBuilder ------------------------------------------------
+
+FunctionBuilder::FunctionBuilder(ModuleBuilder &owner,
+                                 std::string name,
+                                 std::uint32_t func_index)
+    : owner_(owner), name_(std::move(name)), funcIndex_(func_index)
+{
+}
+
+void
+FunctionBuilder::emit(isa::Instruction inst)
+{
+    code_.push_back(inst);
+}
+
+Label
+FunctionBuilder::newLabel()
+{
+    labelPos_.push_back(-1);
+    return Label{static_cast<std::uint32_t>(labelPos_.size() - 1)};
+}
+
+void
+FunctionBuilder::bind(Label label)
+{
+    assert(label.id < labelPos_.size());
+    assert(labelPos_[label.id] < 0 && "label bound twice");
+    labelPos_[label.id] = static_cast<std::int32_t>(code_.size());
+}
+
+void
+FunctionBuilder::condBr(isa::CondKind cond, isa::Reg src, Label target)
+{
+    pending_.push_back(
+        {static_cast<std::uint32_t>(code_.size()), target.id});
+    emit(isa::makeCondBr(cond, src, 0));
+}
+
+void
+FunctionBuilder::jmp(Label target)
+{
+    pending_.push_back(
+        {static_cast<std::uint32_t>(code_.size()), target.id});
+    emit(isa::makeJmpRel(0));
+}
+
+void
+FunctionBuilder::callLocal(const std::string &fn)
+{
+    owner_.pendingRelocs_.push_back(
+        {RelocKind::LocalCall, funcIndex_,
+         static_cast<std::uint32_t>(code_.size()), 0, fn});
+    emit(isa::makeCallRel(0));
+}
+
+void
+FunctionBuilder::jmpLocal(const std::string &fn)
+{
+    owner_.pendingRelocs_.push_back(
+        {RelocKind::LocalJump, funcIndex_,
+         static_cast<std::uint32_t>(code_.size()), 0, fn});
+    emit(isa::makeJmpRel(0));
+}
+
+void
+FunctionBuilder::callExternal(const std::string &sym)
+{
+    owner_.pendingRelocs_.push_back(
+        {RelocKind::PltCall, funcIndex_,
+         static_cast<std::uint32_t>(code_.size()), 0, sym});
+    emit(isa::makeCallRel(0));
+}
+
+void
+FunctionBuilder::jmpExternal(const std::string &sym)
+{
+    owner_.pendingRelocs_.push_back(
+        {RelocKind::PltJump, funcIndex_,
+         static_cast<std::uint32_t>(code_.size()), 0, sym});
+    emit(isa::makeJmpRel(0));
+}
+
+void
+FunctionBuilder::movDataAddr(isa::Reg dst, std::int64_t offset)
+{
+    owner_.pendingRelocs_.push_back(
+        {RelocKind::DataAddr, funcIndex_,
+         static_cast<std::uint32_t>(code_.size()), offset, {}});
+    emit(isa::makeMovImm(dst, 0));
+}
+
+void
+FunctionBuilder::movFuncAddr(isa::Reg dst, const std::string &symbol)
+{
+    owner_.pendingRelocs_.push_back(
+        {RelocKind::FuncAddrAbs, funcIndex_,
+         static_cast<std::uint32_t>(code_.size()), 0, symbol});
+    emit(isa::makeMovImm(dst, 0));
+}
+
+Function
+FunctionBuilder::finalize()
+{
+    Function fn;
+    fn.name = name_;
+    fn.code = code_;
+    fn.offsets.resize(fn.code.size());
+    std::uint32_t off = 0;
+    for (std::size_t i = 0; i < fn.code.size(); ++i) {
+        fn.offsets[i] = off;
+        off += fn.code[i].size;
+    }
+    fn.sizeBytes = off;
+
+    for (const auto &pb : pending_) {
+        const std::int32_t target_inst = labelPos_.at(pb.labelId);
+        assert(target_inst >= 0 && "unbound label");
+        const std::uint32_t target_off =
+            static_cast<std::size_t>(target_inst) == fn.code.size()
+                ? fn.sizeBytes
+                : fn.offsets[static_cast<std::size_t>(target_inst)];
+        auto &inst = fn.code[pb.instIndex];
+        const std::uint32_t next_off =
+            fn.offsets[pb.instIndex] + inst.size;
+        inst.imm = static_cast<std::int64_t>(target_off) -
+                   static_cast<std::int64_t>(next_off);
+    }
+    return fn;
+}
+
+// -- ModuleBuilder ---------------------------------------------------
+
+ModuleBuilder::ModuleBuilder(std::string name)
+    : module_(std::make_unique<Module>(std::move(name)))
+{
+}
+
+FunctionBuilder &
+ModuleBuilder::function(const std::string &name)
+{
+    assert(!built_);
+    const auto it = builderIndex_.find(name);
+    if (it != builderIndex_.end())
+        return *builders_[it->second];
+    const auto index = builders_.size();
+    builders_.push_back(std::unique_ptr<FunctionBuilder>(
+        new FunctionBuilder(*this, name,
+                            static_cast<std::uint32_t>(index))));
+    builderIndex_.emplace(name, index);
+    return *builders_.back();
+}
+
+void
+ModuleBuilder::declareImport(const std::string &sym)
+{
+    module_->addImport(sym);
+}
+
+void
+ModuleBuilder::exportIfunc(const std::string &sym,
+                           const std::vector<std::string> &candidates)
+{
+    ifuncs_.push_back({sym, candidates});
+}
+
+void
+ModuleBuilder::exportVersion(const std::string &sym,
+                             const std::string &version,
+                             const std::string &impl,
+                             bool is_default)
+{
+    versions_.push_back({sym, version, impl, is_default});
+}
+
+void
+ModuleBuilder::setDataSize(std::uint64_t bytes)
+{
+    module_->setDataSize(bytes);
+}
+
+Module
+ModuleBuilder::build()
+{
+    assert(!built_);
+    built_ = true;
+
+    for (auto &fb : builders_) {
+        Function fn = fb->finalize();
+        const auto index = module_->addFunction(std::move(fn));
+        // Plain export for every defined function (ELF default
+        // visibility); ifunc exports are overlaid below.
+        Export exp;
+        exp.funcIndex = index;
+        module_->addExport(fb->name_, exp);
+    }
+
+    for (const auto &decl : ifuncs_) {
+        Export exp;
+        exp.ifunc = true;
+        for (const auto &cand : decl.candidates) {
+            std::uint32_t index = 0;
+            if (!module_->findFunction(cand, index)) {
+                throw std::invalid_argument(
+                    "ifunc candidate not defined: " + cand);
+            }
+            exp.ifuncCandidates.push_back(index);
+        }
+        assert(!exp.ifuncCandidates.empty());
+        exp.funcIndex = exp.ifuncCandidates.front();
+        module_->addExport(decl.sym, exp);
+    }
+
+    for (const auto &decl : versions_) {
+        std::uint32_t index = 0;
+        if (!module_->findFunction(decl.impl, index)) {
+            throw std::invalid_argument(
+                "versioned export implementation not defined: " +
+                decl.impl);
+        }
+        Export exp;
+        exp.funcIndex = index;
+        module_->addExport(decl.sym + "@" + decl.version, exp);
+        if (decl.isDefault)
+            module_->addExport(decl.sym, exp);
+    }
+
+    for (auto &pr : pendingRelocs_) {
+        Relocation reloc;
+        reloc.kind = pr.kind;
+        reloc.funcIndex = pr.funcIndex;
+        reloc.instIndex = pr.instIndex;
+        reloc.addend = pr.addend;
+        switch (pr.kind) {
+          case RelocKind::LocalCall:
+          case RelocKind::LocalJump: {
+            std::uint32_t index = 0;
+            if (!module_->findFunction(pr.symbol, index)) {
+                throw std::invalid_argument(
+                    "local call target not defined: " + pr.symbol);
+            }
+            reloc.targetIndex = index;
+            break;
+          }
+          case RelocKind::PltCall:
+          case RelocKind::PltJump:
+            reloc.targetIndex = module_->addImport(pr.symbol);
+            break;
+          case RelocKind::DataAddr:
+            break;
+          case RelocKind::FuncAddrAbs:
+            reloc.symbol = pr.symbol;
+            break;
+        }
+        module_->addRelocation(std::move(reloc));
+    }
+    pendingRelocs_.clear();
+
+    return std::move(*module_);
+}
+
+} // namespace dlsim::elf

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Assembler-style builders for constructing modules.
+ *
+ * FunctionBuilder emits instructions with label support for
+ * intra-function control flow and records relocations for everything
+ * the loader must fix up: local calls, PLT calls/tail-jumps to
+ * imported symbols, data-address and function-address
+ * materialisation.
+ *
+ * ModuleBuilder owns the functions of one module and finalises them
+ * into a Module. Every defined function is exported by name (ELF
+ * default visibility), which is what lets one library's functions
+ * call another's through the PLT.
+ */
+
+#ifndef DLSIM_ELF_BUILDER_HH
+#define DLSIM_ELF_BUILDER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "elf/module.hh"
+#include "isa/instruction.hh"
+
+namespace dlsim::elf
+{
+
+class ModuleBuilder;
+
+/** Opaque label handle for intra-function branches. */
+struct Label
+{
+    std::uint32_t id;
+};
+
+/**
+ * Emits the body of one function.
+ *
+ * Obtained from ModuleBuilder::function(); finalised when the
+ * ModuleBuilder builds. Emitting after build() is a usage error.
+ */
+class FunctionBuilder
+{
+  public:
+    /** Raw emission; prefer the typed helpers below. */
+    void emit(isa::Instruction inst);
+
+    /** @name Straight-line helpers @{ */
+    void nop() { emit(isa::makeNop()); }
+    void alu(isa::AluKind k, isa::Reg d, isa::Reg s1, isa::Reg s2)
+    {
+        emit(isa::makeAlu(k, d, s1, s2));
+    }
+    void aluImm(isa::AluKind k, isa::Reg d, isa::Reg s1,
+                std::int64_t imm)
+    {
+        emit(isa::makeAluImm(k, d, s1, imm));
+    }
+    void movImm(isa::Reg d, std::int64_t imm)
+    {
+        emit(isa::makeMovImm(d, imm));
+    }
+    void load(isa::Reg d, isa::Reg base, std::int64_t disp)
+    {
+        emit(isa::makeLoad(d, base, disp));
+    }
+    void store(isa::Reg s, isa::Reg base, std::int64_t disp)
+    {
+        emit(isa::makeStore(s, base, disp));
+    }
+    void push(isa::Reg s) { emit(isa::makePush(s)); }
+    void pop(isa::Reg d) { emit(isa::makePop(d)); }
+    void ret() { emit(isa::makeRet()); }
+    void halt() { emit(isa::makeHalt()); }
+    void abtbFlush() { emit(isa::makeAbtbFlush()); }
+    /** @} */
+
+    /** @name Labels and intra-function branches @{ */
+    Label newLabel();
+    /** Bind a label to the current position. */
+    void bind(Label label);
+    void condBr(isa::CondKind cond, isa::Reg src, Label target);
+    void jmp(Label target);
+    /** @} */
+
+    /** @name Calls @{ */
+    /** Direct call to a function defined in this module. */
+    void callLocal(const std::string &fn);
+    /** Direct tail-jump to a function defined in this module. */
+    void jmpLocal(const std::string &fn);
+    /** Call an imported symbol through this module's PLT. */
+    void callExternal(const std::string &sym);
+    /**
+     * Tail-jump an imported symbol through the PLT — the
+     * "unconventional trick" of paper §2.3 (jump used to invoke a
+     * function), which a naive stack-walking software patcher
+     * mishandles.
+     */
+    void jmpExternal(const std::string &sym);
+    /** Indirect call through a register (C++-virtual-call style). */
+    void callReg(isa::Reg target) { emit(isa::makeCallIndReg(target)); }
+    /** Indirect call through memory. */
+    void callMem(isa::Reg base, std::int64_t disp)
+    {
+        emit(isa::makeCallIndMem(base, disp));
+    }
+    void jmpReg(isa::Reg target) { emit(isa::makeJmpIndReg(target)); }
+    /** @} */
+
+    /** @name Address materialisation (relocated movs) @{ */
+    /** dst = this module's data base + offset. */
+    void movDataAddr(isa::Reg dst, std::int64_t offset);
+    /** dst = absolute address of a (possibly external) function. */
+    void movFuncAddr(isa::Reg dst, const std::string &symbol);
+    /** @} */
+
+    /** Number of instructions emitted so far. */
+    std::size_t numInsts() const { return code_.size(); }
+
+  private:
+    friend class ModuleBuilder;
+
+    FunctionBuilder(ModuleBuilder &owner, std::string name,
+                    std::uint32_t func_index);
+
+    /** Resolve labels, compute offsets, and return the Function. */
+    Function finalize();
+
+    ModuleBuilder &owner_;
+    std::string name_;
+    std::uint32_t funcIndex_;
+    std::vector<isa::Instruction> code_;
+
+    struct PendingBranch
+    {
+        std::uint32_t instIndex;
+        std::uint32_t labelId;
+    };
+    std::vector<std::int32_t> labelPos_; // -1 while unbound.
+    std::vector<PendingBranch> pending_;
+};
+
+/** Builds one Module. */
+class ModuleBuilder
+{
+  public:
+    explicit ModuleBuilder(std::string name);
+
+    ModuleBuilder(const ModuleBuilder &) = delete;
+    ModuleBuilder &operator=(const ModuleBuilder &) = delete;
+
+    /**
+     * Start (or continue) a function. The returned builder stays
+     * valid until build().
+     */
+    FunctionBuilder &function(const std::string &name);
+
+    /**
+     * Declare an import without calling it, reserving a PLT slot.
+     * Models the sparse, definition-ordered PLT sections of §2.
+     */
+    void declareImport(const std::string &sym);
+
+    /**
+     * Export an ifunc: `sym` resolves at load time to one of the
+     * named candidate functions (all must be defined here).
+     */
+    void exportIfunc(const std::string &sym,
+                     const std::vector<std::string> &candidates);
+
+    /**
+     * Export a versioned alias (ELF symbol versioning): importers
+     * naming `sym@version` bind to `impl`; when `is_default` the
+     * plain name `sym` also binds to `impl` (the `@@` default).
+     * Lets a library carry several ABI revisions of one function.
+     */
+    void exportVersion(const std::string &sym,
+                       const std::string &version,
+                       const std::string &impl,
+                       bool is_default = false);
+
+    /** Reserve a data section of the given byte size. */
+    void setDataSize(std::uint64_t bytes);
+
+    /** Finalise into a Module. The builder is consumed. */
+    Module build();
+
+  private:
+    friend class FunctionBuilder;
+
+    /** Relocation recorded before symbol names are resolved. */
+    struct PendingReloc
+    {
+        RelocKind kind;
+        std::uint32_t funcIndex;
+        std::uint32_t instIndex;
+        std::int64_t addend;
+        std::string symbol;
+    };
+
+    std::unique_ptr<Module> module_;
+    std::vector<std::unique_ptr<FunctionBuilder>> builders_;
+    std::unordered_map<std::string, std::size_t> builderIndex_;
+    std::vector<PendingReloc> pendingRelocs_;
+    struct IfuncDecl
+    {
+        std::string sym;
+        std::vector<std::string> candidates;
+    };
+    std::vector<IfuncDecl> ifuncs_;
+    struct VersionDecl
+    {
+        std::string sym;
+        std::string version;
+        std::string impl;
+        bool isDefault;
+    };
+    std::vector<VersionDecl> versions_;
+    bool built_ = false;
+};
+
+} // namespace dlsim::elf
+
+#endif // DLSIM_ELF_BUILDER_HH

@@ -1,0 +1,65 @@
+#include "elf/module.hh"
+
+#include <cassert>
+
+namespace dlsim::elf
+{
+
+bool
+Module::findFunction(const std::string &name,
+                     std::uint32_t &index) const
+{
+    const auto it = functionIndex_.find(name);
+    if (it == functionIndex_.end())
+        return false;
+    index = it->second;
+    return true;
+}
+
+std::uint64_t
+Module::textSize() const
+{
+    std::uint64_t total = 0;
+    for (const auto &fn : functions_) {
+        // Functions are 16-byte aligned at load time.
+        total = (total + 15) & ~15ull;
+        total += fn.sizeBytes;
+    }
+    return total;
+}
+
+std::uint32_t
+Module::addFunction(Function fn)
+{
+    assert(functionIndex_.find(fn.name) == functionIndex_.end());
+    const auto index = static_cast<std::uint32_t>(functions_.size());
+    functionIndex_.emplace(fn.name, index);
+    functions_.push_back(std::move(fn));
+    return index;
+}
+
+void
+Module::addExport(const std::string &sym, Export exp)
+{
+    exports_[sym] = std::move(exp);
+}
+
+std::uint32_t
+Module::addImport(const std::string &sym)
+{
+    const auto it = importIndex_.find(sym);
+    if (it != importIndex_.end())
+        return it->second;
+    const auto index = static_cast<std::uint32_t>(imports_.size());
+    importIndex_.emplace(sym, index);
+    imports_.push_back(sym);
+    return index;
+}
+
+void
+Module::addRelocation(Relocation reloc)
+{
+    relocs_.push_back(std::move(reloc));
+}
+
+} // namespace dlsim::elf

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The dlsim object format: a compiled module (executable or shared
+ * library) before loading.
+ *
+ * A Module mirrors the parts of an ELF object that dynamic linking
+ * interacts with: a text section of functions, an export symbol
+ * table, an ordered import list (each import will receive a PLT slot
+ * and a GOTPLT slot at load time), relocations for call sites and
+ * address materialisation, and a BSS-like data section size.
+ *
+ * Per the paper (§2), compilers allocate PLT entries in the order the
+ * corresponding symbols appear; a program typically calls only a
+ * small, scattered subset, which makes PLT/GOT accesses spatially
+ * sparse. Imports here are therefore an *ordered list*, and workload
+ * generators may declare more imports than they call.
+ */
+
+#ifndef DLSIM_ELF_MODULE_HH
+#define DLSIM_ELF_MODULE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dlsim::elf
+{
+
+using isa::Addr;
+
+/** A function: decoded instructions plus their byte offsets. */
+struct Function
+{
+    std::string name;
+    std::vector<isa::Instruction> code;
+    /** Byte offset of each instruction from the function start. */
+    std::vector<std::uint32_t> offsets;
+    /** Total encoded size in bytes. */
+    std::uint32_t sizeBytes = 0;
+};
+
+/** Relocation kinds understood by the loader. */
+enum class RelocKind : std::uint8_t
+{
+    PltCall,     ///< CallRel to the module's own PLT entry (import).
+    PltJump,     ///< JmpRel tail-call through the PLT (import).
+    LocalCall,   ///< CallRel to another function in this module.
+    LocalJump,   ///< JmpRel to another function in this module.
+    DataAddr,    ///< MovImm imm = module data base + addend.
+    FuncAddrAbs, ///< MovImm imm = absolute address of a symbol
+                 ///< (function-pointer materialisation; resolved
+                 ///< eagerly at load, like an x86-64 movabs fixed by
+                 ///< a GLOB_DAT-style relocation).
+};
+
+/** One relocation record. */
+struct Relocation
+{
+    RelocKind kind;
+    std::uint32_t funcIndex;  ///< Function containing the site.
+    std::uint32_t instIndex;  ///< Instruction index within it.
+    std::uint32_t targetIndex = 0; ///< Import index or local func index.
+    std::int64_t addend = 0;  ///< For DataAddr.
+    std::string symbol;       ///< For FuncAddrAbs.
+};
+
+/** An exported symbol: either a plain function or an ifunc. */
+struct Export
+{
+    std::uint32_t funcIndex = 0;
+    bool ifunc = false;
+    /**
+     * Candidate implementations for an ifunc (GNU indirect function,
+     * paper §2.4.1). The dynamic linker picks one at resolution time
+     * based on the configured hardware level.
+     */
+    std::vector<std::uint32_t> ifuncCandidates;
+};
+
+/** A compiled module. */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    const std::vector<Function> &functions() const
+    {
+        return functions_;
+    }
+    const std::vector<std::string> &imports() const { return imports_; }
+    const std::vector<Relocation> &relocations() const
+    {
+        return relocs_;
+    }
+    const std::unordered_map<std::string, Export> &exports() const
+    {
+        return exports_;
+    }
+    std::uint64_t dataSize() const { return dataSize_; }
+
+    /** Function index by name; returns false if absent. */
+    bool findFunction(const std::string &name,
+                      std::uint32_t &index) const;
+
+    /** Total text bytes (functions only, PLT added at load). */
+    std::uint64_t textSize() const;
+
+    /** @name Construction interface (used by ModuleBuilder) @{ */
+    std::uint32_t addFunction(Function fn);
+    void addExport(const std::string &sym, Export exp);
+    std::uint32_t addImport(const std::string &sym);
+    void addRelocation(Relocation reloc);
+    void setDataSize(std::uint64_t bytes) { dataSize_ = bytes; }
+    /** @} */
+
+  private:
+    std::string name_;
+    std::vector<Function> functions_;
+    std::unordered_map<std::string, std::uint32_t> functionIndex_;
+    std::unordered_map<std::string, Export> exports_;
+    std::vector<std::string> imports_;
+    std::unordered_map<std::string, std::uint32_t> importIndex_;
+    std::vector<Relocation> relocs_;
+    std::uint64_t dataSize_ = 0;
+};
+
+} // namespace dlsim::elf
+
+#endif // DLSIM_ELF_MODULE_HH

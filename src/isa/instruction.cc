@@ -1,0 +1,302 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace dlsim::isa
+{
+
+namespace
+{
+
+/** Byte sizes chosen to match typical x86-64 encodings. */
+constexpr std::uint8_t SizeNop = 1;
+constexpr std::uint8_t SizeAlu = 3;
+constexpr std::uint8_t SizeAluImm = 4;
+constexpr std::uint8_t SizeMovImm = 7;
+constexpr std::uint8_t SizeLoad = 4;
+constexpr std::uint8_t SizeStore = 4;
+constexpr std::uint8_t SizePush = 2;
+constexpr std::uint8_t SizePushImm = 5;
+constexpr std::uint8_t SizePop = 2;
+constexpr std::uint8_t SizeCallRel = 5;
+constexpr std::uint8_t SizeCallInd = 3;
+constexpr std::uint8_t SizeCallIndMem = 7;
+constexpr std::uint8_t SizeJmpRel = 5;
+constexpr std::uint8_t SizeJmpInd = 3;
+constexpr std::uint8_t SizeJmpIndMem = 6;
+constexpr std::uint8_t SizeCondBr = 6;
+constexpr std::uint8_t SizeRet = 1;
+constexpr std::uint8_t SizeHalt = 2;
+constexpr std::uint8_t SizeAbtbFlush = 3;
+
+} // namespace
+
+std::string
+Instruction::toString(Addr pc) const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    auto reg = [](Reg r) { return "r" + std::to_string(r); };
+    switch (op) {
+      case Opcode::IntAlu:
+        os << " " << reg(dst) << ", " << reg(src1) << ", ";
+        if (src2 == NoReg)
+            os << imm;
+        else
+            os << reg(src2);
+        break;
+      case Opcode::MovImm:
+        os << " " << reg(dst) << ", " << imm;
+        break;
+      case Opcode::Load:
+        os << " " << reg(dst) << ", [";
+        if (memBase != NoReg)
+            os << reg(memBase) << " + ";
+        os << imm << "]";
+        break;
+      case Opcode::Store:
+        os << " [";
+        if (memBase != NoReg)
+            os << reg(memBase) << " + ";
+        os << imm << "], " << reg(src1);
+        break;
+      case Opcode::Push:
+        os << " " << reg(src1);
+        break;
+      case Opcode::PushImm:
+        os << " " << imm;
+        break;
+      case Opcode::Pop:
+        os << " " << reg(dst);
+        break;
+      case Opcode::CallRel:
+      case Opcode::JmpRel:
+      case Opcode::CondBr:
+        os << " 0x" << std::hex << (pc + size + imm);
+        break;
+      case Opcode::CallIndReg:
+      case Opcode::JmpIndReg:
+        os << " *" << reg(src1);
+        break;
+      case Opcode::CallIndMem:
+      case Opcode::JmpIndMem:
+        os << " *[";
+        if (memBase != NoReg)
+            os << reg(memBase) << " + ";
+        os << "0x" << std::hex << imm << "]";
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+Instruction
+makeNop()
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    i.size = SizeNop;
+    return i;
+}
+
+Instruction
+makeAlu(AluKind kind, Reg dst, Reg src1, Reg src2)
+{
+    Instruction i;
+    i.op = Opcode::IntAlu;
+    i.size = SizeAlu;
+    i.alu = kind;
+    i.dst = dst;
+    i.src1 = src1;
+    i.src2 = src2;
+    return i;
+}
+
+Instruction
+makeAluImm(AluKind kind, Reg dst, Reg src1, std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::IntAlu;
+    i.size = SizeAluImm;
+    i.alu = kind;
+    i.dst = dst;
+    i.src1 = src1;
+    i.src2 = NoReg;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeMovImm(Reg dst, std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::MovImm;
+    i.size = SizeMovImm;
+    i.dst = dst;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLoad(Reg dst, Reg base, std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.size = SizeLoad;
+    i.dst = dst;
+    i.memBase = base;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+makeStore(Reg src, Reg base, std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.size = SizeStore;
+    i.src1 = src;
+    i.memBase = base;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+makePush(Reg src)
+{
+    Instruction i;
+    i.op = Opcode::Push;
+    i.size = SizePush;
+    i.src1 = src;
+    return i;
+}
+
+Instruction
+makePushImm(std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::PushImm;
+    i.size = SizePushImm;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makePop(Reg dst)
+{
+    Instruction i;
+    i.op = Opcode::Pop;
+    i.size = SizePop;
+    i.dst = dst;
+    return i;
+}
+
+Instruction
+makeCallRel(std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::CallRel;
+    i.size = SizeCallRel;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+makeCallIndReg(Reg target)
+{
+    Instruction i;
+    i.op = Opcode::CallIndReg;
+    i.size = SizeCallInd;
+    i.src1 = target;
+    return i;
+}
+
+Instruction
+makeCallIndMem(Reg base, std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::CallIndMem;
+    i.size = SizeCallIndMem;
+    i.memBase = base;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+makeJmpRel(std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::JmpRel;
+    i.size = SizeJmpRel;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+makeJmpIndReg(Reg target)
+{
+    Instruction i;
+    i.op = Opcode::JmpIndReg;
+    i.size = SizeJmpInd;
+    i.src1 = target;
+    return i;
+}
+
+Instruction
+makeJmpIndMem(Reg base, std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::JmpIndMem;
+    i.size = SizeJmpIndMem;
+    i.memBase = base;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+makeJmpIndMemAbs(Addr addr)
+{
+    return makeJmpIndMem(NoReg, static_cast<std::int64_t>(addr));
+}
+
+Instruction
+makeCondBr(CondKind cond, Reg src, std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::CondBr;
+    i.size = SizeCondBr;
+    i.cond = cond;
+    i.src1 = src;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+makeRet()
+{
+    Instruction i;
+    i.op = Opcode::Ret;
+    i.size = SizeRet;
+    return i;
+}
+
+Instruction
+makeHalt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    i.size = SizeHalt;
+    return i;
+}
+
+Instruction
+makeAbtbFlush()
+{
+    Instruction i;
+    i.op = Opcode::AbtbFlush;
+    i.size = SizeAbtbFlush;
+    return i;
+}
+
+} // namespace dlsim::isa

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The decoded-instruction representation and its builders.
+ *
+ * dlsim keeps instructions decoded (a module's text section is a
+ * vector of Instruction plus byte offsets). Instructions still have
+ * realistic byte sizes so that instruction-cache and I-TLB behaviour
+ * — a first-class concern of the paper — is modelled faithfully: PLT
+ * trampolines occupy 16 bytes, exactly as on x86-64 ELF, so four
+ * trampolines fit a 64-byte cache line.
+ */
+
+#ifndef DLSIM_ISA_INSTRUCTION_HH
+#define DLSIM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "isa/registers.hh"
+
+namespace dlsim::isa
+{
+
+/** Virtual address type used throughout the simulator. */
+using Addr = std::uint64_t;
+
+/** Maximum reach of a rel32 displacement, as on x86-64 (±2GB). */
+constexpr std::int64_t Rel32Max = (1ll << 31) - 1;
+constexpr std::int64_t Rel32Min = -(1ll << 31);
+
+/**
+ * One decoded instruction.
+ *
+ * Fields are interpreted per opcode:
+ *  - IntAlu: dst = src1 <alu> (src2, or imm when src2 == NoReg)
+ *  - Load/Store and memory-indirect control: effective address is
+ *    regs[memBase] + imm, or the absolute address imm when memBase ==
+ *    NoReg (standing in for x86-64 RIP-relative addressing)
+ *  - CallRel/JmpRel/CondBr: imm is a signed displacement from the
+ *    address of the *next* instruction, limited to rel32 reach
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t size = 1;      ///< Encoded size in bytes (1..15).
+    AluKind alu = AluKind::Add;
+    CondKind cond = CondKind::Ne0;
+    Reg dst = NoReg;
+    Reg src1 = NoReg;
+    Reg src2 = NoReg;
+    Reg memBase = NoReg;
+    std::int64_t imm = 0;
+
+    /** Disassemble for diagnostics, given the instruction's pc. */
+    std::string toString(Addr pc = 0) const;
+};
+
+/** @name Instruction factories
+ *  Convenience constructors producing instructions with the byte
+ *  sizes of their closest x86-64 encodings.
+ *  @{
+ */
+Instruction makeNop();
+Instruction makeAlu(AluKind kind, Reg dst, Reg src1, Reg src2);
+Instruction makeAluImm(AluKind kind, Reg dst, Reg src1,
+                       std::int64_t imm);
+Instruction makeMovImm(Reg dst, std::int64_t imm);
+Instruction makeLoad(Reg dst, Reg base, std::int64_t disp);
+Instruction makeStore(Reg src, Reg base, std::int64_t disp);
+Instruction makePush(Reg src);
+Instruction makePushImm(std::int64_t imm);
+Instruction makePop(Reg dst);
+Instruction makeCallRel(std::int64_t disp);
+Instruction makeCallIndReg(Reg target);
+Instruction makeCallIndMem(Reg base, std::int64_t disp);
+Instruction makeJmpRel(std::int64_t disp);
+Instruction makeJmpIndReg(Reg target);
+Instruction makeJmpIndMem(Reg base, std::int64_t disp);
+Instruction makeJmpIndMemAbs(Addr addr);
+Instruction makeCondBr(CondKind cond, Reg src, std::int64_t disp);
+Instruction makeRet();
+Instruction makeHalt();
+Instruction makeAbtbFlush();
+/** @} */
+
+} // namespace dlsim::isa
+
+#endif // DLSIM_ISA_INSTRUCTION_HH

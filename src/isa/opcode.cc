@@ -1,0 +1,116 @@
+#include "isa/opcode.hh"
+
+namespace dlsim::isa
+{
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::IntAlu: return "alu";
+      case Opcode::MovImm: return "mov";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Push: return "push";
+      case Opcode::PushImm: return "pushi";
+      case Opcode::Pop: return "pop";
+      case Opcode::CallRel: return "call";
+      case Opcode::CallIndReg: return "call*r";
+      case Opcode::CallIndMem: return "call*m";
+      case Opcode::JmpRel: return "jmp";
+      case Opcode::JmpIndReg: return "jmp*r";
+      case Opcode::JmpIndMem: return "jmp*m";
+      case Opcode::CondBr: return "jcc";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+      case Opcode::AbtbFlush: return "abtbflush";
+    }
+    return "?";
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::CallRel:
+      case Opcode::CallIndReg:
+      case Opcode::CallIndMem:
+      case Opcode::JmpRel:
+      case Opcode::JmpIndReg:
+      case Opcode::JmpIndMem:
+      case Opcode::CondBr:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCall(Opcode op)
+{
+    return op == Opcode::CallRel || op == Opcode::CallIndReg ||
+           op == Opcode::CallIndMem;
+}
+
+bool
+isJump(Opcode op)
+{
+    return op == Opcode::JmpRel || op == Opcode::JmpIndReg ||
+           op == Opcode::JmpIndMem;
+}
+
+bool
+isIndirectControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::CallIndReg:
+      case Opcode::CallIndMem:
+      case Opcode::JmpIndReg:
+      case Opcode::JmpIndMem:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemIndirectControl(Opcode op)
+{
+    return op == Opcode::CallIndMem || op == Opcode::JmpIndMem;
+}
+
+bool
+hasLoad(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Pop:
+      case Opcode::Ret:
+      case Opcode::CallIndMem:
+      case Opcode::JmpIndMem:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+hasStore(Opcode op)
+{
+    switch (op) {
+      case Opcode::Store:
+      case Opcode::Push:
+      case Opcode::PushImm:
+      case Opcode::CallRel:
+      case Opcode::CallIndReg:
+      case Opcode::CallIndMem:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace dlsim::isa

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Register identifiers for the dlsim abstract ISA.
+ *
+ * The ISA models an x86-64-class machine: 16 general-purpose 64-bit
+ * registers, with one register architecturally designated as the stack
+ * pointer (used implicitly by push/pop/call/ret).
+ */
+
+#ifndef DLSIM_ISA_REGISTERS_HH
+#define DLSIM_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+namespace dlsim::isa
+{
+
+/** Register index type. */
+using Reg = std::uint8_t;
+
+/** Number of general-purpose registers. */
+constexpr Reg NumRegs = 16;
+
+/** The stack pointer (x86-64 %rsp analogue). */
+constexpr Reg RegSp = 15;
+
+/** Conventional return-value register (%rax analogue). */
+constexpr Reg RegRet = 0;
+
+/** First argument register (%rdi analogue). */
+constexpr Reg RegArg0 = 1;
+
+/** Second argument register. */
+constexpr Reg RegArg1 = 2;
+
+/** Third argument register. */
+constexpr Reg RegArg2 = 3;
+
+/** Sentinel meaning "no register operand". */
+constexpr Reg NoReg = 0xff;
+
+} // namespace dlsim::isa
+
+#endif // DLSIM_ISA_REGISTERS_HH

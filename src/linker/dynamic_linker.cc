@@ -1,0 +1,47 @@
+#include "linker/dynamic_linker.hh"
+
+#include <stdexcept>
+
+namespace dlsim::linker
+{
+
+DynamicLinker::ResolveResult
+DynamicLinker::resolve(std::uint32_t module_id,
+                       std::uint32_t import_index)
+{
+    const auto &lm = image_.moduleAt(module_id);
+    if (import_index >= lm.module.imports().size())
+        throw std::out_of_range("bad relocation index");
+    const std::string &sym = lm.module.imports()[import_index];
+
+    std::size_t def_module = 0;
+    const elf::Export *exp = nullptr;
+    if (!image_.lookupExport(sym, def_module, exp,
+                             lm.namespaceId)) {
+        throw std::out_of_range("undefined symbol at runtime: " +
+                                sym + " (namespace " +
+                                std::to_string(lm.namespaceId) +
+                                ")");
+    }
+
+    ResolveResult result;
+    result.symbol = sym;
+    result.gotAddr = lm.gotSlotAddrs[import_index];
+    result.ifunc = exp->ifunc;
+
+    const auto &def = image_.moduleAt(def_module);
+    if (exp->ifunc) {
+        ++ifuncResolutions_;
+        const auto pick = std::min<std::size_t>(
+            image_.hwCapLevel(), exp->ifuncCandidates.size() - 1);
+        result.value = def.funcAddrs[exp->ifuncCandidates[pick]];
+    } else {
+        result.value = def.funcAddrs[exp->funcIndex];
+    }
+    result.target = result.value;
+
+    ++resolutions_;
+    return result;
+}
+
+} // namespace dlsim::linker

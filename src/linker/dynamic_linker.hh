@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime lazy symbol resolution (the _dl_runtime_resolve analogue).
+ *
+ * The CPU traps control transfers to ResolverVa and calls into this
+ * class with the module id and relocation index the PLT pushed. The
+ * returned action tells the CPU what to store into the GOT slot —
+ * performed as an architectural store on the CPU's data path, so the
+ * D-cache and (crucially) the ABTB's bloom filter observe it — and
+ * where execution continues.
+ *
+ * Resolution happens once per (module, import): exactly the paper's
+ * observation that "entries in the dynamic linker lookup tables are
+ * updated only once, when each symbol is resolved, typically at the
+ * first execution of the corresponding library call."
+ */
+
+#ifndef DLSIM_LINKER_DYNAMIC_LINKER_HH
+#define DLSIM_LINKER_DYNAMIC_LINKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "linker/image.hh"
+
+namespace dlsim::linker
+{
+
+/** The runtime resolver. */
+class DynamicLinker
+{
+  public:
+    explicit DynamicLinker(Image &image) : image_(image) {}
+
+    /** What the CPU must do to complete a lazy resolution. */
+    struct ResolveResult
+    {
+        Addr gotAddr = 0;          ///< GOTPLT slot to update.
+        std::uint64_t value = 0;   ///< Resolved function address.
+        Addr target = 0;           ///< Continue execution here.
+        bool ifunc = false;        ///< An ifunc selector ran.
+        std::string symbol;        ///< Resolved symbol (diagnostics).
+    };
+
+    /**
+     * Resolve import `import_index` of module `module_id`.
+     * @throws std::out_of_range if the symbol is undefined.
+     */
+    ResolveResult resolve(std::uint32_t module_id,
+                          std::uint32_t import_index);
+
+    /** Number of resolutions performed so far. */
+    std::uint64_t resolutionCount() const { return resolutions_; }
+
+    /** Number of resolutions that ran an ifunc selector. */
+    std::uint64_t ifuncResolutionCount() const
+    {
+        return ifuncResolutions_;
+    }
+
+    Image &image() { return image_; }
+
+  private:
+    Image &image_;
+    std::uint64_t resolutions_ = 0;
+    std::uint64_t ifuncResolutions_ = 0;
+};
+
+} // namespace dlsim::linker
+
+#endif // DLSIM_LINKER_DYNAMIC_LINKER_HH

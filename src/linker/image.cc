@@ -1,0 +1,183 @@
+#include "linker/image.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dlsim::linker
+{
+
+Image::Image() : as_(std::make_unique<mem::AddressSpace>()) {}
+
+const Slot *
+Image::decode(Addr va) const
+{
+    const auto it = slotIndex_.find(va);
+    if (it == slotIndex_.end())
+        return nullptr;
+    return &slots_[it->second];
+}
+
+Slot *
+Image::decodeMutable(Addr va)
+{
+    const auto it = slotIndex_.find(va);
+    if (it == slotIndex_.end())
+        return nullptr;
+    return &slots_[it->second];
+}
+
+const Slot *
+Image::nextSlot(const Slot *slot) const
+{
+    const Slot *next = slot + 1;
+    if (next != slots_.data() + slots_.size() &&
+        next->va == slot->va + slot->inst.size) {
+        return next;
+    }
+    return decode(slot->va + slot->inst.size);
+}
+
+void
+Image::adoptAddressSpace(std::unique_ptr<mem::AddressSpace> as)
+{
+    as_ = std::move(as);
+}
+
+std::unique_ptr<mem::AddressSpace>
+Image::releaseAddressSpace()
+{
+    return std::move(as_);
+}
+
+std::size_t
+Image::findModule(const std::string &name) const
+{
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        if (modules_[i].loaded && modules_[i].module.name() == name)
+            return i;
+    }
+    return SIZE_MAX;
+}
+
+bool
+Image::lookupExport(const std::string &name, std::size_t &module_id,
+                    const elf::Export *&exp,
+                    std::uint16_t ns) const
+{
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        if (!modules_[i].loaded || modules_[i].namespaceId != ns)
+            continue;
+        const auto &exports = modules_[i].module.exports();
+        const auto it = exports.find(name);
+        if (it != exports.end()) {
+            module_id = i;
+            exp = &it->second;
+            return true;
+        }
+    }
+    return false;
+}
+
+Addr
+Image::symbolAddress(const std::string &name, std::uint16_t ns) const
+{
+    std::size_t module_id = 0;
+    const elf::Export *exp = nullptr;
+    if (!lookupExport(name, module_id, exp, ns))
+        throw std::out_of_range("undefined symbol: " + name);
+    const auto &lm = modules_[module_id];
+    if (exp->ifunc) {
+        const auto pick =
+            std::min<std::size_t>(hwCapLevel_,
+                                  exp->ifuncCandidates.size() - 1);
+        return lm.funcAddrs[exp->ifuncCandidates[pick]];
+    }
+    return lm.funcAddrs[exp->funcIndex];
+}
+
+std::uint64_t
+Image::totalTrampolines() const
+{
+    std::uint64_t total = 0;
+    for (const auto &lm : modules_) {
+        if (lm.loaded)
+            total += lm.pltEntryVas.size();
+    }
+    return total;
+}
+
+std::string
+Image::trampolineSymbol(Addr plt_jmp_va) const
+{
+    const auto it = pltJmpInfo_.find(plt_jmp_va);
+    if (it == pltJmpInfo_.end())
+        return {};
+    const auto &lm = modules_[it->second.first];
+    return lm.module.imports()[it->second.second] + "@" +
+           lm.module.name();
+}
+
+std::string
+Image::dumpLayout() const
+{
+    std::ostringstream os;
+    os << std::hex;
+    for (const auto &lm : modules_) {
+        if (!lm.loaded)
+            continue;
+        os << lm.module.name() << ":\n"
+           << "  text 0x" << lm.textBase << " (+0x" << lm.textSize
+           << " bytes, " << std::dec
+           << lm.module.functions().size() << " functions)\n"
+           << std::hex << "  plt  0x" << lm.pltBase << " ("
+           << std::dec << lm.pltEntryVas.size() << " entries)\n"
+           << std::hex << "  got  0x" << lm.gotBase << "\n"
+           << "  data 0x" << lm.dataBase << " (+0x"
+           << lm.module.dataSize() << ")\n";
+    }
+    return os.str();
+}
+
+std::uint16_t
+Image::addModule(elf::Module module)
+{
+    const auto id = static_cast<std::uint16_t>(modules_.size());
+    LoadedModule lm{std::move(module)};
+    lm.id = id;
+    modules_.push_back(std::move(lm));
+    return id;
+}
+
+void
+Image::addSlot(Slot slot)
+{
+    slots_.push_back(slot);
+}
+
+void
+Image::indexSlots()
+{
+    slotIndex_.clear();
+    pltJmpInfo_.clear();
+    slotIndex_.reserve(slots_.size());
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+        const Slot &s = slots_[i];
+        if (!modules_[s.moduleId].loaded)
+            continue;
+        slotIndex_.emplace(s.va, i);
+        if ((s.flags & FlagPltJmp) && s.pltIndex != NoPltIndex) {
+            pltJmpInfo_.emplace(
+                s.va, std::make_pair(s.moduleId,
+                                     std::uint32_t{s.pltIndex}));
+        }
+    }
+}
+
+void
+Image::removeModuleSlots(std::uint16_t module_id)
+{
+    modules_[module_id].loaded = false;
+    indexSlots();
+}
+
+} // namespace dlsim::linker

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The loaded process image: modules mapped into an address space,
+ * their PLT/GOT sections, and the decode index the CPU fetches from.
+ *
+ * PLT geometry matches x86-64 ELF (paper Fig. 2): each trampoline is
+ * 16 bytes — an indirect jump through the module's GOTPLT slot,
+ * followed by a push of the relocation index and a jump to PLT0 that
+ * are executed only on the first (resolving) invocation. Four
+ * trampolines share a 64-byte I-cache line, but because programs call
+ * a sparse subset of the available imports, PLT lines are effectively
+ * dedicated per used trampoline — the I-cache pressure the paper
+ * measures.
+ */
+
+#ifndef DLSIM_LINKER_IMAGE_HH
+#define DLSIM_LINKER_IMAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "elf/module.hh"
+#include "isa/instruction.hh"
+#include "mem/address_space.hh"
+
+namespace dlsim::linker
+{
+
+using isa::Addr;
+
+/** Virtual address the GOT[1] resolver slot points at. Control
+ *  transfers to this address trap to the DynamicLinker's resolver
+ *  (standing in for _dl_runtime_resolve in ld.so). */
+constexpr Addr ResolverVa = 0x0000700000000000ull;
+
+/** Bytes per PLT entry and for PLT0, as on x86-64 ELF. */
+constexpr std::uint32_t PltEntryBytes = 16;
+
+/** Bytes per PLT entry in ARM style (three 4-byte instructions
+ *  plus the 8-byte lazy tail, padded; paper Fig. 2b). */
+constexpr std::uint32_t ArmPltEntryBytes = 24;
+
+/**
+ * Trampoline flavour emitted by the loader (paper Fig. 2).
+ *
+ * X86: a single memory-indirect jump (`jmp *sym@got.plt`).
+ * Arm: an address-materialising prologue (two ALU instructions
+ * writing the scratch register, standing in for ARM's
+ * `add ip, pc, ...; add ip, ip, ...`) followed by the indirect
+ * load-and-branch (`ldr pc, [ip, ...]`). Skipping an ARM trampoline
+ * also skips the scratch-register writes; this is safe because the
+ * ABI makes ip call-clobbered, exactly the property real ARM PLTs
+ * rely on.
+ */
+enum class PltStyle : std::uint8_t
+{
+    X86,
+    Arm,
+};
+
+/** Flags on decoded slots. */
+enum SlotFlag : std::uint8_t
+{
+    FlagNone = 0,
+    /** Instruction belongs to a PLT section. */
+    FlagPlt = 1,
+    /** The first (jmp *GOT) instruction of a PLT entry. */
+    FlagPltJmp = 2,
+};
+
+/** Sentinel for Slot::pltIndex on non-PLT slots. */
+constexpr std::uint16_t NoPltIndex = 0xffff;
+
+/** One decoded instruction at a fixed virtual address. */
+struct Slot
+{
+    Addr va = 0;
+    std::uint8_t flags = FlagNone;
+    std::uint16_t moduleId = 0;
+    /** Import index when this is a PLT entry's slot. */
+    std::uint16_t pltIndex = NoPltIndex;
+    isa::Instruction inst;
+};
+
+/** Runtime state of one loaded module. */
+struct LoadedModule
+{
+    explicit LoadedModule(elf::Module m) : module(std::move(m)) {}
+
+    elf::Module module;
+    std::uint16_t id = 0;
+    Addr textBase = 0;
+    Addr pltBase = 0;  ///< PLT0 address; entry k at +16*(k+1).
+    Addr gotBase = 0;  ///< GOT[0]=module id, GOT[1]=resolver,
+                       ///< GOT[2+k]=import k.
+    Addr dataBase = 0;
+    std::uint64_t textSize = 0; ///< Including the PLT.
+    /** Resolution scope (dlmopen namespace); 0 = default. */
+    std::uint16_t namespaceId = 0;
+    std::vector<Addr> funcAddrs;    ///< Per defined function.
+    std::vector<Addr> pltEntryVas;  ///< Per import: trampoline addr.
+    std::vector<Addr> gotSlotAddrs; ///< Per import: GOTPLT slot addr.
+    bool loaded = true;
+    /** Byte offset from a PLT entry to its lazy re-entry push. */
+    std::uint32_t lazyEntryOffset = 6;
+    /** Stride between PLT entries for this module. */
+    std::uint32_t pltStride = PltEntryBytes;
+
+    /** Address of PLT entry k's lazy re-entry point (its push). */
+    Addr lazyGotValue(std::uint32_t import_index) const
+    {
+        return pltEntryVas[import_index] + lazyEntryOffset;
+    }
+};
+
+/**
+ * A loaded process image.
+ *
+ * Owns the address space, the loaded modules, and the decode index.
+ * Construction is performed by Loader; runtime symbol binding by
+ * DynamicLinker; execution by cpu::Core.
+ */
+class Image
+{
+  public:
+    Image();
+
+    /** @name Decode @{ */
+    /** Decoded slot at va, or nullptr when va is not code. */
+    const Slot *decode(Addr va) const;
+    /** Mutable access for the software patcher. */
+    Slot *decodeMutable(Addr va);
+    /** Contiguous successor slot (fall-through fast path). */
+    const Slot *nextSlot(const Slot *slot) const;
+    /** @} */
+
+    mem::AddressSpace &addressSpace() { return *as_; }
+    const mem::AddressSpace &addressSpace() const { return *as_; }
+
+    /** Replace the backing address space (process fork support). */
+    void adoptAddressSpace(std::unique_ptr<mem::AddressSpace> as);
+
+    /** Take the backing address space (context-switch support). */
+    std::unique_ptr<mem::AddressSpace> releaseAddressSpace();
+
+    /** @name Modules and symbols @{ */
+    const std::vector<LoadedModule> &modules() const
+    {
+        return modules_;
+    }
+    LoadedModule &moduleAt(std::size_t id) { return modules_[id]; }
+    const LoadedModule &moduleAt(std::size_t id) const
+    {
+        return modules_[id];
+    }
+
+    /** Find a loaded module by name; SIZE_MAX when absent. */
+    std::size_t findModule(const std::string &name) const;
+
+    /**
+     * Address of a defined symbol using ELF resolution order (first
+     * loaded module that exports it wins), searched within one
+     * dlmopen namespace. Throws when undefined in that namespace.
+     * Ifuncs resolve to their currently selected candidate.
+     * Versioned lookups use the `name@version` spelling.
+     */
+    Addr symbolAddress(const std::string &name,
+                       std::uint16_t ns = 0) const;
+
+    /**
+     * The exporting module and export record for a symbol, in
+     * resolution order within namespace `ns`. @return false when no
+     * loaded module of that namespace defines it.
+     */
+    bool lookupExport(const std::string &name, std::size_t &module_id,
+                      const elf::Export *&exp,
+                      std::uint16_t ns = 0) const;
+
+    /** Allocate a fresh dlmopen namespace id. */
+    std::uint16_t newNamespace() { return nextNamespace_++; }
+    /** @} */
+
+    /** @name Trampoline census (Tables 2/3, Fig. 4 support) @{ */
+    /** Total PLT entries (trampolines) across loaded modules. */
+    std::uint64_t totalTrampolines() const;
+    /** Symbol name for a trampoline address; empty if not a PLT. */
+    std::string trampolineSymbol(Addr plt_jmp_va) const;
+    /** @} */
+
+    /** Hardware-capability level used to select ifunc candidates. */
+    std::uint32_t hwCapLevel() const { return hwCapLevel_; }
+    void setHwCapLevel(std::uint32_t level) { hwCapLevel_ = level; }
+
+    /** Human-readable layout dump (examples / debugging). */
+    std::string dumpLayout() const;
+
+    /** @name Construction interface (Loader/DynamicLinker) @{ */
+    std::uint16_t addModule(elf::Module module);
+    void addSlot(Slot slot);
+    /** (Re)build the va -> slot index after adding slots. */
+    void indexSlots();
+    /** Drop a module's slots from the decode index (dlclose). */
+    void removeModuleSlots(std::uint16_t module_id);
+    /** @} */
+
+  private:
+    std::unique_ptr<mem::AddressSpace> as_;
+    std::vector<LoadedModule> modules_;
+    std::vector<Slot> slots_;
+    std::unordered_map<Addr, std::uint32_t> slotIndex_;
+    std::unordered_map<Addr, std::pair<std::uint16_t, std::uint32_t>>
+        pltJmpInfo_; ///< trampoline va -> (module, import index).
+    std::uint32_t hwCapLevel_ = 0;
+    std::uint16_t nextNamespace_ = 1;
+
+    friend class Loader;
+    friend class DynamicLinker;
+};
+
+} // namespace dlsim::linker
+
+#endif // DLSIM_LINKER_IMAGE_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The program loader: maps modules into an Image, builds PLT/GOT
+ * sections, and applies relocations.
+ *
+ * Layout reproduces the conventional process memory map the paper
+ * describes (§2.3): the executable low in the address space, shared
+ * libraries mapped high — far beyond the ±2GB reach of a rel32 call,
+ * which is precisely why direct calls to library functions are
+ * impossible and trampolines exist. Two alternatives are supported:
+ *
+ *  - ASLR: randomise library and stack placement (paper §2.1,
+ *    "Security").
+ *  - Near-library allocation: place libraries within rel32 reach of
+ *    the executable, the custom-allocator arrangement the paper's
+ *    software evaluation methodology needs (§4.3) and one of the
+ *    things that make a software solution unattractive (§2.3).
+ */
+
+#ifndef DLSIM_LINKER_LOADER_HH
+#define DLSIM_LINKER_LOADER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "elf/module.hh"
+#include "linker/image.hh"
+#include "stats/rng.hh"
+
+namespace dlsim::linker
+{
+
+/** Loader configuration. */
+struct LoaderOptions
+{
+    /** Lazy (default, like ld.so) or eager (BIND_NOW) binding. */
+    bool lazyBinding = true;
+
+    /** Randomise library/stack placement. */
+    bool aslr = false;
+    std::uint64_t aslrSeed = 1;
+
+    /**
+     * Load libraries just above the executable, within rel32 reach —
+     * required by the software call-site patcher.
+     */
+    bool nearLibraries = false;
+
+    Addr exeBase = 0x400000;
+    Addr libBase = 0x7f0000000000ull;
+    Addr stackTop = 0x7ffffffff000ull;
+    std::uint64_t stackSize = 1 << 20;
+    std::uint64_t heapSize = 1 << 22;
+
+    /** Select among ifunc candidates (0 = baseline hardware). */
+    std::uint32_t hwCapLevel = 0;
+
+    /** Trampoline flavour (paper Fig. 2: x86-64 or ARM style). */
+    PltStyle pltStyle = PltStyle::X86;
+};
+
+/**
+ * Builds a runnable Image from an executable module plus libraries.
+ *
+ * Also provides dlopen/dlclose-style dynamic load and unload on an
+ * existing image.
+ */
+class Loader
+{
+  public:
+    explicit Loader(LoaderOptions options = {});
+
+    /**
+     * Load an executable and its libraries. Module order determines
+     * symbol resolution precedence (executable first, then libraries
+     * in the given order, like DT_NEEDED order with LD_PRELOAD at the
+     * front).
+     */
+    std::unique_ptr<Image> load(elf::Module exe,
+                                std::vector<elf::Module> libs);
+
+    /**
+     * Load an additional library into a live image (dlopen).
+     * @return The new module's id.
+     */
+    std::uint16_t dlopen(Image &image, elf::Module lib);
+
+    /**
+     * Load a module group into a *fresh namespace* (dlmopen with
+     * LM_ID_NEWLM): the group's symbols are invisible to the
+     * default namespace and its imports resolve only within the
+     * group — complete symbol isolation, e.g. for loading two
+     * versions of a library side by side.
+     * @return The new namespace id.
+     */
+    std::uint16_t dlmopen(Image &image,
+                          std::vector<elf::Module> modules);
+
+    /**
+     * Unload a library (dlclose). GOTPLT entries in other modules
+     * that resolved into the closed module are reset to their lazy
+     * values; each such GOT write is reported through got_write_hook
+     * (modelling the coherence traffic a real unload generates) so
+     * the ABTB can observe it.
+     */
+    void dlclose(Image &image, const std::string &module_name,
+                 const std::function<void(Addr)> &got_write_hook = {});
+
+    const LoaderOptions &options() const { return options_; }
+
+    /** Stack region info of the last load. */
+    Addr stackTop() const { return stackTop_; }
+
+    /** Heap (scratch data) region base of the last load. */
+    Addr heapBase() const { return heapBase_; }
+
+  private:
+    /** Map one module at the cursor and emit its slots. */
+    void placeModule(Image &image, std::uint16_t module_id);
+
+    /** Apply a module's relocations (after placement). */
+    void relocateModule(Image &image, std::uint16_t module_id);
+
+    /** Populate a module's GOT (lazy or eager). */
+    void bindModule(Image &image, std::uint16_t module_id);
+
+    LoaderOptions options_;
+    stats::Rng rng_;
+    Addr libCursor_ = 0;
+    Addr stackTop_ = 0;
+    Addr heapBase_ = 0;
+};
+
+} // namespace dlsim::linker
+
+#endif // DLSIM_LINKER_LOADER_HH

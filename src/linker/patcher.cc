@@ -1,0 +1,67 @@
+#include "linker/patcher.hh"
+
+#include <cassert>
+
+namespace dlsim::linker
+{
+
+PatchStats
+Patcher::apply(Image &image, const CallSiteTrace &trace)
+{
+    PatchStats stats;
+    auto &as = image.addressSpace();
+    std::unordered_set<Addr> touched_pages;
+
+    for (const auto &record : trace) {
+        if (record.tailJump && !options_.patchTailJumps) {
+            ++stats.tailJumpsSkipped;
+            continue;
+        }
+
+        Slot *slot = image.decodeMutable(record.callVa);
+        assert(slot != nullptr);
+        assert(slot->inst.op == isa::Opcode::CallRel ||
+               slot->inst.op == isa::Opcode::JmpRel);
+
+        const auto disp =
+            static_cast<std::int64_t>(record.targetVa) -
+            static_cast<std::int64_t>(record.callVa +
+                                      slot->inst.size);
+        if (disp < isa::Rel32Min || disp > isa::Rel32Max) {
+            // The library is mapped beyond ±2GB of this site; a
+            // rel32 call cannot encode it (paper §2.3).
+            ++stats.sitesOutOfReach;
+            continue;
+        }
+
+        const Addr page = record.callVa & ~(mem::PageBytes - 1);
+        if (touched_pages.insert(page).second) {
+            // mprotect(PROT_READ|PROT_WRITE|PROT_EXEC), then dirty
+            // the page so a shared (COW) page is copied — this is
+            // the memory cost §5.5 quantifies.
+            as.protect(record.callVa, mem::PermRead |
+                                          mem::PermWrite |
+                                          mem::PermExec);
+            ++stats.mprotectCalls;
+        }
+        // Dirty the page (keeps the stored word identical; only the
+        // COW accounting matters — real instruction bytes live in
+        // the decode slots).
+        as.poke64(page, as.peek64(page));
+
+        slot->inst.imm = disp;
+        ++stats.sitesPatched;
+    }
+
+    if (options_.restoreProtection) {
+        for (const Addr page : touched_pages) {
+            as.protect(page, mem::PermRead | mem::PermExec);
+            ++stats.mprotectCalls;
+        }
+    }
+
+    stats.pagesTouched = touched_pages.size();
+    return stats;
+}
+
+} // namespace dlsim::linker

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The software call-site patcher: the paper's evaluation methodology
+ * (§4.3) and the strawman software solution of §2.3.
+ *
+ * Given a trace of library call sites (collected by the CPU's
+ * profiler, standing in for the paper's Pin tool), the patcher
+ * rewrites each direct `call trampoline` into `call function`,
+ * making pages writable and dirtying them in the process. Its
+ * statistics expose every cost the paper attributes to the software
+ * approach:
+ *
+ *  - sites whose target lies beyond rel32 reach cannot be patched at
+ *    all (requires the near-library loader layout);
+ *  - tail-jump invocations (`jmp sym@plt`) are skipped by default
+ *    because a stack-walking resolver cannot find the patch site;
+ *  - every touched text page loses its COW sharing, which the
+ *    prefork memory-savings experiment (§5.5) accounts per process.
+ */
+
+#ifndef DLSIM_LINKER_PATCHER_HH
+#define DLSIM_LINKER_PATCHER_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "linker/image.hh"
+
+namespace dlsim::linker
+{
+
+/** One profiled library call site. */
+struct CallSiteRecord
+{
+    Addr callVa = 0;       ///< The call (or tail-jump) instruction.
+    Addr trampolineVa = 0; ///< PLT entry it targets.
+    Addr targetVa = 0;     ///< Resolved library function.
+    bool tailJump = false; ///< Invoked with jmp rather than call.
+};
+
+/** A deduplicated profile of library call sites. */
+using CallSiteTrace = std::vector<CallSiteRecord>;
+
+/** Patcher configuration. */
+struct PatcherOptions
+{
+    /**
+     * Also patch tail-jump sites. Off by default: the paper's §2.3
+     * explains a stack-walking software resolver cannot locate them
+     * (the stack holds the preceding call's return address, and
+     * patching that would corrupt execution).
+     */
+    bool patchTailJumps = false;
+
+    /** Restore PermExec-only after patching (re-mprotect). */
+    bool restoreProtection = true;
+};
+
+/** Result statistics of one patching pass. */
+struct PatchStats
+{
+    std::uint64_t sitesPatched = 0;
+    std::uint64_t sitesOutOfReach = 0;
+    std::uint64_t tailJumpsSkipped = 0;
+    std::uint64_t pagesTouched = 0; ///< Distinct text pages dirtied.
+    std::uint64_t mprotectCalls = 0;
+};
+
+/**
+ * Applies call-site patching to a loaded image.
+ */
+class Patcher
+{
+  public:
+    explicit Patcher(PatcherOptions options = {})
+        : options_(options)
+    {
+    }
+
+    /**
+     * Rewrite the call sites in `trace` to target their resolved
+     * functions directly. Text pages are made writable, dirtied
+     * (COW-copied if shared), and optionally re-protected.
+     */
+    PatchStats apply(Image &image, const CallSiteTrace &trace);
+
+    const PatcherOptions &options() const { return options_; }
+
+  private:
+    PatcherOptions options_;
+};
+
+} // namespace dlsim::linker
+
+#endif // DLSIM_LINKER_PATCHER_HH

@@ -1,0 +1,247 @@
+#include "mem/address_space.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlsim::mem
+{
+
+Addr
+AddressSpace::map(Addr start, Addr size, std::uint8_t perms,
+                  RegionKind kind, std::string name)
+{
+    assert(size > 0);
+    for (const auto &r : regions_) {
+        // Overlap is a construction bug in the caller (loader).
+        assert(start + size <= r.start || start >= r.end());
+        (void)r;
+    }
+    Region region{start, size, perms, kind, std::move(name)};
+    const auto it = std::lower_bound(
+        regions_.begin(), regions_.end(), region,
+        [](const Region &a, const Region &b) {
+            return a.start < b.start;
+        });
+    regions_.insert(it, std::move(region));
+    lastRegion_ = 0;
+    return start;
+}
+
+bool
+AddressSpace::protect(Addr addr, std::uint8_t perms)
+{
+    auto *r = const_cast<Region *>(findRegion(addr));
+    if (!r)
+        return false;
+    r->perms = perms;
+    return true;
+}
+
+bool
+AddressSpace::unmap(Addr addr)
+{
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+        if (it->contains(addr)) {
+            const Addr first = it->start >> PageShift;
+            const Addr last = (it->end() - 1) >> PageShift;
+            for (Addr p = first; p <= last; ++p)
+                pages_.erase(p);
+            regions_.erase(it);
+            lastRegion_ = 0;
+            return true;
+        }
+    }
+    return false;
+}
+
+const Region *
+AddressSpace::findRegion(Addr addr) const
+{
+    if (regions_.empty())
+        return nullptr;
+    // Fast path: repeated accesses within the same region.
+    if (lastRegion_ < regions_.size() &&
+        regions_[lastRegion_].contains(addr)) {
+        return &regions_[lastRegion_];
+    }
+    // Binary search for the last region with start <= addr.
+    std::size_t lo = 0, hi = regions_.size();
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (regions_[mid].start <= addr)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo == 0)
+        return nullptr;
+    const Region &r = regions_[lo - 1];
+    if (!r.contains(addr))
+        return nullptr;
+    lastRegion_ = lo - 1;
+    return &r;
+}
+
+RegionKind
+AddressSpace::kindOf(Addr addr) const
+{
+    const Region *r = findRegion(addr);
+    return r ? r->kind : RegionKind::Data;
+}
+
+AddressSpace::PageSlot &
+AddressSpace::touchPage(Addr page_num, bool for_write)
+{
+    auto &slot = pages_[page_num];
+    if (!slot.page) {
+        slot.page = std::make_shared<PhysPage>();
+        slot.cow = false;
+        return slot;
+    }
+    if (for_write && slot.cow) {
+        if (slot.page.use_count() > 1) {
+            // First write to a shared COW page: copy it.
+            slot.page = std::make_shared<PhysPage>(*slot.page);
+            const auto kind = kindOf(page_num << PageShift);
+            ++cowCopies_[static_cast<std::size_t>(kind)];
+        }
+        slot.cow = false;
+    }
+    return slot;
+}
+
+std::uint64_t
+AddressSpace::read64(Addr addr, MemFault &fault)
+{
+    assert((addr & 7) == 0);
+    const Region *r = findRegion(addr);
+    if (!r) {
+        fault = MemFault::Unmapped;
+        return 0;
+    }
+    if (!(r->perms & PermRead)) {
+        fault = MemFault::Protection;
+        return 0;
+    }
+    fault = MemFault::None;
+    auto &slot = touchPage(addr >> PageShift, false);
+    return slot.page->words[(addr & (PageBytes - 1)) >> 3];
+}
+
+MemFault
+AddressSpace::write64(Addr addr, std::uint64_t value)
+{
+    assert((addr & 7) == 0);
+    const Region *r = findRegion(addr);
+    if (!r)
+        return MemFault::Unmapped;
+    if (!(r->perms & PermWrite))
+        return MemFault::Protection;
+    auto &slot = touchPage(addr >> PageShift, true);
+    slot.page->words[(addr & (PageBytes - 1)) >> 3] = value;
+    return MemFault::None;
+}
+
+void
+AddressSpace::poke64(Addr addr, std::uint64_t value)
+{
+    assert((addr & 7) == 0);
+    assert(findRegion(addr) != nullptr);
+    auto &slot = touchPage(addr >> PageShift, true);
+    slot.page->words[(addr & (PageBytes - 1)) >> 3] = value;
+}
+
+std::uint64_t
+AddressSpace::peek64(Addr addr) const
+{
+    assert((addr & 7) == 0);
+    const auto it = pages_.find(addr >> PageShift);
+    if (it == pages_.end() || !it->second.page)
+        return 0;
+    return it->second.page->words[(addr & (PageBytes - 1)) >> 3];
+}
+
+void
+AddressSpace::fillRandom(Addr start, std::uint64_t bytes,
+                         std::uint64_t seed)
+{
+    assert((start & (PageBytes - 1)) == 0);
+    std::uint64_t x = seed;
+    const auto next = [&x] {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    };
+    for (Addr off = 0; off < bytes; off += PageBytes) {
+        auto &slot = touchPage((start + off) >> PageShift, true);
+        const std::uint64_t words =
+            std::min<std::uint64_t>(WordsPerPage,
+                                    (bytes - off) / 8);
+        for (std::uint64_t w = 0; w < words; ++w)
+            slot.page->words[w] = next();
+    }
+}
+
+std::unique_ptr<AddressSpace>
+AddressSpace::fork() const
+{
+    auto child = std::make_unique<AddressSpace>();
+    child->regions_ = regions_;
+    for (const auto &[page_num, slot] : pages_) {
+        PageSlot shared;
+        shared.page = slot.page;
+        // Every private page becomes COW in both parent and child —
+        // including currently read-only text, which an mprotect may
+        // later make writable (this is how call-site patching after
+        // fork breaks sharing, paper §5.5).
+        shared.cow = true;
+        child->pages_.emplace(page_num, shared);
+        auto &mine =
+            const_cast<AddressSpace *>(this)->pages_[page_num];
+        mine.cow = true;
+    }
+    return child;
+}
+
+std::uint64_t
+AddressSpace::cowCopies(RegionKind kind) const
+{
+    return cowCopies_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+AddressSpace::cowCopiesTotal() const
+{
+    std::uint64_t total = 0;
+    for (auto v : cowCopies_)
+        total += v;
+    return total;
+}
+
+std::uint64_t
+AddressSpace::sharedPages() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[page_num, slot] : pages_) {
+        (void)page_num;
+        if (slot.page && slot.page.use_count() > 1)
+            ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+AddressSpace::privateBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[page_num, slot] : pages_) {
+        (void)page_num;
+        if (slot.page && slot.page.use_count() == 1)
+            ++n;
+    }
+    return n * PageBytes;
+}
+
+} // namespace dlsim::mem

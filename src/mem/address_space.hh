@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Per-process virtual address space with lazily allocated, reference-
+ * counted physical pages and copy-on-write sharing.
+ *
+ * COW page accounting is load-bearing for the reproduction: §5.5 of
+ * the paper argues that a software call-site-patching approach defeats
+ * COW sharing of library text (~280 copied pages / 1.1MB per Apache
+ * process), while the proposed hardware leaves code pages untouched.
+ * fork() and the page-copy counters here regenerate that analysis.
+ */
+
+#ifndef DLSIM_MEM_ADDRESS_SPACE_HH
+#define DLSIM_MEM_ADDRESS_SPACE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dlsim::mem
+{
+
+using isa::Addr;
+
+/** Page geometry (4KB pages, 64-bit words). */
+constexpr Addr PageShift = 12;
+constexpr Addr PageBytes = 1ull << PageShift;
+constexpr std::size_t WordsPerPage = PageBytes / 8;
+
+/** Page permission bits. */
+enum Perm : std::uint8_t
+{
+    PermNone = 0,
+    PermRead = 1,
+    PermWrite = 2,
+    PermExec = 4,
+};
+
+/** Classification of mapped regions, for page-copy accounting. */
+enum class RegionKind : std::uint8_t
+{
+    Text,  ///< Executable code (including PLT sections).
+    Got,   ///< Linker lookup tables (GOT / GOTPLT).
+    Data,  ///< Module data sections and heap.
+    Stack, ///< Thread stack.
+};
+
+/** A mapped virtual region. */
+struct Region
+{
+    Addr start = 0;
+    Addr size = 0;
+    std::uint8_t perms = PermNone;
+    RegionKind kind = RegionKind::Data;
+    std::string name;
+
+    bool contains(Addr a) const { return a >= start && a - start < size; }
+    Addr end() const { return start + size; }
+};
+
+/** Faults reported by AddressSpace accesses. */
+enum class MemFault : std::uint8_t
+{
+    None,
+    Unmapped,
+    Protection,
+};
+
+/**
+ * A page of backing storage, shareable between address spaces.
+ */
+struct PhysPage
+{
+    std::array<std::uint64_t, WordsPerPage> words{};
+};
+
+/**
+ * Virtual address space: region list plus a page table mapping page
+ * numbers to shared backing pages.
+ *
+ * Pages are allocated on first touch. fork() produces a child that
+ * shares every present page; writable pages are marked copy-on-write
+ * in both parent and child, and the first subsequent write to such a
+ * page copies it and bumps the per-region-kind copy counters.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace() = default;
+
+    /**
+     * Map a region. Overlapping an existing region is a usage error.
+     * @return Start address (== start argument).
+     */
+    Addr map(Addr start, Addr size, std::uint8_t perms, RegionKind kind,
+             std::string name);
+
+    /** Change permissions of the region containing addr (mprotect). */
+    bool protect(Addr addr, std::uint8_t perms);
+
+    /** Remove the region containing addr; frees this space's refs. */
+    bool unmap(Addr addr);
+
+    /** Region lookup; nullptr when unmapped. */
+    const Region *findRegion(Addr addr) const;
+
+    /** All current regions (for diagnostics and layout dumps). */
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /**
+     * Aligned 64-bit load. @param fault receives the fault kind
+     * (None on success); the returned value is 0 on fault.
+     */
+    std::uint64_t read64(Addr addr, MemFault &fault);
+
+    /** Aligned 64-bit store. @return Fault kind (None on success). */
+    MemFault write64(Addr addr, std::uint64_t value);
+
+    /**
+     * Store that bypasses permission checks (used by the loader to
+     * populate GOT/data and by the software patcher after mprotect
+     * accounting has been done explicitly). Still honours COW.
+     */
+    void poke64(Addr addr, std::uint64_t value);
+
+    /** Load that bypasses permission checks (loader/debugger use). */
+    std::uint64_t peek64(Addr addr) const;
+
+    /**
+     * Fill [start, start+bytes) with deterministic pseudo-random
+     * words (page-at-a-time; much faster than per-word poke64).
+     * Used to seed workload data sections. @pre page-aligned start.
+     */
+    void fillRandom(Addr start, std::uint64_t bytes,
+                    std::uint64_t seed);
+
+    /**
+     * Fork: duplicate the region table and share all present pages
+     * copy-on-write, as the OS does for a child process.
+     */
+    std::unique_ptr<AddressSpace> fork() const;
+
+    /** @name COW and footprint accounting @{ */
+    std::uint64_t cowCopies(RegionKind kind) const;
+    std::uint64_t cowCopiesTotal() const;
+    /** Pages currently present (allocated) in this space. */
+    std::uint64_t presentPages() const { return pages_.size(); }
+    /**
+     * Pages in this space whose backing is shared with another space.
+     */
+    std::uint64_t sharedPages() const;
+    /** Bytes of backing uniquely owned by this space. */
+    std::uint64_t privateBytes() const;
+    /** @} */
+
+  private:
+    struct PageSlot
+    {
+        std::shared_ptr<PhysPage> page;
+        bool cow = false;
+    };
+
+    PageSlot &touchPage(Addr page_num, bool for_write);
+    RegionKind kindOf(Addr addr) const;
+
+    /** Regions sorted by start address for binary search. */
+    std::vector<Region> regions_;
+    /** Index of the most recently hit region (locality cache). */
+    mutable std::size_t lastRegion_ = 0;
+    std::unordered_map<Addr, PageSlot> pages_;
+    std::array<std::uint64_t, 4> cowCopies_{};
+};
+
+} // namespace dlsim::mem
+
+#endif // DLSIM_MEM_ADDRESS_SPACE_HH

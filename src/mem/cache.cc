@@ -1,0 +1,127 @@
+#include "mem/cache.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace dlsim::mem
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    assert(params_.lineBytes > 0 &&
+           std::has_single_bit(params_.lineBytes));
+    assert(params_.assoc > 0);
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(params_.lineBytes));
+    const std::uint64_t lines = params_.sizeBytes / params_.lineBytes;
+    assert(lines >= params_.assoc);
+    numSets_ = lines / params_.assoc;
+    setsArePow2_ = std::has_single_bit(numSets_);
+    ways_.resize(numSets_ * params_.assoc);
+}
+
+bool
+Cache::access(Addr addr, std::uint16_t asid)
+{
+    ++tick_;
+    const std::uint64_t line = lineOf(addr);
+    const std::size_t set = setOf(line);
+    Way *base = &ways_[set * params_.assoc];
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line && way.asid == asid) {
+            way.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = line;
+    victim->asid = asid;
+    victim->lastUse = tick_;
+    return false;
+}
+
+void
+Cache::prefetch(Addr addr, std::uint16_t asid)
+{
+    ++tick_;
+    const std::uint64_t line = lineOf(addr);
+    const std::size_t set = setOf(line);
+    Way *base = &ways_[set * params_.assoc];
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line && way.asid == asid) {
+            way.lastUse = tick_;
+            return;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    victim->valid = true;
+    victim->tag = line;
+    victim->asid = asid;
+    victim->lastUse = tick_;
+}
+
+bool
+Cache::contains(Addr addr, std::uint16_t asid) const
+{
+    const std::uint64_t line = lineOf(addr);
+    const std::size_t set = setOf(line);
+    const Way *base = &ways_[set * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        const Way &way = base[w];
+        if (way.valid && way.tag == line && way.asid == asid)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateLine(Addr addr)
+{
+    const std::uint64_t line = lineOf(addr);
+    const std::size_t set = setOf(line);
+    Way *base = &ways_[set * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            base[w].valid = false;
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &way : ways_)
+        way.valid = false;
+}
+
+double
+Cache::missRate() const
+{
+    const auto total = hits_ + misses_;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(misses_) /
+                     static_cast<double>(total);
+}
+
+void
+Cache::clearStats()
+{
+    hits_ = misses_ = 0;
+}
+
+} // namespace dlsim::mem

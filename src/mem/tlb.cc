@@ -1,0 +1,69 @@
+#include "mem/tlb.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace dlsim::mem
+{
+
+Tlb::Tlb(const TlbParams &params) : params_(params)
+{
+    assert(params_.assoc > 0 && params_.entries >= params_.assoc);
+    numSets_ = params_.entries / params_.assoc;
+    assert(std::has_single_bit(numSets_));
+    entries_.resize(numSets_ * params_.assoc);
+}
+
+bool
+Tlb::access(Addr addr, std::uint16_t asid)
+{
+    ++tick_;
+    const std::uint64_t vpn = addr >> PageShift;
+    const std::size_t set =
+        static_cast<std::size_t>(vpn & (numSets_ - 1));
+    Entry *base = &entries_[set * params_.assoc];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.vpn == vpn && e.asid == asid) {
+            e.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->asid = asid;
+    victim->lastUse = tick_;
+    return false;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+void
+Tlb::flushAsid(std::uint16_t asid)
+{
+    for (auto &e : entries_) {
+        if (e.asid == asid)
+            e.valid = false;
+    }
+}
+
+void
+Tlb::clearStats()
+{
+    hits_ = misses_ = 0;
+}
+
+} // namespace dlsim::mem

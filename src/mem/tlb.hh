@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Translation lookaside buffer model.
+ *
+ * Like Cache, this is a presence model: functional translation is the
+ * identity (dlsim runs on virtual addresses), but TLB hit/miss
+ * behaviour drives the I-TLB and D-TLB miss counters of the paper's
+ * Table 4 and the page-walk cycle penalties of the timing model.
+ *
+ * Entries are tagged with an address-space id. flushAll() models a
+ * context switch without ASIDs; a simulation using ASIDs simply skips
+ * the flush, exactly the choice discussed for the ABTB in §3.3 of the
+ * paper.
+ */
+
+#ifndef DLSIM_MEM_TLB_HH
+#define DLSIM_MEM_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "mem/address_space.hh"
+
+namespace dlsim::mem
+{
+
+/** TLB geometry. */
+struct TlbParams
+{
+    std::string name = "tlb";
+    std::uint32_t entries = 64;
+    std::uint32_t assoc = 4;
+};
+
+/** Set-associative TLB with LRU replacement. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params);
+
+    /**
+     * Translate the page containing addr (allocating on miss).
+     * @return True on hit.
+     */
+    bool access(Addr addr, std::uint16_t asid);
+
+    /** Invalidate all entries (ASID-less context switch). */
+    void flushAll();
+
+    /** Invalidate entries of one address space. */
+    void flushAsid(std::uint16_t asid);
+
+    const TlbParams &params() const { return params_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    void clearStats();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t vpn = 0;
+        std::uint16_t asid = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    TlbParams params_;
+    std::uint64_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace dlsim::mem
+
+#endif // DLSIM_MEM_TLB_HH

@@ -1,0 +1,119 @@
+#include "sim/multicore.hh"
+
+#include <cassert>
+
+#include "mem/address_space.hh"
+
+namespace dlsim::sim
+{
+
+MultiCoreSystem::MultiCoreSystem(const MultiCoreParams &params,
+                                 linker::Image &image,
+                                 linker::DynamicLinker &linker,
+                                 isa::Addr main_stack_top)
+    : params_(params), image_(image)
+{
+    assert(params_.numCores >= 1);
+
+    // Carve one stack region per core below the main stack (with a
+    // guard page between them), like a threading runtime does.
+    isa::Addr stack_top =
+        main_stack_top - params_.stackBytes - mem::PageBytes;
+    for (std::uint32_t i = 0; i < params_.numCores; ++i) {
+        image_.addressSpace().map(
+            stack_top - params_.stackBytes, params_.stackBytes,
+            mem::PermRead | mem::PermWrite, mem::RegionKind::Stack,
+            "tstack" + std::to_string(i));
+
+        auto core = std::make_unique<cpu::Core>(params_.core);
+        core->attachProcess(&image_, &linker, /*asid=*/0);
+        core->initStack(stack_top);
+        cores_.push_back(std::move(core));
+
+        stack_top -= params_.stackBytes + mem::PageBytes;
+    }
+
+    // Wire write-invalidate coherence: each core's retired stores
+    // are snooped by every other core's caches and skip unit.
+    for (std::uint32_t i = 0; i < params_.numCores; ++i) {
+        cores_[i]->setStoreSnoopHook([this, i](isa::Addr addr) {
+            for (std::uint32_t j = 0; j < cores_.size(); ++j) {
+                if (j == i)
+                    continue;
+                if (params_.cacheCoherence) {
+                    cores_[j]->hierarchy().invalidateDataLine(
+                        addr);
+                }
+                if (auto *unit = cores_[j]->skipUnit())
+                    unit->coherenceInvalidate(addr);
+            }
+        });
+    }
+}
+
+std::vector<ThreadResult>
+MultiCoreSystem::runOnAll(
+    isa::Addr fn,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>
+        &args)
+{
+    assert(args.size() == cores_.size());
+
+    struct Progress
+    {
+        bool done = false;
+        std::uint64_t insts0 = 0;
+        std::uint64_t cycles0 = 0;
+    };
+    std::vector<Progress> progress(cores_.size());
+
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        progress[i].insts0 = cores_[i]->counters().instructions;
+        progress[i].cycles0 = cores_[i]->counters().cycles;
+        cores_[i]->beginCall(fn, args[i].first, args[i].second,
+                             static_cast<std::uint64_t>(i));
+    }
+
+    bool all_done = false;
+    while (!all_done) {
+        all_done = true;
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (progress[i].done)
+                continue;
+            progress[i].done =
+                cores_[i]->runQuantum(params_.quantum);
+            all_done &= progress[i].done;
+        }
+    }
+
+    std::vector<ThreadResult> results(cores_.size());
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const auto c = cores_[i]->counters();
+        results[i].instructions =
+            c.instructions - progress[i].insts0;
+        results[i].cycles = c.cycles - progress[i].cycles0;
+        results[i].returnValue =
+            cores_[i]->state().regs[isa::RegRet];
+    }
+    return results;
+}
+
+void
+MultiCoreSystem::broadcastGotWrite(isa::Addr addr)
+{
+    for (auto &core : cores_)
+        core->onExternalGotWrite(addr);
+}
+
+std::uint64_t
+MultiCoreSystem::totalCoherenceFlushes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_) {
+        if (const auto *unit = core->skipUnit())
+            total += unit->stats().coherenceFlushes;
+    }
+    return total;
+}
+
+} // namespace dlsim::sim

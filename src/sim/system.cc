@@ -1,0 +1,80 @@
+#include "sim/system.hh"
+
+#include <cassert>
+
+namespace dlsim::sim
+{
+
+System::System(cpu::Core &core, linker::Image &image,
+               linker::DynamicLinker &linker)
+    : core_(core), image_(image), linker_(linker)
+{
+    auto proc = std::make_unique<Process>();
+    proc->asid = 0;
+    proc->name = "proc0";
+    processes_.push_back(std::move(proc));
+    current_ = processes_.front().get();
+}
+
+Process &
+System::fork(Process &parent)
+{
+    auto child = std::make_unique<Process>();
+    child->asid = nextAsid_++;
+    child->name = "proc" + std::to_string(child->asid);
+
+    if (&parent == current_) {
+        child->as = image_.addressSpace().fork();
+        child->state = core_.state();
+    } else {
+        assert(parent.as);
+        child->as = parent.as->fork();
+        child->state = parent.state;
+    }
+
+    processes_.push_back(std::move(child));
+    return *processes_.back();
+}
+
+void
+System::switchTo(Process &proc)
+{
+    if (&proc == current_)
+        return;
+    current_->as = image_.releaseAddressSpace();
+    current_->state = core_.state();
+
+    image_.adoptAddressSpace(std::move(proc.as));
+    core_.contextSwitch(&image_, &linker_, proc.asid);
+    core_.setState(proc.state);
+    current_ = &proc;
+}
+
+const mem::AddressSpace &
+System::spaceOf(const Process &proc) const
+{
+    if (&proc == current_)
+        return image_.addressSpace();
+    return *proc.as;
+}
+
+MemoryStats
+System::memoryStats() const
+{
+    MemoryStats stats;
+    for (const auto &proc : processes_) {
+        const auto &as = spaceOf(*proc);
+        stats.textCowCopies +=
+            as.cowCopies(mem::RegionKind::Text);
+        stats.gotCowCopies += as.cowCopies(mem::RegionKind::Got);
+        stats.dataCowCopies +=
+            as.cowCopies(mem::RegionKind::Data);
+        stats.stackCowCopies +=
+            as.cowCopies(mem::RegionKind::Stack);
+        stats.sharedPages += as.sharedPages();
+        stats.privateBytes += as.privateBytes();
+    }
+    return stats;
+}
+
+} // namespace dlsim::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sample collector with percentile and CDF extraction.
+ *
+ * Used for the request-latency CDFs of Fig. 6 (Apache) and Fig. 8
+ * (MySQL) and the percentile summary of Table 6. Includes the same
+ * outlier-trimming the paper applies ("5 to 6 outlier measurements per
+ * 10,000 requests ... we omit them from the plots for clarity").
+ */
+
+#ifndef DLSIM_STATS_CDF_HH
+#define DLSIM_STATS_CDF_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dlsim::stats
+{
+
+/**
+ * Collects scalar samples and answers distribution queries.
+ *
+ * Queries sort lazily; adding samples after a query is allowed and
+ * simply re-sorts on the next query.
+ */
+class SampleSet
+{
+  public:
+    /** Record one sample. */
+    void add(double sample);
+
+    std::size_t count() const { return samples_.size(); }
+
+    double mean() const;
+
+    double min() const;
+    double max() const;
+
+    /**
+     * Percentile via nearest-rank on the sorted samples.
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /**
+     * Evenly spaced CDF points: `points` pairs of (value, fraction of
+     * samples <= value), suitable for plotting a CDF curve.
+     */
+    std::vector<std::pair<double, double>> cdfPoints(
+        std::size_t points) const;
+
+    /**
+     * Fraction of samples <= value (empirical CDF evaluated at value).
+     */
+    double fractionBelow(double value) const;
+
+    /**
+     * Drop samples above `multiple` times the median, mirroring the
+     * paper's removal of rare perturbation-induced outliers.
+     * @return Number of samples removed.
+     */
+    std::size_t trimOutliers(double multiple = 10.0);
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+} // namespace dlsim::stats
+
+#endif // DLSIM_STATS_CDF_HH

@@ -1,0 +1,87 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace dlsim::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    assert(bins > 0 && hi > lo);
+}
+
+void
+Histogram::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    if (sample < lo_) {
+        ++underflow_;
+        return;
+    }
+    const auto bin = static_cast<std::size_t>((sample - lo_) / binWidth_);
+    if (bin >= counts_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[bin];
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * binWidth_;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(count_);
+}
+
+double
+Histogram::peakCenter() const
+{
+    const auto it = std::max_element(counts_.begin(), counts_.end());
+    return binCenter(static_cast<std::size_t>(it - counts_.begin()));
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::ostringstream os;
+    const std::uint64_t max_count =
+        *std::max_element(counts_.begin(), counts_.end());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t bar =
+            max_count == 0
+                ? 0
+                : static_cast<std::size_t>(counts_[i] * width / max_count);
+        os << binCenter(i) << "\t" << counts_[i] << "\t"
+           << std::string(bar, '#') << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dlsim::stats

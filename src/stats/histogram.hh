@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-bin-width histogram used for the request-processing-time plots
+ * (Fig. 7 of the paper) and for distribution sanity checks in tests.
+ */
+
+#ifndef DLSIM_STATS_HISTOGRAM_HH
+#define DLSIM_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlsim::stats
+{
+
+/**
+ * Histogram over [lo, hi) with a fixed number of equal-width bins.
+ *
+ * Samples below lo land in an underflow bucket; samples at or above hi
+ * land in an overflow bucket, so no sample is ever dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo   Inclusive lower bound of the binned range.
+     * @param hi   Exclusive upper bound of the binned range.
+     * @param bins Number of equal-width bins. @pre bins > 0, hi > lo.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double sample);
+
+    /** Number of samples recorded, including under/overflow. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of all recorded samples. */
+    double mean() const;
+
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    std::size_t numBins() const { return counts_.size(); }
+
+    /** Count in bin i. */
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Center of bin i (for plotting). */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of total samples in bin i. */
+    double binFraction(std::size_t i) const;
+
+    /** Center of the most populated bin (the histogram peak). */
+    double peakCenter() const;
+
+    /** Reset all counts. */
+    void clear();
+
+    /**
+     * Render an ASCII plot, one row per bin, bar length proportional
+     * to the bin fraction. Rows outside [firstBin, lastBin] are
+     * skipped when the caller wants to zoom on the main peak, as the
+     * paper does for the Memcached histograms.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double binWidth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace dlsim::stats
+
+#endif // DLSIM_STATS_HISTOGRAM_HH

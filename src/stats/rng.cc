@@ -1,0 +1,159 @@
+#include "stats/rng.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace dlsim::stats
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection-free multiply-shift reduction; bias is negligible for
+    // the bounds used in workload generation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s)
+{
+    assert(n > 0);
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = acc;
+    }
+    for (auto &v : cdf_)
+        v /= acc;
+}
+
+std::size_t
+ZipfDistribution::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    // Binary search for the first cdf entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+double
+ZipfDistribution::pmf(std::size_t rank) const
+{
+    assert(rank < cdf_.size());
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)
+{
+    assert(!weights.empty());
+    cdf_ = std::move(weights);
+    double acc = 0.0;
+    for (auto &w : cdf_) {
+        assert(w >= 0.0);
+        acc += w;
+        w = acc;
+    }
+    assert(acc > 0.0);
+    for (auto &v : cdf_)
+        v /= acc;
+}
+
+std::size_t
+DiscreteDistribution::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+double
+DiscreteDistribution::pmf(std::size_t index) const
+{
+    assert(index < cdf_.size());
+    return index == 0 ? cdf_[0] : cdf_[index] - cdf_[index - 1];
+}
+
+} // namespace dlsim::stats

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the discrete
+ * distributions used by the synthetic workload generator.
+ *
+ * All randomness in dlsim flows through Rng so that a given seed fully
+ * determines a simulation. Base and enhanced runs of an experiment use
+ * identical seeds, making measured deltas attributable to the
+ * mechanism under study rather than to workload noise.
+ */
+
+#ifndef DLSIM_STATS_RNG_HH
+#define DLSIM_STATS_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dlsim::stats
+{
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+ *
+ * Not cryptographic; chosen for speed and reproducibility across
+ * platforms. Never use std::rand or std::random_device inside the
+ * simulator.
+ */
+class Rng
+{
+  public:
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Derive an independent child generator. Used to give each
+     * module/function of a generated workload its own stream so that
+     * adding a function does not perturb the others.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf(s) distribution over ranks [0, n). Rank 0 is most popular.
+ *
+ * Used to model trampoline popularity for workloads with shallow
+ * frequency curves (e.g., Firefox in Fig. 4 of the paper).
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n Number of ranks.
+     * @param s Skew exponent; s == 0 degenerates to uniform.
+     */
+    ZipfDistribution(std::size_t n, double s);
+
+    /** Draw a rank. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Probability mass of a given rank. */
+    double pmf(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Arbitrary discrete distribution given non-negative weights.
+ *
+ * Used for request-type mixes (e.g., the SPECweb request types of
+ * Fig. 6) and for the steep-cutoff trampoline popularity models of
+ * Apache and Memcached.
+ */
+class DiscreteDistribution
+{
+  public:
+    explicit DiscreteDistribution(std::vector<double> weights);
+
+    std::size_t sample(Rng &rng) const;
+
+    double pmf(std::size_t index) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace dlsim::stats
+
+#endif // DLSIM_STATS_RNG_HH

@@ -1,0 +1,87 @@
+#include "stats/table.hh"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace dlsim::stats
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    assert(!headers_.empty());
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::num(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    const auto n = raw.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && (n - i) % 3 == 0)
+            out.push_back(',');
+        out.push_back(raw[i]);
+    }
+    return out;
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+TablePrinter::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+} // namespace dlsim::stats

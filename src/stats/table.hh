@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output. Every bench binary
+ * prints the same rows/series the paper reports using this printer.
+ */
+
+#ifndef DLSIM_STATS_TABLE_HH
+#define DLSIM_STATS_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlsim::stats
+{
+
+/**
+ * Column-aligned ASCII table builder.
+ *
+ * Usage:
+ * @code
+ *   TablePrinter t({"Workload", "PKI"});
+ *   t.addRow({"apache", TablePrinter::num(12.23)});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer with thousands grouping. */
+    static std::string num(std::uint64_t v);
+
+    /** Render with a header underline and column padding. */
+    std::string render() const;
+
+    /** Render as CSV (for downstream plotting). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dlsim::stats
+
+#endif // DLSIM_STATS_TABLE_HH

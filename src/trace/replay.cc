@@ -1,0 +1,83 @@
+#include "trace/replay.hh"
+
+namespace dlsim::trace
+{
+
+namespace
+{
+
+/** FlagPltJmp as written by the core (mirrors linker::SlotFlag). */
+constexpr std::uint8_t FlagPltJmpBit = 2;
+
+} // namespace
+
+ReplayResult
+replaySkipUnit(TraceReader &reader,
+               const core::SkipUnitParams &params)
+{
+    reader.rewind();
+    core::TrampolineSkipUnit unit(params);
+    ReplayResult result;
+
+    // While "skipping" a trampoline the enhanced machine would not
+    // retire its instructions, so they must not reach the unit.
+    bool skipping = false;
+    std::uint32_t skip_budget = 0;
+
+    TraceEvent event;
+    while (reader.next(event)) {
+        ++result.events;
+
+        if (skipping) {
+            if (event.kind == EventKind::Other &&
+                skip_budget > 0) {
+                // ARM-style address-materialising prologue.
+                --skip_budget;
+                continue;
+            }
+            if (event.kind == EventKind::Control &&
+                (event.flags & FlagPltJmpBit)) {
+                // The trampoline's own indirect jump: elided.
+                ++result.trampolineExecutions;
+                skipping = false;
+                continue;
+            }
+            // Anything else means the skip window closed.
+            skipping = false;
+        }
+
+        switch (event.kind) {
+          case EventKind::Control: {
+            ++result.controlTransfers;
+            if (event.flags & FlagPltJmpBit)
+                ++result.trampolineExecutions;
+            if (event.taken) {
+                if (unit.substituteTarget(event.addr)) {
+                    // The enhanced machine redirects to the
+                    // memoized function; the trampoline that
+                    // follows in this base trace is never
+                    // fetched.
+                    ++result.wouldSkip;
+                    skipping = true;
+                    skip_budget = params.patternWindow;
+                }
+            }
+            unit.retireControl(event.op, event.addr,
+                               event.loadSrc);
+            break;
+          }
+          case EventKind::Store:
+            ++result.stores;
+            unit.retireStore(event.addr);
+            break;
+          case EventKind::Other:
+            unit.retireOther();
+            break;
+        }
+    }
+
+    result.skipStats = unit.stats();
+    return result;
+}
+
+} // namespace dlsim::trace

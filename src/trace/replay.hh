@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace-driven replay of the trampoline-skip mechanism.
+ *
+ * Replays a base-machine retire trace through a TrampolineSkipUnit
+ * and reports what the mechanism *would* have done — populations,
+ * substitutions (skips), and flushes — without functional
+ * simulation. A single recorded run can be swept against many ABTB
+ * and bloom-filter geometries in a fraction of the time, exactly
+ * how the paper evaluated ABTB sizes against its Pin collections
+ * (Fig. 5).
+ *
+ * Caveat inherited from the paper's methodology: the trace comes
+ * from the *base* machine, whose retire stream still contains the
+ * trampolines; in the enhanced machine, skipped trampolines would
+ * not retire and hence not repopulate the ABTB. Replay therefore
+ * slightly over-counts populations and under-counts nothing — the
+ * skip-rate estimate is conservative.
+ */
+
+#ifndef DLSIM_TRACE_REPLAY_HH
+#define DLSIM_TRACE_REPLAY_HH
+
+#include <cstdint>
+
+#include "core/skip_unit.hh"
+#include "trace/trace.hh"
+
+namespace dlsim::trace
+{
+
+/** Outcome of one replay. */
+struct ReplayResult
+{
+    std::uint64_t events = 0;
+    std::uint64_t controlTransfers = 0;
+    std::uint64_t stores = 0;
+    /** Trampoline executions in the trace (FlagPltJmp retires). */
+    std::uint64_t trampolineExecutions = 0;
+    /** Trampoline executions whose entering branch would have been
+     *  substituted (skipped) by the mechanism. */
+    std::uint64_t wouldSkip = 0;
+    core::SkipUnitStats skipStats;
+
+    double skipRate() const
+    {
+        return trampolineExecutions == 0
+                   ? 0.0
+                   : static_cast<double>(wouldSkip) /
+                         static_cast<double>(
+                             trampolineExecutions);
+    }
+};
+
+/**
+ * Replay a trace against a freshly constructed skip unit.
+ * The reader is rewound first.
+ */
+ReplayResult replaySkipUnit(TraceReader &reader,
+                            const core::SkipUnitParams &params);
+
+} // namespace dlsim::trace
+
+#endif // DLSIM_TRACE_REPLAY_HH

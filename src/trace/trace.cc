@@ -1,0 +1,136 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+
+namespace dlsim::trace
+{
+
+namespace
+{
+
+constexpr std::size_t EventBytes = 1 + 1 + 1 + 1 + 8 + 8 + 8;
+constexpr std::size_t HeaderBytes = 4 + 4 + 8;
+constexpr std::size_t FlushThreshold = 1 << 20;
+
+void
+put64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    buffer_.reserve(FlushThreshold + EventBytes);
+    // Placeholder header; count patched in close().
+    std::vector<std::uint8_t> header;
+    put64(header, (std::uint64_t{TraceVersion} << 32) | TraceMagic);
+    put64(header, 0);
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceWriter::append(const TraceEvent &event)
+{
+    buffer_.push_back(static_cast<std::uint8_t>(event.kind));
+    buffer_.push_back(static_cast<std::uint8_t>(event.op));
+    buffer_.push_back(event.flags);
+    buffer_.push_back(event.taken);
+    put64(buffer_, event.pc);
+    put64(buffer_, event.addr);
+    put64(buffer_, event.loadSrc);
+    ++count_;
+    if (buffer_.size() >= FlushThreshold) {
+        out_.write(reinterpret_cast<const char *>(buffer_.data()),
+                   static_cast<std::streamsize>(buffer_.size()));
+        buffer_.clear();
+    }
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    if (!buffer_.empty()) {
+        out_.write(reinterpret_cast<const char *>(buffer_.data()),
+                   static_cast<std::streamsize>(buffer_.size()));
+        buffer_.clear();
+    }
+    // Patch the event count into the header.
+    out_.seekp(8);
+    std::vector<std::uint8_t> c;
+    put64(c, count_);
+    out_.write(reinterpret_cast<const char *>(c.data()), 8);
+    out_.flush();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_.good())
+        return;
+    std::uint8_t header[HeaderBytes];
+    in_.read(reinterpret_cast<char *>(header), HeaderBytes);
+    if (!in_.good())
+        return;
+    const std::uint64_t magic = get64(header);
+    if ((magic & 0xffffffffull) != TraceMagic)
+        return;
+    if ((magic >> 32) != TraceVersion)
+        return;
+    count_ = get64(header + 8);
+    good_ = true;
+}
+
+bool
+TraceReader::next(TraceEvent &event)
+{
+    if (!good_ || read_ >= count_)
+        return false;
+    std::uint8_t raw[EventBytes];
+    in_.read(reinterpret_cast<char *>(raw), EventBytes);
+    if (!in_.good())
+        return false;
+    event.kind = static_cast<EventKind>(raw[0]);
+    event.op = static_cast<isa::Opcode>(raw[1]);
+    event.flags = raw[2];
+    event.taken = raw[3];
+    event.pc = get64(raw + 4);
+    event.addr = get64(raw + 12);
+    event.loadSrc = get64(raw + 20);
+    ++read_;
+    return true;
+}
+
+void
+TraceReader::rewind()
+{
+    if (!good_)
+        return;
+    in_.clear();
+    in_.seekg(HeaderBytes);
+    read_ = 0;
+}
+
+} // namespace dlsim::trace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Retire-stream tracing: the Intel-Pin analogue of the paper's
+ * methodology (§4.3), generalised.
+ *
+ * A trace records the events the front-end structures care about —
+ * control transfers (with resolved targets and, for memory-indirect
+ * ones, the GOT load source) and stores (for bloom-filter snooping)
+ * — so that mechanism configurations can be swept by *replaying* a
+ * single base-machine run instead of re-simulating it. This is
+ * exactly the experimental structure the paper used: collect with
+ * Pin once, evaluate many configurations against the collection.
+ *
+ * The format is a flat stream of fixed-size little-endian records
+ * with a small header; no compression (traces are short-lived
+ * experiment artefacts).
+ */
+
+#ifndef DLSIM_TRACE_TRACE_HH
+#define DLSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace dlsim::trace
+{
+
+using isa::Addr;
+
+/** Record kinds. */
+enum class EventKind : std::uint8_t
+{
+    Control = 1, ///< A retired control transfer.
+    Store = 2,   ///< A retired store (address only).
+    Other = 3,   ///< Any other retired instruction (count only).
+};
+
+/** One trace event (fixed 26-byte wire format). */
+struct TraceEvent
+{
+    EventKind kind = EventKind::Other;
+    isa::Opcode op = isa::Opcode::Nop;
+    /** FlagPlt-style bits for control events. */
+    std::uint8_t flags = 0;
+    std::uint8_t taken = 0;
+    Addr pc = 0;
+    /** Resolved target (Control) or store address (Store). */
+    Addr addr = 0;
+    /** GOT load source for memory-indirect control. */
+    Addr loadSrc = 0;
+};
+
+/** Magic + version at the head of every trace file. */
+constexpr std::uint32_t TraceMagic = 0x444c5452; // "DLTR"
+constexpr std::uint32_t TraceVersion = 1;
+
+/** Streaming trace writer. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** True when the file opened successfully. */
+    bool good() const { return out_.good(); }
+
+    void append(const TraceEvent &event);
+
+    /** Events written so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Flush and finalise the header. */
+    void close();
+
+  private:
+    std::ofstream out_;
+    std::vector<std::uint8_t> buffer_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/** Streaming trace reader. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    bool good() const { return good_; }
+
+    /** Total events per the header. */
+    std::uint64_t count() const { return count_; }
+
+    /** Read the next event. @return False at end of trace. */
+    bool next(TraceEvent &event);
+
+    /** Rewind to the first event. */
+    void rewind();
+
+  private:
+    std::ifstream in_;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+    bool good_ = false;
+};
+
+} // namespace dlsim::trace
+
+#endif // DLSIM_TRACE_TRACE_HH

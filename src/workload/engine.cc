@@ -1,0 +1,110 @@
+#include "workload/engine.hh"
+
+#include <cassert>
+
+#include "mem/address_space.hh"
+
+namespace dlsim::workload
+{
+
+cpu::CoreParams
+makeCoreParams(const MachineConfig &mc)
+{
+    cpu::CoreParams params = mc.core;
+    params.skipUnitEnabled = mc.enhanced;
+    params.skip.abtb.entries = mc.abtbEntries;
+    params.skip.abtb.assoc = mc.abtbAssoc;
+    params.skip.bloomBits = mc.bloomBits;
+    params.skip.bloomHashes = mc.bloomHashes;
+    params.skip.explicitInvalidation = mc.explicitInvalidation;
+    params.skip.asidRetention = mc.asidRetention;
+    if (mc.pltStyle == linker::PltStyle::Arm)
+        params.skip.patternWindow = 2;
+    params.profileTrampolines = mc.profileTrampolines;
+    params.collectCallSiteTrace = mc.collectCallSiteTrace;
+    return params;
+}
+
+Workbench::Workbench(const WorkloadParams &wl,
+                     const MachineConfig &mc)
+    : wl_(wl), mc_(mc), program_(buildProgram(wl)),
+      reqRng_(wl.seed ^ 0x5eedull)
+{
+    linker::LoaderOptions opts;
+    opts.lazyBinding = mc.lazyBinding;
+    opts.aslr = mc.aslr;
+    opts.aslrSeed = wl.seed + 1;
+    opts.nearLibraries = mc.nearLibraries;
+    opts.pltStyle = mc.pltStyle;
+    loader_ = std::make_unique<linker::Loader>(opts);
+
+    image_ = loader_->load(program_.exe, program_.libs);
+    linker_ = std::make_unique<linker::DynamicLinker>(*image_);
+    core_ = std::make_unique<cpu::Core>(makeCoreParams(mc));
+    core_->attachProcess(image_.get(), linker_.get(), /*asid=*/0);
+    core_->initStack(loader_->stackTop());
+
+    seedDataRegions();
+
+    handlerAddrs_.reserve(program_.handlers.size());
+    for (const auto &name : program_.handlers)
+        handlerAddrs_.push_back(image_->symbolAddress(name));
+
+    std::vector<double> weights;
+    weights.reserve(wl_.requests.size());
+    for (const auto &rc : wl_.requests)
+        weights.push_back(rc.weight);
+    mix_ = std::make_unique<stats::DiscreteDistribution>(
+        std::move(weights));
+}
+
+void
+Workbench::seedDataRegions()
+{
+    // Fill every module data section with pseudo-random words so
+    // that data-dependent branches in generated code see entropy.
+    stats::Rng rng(wl_.seed ^ 0xda7aull);
+    auto &as = image_->addressSpace();
+    for (const auto &lm : image_->modules()) {
+        if (lm.module.dataSize() > 0)
+            as.fillRandom(lm.dataBase, lm.module.dataSize(),
+                          rng.next());
+    }
+}
+
+void
+Workbench::warmup(std::uint32_t requests)
+{
+    for (std::uint32_t n = 0; n < requests; ++n)
+        runRequest();
+    core_->clearStats();
+}
+
+RequestResult
+Workbench::runRequest()
+{
+    return runRequest(
+        static_cast<std::uint32_t>(mix_->sample(reqRng_)));
+}
+
+RequestResult
+Workbench::runRequest(std::uint32_t kind)
+{
+    assert(kind < wl_.requests.size());
+    const auto &rc = wl_.requests[kind];
+    const std::uint64_t work =
+        reqRng_.nextRange(rc.minWork, rc.maxWork);
+    const std::uint64_t seed = reqRng_.next() | 1;
+
+    const auto r =
+        core_->callFunction(handlerAddrs_[kind], work, seed);
+    return RequestResult{kind, r.cycles, r.instructions};
+}
+
+std::uint64_t
+Workbench::distinctTrampolinesExecuted() const
+{
+    return core_->trampolineCounts().size();
+}
+
+} // namespace dlsim::workload

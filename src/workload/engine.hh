@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Workbench: an assembled simulation — generated program, loader,
+ * dynamic linker, and core — plus the request-driven measurement
+ * loop the paper's evaluation uses (per-request latency, Fig. 6-8).
+ *
+ * A MachineConfig selects the base machine or the ABTB-enhanced
+ * machine (and the loader/patcher variants of the paper's software
+ * methodology). Base and enhanced runs built from the same
+ * WorkloadParams execute the identical program with identical
+ * request streams, so measured deltas are the mechanism's.
+ */
+
+#ifndef DLSIM_WORKLOAD_ENGINE_HH
+#define DLSIM_WORKLOAD_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "linker/dynamic_linker.hh"
+#include "linker/loader.hh"
+#include "stats/rng.hh"
+#include "workload/params.hh"
+#include "workload/program.hh"
+
+namespace dlsim::workload
+{
+
+/** Machine-side configuration of one experiment arm. */
+struct MachineConfig
+{
+    /** Enable the trampoline-skip hardware. */
+    bool enhanced = false;
+
+    /** ABTB geometry (paper default: 256 entries, <1.5KB). */
+    std::uint32_t abtbEntries = 256;
+    std::uint32_t abtbAssoc = 4;
+    std::uint32_t bloomBits = 65536;
+    std::uint32_t bloomHashes = 6;
+    bool explicitInvalidation = false;
+    bool asidRetention = false;
+
+    /** Trampoline flavour; Arm implies a pattern window of 2. */
+    linker::PltStyle pltStyle = linker::PltStyle::X86;
+
+    /** Loader behaviour. */
+    bool lazyBinding = true;
+    bool aslr = false;
+    bool nearLibraries = false;
+
+    /** Profiling switches. */
+    bool profileTrampolines = false;
+    bool collectCallSiteTrace = false;
+
+    /** Base core parameters (caches, predictor, penalties). */
+    cpu::CoreParams core;
+};
+
+/** Build the CoreParams implied by a MachineConfig. */
+cpu::CoreParams makeCoreParams(const MachineConfig &mc);
+
+/** One measured request. */
+struct RequestResult
+{
+    std::uint32_t kind = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+};
+
+/** An assembled, runnable experiment arm. */
+class Workbench
+{
+  public:
+    Workbench(const WorkloadParams &wl, const MachineConfig &mc);
+
+    /** Run `requests` requests and discard results; clears stats. */
+    void warmup(std::uint32_t requests);
+
+    /** Run one request of a kind drawn from the configured mix. */
+    RequestResult runRequest();
+
+    /** Run one request of a specific kind. */
+    RequestResult runRequest(std::uint32_t kind);
+
+    cpu::Core &core() { return *core_; }
+    linker::Image &image() { return *image_; }
+    linker::DynamicLinker &linker() { return *linker_; }
+    linker::Loader &loader() { return *loader_; }
+    const WorkloadParams &params() const { return wl_; }
+    const MachineConfig &machine() const { return mc_; }
+    const BuiltProgram &program() const { return program_; }
+
+    /** Handler entry address for a request kind. */
+    isa::Addr handlerAddress(std::uint32_t kind) const
+    {
+        return handlerAddrs_.at(kind);
+    }
+
+    /** Distinct trampolines executed (needs profileTrampolines). */
+    std::uint64_t distinctTrampolinesExecuted() const;
+
+  private:
+    void seedDataRegions();
+
+    WorkloadParams wl_;
+    MachineConfig mc_;
+    BuiltProgram program_;
+    std::unique_ptr<linker::Loader> loader_;
+    std::unique_ptr<linker::Image> image_;
+    std::unique_ptr<linker::DynamicLinker> linker_;
+    std::unique_ptr<cpu::Core> core_;
+    std::vector<isa::Addr> handlerAddrs_;
+    stats::Rng reqRng_;
+    std::unique_ptr<stats::DiscreteDistribution> mix_;
+};
+
+} // namespace dlsim::workload
+
+#endif // DLSIM_WORKLOAD_ENGINE_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Parameters of the synthetic workload generator.
+ *
+ * The generator produces an application + library module set whose
+ * *library-call behaviour* is calibrated to the paper's published
+ * workload characterisation (Tables 2 and 3, Fig. 4): trampoline
+ * executions per kilo-instruction, number of distinct trampolines,
+ * and the popularity skew across them. Everything else (cache and
+ * TLB footprints, branch entropy) is shaped by the secondary knobs
+ * so the base machine lands near the paper's Table 4 counters.
+ */
+
+#ifndef DLSIM_WORKLOAD_PARAMS_HH
+#define DLSIM_WORKLOAD_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlsim::workload
+{
+
+/** One request type (e.g. SPECweb "Catalog", memcached "GET"). */
+struct RequestClass
+{
+    std::string name;
+    double weight = 1.0;   ///< Share of the request mix.
+    /** Payload-size argument range: the handler loops this many
+     *  times over its step sequence (uniform draw per request). */
+    std::uint32_t minWork = 1;
+    std::uint32_t maxWork = 2;
+};
+
+/** Trampoline-popularity model across the app's called imports. */
+enum class Popularity : std::uint8_t
+{
+    Uniform,     ///< All called imports equally likely.
+    Zipf,        ///< Long shallow tail (Firefox in Fig. 4).
+    SteepCutoff, ///< Hot set + rare tail (Apache/Memcached).
+};
+
+/** Generator parameters. */
+struct WorkloadParams
+{
+    std::string name = "custom";
+    std::uint64_t seed = 42;
+
+    /** @name Module structure @{ */
+    std::uint32_t numLibs = 8;
+    std::uint32_t funcsPerLib = 64;
+    /** Mean plain instructions per library function body. */
+    std::uint32_t libFnInsts = 40;
+    /** Extra imports declared but never called per module (sparse,
+     *  definition-ordered PLT sections, paper §2). */
+    std::uint32_t unusedImportsPerModule = 16;
+    /** @} */
+
+    /** @name Application / request structure @{ */
+    std::vector<RequestClass> requests{{"default", 1.0, 1, 2}};
+    /** Static steps in a handler's per-iteration body. */
+    std::uint32_t stepsPerRequest = 30;
+    /** Plain instructions per handler step. */
+    std::uint32_t appWorkInsts = 8;
+    /** Dynamic probability that a handler step's library-call site
+     *  executes. Every step keeps a *static* call site; when this
+     *  is < 1 the call is guarded by a data-dependent test taken
+     *  with probability ~2^-round(-log2(p)). */
+    double libCallProbPerStep = 1.0;
+    /** Distinct library symbols the application calls. */
+    std::uint32_t calledImports = 120;
+    /** @} */
+
+    /** @name Popularity of called imports @{ */
+    /** Fraction of called imports guaranteed a static call site
+     *  (spread evenly across the site sequence); the remaining
+     *  sites follow the popularity model. */
+    double coverageFraction = 1.0;
+    Popularity popularity = Popularity::SteepCutoff;
+    double zipfS = 1.0;        ///< For Popularity::Zipf.
+    std::uint32_t hotSet = 10; ///< For SteepCutoff.
+    double hotFraction = 0.9;  ///< Calls landing in the hot set.
+    /** @} */
+
+    /** @name Library-to-library calls @{ */
+    /** Per-site probability that a library function has a call site
+     *  into a deeper library (up to maxNestedCallSites sites). */
+    double interLibCallProb = 0.3;
+    /** Static nested-call sites a library function may carry. */
+    std::uint32_t maxNestedCallSites = 2;
+    /** Dynamic (data-dependent) execution probability per nested
+     *  site, rounded to a power of 1/2. 1.0 = unconditional. */
+    double nestedExecProb = 0.5;
+    /** @} */
+
+    /** @name Instruction mix inside generated bodies @{ */
+    double loadFrac = 0.20;
+    double storeFrac = 0.08;
+    double condFrac = 0.12;
+    /** Fraction of conditional branches whose direction depends on
+     *  per-request data (mispredict fuel); the rest are static. */
+    double volatileBranchFrac = 0.5;
+    /** @} */
+
+    /** @name Data footprints and locality @{ */
+    std::uint64_t libDataBytes = 1 << 16;
+    /** Application data section ("dataset"); large for memcached. */
+    std::uint64_t appDataBytes = 1 << 20;
+    /** Random dataset loads per handler step (D-side pressure). */
+    std::uint32_t datasetAccessesPerStep = 1;
+    /** Fraction of dataset-access sites confined to the hot window
+     *  (independent of hotDataFrac; low for memcached's random
+     *  key-value lookups, high for a warm buffer pool). */
+    double datasetHotFrac = 0.0;
+    /** Fraction of generated access sites confined to a small hot
+     *  window of their data section (real code has locality; the
+     *  rest roam the full section and generate D$/D-TLB misses). */
+    /** Small enough that all modules' hot windows fit L1D. */
+    double hotDataFrac = 0.85;
+    std::uint64_t hotDataBytes = 2048;
+    /** @} */
+
+    /** @name Kernel/syscall path (PLT-free cold code) @{ */
+    /**
+     * Size of a "kernel" module traversed via one `sys_path` import
+     * per handler iteration: a wide tree of functions with plain
+     * bodies and *direct* calls. Models the network/syscall code a
+     * server executes per request — instruction-cache and I-TLB
+     * pressure with no trampolines, which is how e.g. memcached
+     * shows 52 I$-miss PKI yet only 33 distinct trampolines.
+     */
+    std::uint32_t kernelFuncs = 0;
+    std::uint32_t kernelFnInsts = 24;
+    std::uint32_t kernelCallsPerRequest = 1;
+    /** @} */
+
+    /** @name Optional mechanism-relevant features @{ */
+    /** Library symbols exported as GNU ifuncs (paper §2.4.1). */
+    std::uint32_t ifuncSymbols = 0;
+    /** Fraction of app call steps invoked via a tail-jump helper
+     *  (`jmp sym@plt`, the §2.3 "unconventional trick"). */
+    double tailJumpFrac = 0.0;
+    /** Fraction of app call steps using a C++-virtual-style
+     *  register-indirect call to a function pointer (§2.4.2);
+     *  these bypass the PLT and must not populate the ABTB. */
+    double virtualCallFrac = 0.0;
+    /** @} */
+};
+
+} // namespace dlsim::workload
+
+#endif // DLSIM_WORKLOAD_PARAMS_HH

@@ -1,0 +1,228 @@
+#include "workload/profiles.hh"
+
+#include <stdexcept>
+
+namespace dlsim::workload
+{
+
+WorkloadParams
+apacheProfile(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = "apache";
+    p.seed = seed;
+
+    // httpd + PHP + supporting libraries: a deep stack of small
+    // library functions that call each other constantly, plus a
+    // large per-request kernel/network path. Library bodies are
+    // small, so trampoline and GOT lines are a large share of the
+    // touched footprint — the paper's headline workload.
+    p.numLibs = 10;
+    p.funcsPerLib = 80;
+    p.libFnInsts = 5;
+    p.unusedImportsPerModule = 24;
+    p.interLibCallProb = 0.65;
+    p.maxNestedCallSites = 1;
+
+    // The six SPECweb 2009 request types of Fig. 6.
+    p.requests = {
+        {"Home", 0.10, 1, 2},        {"Catalog", 0.25, 1, 2},
+        {"FileCatalog", 0.15, 1, 2}, {"File", 0.20, 1, 3},
+        {"Index", 0.15, 1, 2},       {"Search", 0.15, 2, 3},
+    };
+    p.stepsPerRequest = 180;
+    p.appWorkInsts = 3;
+    p.libCallProbPerStep = 1.0;
+    p.calledImports = 240;
+    p.popularity = Popularity::SteepCutoff;
+    p.hotSet = 12;
+    p.hotFraction = 0.85;
+
+    p.loadFrac = 0.20;
+    p.storeFrac = 0.08;
+    p.condFrac = 0.14;
+    p.volatileBranchFrac = 0.5;
+
+    p.libDataBytes = 1 << 16;
+    p.appDataBytes = 4 << 20;
+    p.datasetAccessesPerStep = 1;
+    p.datasetHotFrac = 0.6;
+    p.hotDataFrac = 0.99;
+
+    p.kernelFuncs = 310;
+    p.kernelFnInsts = 14;
+    p.kernelCallsPerRequest = 1;
+
+    p.ifuncSymbols = 12;
+    p.tailJumpFrac = 0.05;
+    p.virtualCallFrac = 0.05;
+    return p;
+}
+
+WorkloadParams
+firefoxProfile(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = "firefox";
+    p.seed = seed;
+
+    // A very large code base: thousands of library functions, most
+    // called rarely; execution dominated by small compute kernels,
+    // so the trampoline rate is low (0.72 PKI in Table 2) even
+    // though the distinct-trampoline count is the highest (2457).
+    p.numLibs = 12;
+    p.funcsPerLib = 300;
+    p.libFnInsts = 20;
+    p.unusedImportsPerModule = 48;
+    p.interLibCallProb = 0.70;
+    p.maxNestedCallSites = 3;
+    p.nestedExecProb = 0.25;
+
+    // The five Peacekeeper categories of Table 5.
+    p.requests = {
+        {"Rendering", 0.25, 4, 10},     {"HTML5Canvas", 0.20, 4, 10},
+        {"Data", 0.20, 3, 8},          {"DOMOperations", 0.20, 4, 12},
+        {"TextParsing", 0.15, 5, 12},
+    };
+    p.stepsPerRequest = 60;
+    p.appWorkInsts = 40;
+    p.libCallProbPerStep = 0.03; // rare, guarded call sites
+    p.calledImports = 700;
+    p.coverageFraction = 0.3;
+    p.popularity = Popularity::Zipf;
+    p.zipfS = 1.5;
+
+    p.loadFrac = 0.18;
+    p.storeFrac = 0.06;
+    p.condFrac = 0.10;
+    p.volatileBranchFrac = 0.25;
+
+    p.libDataBytes = 1 << 16;
+    p.appDataBytes = 2 << 20;
+    p.datasetAccessesPerStep = 0;
+    p.hotDataFrac = 0.97;
+
+    p.ifuncSymbols = 16; // string routines etc.
+    p.tailJumpFrac = 0.02;
+    p.virtualCallFrac = 0.15; // C++-heavy code base
+    return p;
+}
+
+WorkloadParams
+memcachedProfile(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = "memcached";
+    p.seed = seed;
+
+    // Tiny user code footprint (memcached + libevent + a libc
+    // slice) over a large in-memory dataset, with a heavy kernel
+    // network path per request: few trampolines (33 distinct) but
+    // high I$ pressure from the PLT-free kernel path.
+    p.numLibs = 2;
+    p.funcsPerLib = 12;
+    p.libFnInsts = 22;
+    p.unusedImportsPerModule = 12;
+    p.interLibCallProb = 0.15;
+
+    p.requests = {
+        {"GET", 0.90, 1, 2},
+        {"SET", 0.10, 1, 3},
+    };
+    p.stepsPerRequest = 40;
+    p.appWorkInsts = 20;
+    p.libCallProbPerStep = 1.0;
+    p.calledImports = 30;
+    p.popularity = Popularity::SteepCutoff;
+    p.hotSet = 8;
+    p.hotFraction = 0.85;
+
+    p.loadFrac = 0.26;
+    p.storeFrac = 0.10;
+    p.condFrac = 0.10;
+    p.volatileBranchFrac = 0.45;
+
+    p.libDataBytes = 1 << 14;
+    p.appDataBytes = 32 << 20; // the key-value store
+    p.datasetAccessesPerStep = 3;
+    p.datasetHotFrac = 0.15;
+    p.hotDataFrac = 0.85;
+
+    p.kernelFuncs = 130;
+    p.kernelFnInsts = 28;
+    p.kernelCallsPerRequest = 2; // receive + send paths
+    return p;
+}
+
+WorkloadParams
+mysqlProfile(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = "mysql";
+    p.seed = seed;
+
+    p.numLibs = 10;
+    p.funcsPerLib = 240;
+    p.libFnInsts = 12;
+    p.unusedImportsPerModule = 32;
+    p.interLibCallProb = 0.55;
+    p.maxNestedCallSites = 3;
+    p.nestedExecProb = 0.4;
+
+    // TPC-C's two dominant transactions (Fig. 8 / Table 6).
+    p.requests = {
+        {"NewOrder", 0.5, 2, 5},
+        {"Payment", 0.5, 1, 3},
+    };
+    p.stepsPerRequest = 110;
+    p.appWorkInsts = 14;
+    p.libCallProbPerStep = 0.35;
+    p.calledImports = 450;
+    p.coverageFraction = 0.3;
+    p.popularity = Popularity::SteepCutoff;
+    p.hotSet = 32;
+    p.hotFraction = 0.85;
+
+    p.loadFrac = 0.22;
+    p.storeFrac = 0.10;
+    p.condFrac = 0.18; // OLTP is branchy (14.44 mispredict PKI)
+    p.volatileBranchFrac = 0.45;
+
+    p.libDataBytes = 1 << 15;
+    p.appDataBytes = 16 << 20; // buffer pool
+    p.datasetAccessesPerStep = 1;
+    p.datasetHotFrac = 0.9;
+    p.hotDataFrac = 0.98;
+
+    p.kernelFuncs = 70;
+    p.kernelFnInsts = 24;
+    p.kernelCallsPerRequest = 1;
+
+    p.ifuncSymbols = 8;
+    p.tailJumpFrac = 0.03;
+    p.virtualCallFrac = 0.10;
+    return p;
+}
+
+WorkloadParams
+profileByName(const std::string &name, std::uint64_t seed)
+{
+    if (name == "apache")
+        return apacheProfile(seed);
+    if (name == "firefox")
+        return firefoxProfile(seed);
+    if (name == "memcached")
+        return memcachedProfile(seed);
+    if (name == "mysql")
+        return mysqlProfile(seed);
+    throw std::invalid_argument("unknown workload profile: " + name);
+}
+
+std::vector<WorkloadParams>
+allProfiles(std::uint64_t seed)
+{
+    return {apacheProfile(seed), firefoxProfile(seed),
+            memcachedProfile(seed), mysqlProfile(seed)};
+}
+
+} // namespace dlsim::workload

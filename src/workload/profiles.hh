@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Calibrated workload profiles for the paper's four applications.
+ *
+ * Each profile's library-call behaviour targets the paper's
+ * published characterisation:
+ *
+ *   workload   | tramp PKI (T2) | distinct tramps (T3) | Fig.4 shape
+ *   -----------+----------------+----------------------+------------
+ *   apache     | 12.23          | 501                  | steep cutoff
+ *   firefox    | 0.72           | 2457                 | shallow Zipf
+ *   memcached  | 1.75           | 33                   | very steep
+ *   mysql      | 5.56           | 1611                 | moderate
+ *
+ * Request classes mirror the paper's: the six SPECweb 2009 request
+ * types for Apache (Fig. 6), GET/SET for Memcached (Fig. 7), TPC-C
+ * NewOrder/Payment for MySQL (Fig. 8 / Table 6), and the five
+ * Peacekeeper categories for Firefox (Table 5).
+ */
+
+#ifndef DLSIM_WORKLOAD_PROFILES_HH
+#define DLSIM_WORKLOAD_PROFILES_HH
+
+#include "workload/params.hh"
+
+namespace dlsim::workload
+{
+
+/** Apache httpd + PHP serving SPECweb 2009 (prefork MPM). */
+WorkloadParams apacheProfile(std::uint64_t seed = 42);
+
+/** Firefox running the Peacekeeper browser benchmark. */
+WorkloadParams firefoxProfile(std::uint64_t seed = 42);
+
+/** Memcached driven by the CloudSuite data-caching client. */
+WorkloadParams memcachedProfile(std::uint64_t seed = 42);
+
+/** MySQL running OLTP-Bench TPC-C. */
+WorkloadParams mysqlProfile(std::uint64_t seed = 42);
+
+/** Profile lookup by name ("apache", "firefox", ...). */
+WorkloadParams profileByName(const std::string &name,
+                             std::uint64_t seed = 42);
+
+/** All four paper workloads, in Table 2 order. */
+std::vector<WorkloadParams> allProfiles(std::uint64_t seed = 42);
+
+} // namespace dlsim::workload
+
+#endif // DLSIM_WORKLOAD_PROFILES_HH

@@ -1,0 +1,576 @@
+#include "workload/program.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "elf/builder.hh"
+#include "stats/rng.hh"
+
+namespace dlsim::workload
+{
+
+namespace
+{
+
+using elf::FunctionBuilder;
+using elf::ModuleBuilder;
+using isa::AluKind;
+using isa::CondKind;
+using isa::Reg;
+using stats::Rng;
+
+/** Registers (see program.hh for the convention). */
+constexpr Reg RegWork = isa::RegArg0;  // r1
+constexpr Reg RegSeed2 = isa::RegArg1; // r2
+constexpr Reg RegBase = 4;
+constexpr Reg RegScratchA = 5;
+constexpr Reg RegScratchB = 6;
+constexpr Reg RegScratchC = 7;
+constexpr Reg RegScratchD = 8;
+constexpr Reg RegScratchE = 9;
+constexpr Reg RegLoop = 10;
+constexpr Reg RegSeed = 11;
+constexpr Reg RegPtr = 12;
+
+/** Aligned-8 address mask covering a data section. */
+std::uint64_t
+maskFor(std::uint64_t bytes)
+{
+    const std::uint64_t pot = std::bit_floor(bytes);
+    assert(pot >= 64);
+    return (pot - 1) & ~7ull;
+}
+
+/** Shared body-emission context. */
+struct BodyCtx
+{
+    FunctionBuilder &fb;
+    Rng &rng;
+    const WorkloadParams &p;
+    std::uint64_t dataMask; ///< For RegBase-relative accesses.
+    Reg seedReg;            ///< LCG register (r1 in libs, r11 in app).
+};
+
+/** Advance the per-request pseudo-random seed register. */
+void
+emitLcgStep(BodyCtx &ctx)
+{
+    ctx.fb.aluImm(AluKind::Mul, ctx.seedReg, ctx.seedReg,
+                  6364136223846793005ll);
+    ctx.fb.aluImm(AluKind::Add, ctx.seedReg, ctx.seedReg,
+                  1442695040888963407ll);
+}
+
+/** Compute a random in-section address into RegScratchA. */
+void
+emitRandomAddress(BodyCtx &ctx, std::uint64_t mask)
+{
+    emitLcgStep(ctx);
+    ctx.fb.aluImm(AluKind::Shr, RegScratchA, ctx.seedReg, 11);
+    ctx.fb.aluImm(AluKind::And, RegScratchA, RegScratchA,
+                  static_cast<std::int64_t>(mask));
+    ctx.fb.alu(AluKind::Add, RegScratchA, RegScratchA, RegBase);
+}
+
+/** A data-dependent load; value lands in RegScratchB. */
+void
+emitRandomLoad(BodyCtx &ctx, std::uint64_t mask)
+{
+    emitRandomAddress(ctx, mask);
+    ctx.fb.load(RegScratchB, RegScratchA, 0);
+}
+
+/** A data-dependent store. */
+void
+emitRandomStore(BodyCtx &ctx, std::uint64_t mask)
+{
+    emitRandomAddress(ctx, mask);
+    ctx.fb.store(RegScratchB, RegScratchA, 0);
+}
+
+/** One plain ALU instruction on scratch registers. */
+void
+emitPlainAlu(BodyCtx &ctx)
+{
+    static constexpr AluKind kinds[] = {AluKind::Add, AluKind::Sub,
+                                        AluKind::Xor, AluKind::And,
+                                        AluKind::Or};
+    const auto kind =
+        kinds[ctx.rng.nextBelow(std::size(kinds))];
+    const Reg dst = static_cast<Reg>(
+        RegScratchC + ctx.rng.nextBelow(3)); // r7..r9
+    ctx.fb.alu(kind, dst, RegScratchB,
+               static_cast<Reg>(RegScratchC + ctx.rng.nextBelow(3)));
+}
+
+/**
+ * A conditional branch over a short forward block. Volatile
+ * branches test loaded data (direction varies per request); static
+ * branches test a constant (fully predictable once warm).
+ */
+void
+emitCondBlock(BodyCtx &ctx)
+{
+    const bool volatile_br =
+        ctx.rng.nextBool(ctx.p.volatileBranchFrac);
+    if (volatile_br) {
+        ctx.fb.aluImm(AluKind::And, RegScratchC, RegScratchB, 1);
+    } else {
+        ctx.fb.aluImm(AluKind::And, RegScratchC, RegScratchC, 0);
+    }
+    elf::Label skip = ctx.fb.newLabel();
+    ctx.fb.condBr(CondKind::Ne0, RegScratchC, skip);
+    const auto filler = 1 + ctx.rng.nextBelow(3);
+    for (std::uint64_t n = 0; n < filler; ++n)
+        emitPlainAlu(ctx);
+    ctx.fb.bind(skip);
+}
+
+/**
+ * Pick the access mask for a memory-touching site: most sites stay
+ * inside a hot window (locality), the rest roam the full section.
+ * The choice is made at generation time, so a given site's
+ * behaviour is stable across executions.
+ */
+std::uint64_t
+accessMask(BodyCtx &ctx, std::uint64_t full_mask)
+{
+    if (ctx.rng.nextBool(ctx.p.hotDataFrac)) {
+        const std::uint64_t hot = maskFor(
+            std::min<std::uint64_t>(ctx.p.hotDataBytes,
+                                    full_mask + 8));
+        return hot;
+    }
+    return full_mask;
+}
+
+/** One work event, drawn from the configured instruction mix. */
+void
+emitWorkEvent(BodyCtx &ctx, std::uint64_t mask)
+{
+    const double u = ctx.rng.nextDouble();
+    if (u < ctx.p.loadFrac) {
+        emitRandomLoad(ctx, accessMask(ctx, mask));
+    } else if (u < ctx.p.loadFrac + ctx.p.storeFrac) {
+        emitRandomStore(ctx, accessMask(ctx, mask));
+    } else if (u <
+               ctx.p.loadFrac + ctx.p.storeFrac + ctx.p.condFrac) {
+        emitCondBlock(ctx);
+    } else {
+        emitPlainAlu(ctx);
+    }
+}
+
+/** Library function name. */
+std::string
+libFnName(std::uint32_t lib, std::uint32_t fn)
+{
+    return "l" + std::to_string(lib) + "f" + std::to_string(fn);
+}
+
+/** ifunc symbol name. */
+std::string
+ifuncName(std::uint32_t n)
+{
+    return "ix" + std::to_string(n);
+}
+
+/**
+ * Emit a guarded external call: executes with probability ~2^-k on
+ * a data-dependent condition (k == 0 emits an unconditional call).
+ */
+void
+emitGuardedExternalCall(BodyCtx &ctx, const std::string &sym, int k)
+{
+    FunctionBuilder &fb = ctx.fb;
+    elf::Label skip = fb.newLabel();
+    if (k > 0) {
+        emitLcgStep(ctx);
+        fb.aluImm(AluKind::Shr, RegScratchC, ctx.seedReg, 23);
+        fb.aluImm(AluKind::And, RegScratchC, RegScratchC,
+                  (1ll << k) - 1);
+        fb.condBr(CondKind::Ne0, RegScratchC, skip);
+    }
+    fb.aluImm(AluKind::Add, RegWork, ctx.seedReg, 0);
+    fb.callExternal(sym);
+    fb.movDataAddr(RegBase, 0); // callee clobbered the base
+    if (k > 0)
+        fb.bind(skip);
+}
+
+/** Probability to guard shift amount (power of 1/2). */
+int
+guardShiftFor(double prob)
+{
+    if (prob >= 1.0)
+        return 0;
+    return std::clamp<int>(
+        static_cast<int>(std::lround(-std::log2(prob))), 1, 10);
+}
+
+/** Emit one library function body. */
+void
+emitLibFunction(ModuleBuilder &mb, const std::string &name,
+                const WorkloadParams &p, Rng rng,
+                const std::vector<std::string> &nested_calls,
+                std::uint64_t data_mask)
+{
+    FunctionBuilder &fb = mb.function(name);
+    BodyCtx ctx{fb, rng, p, data_mask, RegWork};
+
+    // Base pointer into this library's data section. Accesses are
+    // masked into [0, data_mask], so the base stays at offset 0.
+    fb.movDataAddr(RegBase, 0);
+
+    const std::uint32_t events =
+        p.libFnInsts / 2 +
+        static_cast<std::uint32_t>(rng.nextBelow(p.libFnInsts + 1));
+    // Spread the nested call sites across the body.
+    std::vector<std::uint32_t> call_pos;
+    for (std::size_t n = 0; n < nested_calls.size(); ++n) {
+        call_pos.push_back(static_cast<std::uint32_t>(
+            rng.nextBelow(events + 1)));
+    }
+    const int guard = guardShiftFor(p.nestedExecProb);
+
+    std::size_t emitted_calls = 0;
+    for (std::uint32_t e = 0; e <= events; ++e) {
+        for (std::size_t n = 0; n < nested_calls.size(); ++n) {
+            if (call_pos[n] == e) {
+                emitGuardedExternalCall(ctx, nested_calls[n],
+                                        guard);
+                ++emitted_calls;
+            }
+        }
+        if (e < events)
+            emitWorkEvent(ctx, data_mask);
+    }
+    assert(emitted_calls == nested_calls.size());
+    (void)emitted_calls;
+
+    fb.alu(AluKind::Add, isa::RegRet, RegScratchB, ctx.seedReg);
+    fb.ret();
+}
+
+} // namespace
+
+BuiltProgram
+buildProgram(const WorkloadParams &p)
+{
+    assert(p.numLibs >= 1);
+    assert(!p.requests.empty());
+
+    Rng master(p.seed);
+    BuiltProgram out{elf::Module{"<pending>"}, {}, {}, {}};
+
+    const std::uint64_t lib_mask = maskFor(p.libDataBytes);
+    const std::uint64_t app_mask = maskFor(p.appDataBytes);
+
+    // ------------------------------------------------------------
+    // Plan the symbol universe.
+    // ------------------------------------------------------------
+    struct FnPlan
+    {
+        std::string name;
+        std::vector<std::string> nestedCalls; // empty = leaf
+    };
+    std::vector<std::vector<FnPlan>> plans(p.numLibs);
+    std::vector<std::string> universe;
+
+    Rng plan_rng = master.fork();
+    for (std::uint32_t i = 0; i < p.numLibs; ++i) {
+        plans[i].reserve(p.funcsPerLib);
+        for (std::uint32_t j = 0; j < p.funcsPerLib; ++j) {
+            FnPlan fp;
+            fp.name = libFnName(i, j);
+            for (std::uint32_t s = 0;
+                 i + 1 < p.numLibs && s < p.maxNestedCallSites;
+                 ++s) {
+                if (!plan_rng.nextBool(p.interLibCallProb))
+                    continue;
+                const auto k = static_cast<std::uint32_t>(
+                    plan_rng.nextRange(i + 1, p.numLibs - 1));
+                const auto fn = static_cast<std::uint32_t>(
+                    plan_rng.nextBelow(p.funcsPerLib));
+                fp.nestedCalls.push_back(libFnName(k, fn));
+            }
+            universe.push_back(fp.name);
+            plans[i].push_back(std::move(fp));
+        }
+    }
+    // ifunc symbols: one per entry, hosted round-robin on libraries.
+    for (std::uint32_t n = 0; n < p.ifuncSymbols; ++n)
+        universe.push_back(ifuncName(n));
+
+    // ------------------------------------------------------------
+    // Build the libraries.
+    // ------------------------------------------------------------
+    for (std::uint32_t i = 0; i < p.numLibs; ++i) {
+        ModuleBuilder mb("lib" + std::to_string(i));
+        mb.setDataSize(p.libDataBytes);
+
+        for (const auto &fp : plans[i]) {
+            emitLibFunction(mb, fp.name, p, master.fork(),
+                            fp.nestedCalls, lib_mask);
+        }
+
+        // ifunc implementations hosted by this library.
+        for (std::uint32_t n = i; n < p.ifuncSymbols;
+             n += p.numLibs) {
+            const std::string base = ifuncName(n);
+            emitLibFunction(mb, base + "_v0", p, master.fork(), {},
+                            lib_mask);
+            emitLibFunction(mb, base + "_v1", p, master.fork(), {},
+                            lib_mask);
+            mb.exportIfunc(base, {base + "_v0", base + "_v1"});
+        }
+
+        // Sparse-PLT filler: declared, never called (paper §2).
+        for (std::uint32_t n = 0; n < p.unusedImportsPerModule;
+             ++n) {
+            const auto pick =
+                master.nextBelow(p.numLibs * p.funcsPerLib);
+            const auto lib = static_cast<std::uint32_t>(
+                pick / p.funcsPerLib);
+            if (lib == i)
+                continue; // own symbols need no import
+            mb.declareImport(libFnName(
+                lib,
+                static_cast<std::uint32_t>(pick % p.funcsPerLib)));
+        }
+
+        out.libs.push_back(mb.build());
+    }
+
+    // ------------------------------------------------------------
+    // Kernel/syscall-path module: a wide two-level tree of
+    // functions with direct calls only (no PLT), traversed once per
+    // `sys_path` call. Being larger than L1I, each traversal
+    // streams cold code.
+    // ------------------------------------------------------------
+    if (p.kernelFuncs > 0) {
+        ModuleBuilder mb("kernel");
+        mb.setDataSize(p.libDataBytes);
+        constexpr std::uint32_t GroupSize = 24;
+
+        for (std::uint32_t i = 0; i < p.kernelFuncs; ++i) {
+            FunctionBuilder &fb =
+                mb.function("k" + std::to_string(i));
+            Rng rng = master.fork();
+            BodyCtx ctx{fb, rng, p, lib_mask, RegWork};
+            fb.movDataAddr(RegBase, 0);
+            for (std::uint32_t e = 0; e < p.kernelFnInsts; ++e)
+                emitWorkEvent(ctx, lib_mask);
+            fb.alu(AluKind::Add, isa::RegRet, RegScratchB,
+                   RegWork);
+            fb.ret();
+        }
+
+        const std::uint32_t groups =
+            (p.kernelFuncs + GroupSize - 1) / GroupSize;
+        for (std::uint32_t g = 0; g < groups; ++g) {
+            FunctionBuilder &fb =
+                mb.function("d" + std::to_string(g));
+            for (std::uint32_t i = g * GroupSize;
+                 i < std::min(p.kernelFuncs,
+                              (g + 1) * GroupSize);
+                 ++i) {
+                fb.callLocal("k" + std::to_string(i));
+            }
+            fb.ret();
+        }
+
+        FunctionBuilder &fb = mb.function("sys_path");
+        for (std::uint32_t g = 0; g < groups; ++g)
+            fb.callLocal("d" + std::to_string(g));
+        fb.ret();
+
+        out.libs.push_back(mb.build());
+    }
+
+    // ------------------------------------------------------------
+    // Pick the application's called imports and their popularity.
+    // ------------------------------------------------------------
+    Rng pick_rng = master.fork();
+    std::vector<std::string> called = universe;
+    // Fisher-Yates shuffle, then truncate.
+    for (std::size_t n = called.size() - 1; n > 0; --n) {
+        const auto m = pick_rng.nextBelow(n + 1);
+        std::swap(called[n], called[m]);
+    }
+    if (called.size() > p.calledImports)
+        called.resize(p.calledImports);
+    out.calledSymbols = called;
+
+    // Coverage pass: a coverageFraction share of called imports is
+    // guaranteed a static site, spread evenly over the site
+    // sequence (remaining-ratio Bernoulli); other sites follow the
+    // popularity model.
+    const std::size_t total_sites =
+        std::size_t{p.stepsPerRequest} * p.requests.size();
+    std::size_t coverage_left = std::min<std::size_t>(
+        total_sites,
+        static_cast<std::size_t>(p.coverageFraction *
+                                 static_cast<double>(
+                                     called.size())));
+    std::size_t sites_left = total_sites;
+    std::size_t coverage_cursor = 0;
+    const stats::ZipfDistribution zipf(called.size(), p.zipfS);
+    const auto draw_symbol = [&](Rng &rng) -> const std::string & {
+        const bool cover =
+            sites_left > 0 && coverage_left > 0 &&
+            rng.nextDouble() <
+                static_cast<double>(coverage_left) /
+                    static_cast<double>(sites_left);
+        if (sites_left > 0)
+            --sites_left;
+        if (cover) {
+            --coverage_left;
+            return called[coverage_cursor++ % called.size()];
+        }
+        switch (p.popularity) {
+          case Popularity::Uniform:
+            return called[rng.nextBelow(called.size())];
+          case Popularity::Zipf:
+            return called[zipf.sample(rng)];
+          case Popularity::SteepCutoff: {
+            const std::size_t hot =
+                std::min<std::size_t>(p.hotSet, called.size());
+            if (rng.nextBool(p.hotFraction) && hot > 0)
+                return called[rng.nextBelow(hot)];
+            return called[rng.nextBelow(called.size())];
+          }
+        }
+        return called.front();
+    };
+
+    // ------------------------------------------------------------
+    // Build the executable.
+    // ------------------------------------------------------------
+    ModuleBuilder mb("app");
+    mb.setDataSize(p.appDataBytes);
+
+    // Tail-jump helpers, created on demand per symbol.
+    std::unordered_map<std::string, std::string> tail_helpers;
+    const auto tail_helper_for =
+        [&](const std::string &sym) -> const std::string & {
+        auto it = tail_helpers.find(sym);
+        if (it == tail_helpers.end()) {
+            const std::string helper = "tj_" + sym;
+            FunctionBuilder &fb = mb.function(helper);
+            fb.aluImm(AluKind::Add, RegScratchC, RegWork, 7);
+            fb.alu(AluKind::Xor, RegScratchD, RegScratchC,
+                   RegWork);
+            fb.jmpExternal(sym); // the §2.3 "jump trick"
+            it = tail_helpers.emplace(sym, helper).first;
+        }
+        return it->second;
+    };
+
+    Rng app_rng = master.fork();
+    for (std::size_t h = 0; h < p.requests.size(); ++h) {
+        const std::string handler =
+            "handle_" + p.requests[h].name;
+        out.handlers.push_back(handler);
+
+        FunctionBuilder &fb = mb.function(handler);
+        BodyCtx ctx{fb, app_rng, p, app_mask, RegSeed};
+
+        // Prologue: r10 = work count, r11 = seed.
+        fb.aluImm(AluKind::Add, RegLoop, RegWork, 0);
+        fb.aluImm(AluKind::Add, RegSeed, RegSeed2, 0);
+        fb.movDataAddr(RegBase, 0);
+
+        elf::Label loop_top = fb.newLabel();
+        fb.bind(loop_top);
+
+        // Kernel path (network receive / syscall work).
+        for (std::uint32_t c = 0;
+             p.kernelFuncs > 0 && c < p.kernelCallsPerRequest;
+             ++c) {
+            fb.aluImm(AluKind::Add, RegWork, RegSeed, 0);
+            fb.callExternal("sys_path");
+            fb.movDataAddr(RegBase, 0);
+        }
+
+        for (std::uint32_t s = 0; s < p.stepsPerRequest; ++s) {
+            // Local work.
+            for (std::uint32_t w = 0; w < p.appWorkInsts; ++w)
+                emitWorkEvent(ctx, app_mask);
+            // Dataset touches (key-value lookups / buffer pool).
+            for (std::uint32_t d = 0;
+                 d < p.datasetAccessesPerStep; ++d) {
+                const std::uint64_t mask =
+                    app_rng.nextBool(p.datasetHotFrac)
+                        ? maskFor(std::min<std::uint64_t>(
+                              p.hotDataBytes, app_mask + 8))
+                        : app_mask;
+                emitRandomLoad(ctx, mask);
+            }
+            // Library call: every step carries a static call site;
+            // when libCallProbPerStep < 1 the call is guarded by a
+            // data-dependent condition executing with probability
+            // ~2^-k, so rarely-called sites still exist statically
+            // (how a browser reaches thousands of distinct
+            // trampolines at a low dynamic rate).
+            {
+                const std::string &sym = draw_symbol(app_rng);
+                elf::Label skip_call = fb.newLabel();
+                const bool guarded = p.libCallProbPerStep < 1.0;
+                if (guarded) {
+                    const auto k = std::clamp<int>(
+                        static_cast<int>(std::lround(
+                            -std::log2(p.libCallProbPerStep))),
+                        1, 10);
+                    emitLcgStep(ctx);
+                    fb.aluImm(AluKind::Shr, RegScratchC, RegSeed,
+                              17);
+                    fb.aluImm(AluKind::And, RegScratchC,
+                              RegScratchC, (1ll << k) - 1);
+                    fb.condBr(CondKind::Ne0, RegScratchC,
+                              skip_call);
+                }
+                // Pass the evolving seed as the callee argument.
+                fb.aluImm(AluKind::Add, RegWork, RegSeed, 0);
+                const double mode = app_rng.nextDouble();
+                if (mode < p.virtualCallFrac) {
+                    fb.movFuncAddr(RegPtr, sym);
+                    fb.callReg(RegPtr);
+                } else if (mode <
+                           p.virtualCallFrac + p.tailJumpFrac) {
+                    fb.callLocal(tail_helper_for(sym));
+                } else {
+                    fb.callExternal(sym);
+                }
+                fb.movDataAddr(RegBase, 0); // reload after call
+                if (guarded)
+                    fb.bind(skip_call);
+            }
+        }
+
+        fb.aluImm(AluKind::Sub, RegLoop, RegLoop, 1);
+        fb.condBr(CondKind::Ne0, RegLoop, loop_top);
+        fb.aluImm(AluKind::Add, isa::RegRet, RegSeed, 0);
+        fb.ret();
+    }
+
+    // main: run each handler once, then halt.
+    {
+        FunctionBuilder &fb = mb.function("main");
+        for (const auto &handler : out.handlers) {
+            fb.movImm(RegWork, 1);
+            fb.movImm(RegSeed2,
+                      static_cast<std::int64_t>(master.next() >> 1));
+            fb.callLocal(handler);
+        }
+        fb.halt();
+    }
+
+    out.exe = mb.build();
+    return out;
+}
+
+} // namespace dlsim::workload

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic program builder: turns WorkloadParams into an executable
+ * module plus its shared libraries.
+ *
+ * Generated structure:
+ *
+ *  - `numLibs` libraries, each exporting `funcsPerLib` functions
+ *    (`l<i>f<j>`). A function body is straight-line work (ALU ops,
+ *    data-dependent loads/stores into the library's data section,
+ *    conditional branches) and, with probability interLibCallProb, a
+ *    PLT call into a strictly deeper library — giving the
+ *    library-calls-library behaviour of real software stacks with a
+ *    DAG call structure (no recursion).
+ *  - An executable exporting one request-handler function per
+ *    RequestClass. A handler loops `arg0` times over a static step
+ *    sequence; each step does local work, touches the application
+ *    dataset, and possibly calls a library symbol drawn from the
+ *    configured popularity distribution — via a normal PLT call, a
+ *    tail-jump helper, or a virtual-call-style register-indirect
+ *    call.
+ *  - Optional ifunc exports with two implementation variants each.
+ *  - A `main` that exercises every handler once and halts.
+ *
+ * Register convention of generated code: r1/r2 are arguments (work
+ * count, data seed), r0 the return value; handlers own r10 (loop
+ * counter), r11 (seed/LCG), r13 (reserved); library bodies use only
+ * r1, r4-r9, r12, so handler state survives calls.
+ */
+
+#ifndef DLSIM_WORKLOAD_PROGRAM_HH
+#define DLSIM_WORKLOAD_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "elf/module.hh"
+#include "workload/params.hh"
+
+namespace dlsim::workload
+{
+
+/** Output of the generator. */
+struct BuiltProgram
+{
+    elf::Module exe;
+    std::vector<elf::Module> libs;
+    /** Handler function name per request class, in order. */
+    std::vector<std::string> handlers;
+    /** All library symbols the application may call. */
+    std::vector<std::string> calledSymbols;
+};
+
+/** Generate a program from parameters (deterministic in seed). */
+BuiltProgram buildProgram(const WorkloadParams &params);
+
+} // namespace dlsim::workload
+
+#endif // DLSIM_WORKLOAD_PROGRAM_HH

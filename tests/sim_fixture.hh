@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared test fixture: assembles modules into a runnable core with
+ * one call, so execution tests stay compact.
+ */
+
+#ifndef DLSIM_TESTS_SIM_FIXTURE_HH
+#define DLSIM_TESTS_SIM_FIXTURE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "elf/builder.hh"
+#include "linker/dynamic_linker.hh"
+#include "linker/loader.hh"
+
+namespace dlsim::test
+{
+
+/** A fully wired simulation of one program. */
+struct Sim
+{
+    linker::Loader loader;
+    std::unique_ptr<linker::Image> image;
+    std::unique_ptr<linker::DynamicLinker> linker;
+    std::unique_ptr<cpu::Core> core;
+
+    Sim(elf::Module exe, std::vector<elf::Module> libs,
+        const cpu::CoreParams &core_params = {},
+        const linker::LoaderOptions &load_opts = {})
+        : loader(load_opts)
+    {
+        image = loader.load(std::move(exe), std::move(libs));
+        linker =
+            std::make_unique<linker::DynamicLinker>(*image);
+        core = std::make_unique<cpu::Core>(core_params);
+        core->attachProcess(image.get(), linker.get(), 0);
+        core->initStack(loader.stackTop());
+    }
+
+    /** Call a symbol by name. */
+    cpu::Core::CallResult
+    call(const std::string &sym, std::uint64_t a0 = 0,
+         std::uint64_t a1 = 0, std::uint64_t a2 = 0)
+    {
+        return core->callFunction(image->symbolAddress(sym), a0,
+                                  a1, a2);
+    }
+};
+
+/** CoreParams with the trampoline-skip hardware enabled. */
+inline cpu::CoreParams
+enhancedParams()
+{
+    cpu::CoreParams p;
+    p.skipUnitEnabled = true;
+    return p;
+}
+
+} // namespace dlsim::test
+
+#endif // DLSIM_TESTS_SIM_FIXTURE_HH

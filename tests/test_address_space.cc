@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the address space: mapping, permissions, faults,
+ * and — most importantly for the paper's §5.5 — fork/COW page
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+
+using namespace dlsim::mem;
+
+namespace
+{
+
+AddressSpace
+makeSpace()
+{
+    AddressSpace as;
+    as.map(0x1000, 0x2000, PermRead | PermWrite, RegionKind::Data,
+           "data");
+    as.map(0x400000, 0x1000, PermRead | PermExec, RegionKind::Text,
+           "text");
+    return as;
+}
+
+} // namespace
+
+TEST(AddressSpace, ReadWriteRoundTrip)
+{
+    auto as = makeSpace();
+    EXPECT_EQ(as.write64(0x1008, 0xdeadbeef), MemFault::None);
+    MemFault fault = MemFault::None;
+    EXPECT_EQ(as.read64(0x1008, fault), 0xdeadbeefull);
+    EXPECT_EQ(fault, MemFault::None);
+}
+
+TEST(AddressSpace, ZeroInitialized)
+{
+    auto as = makeSpace();
+    MemFault fault = MemFault::None;
+    EXPECT_EQ(as.read64(0x1010, fault), 0u);
+    EXPECT_EQ(fault, MemFault::None);
+}
+
+TEST(AddressSpace, UnmappedFaults)
+{
+    auto as = makeSpace();
+    MemFault fault = MemFault::None;
+    as.read64(0x9000000, fault);
+    EXPECT_EQ(fault, MemFault::Unmapped);
+    EXPECT_EQ(as.write64(0x9000000, 1), MemFault::Unmapped);
+}
+
+TEST(AddressSpace, ProtectionFaults)
+{
+    auto as = makeSpace();
+    // Text is not writable.
+    EXPECT_EQ(as.write64(0x400000, 1), MemFault::Protection);
+    // But readable.
+    MemFault fault = MemFault::None;
+    as.read64(0x400000, fault);
+    EXPECT_EQ(fault, MemFault::None);
+}
+
+TEST(AddressSpace, MprotectChangesOutcome)
+{
+    auto as = makeSpace();
+    EXPECT_TRUE(as.protect(0x400000,
+                           PermRead | PermWrite | PermExec));
+    EXPECT_EQ(as.write64(0x400000, 7), MemFault::None);
+    EXPECT_TRUE(as.protect(0x400000, PermRead | PermExec));
+    EXPECT_EQ(as.write64(0x400000, 7), MemFault::Protection);
+}
+
+TEST(AddressSpace, PokePeekBypassPermissions)
+{
+    auto as = makeSpace();
+    as.poke64(0x400010, 99);
+    EXPECT_EQ(as.peek64(0x400010), 99u);
+}
+
+TEST(AddressSpace, RegionLookup)
+{
+    auto as = makeSpace();
+    const Region *r = as.findRegion(0x1500);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->name, "data");
+    EXPECT_EQ(r->kind, RegionKind::Data);
+    EXPECT_EQ(as.findRegion(0xfff), nullptr);   // just below
+    EXPECT_EQ(as.findRegion(0x3000), nullptr);  // just past end
+    EXPECT_NE(as.findRegion(0x2ff8), nullptr);  // last word
+}
+
+TEST(AddressSpace, UnmapRemovesRegionAndPages)
+{
+    auto as = makeSpace();
+    as.write64(0x1000, 1);
+    EXPECT_TRUE(as.unmap(0x1000));
+    MemFault fault = MemFault::None;
+    as.read64(0x1000, fault);
+    EXPECT_EQ(fault, MemFault::Unmapped);
+    EXPECT_FALSE(as.unmap(0x1000));
+}
+
+TEST(AddressSpace, ForkSharesPages)
+{
+    auto parent = makeSpace();
+    parent.write64(0x1000, 42);
+    auto child = parent.fork();
+    MemFault fault = MemFault::None;
+    EXPECT_EQ(child->read64(0x1000, fault), 42u);
+    EXPECT_GE(child->sharedPages(), 1u);
+}
+
+TEST(AddressSpace, CowCopyOnChildWrite)
+{
+    auto parent = makeSpace();
+    parent.write64(0x1000, 42);
+    auto child = parent.fork();
+
+    EXPECT_EQ(child->cowCopies(RegionKind::Data), 0u);
+    child->write64(0x1000, 7);
+    EXPECT_EQ(child->cowCopies(RegionKind::Data), 1u);
+
+    // Parent unaffected.
+    MemFault fault = MemFault::None;
+    EXPECT_EQ(parent.read64(0x1000, fault), 42u);
+    EXPECT_EQ(child->read64(0x1000, fault), 7u);
+}
+
+TEST(AddressSpace, CowCopyOnParentWriteToo)
+{
+    auto parent = makeSpace();
+    parent.write64(0x1000, 42);
+    auto child = parent.fork();
+    parent.write64(0x1000, 9);
+    EXPECT_EQ(parent.cowCopies(RegionKind::Data), 1u);
+    MemFault fault = MemFault::None;
+    EXPECT_EQ(child->read64(0x1000, fault), 42u);
+}
+
+TEST(AddressSpace, CowCopyCountedOncePerPage)
+{
+    auto parent = makeSpace();
+    parent.write64(0x1000, 1);
+    auto child = parent.fork();
+    child->write64(0x1000, 2);
+    child->write64(0x1008, 3); // same page, already private
+    EXPECT_EQ(child->cowCopies(RegionKind::Data), 1u);
+}
+
+TEST(AddressSpace, CowAccountsByRegionKind)
+{
+    auto parent = makeSpace();
+    parent.poke64(0x400000, 5); // populate a text page
+    parent.write64(0x1000, 1);
+    auto child = parent.fork();
+    // Patching text (poke bypasses the R/X permission, modelling
+    // the patcher's post-mprotect write).
+    child->poke64(0x400000, 6);
+    EXPECT_EQ(child->cowCopies(RegionKind::Text), 1u);
+    EXPECT_EQ(child->cowCopies(RegionKind::Data), 0u);
+    EXPECT_EQ(child->cowCopiesTotal(), 1u);
+}
+
+TEST(AddressSpace, GrandchildForkChain)
+{
+    auto p = makeSpace();
+    p.write64(0x1000, 1);
+    auto c1 = p.fork();
+    auto c2 = c1->fork();
+    c2->write64(0x1000, 3);
+    MemFault fault = MemFault::None;
+    EXPECT_EQ(p.read64(0x1000, fault), 1u);
+    EXPECT_EQ(c1->read64(0x1000, fault), 1u);
+    EXPECT_EQ(c2->read64(0x1000, fault), 3u);
+}
+
+TEST(AddressSpace, PrivateBytesAfterCow)
+{
+    auto parent = makeSpace();
+    parent.write64(0x1000, 1);
+    auto child = parent.fork();
+    EXPECT_EQ(child->privateBytes(), 0u);
+    child->write64(0x1000, 2);
+    EXPECT_EQ(child->privateBytes(), PageBytes);
+}
+
+TEST(AddressSpace, PresentPagesLazy)
+{
+    auto as = makeSpace();
+    EXPECT_EQ(as.presentPages(), 0u);
+    as.write64(0x1000, 1);
+    EXPECT_EQ(as.presentPages(), 1u);
+    as.write64(0x1008, 1); // same page
+    EXPECT_EQ(as.presentPages(), 1u);
+    as.write64(0x2000, 1); // next page
+    EXPECT_EQ(as.presentPages(), 2u);
+}
+
+TEST(AddressSpace, FillRandomDeterministicAndInRange)
+{
+    auto a = makeSpace();
+    auto b = makeSpace();
+    a.fillRandom(0x1000, 0x2000, 7);
+    b.fillRandom(0x1000, 0x2000, 7);
+    for (Addr off = 0; off < 0x2000; off += 8)
+        ASSERT_EQ(a.peek64(0x1000 + off), b.peek64(0x1000 + off));
+    // A different seed diverges.
+    auto c = makeSpace();
+    c.fillRandom(0x1000, 0x2000, 8);
+    int same = 0;
+    for (Addr off = 0; off < 0x100; off += 8)
+        same += a.peek64(0x1000 + off) == c.peek64(0x1000 + off);
+    EXPECT_LT(same, 2);
+}
+
+TEST(AddressSpace, FillRandomPartialPage)
+{
+    auto as = makeSpace();
+    as.fillRandom(0x1000, 64, 3); // only the first 8 words
+    bool nonzero = false;
+    for (Addr off = 0; off < 64; off += 8)
+        nonzero |= as.peek64(0x1000 + off) != 0;
+    EXPECT_TRUE(nonzero);
+    EXPECT_EQ(as.peek64(0x1040), 0u); // beyond the fill
+}

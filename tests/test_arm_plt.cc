@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for ARM-style trampolines (paper Fig. 2b): PLT geometry,
+ * lazy resolution through the three-instruction sequence, the
+ * pattern-window population heuristic, and the skip path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/skip_unit.hh"
+#include "sim_fixture.hh"
+#include "workload/engine.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using dlsim::test::Sim;
+
+namespace
+{
+
+elf::Module
+callerExe(int sites = 1)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    for (int i = 0; i < sites; ++i)
+        f.callExternal("libfn");
+    f.ret();
+    return mb.build();
+}
+
+elf::Module
+lib()
+{
+    elf::ModuleBuilder mb("lib");
+    auto &f = mb.function("libfn");
+    f.aluImm(AluKind::Add, RegRet, RegArg0, 9);
+    f.ret();
+    return mb.build();
+}
+
+linker::LoaderOptions
+armOpts()
+{
+    linker::LoaderOptions o;
+    o.pltStyle = linker::PltStyle::Arm;
+    return o;
+}
+
+cpu::CoreParams
+armEnhanced()
+{
+    cpu::CoreParams p;
+    p.skipUnitEnabled = true;
+    p.skip.patternWindow = 2; // the two address-materialisers
+    return p;
+}
+
+} // namespace
+
+TEST(ArmPlt, EntryGeometry)
+{
+    Sim sim(callerExe(), {lib()}, {}, armOpts());
+    const auto &exe = sim.image->moduleAt(0);
+    EXPECT_EQ(exe.pltStride, linker::ArmPltEntryBytes);
+    EXPECT_EQ(exe.lazyEntryOffset, 12u);
+
+    // mov r12, #got; add r12, r12, #0; ldr pc, [r12].
+    const Addr entry = exe.pltEntryVas[0];
+    const auto *mov = sim.image->decode(entry);
+    ASSERT_NE(mov, nullptr);
+    EXPECT_EQ(mov->inst.op, Opcode::MovImm);
+    EXPECT_EQ(mov->inst.size, 4);
+    const auto *add = sim.image->decode(entry + 4);
+    ASSERT_NE(add, nullptr);
+    EXPECT_EQ(add->inst.op, Opcode::IntAlu);
+    const auto *ldr = sim.image->decode(entry + 8);
+    ASSERT_NE(ldr, nullptr);
+    EXPECT_EQ(ldr->inst.op, Opcode::JmpIndMem);
+    EXPECT_TRUE(ldr->flags & linker::FlagPltJmp);
+    EXPECT_EQ(ldr->pltIndex, 0);
+}
+
+TEST(ArmPlt, LazyResolutionWorks)
+{
+    Sim sim(callerExe(), {lib()}, {}, armOpts());
+    EXPECT_EQ(sim.call("f", 1).returnValue, 10u);
+    EXPECT_EQ(sim.linker->resolutionCount(), 1u);
+    EXPECT_EQ(sim.call("f", 2).returnValue, 11u);
+    EXPECT_EQ(sim.linker->resolutionCount(), 1u);
+}
+
+TEST(ArmPlt, TrampolineCostsThreeInstructions)
+{
+    Sim sim(callerExe(), {lib()}, {}, armOpts());
+    sim.call("f", 0); // resolve
+    sim.core->clearStats();
+    sim.call("f", 0);
+    // Steady state: mov + add + ldr per call (vs 1 for x86).
+    EXPECT_EQ(sim.core->counters().trampolineInsts, 3u);
+    EXPECT_EQ(sim.core->counters().trampolineJmps, 1u);
+}
+
+TEST(ArmPlt, SkipUnitWithWindowSkipsWholeSequence)
+{
+    Sim sim(callerExe(), {lib()}, armEnhanced(), armOpts());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(sim.call("f", i).returnValue, i + 9u);
+    sim.core->clearStats();
+    const auto r = sim.call("f", 5);
+    EXPECT_EQ(r.returnValue, 14u);
+    // All three trampoline instructions elided.
+    EXPECT_EQ(sim.core->counters().trampolineInsts, 0u);
+    EXPECT_EQ(sim.core->counters().skippedTrampolines, 1u);
+}
+
+TEST(ArmPlt, ExactPatternWindowZeroDoesNotPopulate)
+{
+    // The paper's x86-exact heuristic cannot memoize ARM
+    // trampolines: the prologue breaks the adjacency.
+    cpu::CoreParams params;
+    params.skipUnitEnabled = true;
+    params.skip.patternWindow = 0;
+    Sim sim(callerExe(), {lib()}, params, armOpts());
+    for (int i = 0; i < 5; ++i)
+        sim.call("f", i);
+    EXPECT_EQ(sim.core->skipUnit()->stats().populations, 0u);
+    EXPECT_EQ(sim.core->counters().skippedTrampolines, 0u);
+}
+
+TEST(ArmPlt, ArchitecturalEquivalenceWithBase)
+{
+    Sim base(callerExe(3), {lib()}, {}, armOpts());
+    Sim enh(callerExe(3), {lib()}, armEnhanced(), armOpts());
+    for (std::uint64_t a = 0; a < 24; ++a) {
+        EXPECT_EQ(base.call("f", a).returnValue,
+                  enh.call("f", a).returnValue);
+    }
+    EXPECT_GT(enh.core->counters().skippedTrampolines, 0u);
+}
+
+TEST(ArmPlt, WindowBrokenByInterveningStore)
+{
+    // A store between the call and the indirect jump must clear
+    // the pattern (it could alias the GOT slot).
+    core::SkipUnitParams params;
+    params.patternWindow = 2;
+    core::TrampolineSkipUnit unit(params);
+    unit.retireControl(Opcode::CallRel, 0x1000, 0);
+    unit.retireOther();
+    unit.retireStore(0x7fff0000);
+    unit.retireControl(Opcode::JmpIndMem, 0x2000, 0x3000);
+    EXPECT_EQ(unit.stats().populations, 0u);
+}
+
+TEST(ArmPlt, WindowExhaustedByTooManyInstructions)
+{
+    core::SkipUnitParams params;
+    params.patternWindow = 2;
+    core::TrampolineSkipUnit unit(params);
+    unit.retireControl(Opcode::CallRel, 0x1000, 0);
+    unit.retireOther();
+    unit.retireOther();
+    unit.retireOther(); // third simple instruction: window over
+    unit.retireControl(Opcode::JmpIndMem, 0x2000, 0x3000);
+    EXPECT_EQ(unit.stats().populations, 0u);
+}
+
+TEST(ArmPlt, WindowAllowsUpToConfiguredInstructions)
+{
+    core::SkipUnitParams params;
+    params.patternWindow = 2;
+    core::TrampolineSkipUnit unit(params);
+    unit.retireControl(Opcode::CallRel, 0x1000, 0);
+    unit.retireOther();
+    unit.retireOther();
+    unit.retireControl(Opcode::JmpIndMem, 0x2000, 0x3000);
+    EXPECT_EQ(unit.stats().populations, 1u);
+    EXPECT_EQ(unit.substituteTarget(0x1000)->function, 0x2000u);
+}
+
+TEST(ArmPlt, WorkbenchEndToEnd)
+{
+    // The full workload engine on ARM-style trampolines.
+    workload::WorkloadParams wl;
+    wl.name = "arm-tiny";
+    wl.seed = 11;
+    wl.numLibs = 2;
+    wl.funcsPerLib = 6;
+    wl.requests = {{"A", 1.0, 1, 2}};
+    wl.stepsPerRequest = 6;
+    wl.calledImports = 8;
+    wl.libDataBytes = 4096;
+    wl.appDataBytes = 8192;
+
+    workload::MachineConfig base;
+    base.pltStyle = linker::PltStyle::Arm;
+    workload::MachineConfig enh = base;
+    enh.enhanced = true;
+
+    workload::Workbench wb(wl, base), we(wl, enh);
+    for (int i = 0; i < 60; ++i) {
+        wb.runRequest();
+        we.runRequest();
+    }
+    for (int r = 0; r < isa::NumRegs; ++r) {
+        EXPECT_EQ(wb.core().state().regs[r],
+                  we.core().state().regs[r]);
+    }
+    EXPECT_GT(we.core().counters().skippedTrampolines, 0u);
+    // ARM trampolines retire 3 instructions each on the base arm.
+    const auto &cb = wb.core().counters();
+    EXPECT_EQ(cb.trampolineInsts % 1, 0u);
+    EXPECT_GE(cb.trampolineInsts, cb.trampolineJmps * 3);
+}

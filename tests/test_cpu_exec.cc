@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Functional tests of the CPU core on hand-written programs:
+ * instruction semantics, control flow, stack discipline, faults,
+ * and performance-counter accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sim_fixture.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using dlsim::test::Sim;
+
+namespace
+{
+
+elf::Module
+exeWith(const std::function<void(elf::FunctionBuilder &)> &body)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(8192);
+    body(mb.function("f"));
+    return mb.build();
+}
+
+} // namespace
+
+TEST(CpuExec, AluAndMov)
+{
+    auto exe = exeWith([](auto &f) {
+        f.movImm(1, 20);
+        f.movImm(2, 22);
+        f.alu(AluKind::Add, RegRet, 1, 2);
+        f.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_EQ(sim.call("f").returnValue, 42u);
+}
+
+TEST(CpuExec, AluKinds)
+{
+    auto exe = exeWith([](auto &f) {
+        f.movImm(1, 0b1100);
+        f.movImm(2, 0b1010);
+        f.alu(AluKind::And, 3, 1, 2);   // 0b1000
+        f.alu(AluKind::Or, 4, 1, 2);    // 0b1110
+        f.alu(AluKind::Xor, 5, 1, 2);   // 0b0110
+        f.alu(AluKind::Sub, 6, 1, 2);   // 2
+        f.alu(AluKind::Mul, 7, 1, 2);   // 120
+        f.aluImm(AluKind::Shr, 8, 1, 2); // 3
+        // Pack results: ret = and + or + xor + sub + mul + shr
+        f.alu(AluKind::Add, RegRet, 3, 4);
+        f.alu(AluKind::Add, RegRet, RegRet, 5);
+        f.alu(AluKind::Add, RegRet, RegRet, 6);
+        f.alu(AluKind::Add, RegRet, RegRet, 7);
+        f.alu(AluKind::Add, RegRet, RegRet, 8);
+        f.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_EQ(sim.call("f").returnValue,
+              8u + 14 + 6 + 2 + 120 + 3);
+}
+
+TEST(CpuExec, LoadStoreRoundTrip)
+{
+    auto exe = exeWith([](auto &f) {
+        f.movDataAddr(4, 0);
+        f.movImm(1, 0x1234);
+        f.store(1, 4, 64);
+        f.load(RegRet, 4, 64);
+        f.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_EQ(sim.call("f").returnValue, 0x1234u);
+}
+
+TEST(CpuExec, PushPopStackDiscipline)
+{
+    auto exe = exeWith([](auto &f) {
+        f.movImm(1, 7);
+        f.movImm(2, 9);
+        f.push(1);
+        f.push(2);
+        f.pop(3); // 9
+        f.pop(4); // 7
+        f.alu(AluKind::Sub, RegRet, 3, 4);
+        f.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_EQ(sim.call("f").returnValue, 2u);
+}
+
+TEST(CpuExec, ArgumentsArriveInArgRegs)
+{
+    auto exe = exeWith([](auto &f) {
+        f.alu(AluKind::Add, RegRet, RegArg0, RegArg1);
+        f.alu(AluKind::Add, RegRet, RegRet, RegArg2);
+        f.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_EQ(sim.call("f", 1, 2, 3).returnValue, 6u);
+}
+
+TEST(CpuExec, CondBrTakenAndNot)
+{
+    auto exe = exeWith([](auto &fb) {
+        auto skip = fb.newLabel();
+        fb.movImm(RegRet, 1);
+        fb.condBr(CondKind::Ne0, RegArg0, skip);
+        fb.movImm(RegRet, 2); // only if arg0 == 0
+        fb.bind(skip);
+        fb.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_EQ(sim.call("f", 5).returnValue, 1u);
+    EXPECT_EQ(sim.call("f", 0).returnValue, 2u);
+}
+
+TEST(CpuExec, LoopCountsDown)
+{
+    auto exe = exeWith([](auto &fb) {
+        fb.movImm(RegRet, 0);
+        auto top = fb.newLabel();
+        fb.bind(top);
+        fb.aluImm(AluKind::Add, RegRet, RegRet, 3);
+        fb.aluImm(AluKind::Sub, RegArg0, RegArg0, 1);
+        fb.condBr(CondKind::Ne0, RegArg0, top);
+        fb.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_EQ(sim.call("f", 10).returnValue, 30u);
+}
+
+TEST(CpuExec, LocalCallAndReturn)
+{
+    elf::ModuleBuilder mb("app");
+    auto &leaf = mb.function("leaf");
+    leaf.movImm(RegRet, 5);
+    leaf.ret();
+    auto &f = mb.function("f");
+    f.callLocal("leaf");
+    f.aluImm(AluKind::Add, RegRet, RegRet, 1);
+    f.ret();
+    Sim sim(mb.build(), {});
+    EXPECT_EQ(sim.call("f").returnValue, 6u);
+}
+
+TEST(CpuExec, IndirectCallThroughRegister)
+{
+    elf::ModuleBuilder mb("app");
+    auto &leaf = mb.function("leaf");
+    leaf.movImm(RegRet, 77);
+    leaf.ret();
+    auto &f = mb.function("f");
+    f.movFuncAddr(5, "leaf");
+    f.callReg(5);
+    f.ret();
+    Sim sim(mb.build(), {});
+    EXPECT_EQ(sim.call("f").returnValue, 77u);
+}
+
+TEST(CpuExec, IndirectCallThroughMemory)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &leaf = mb.function("leaf");
+    leaf.movImm(RegRet, 88);
+    leaf.ret();
+    auto &f = mb.function("f");
+    f.movFuncAddr(5, "leaf");
+    f.movDataAddr(4, 0);
+    f.store(5, 4, 8); // vtable-style slot
+    f.callMem(4, 8);
+    f.ret();
+    Sim sim(mb.build(), {});
+    EXPECT_EQ(sim.call("f").returnValue, 88u);
+}
+
+TEST(CpuExec, HaltStopsRun)
+{
+    elf::ModuleBuilder mb("app");
+    auto &main = mb.function("main");
+    main.movImm(RegRet, 3);
+    main.halt();
+    main.movImm(RegRet, 4); // never executed
+    Sim sim(mb.build(), {});
+    sim.core->state().pc = sim.image->symbolAddress("main");
+    sim.core->run();
+    EXPECT_TRUE(sim.core->state().halted);
+    EXPECT_EQ(sim.core->state().regs[RegRet], 3u);
+}
+
+TEST(CpuExec, RunRespectsMaxInsts)
+{
+    auto exe = exeWith([](auto &fb) {
+        auto top = fb.newLabel();
+        fb.bind(top);
+        fb.jmp(top); // infinite loop
+    });
+    Sim sim(std::move(exe), {});
+    sim.core->state().pc = sim.image->symbolAddress("f");
+    const auto executed = sim.core->run(1000);
+    EXPECT_EQ(executed, 1000u);
+}
+
+TEST(CpuExec, LoadFaultThrows)
+{
+    auto exe = exeWith([](auto &f) {
+        f.movImm(4, 0x900000000);
+        f.load(1, 4, 0);
+        f.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_THROW(sim.call("f"), cpu::SimError);
+}
+
+TEST(CpuExec, StoreToTextFaults)
+{
+    auto exe = exeWith([](auto &f) {
+        f.movImm(4, 0x400000);
+        f.store(1, 4, 0);
+        f.ret();
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_THROW(sim.call("f"), cpu::SimError);
+}
+
+TEST(CpuExec, UndecodablePcThrows)
+{
+    auto exe = exeWith([](auto &f) {
+        f.movImm(5, 0x1000); // unmapped/undecodable
+        f.jmpReg(5);
+    });
+    Sim sim(std::move(exe), {});
+    EXPECT_THROW(sim.call("f"), cpu::SimError);
+}
+
+TEST(CpuExec, CountersCountWhatRan)
+{
+    auto exe = exeWith([](auto &f) {
+        f.movDataAddr(4, 0);
+        f.load(1, 4, 0);   // 1 load
+        f.store(1, 4, 8);  // 1 store
+        f.nop();
+        f.ret();           // load (return address)
+    });
+    Sim sim(std::move(exe), {});
+    sim.core->clearStats();
+    const auto r = sim.call("f");
+    const auto c = sim.core->counters();
+    EXPECT_EQ(r.instructions, 5u);
+    EXPECT_EQ(c.instructions, 5u);
+    EXPECT_EQ(c.loads, 2u);  // load + ret
+    EXPECT_EQ(c.stores, 1u);
+    EXPECT_EQ(c.branches, 1u); // the ret
+    EXPECT_GT(c.cycles, 0u);
+}
+
+TEST(CpuExec, DeterministicAcrossRuns)
+{
+    auto build = [] {
+        return exeWith([](auto &fb) {
+            auto top = fb.newLabel();
+            fb.bind(top);
+            fb.aluImm(AluKind::Add, RegRet, RegRet, 1);
+            fb.aluImm(AluKind::Sub, RegArg0, RegArg0, 1);
+            fb.condBr(CondKind::Ne0, RegArg0, top);
+            fb.ret();
+        });
+    };
+    Sim a(build(), {});
+    Sim b(build(), {});
+    const auto ra = a.call("f", 100);
+    const auto rb = b.call("f", 100);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.returnValue, rb.returnValue);
+}

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Integration tests of dynamic linking in execution: lazy
+ * resolution through the PLT, trampoline accounting, interposition,
+ * ifuncs, tail-jump invocation, and dlclose/reload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using dlsim::test::Sim;
+
+namespace
+{
+
+elf::Module
+callerExe(int calls = 1)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    for (int i = 0; i < calls; ++i)
+        f.callExternal("libfn");
+    f.ret();
+    return mb.build();
+}
+
+elf::Module
+valueLib(const std::string &name, const std::string &fn,
+         std::int64_t value)
+{
+    elf::ModuleBuilder mb(name);
+    auto &f = mb.function(fn);
+    f.movImm(RegRet, value);
+    f.ret();
+    return mb.build();
+}
+
+} // namespace
+
+TEST(DynLink, LazyResolutionOnFirstCall)
+{
+    Sim sim(callerExe(), {valueLib("lib", "libfn", 42)});
+    const auto &exe = sim.image->moduleAt(0);
+
+    EXPECT_EQ(sim.linker->resolutionCount(), 0u);
+    EXPECT_EQ(sim.call("f").returnValue, 42u);
+    EXPECT_EQ(sim.linker->resolutionCount(), 1u);
+    // GOT now holds the real function address.
+    EXPECT_EQ(sim.image->addressSpace().peek64(
+                  exe.gotSlotAddrs[0]),
+              sim.image->symbolAddress("libfn"));
+}
+
+TEST(DynLink, ResolutionHappensOncePerSymbol)
+{
+    Sim sim(callerExe(3), {valueLib("lib", "libfn", 42)});
+    sim.call("f");
+    sim.call("f");
+    EXPECT_EQ(sim.linker->resolutionCount(), 1u);
+}
+
+TEST(DynLink, ResolverChargesConfiguredCost)
+{
+    cpu::CoreParams params;
+    params.resolverInsts = 500;
+    Sim sim(callerExe(), {valueLib("lib", "libfn", 1)}, params);
+    const auto first = sim.call("f");
+    const auto second = sim.call("f");
+    EXPECT_GT(first.instructions, second.instructions + 400);
+}
+
+TEST(DynLink, TrampolineInstructionCounting)
+{
+    Sim sim(callerExe(), {valueLib("lib", "libfn", 1)});
+    sim.call("f"); // resolve
+    sim.core->clearStats();
+    sim.call("f");
+    const auto c = sim.core->counters();
+    // Steady state: exactly one PLT instruction (the indirect
+    // jump) per library call.
+    EXPECT_EQ(c.trampolineInsts, 1u);
+    EXPECT_EQ(c.trampolineJmps, 1u);
+}
+
+TEST(DynLink, FirstCallExecutesFullTrampolineAndPlt0)
+{
+    Sim sim(callerExe(), {valueLib("lib", "libfn", 1)});
+    sim.core->clearStats();
+    sim.call("f");
+    const auto c = sim.core->counters();
+    // jmp*m, push, jmp plt0, plt0 push, plt0 jmp*m = 5 PLT insts.
+    EXPECT_EQ(c.trampolineInsts, 5u);
+    EXPECT_EQ(c.resolverCalls, 1u);
+}
+
+TEST(DynLink, EagerBindingSkipsResolver)
+{
+    linker::LoaderOptions opts;
+    opts.lazyBinding = false;
+    Sim sim(callerExe(), {valueLib("lib", "libfn", 9)}, {}, opts);
+    EXPECT_EQ(sim.call("f").returnValue, 9u);
+    EXPECT_EQ(sim.linker->resolutionCount(), 0u);
+    EXPECT_EQ(sim.core->counters().resolverCalls, 0u);
+}
+
+TEST(DynLink, InterpositionPicksFirstProvider)
+{
+    Sim sim(callerExe(), {valueLib("preload", "libfn", 1),
+                          valueLib("lib", "libfn", 2)});
+    EXPECT_EQ(sim.call("f").returnValue, 1u);
+}
+
+TEST(DynLink, CrossLibraryCallsUseCalleePlt)
+{
+    // app -> liba:outer -> libb:inner, each through its own PLT.
+    elf::ModuleBuilder app("app");
+    auto &f = app.function("f");
+    f.callExternal("outer");
+    f.ret();
+
+    elf::ModuleBuilder liba("liba");
+    auto &outer = liba.function("outer");
+    outer.callExternal("inner");
+    outer.aluImm(AluKind::Add, RegRet, RegRet, 1);
+    outer.ret();
+
+    Sim sim(app.build(),
+            {liba.build(), valueLib("libb", "inner", 10)});
+    EXPECT_EQ(sim.call("f").returnValue, 11u);
+    EXPECT_EQ(sim.linker->resolutionCount(), 2u);
+    EXPECT_EQ(sim.image->totalTrampolines(), 2u);
+}
+
+TEST(DynLink, TailJumpThroughPlt)
+{
+    // The §2.3 "unconventional trick": jmp sym@plt instead of call.
+    elf::ModuleBuilder app("app");
+    auto &helper = app.function("helper");
+    helper.jmpExternal("libfn"); // tail call
+    auto &f = app.function("f");
+    f.callLocal("helper");
+    f.aluImm(AluKind::Add, RegRet, RegRet, 100);
+    f.ret();
+
+    Sim sim(app.build(), {valueLib("lib", "libfn", 5)});
+    EXPECT_EQ(sim.call("f").returnValue, 105u);
+}
+
+TEST(DynLink, IfuncResolvesPerHwCapLevel)
+{
+    auto make_lib = [] {
+        elf::ModuleBuilder lib("lib");
+        auto &v0 = lib.function("impl_generic");
+        v0.movImm(RegRet, 100);
+        v0.ret();
+        auto &v1 = lib.function("impl_avx");
+        v1.movImm(RegRet, 200);
+        v1.ret();
+        lib.exportIfunc("libfn", {"impl_generic", "impl_avx"});
+        return lib.build();
+    };
+
+    Sim base(callerExe(), {make_lib()});
+    EXPECT_EQ(base.call("f").returnValue, 100u);
+    EXPECT_EQ(base.linker->ifuncResolutionCount(), 1u);
+
+    linker::LoaderOptions opts;
+    opts.hwCapLevel = 1;
+    Sim fancy(callerExe(), {make_lib()}, {}, opts);
+    EXPECT_EQ(fancy.call("f").returnValue, 200u);
+}
+
+TEST(DynLink, HwCapLevelClampsToCandidates)
+{
+    auto lib = [] {
+        elf::ModuleBuilder mb("lib");
+        auto &v0 = mb.function("v0");
+        v0.movImm(RegRet, 1);
+        v0.ret();
+        mb.exportIfunc("libfn", {"v0"});
+        return mb.build();
+    }();
+    linker::LoaderOptions opts;
+    opts.hwCapLevel = 7;
+    Sim sim(callerExe(), {std::move(lib)}, {}, opts);
+    EXPECT_EQ(sim.call("f").returnValue, 1u);
+}
+
+TEST(DynLink, UndefinedSymbolThrowsAtFirstCall)
+{
+    Sim sim(callerExe(), {valueLib("lib", "otherfn", 1)});
+    EXPECT_THROW(sim.call("f"), std::out_of_range);
+}
+
+TEST(DynLink, DlcloseThenDlopenReplacement)
+{
+    Sim sim(callerExe(), {valueLib("libv1", "libfn", 1)});
+    EXPECT_EQ(sim.call("f").returnValue, 1u);
+
+    // Unload v1; its GOT entries re-lazify (and would invalidate
+    // the ABTB through the coherence hook, tested elsewhere).
+    sim.loader.dlclose(*sim.image, "libv1", [&](isa::Addr a) {
+        sim.core->onExternalGotWrite(a);
+    });
+    sim.loader.dlopen(*sim.image, valueLib("libv2", "libfn", 2));
+
+    EXPECT_EQ(sim.call("f").returnValue, 2u);
+    EXPECT_EQ(sim.linker->resolutionCount(), 2u);
+}
+
+TEST(DynLink, CallSiteProfilerRecordsResolvedTargets)
+{
+    cpu::CoreParams params;
+    params.collectCallSiteTrace = true;
+    Sim sim(callerExe(), {valueLib("lib", "libfn", 1)}, params);
+
+    sim.call("f"); // resolving call: target still lazy, untraced
+    sim.call("f"); // steady state: traced
+    const auto &trace = sim.core->callSiteTrace();
+    ASSERT_EQ(trace.size(), 1u);
+    const auto &exe = sim.image->moduleAt(0);
+    EXPECT_EQ(trace[0].trampolineVa, exe.pltEntryVas[0]);
+    EXPECT_EQ(trace[0].targetVa,
+              sim.image->symbolAddress("libfn"));
+    EXPECT_FALSE(trace[0].tailJump);
+}
+
+TEST(DynLink, ProfilerFlagsTailJumps)
+{
+    elf::ModuleBuilder app("app");
+    auto &helper = app.function("helper");
+    helper.jmpExternal("libfn");
+    auto &f = app.function("f");
+    f.callLocal("helper");
+    f.ret();
+
+    cpu::CoreParams params;
+    params.collectCallSiteTrace = true;
+    Sim sim(app.build(), {valueLib("lib", "libfn", 5)}, params);
+    sim.call("f");
+    sim.call("f");
+    const auto &trace = sim.core->callSiteTrace();
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_TRUE(trace[0].tailJump);
+}
+
+TEST(DynLink, TrampolineProfileCountsExecutions)
+{
+    cpu::CoreParams params;
+    params.profileTrampolines = true;
+    Sim sim(callerExe(2), {valueLib("lib", "libfn", 1)}, params);
+    sim.call("f");
+    sim.call("f");
+    const auto &counts = sim.core->trampolineCounts();
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->second, 4u);
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the object format and the assembler-style module
+ * builders: label fixups, offsets, imports, relocations, ifuncs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hh"
+#include "elf/module.hh"
+
+using namespace dlsim::elf;
+using namespace dlsim::isa;
+
+TEST(FunctionBuilder, OffsetsAndSize)
+{
+    ModuleBuilder mb("m");
+    auto &fb = mb.function("f");
+    fb.nop();          // 1 byte
+    fb.movImm(1, 5);   // 7 bytes
+    fb.ret();          // 1 byte
+    const Module m = mb.build();
+    const auto &fn = m.functions().at(0);
+    ASSERT_EQ(fn.code.size(), 3u);
+    EXPECT_EQ(fn.offsets[0], 0u);
+    EXPECT_EQ(fn.offsets[1], 1u);
+    EXPECT_EQ(fn.offsets[2], 8u);
+    EXPECT_EQ(fn.sizeBytes, 9u);
+}
+
+TEST(FunctionBuilder, BackwardBranchDisplacement)
+{
+    ModuleBuilder mb("m");
+    auto &fb = mb.function("f");
+    Label top = fb.newLabel();
+    fb.bind(top);
+    fb.nop();
+    fb.condBr(CondKind::Ne0, 1, top);
+    fb.ret();
+    const Module m = mb.build();
+    const auto &fn = m.functions().at(0);
+    const auto &br = fn.code[1];
+    // Branch at offset 1, size 6; target offset 0 => disp = -7.
+    EXPECT_EQ(br.imm, -7);
+}
+
+TEST(FunctionBuilder, ForwardBranchDisplacement)
+{
+    ModuleBuilder mb("m");
+    auto &fb = mb.function("f");
+    Label skip = fb.newLabel();
+    fb.condBr(CondKind::Eq0, 2, skip);
+    fb.nop();
+    fb.nop();
+    fb.bind(skip);
+    fb.ret();
+    const Module m = mb.build();
+    const auto &br = m.functions().at(0).code[0];
+    // Branch size 6; two nops to skip => disp = +2.
+    EXPECT_EQ(br.imm, 2);
+}
+
+TEST(FunctionBuilder, LabelAtEndOfFunction)
+{
+    ModuleBuilder mb("m");
+    auto &fb = mb.function("f");
+    Label end = fb.newLabel();
+    fb.jmp(end);
+    fb.nop();
+    fb.bind(end);
+    const Module m = mb.build();
+    const auto &jmp = m.functions().at(0).code[0];
+    EXPECT_EQ(jmp.imm, 1); // skip the 1-byte nop
+}
+
+TEST(ModuleBuilder, ImportsDeduplicatedInOrder)
+{
+    ModuleBuilder mb("m");
+    auto &fb = mb.function("f");
+    fb.callExternal("write");
+    fb.callExternal("read");
+    fb.callExternal("write"); // duplicate
+    fb.ret();
+    const Module m = mb.build();
+    ASSERT_EQ(m.imports().size(), 2u);
+    EXPECT_EQ(m.imports()[0], "write");
+    EXPECT_EQ(m.imports()[1], "read");
+}
+
+TEST(ModuleBuilder, DeclareImportReservesSparseSlot)
+{
+    // Paper §2: PLT entries exist in definition order even for
+    // functions never called.
+    ModuleBuilder mb("m");
+    mb.declareImport("unused0");
+    mb.declareImport("unused1");
+    auto &fb = mb.function("f");
+    fb.callExternal("used");
+    fb.ret();
+    const Module m = mb.build();
+    ASSERT_EQ(m.imports().size(), 3u);
+    EXPECT_EQ(m.imports()[0], "unused0");
+    EXPECT_EQ(m.imports()[2], "used");
+}
+
+TEST(ModuleBuilder, RelocationsRecorded)
+{
+    ModuleBuilder mb("m");
+    auto &f = mb.function("f");
+    f.callExternal("ext");
+    f.ret();
+    auto &g = mb.function("g");
+    g.callLocal("f");
+    g.jmpExternal("ext2");
+    const Module m = mb.build();
+
+    ASSERT_EQ(m.relocations().size(), 3u);
+    EXPECT_EQ(m.relocations()[0].kind, RelocKind::PltCall);
+    EXPECT_EQ(m.relocations()[1].kind, RelocKind::LocalCall);
+    EXPECT_EQ(m.relocations()[1].targetIndex, 0u); // f
+    EXPECT_EQ(m.relocations()[2].kind, RelocKind::PltJump);
+}
+
+TEST(ModuleBuilder, DataAndFuncAddrRelocations)
+{
+    ModuleBuilder mb("m");
+    auto &f = mb.function("f");
+    f.movDataAddr(4, 0x80);
+    f.movFuncAddr(5, "target");
+    f.ret();
+    const Module m = mb.build();
+    ASSERT_EQ(m.relocations().size(), 2u);
+    EXPECT_EQ(m.relocations()[0].kind, RelocKind::DataAddr);
+    EXPECT_EQ(m.relocations()[0].addend, 0x80);
+    EXPECT_EQ(m.relocations()[1].kind, RelocKind::FuncAddrAbs);
+    EXPECT_EQ(m.relocations()[1].symbol, "target");
+}
+
+TEST(ModuleBuilder, EveryFunctionExported)
+{
+    ModuleBuilder mb("m");
+    mb.function("a").ret();
+    mb.function("b").ret();
+    const Module m = mb.build();
+    EXPECT_EQ(m.exports().count("a"), 1u);
+    EXPECT_EQ(m.exports().count("b"), 1u);
+}
+
+TEST(ModuleBuilder, IfuncExport)
+{
+    ModuleBuilder mb("m");
+    mb.function("memcpy_sse").ret();
+    mb.function("memcpy_avx").ret();
+    mb.exportIfunc("memcpy", {"memcpy_sse", "memcpy_avx"});
+    const Module m = mb.build();
+    const auto &exp = m.exports().at("memcpy");
+    EXPECT_TRUE(exp.ifunc);
+    ASSERT_EQ(exp.ifuncCandidates.size(), 2u);
+}
+
+TEST(ModuleBuilder, IfuncWithMissingCandidateThrows)
+{
+    ModuleBuilder mb("m");
+    mb.function("v0").ret();
+    mb.exportIfunc("sym", {"v0", "missing"});
+    EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(ModuleBuilder, LocalCallToUndefinedThrows)
+{
+    ModuleBuilder mb("m");
+    mb.function("f").callLocal("nowhere");
+    EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(ModuleBuilder, FunctionBuilderReferenceStable)
+{
+    // FunctionBuilder references must survive creating further
+    // functions (the generator interleaves emission).
+    ModuleBuilder mb("m");
+    auto &f = mb.function("f");
+    for (int i = 0; i < 100; ++i)
+        mb.function("g" + std::to_string(i)).ret();
+    f.ret(); // still valid
+    const Module m = mb.build();
+    EXPECT_EQ(m.functions().size(), 101u);
+}
+
+TEST(Module, TextSizeAccounts16ByteAlignment)
+{
+    ModuleBuilder mb("m");
+    mb.function("a").nop(); // 1 byte -> rounds to 16 for next fn
+    mb.function("b").nop();
+    const Module m = mb.build();
+    EXPECT_EQ(m.textSize(), 17u); // 16 (aligned a) + 1
+}
+
+TEST(Module, FindFunction)
+{
+    ModuleBuilder mb("m");
+    mb.function("x").ret();
+    const Module m = mb.build();
+    std::uint32_t idx = 99;
+    EXPECT_TRUE(m.findFunction("x", idx));
+    EXPECT_EQ(idx, 0u);
+    EXPECT_FALSE(m.findFunction("y", idx));
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the assembled memory hierarchy: inclusion-free fill
+ * behaviour, latency accounting, and TLB flush integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+using namespace dlsim::mem;
+
+namespace
+{
+
+HierarchyParams
+smallParams()
+{
+    HierarchyParams p;
+    p.l1i = CacheParams{"l1i", 1024, 2, 64};
+    p.l1d = CacheParams{"l1d", 1024, 2, 64};
+    p.l2 = CacheParams{"l2", 4096, 4, 64};
+    p.l3 = CacheParams{"l3", 16384, 8, 64};
+    p.itlb = TlbParams{"itlb", 4, 2};
+    p.dtlb = TlbParams{"dtlb", 4, 2};
+    return p;
+}
+
+} // namespace
+
+TEST(Hierarchy, ColdFetchCostsFullMissChain)
+{
+    Hierarchy h(smallParams());
+    const auto r = h.fetch(0x400000, 0);
+    EXPECT_FALSE(r.tlbHit);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_FALSE(r.l2Hit);
+    EXPECT_FALSE(r.l3Hit);
+    EXPECT_EQ(r.extraCycles, smallParams().walkLatency +
+                                 smallParams().l3Latency +
+                                 smallParams().memLatency);
+}
+
+TEST(Hierarchy, WarmFetchIsFree)
+{
+    Hierarchy h(smallParams());
+    h.fetch(0x400000, 0);
+    const auto r = h.fetch(0x400000, 0);
+    EXPECT_TRUE(r.tlbHit);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.extraCycles, 0u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    Hierarchy h(smallParams());
+    // Fill L1I (1KB, 2-way, 8 sets): lines at stride 512 conflict.
+    h.fetch(0x0, 0);
+    h.fetch(0x200, 0);
+    h.fetch(0x400, 0); // evicts 0x0 from L1, still in L2
+    const auto r = h.fetch(0x0, 0);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_EQ(r.extraCycles, smallParams().l2Latency);
+}
+
+TEST(Hierarchy, SplitL1SharedL2)
+{
+    Hierarchy h(smallParams());
+    h.fetch(0x1000, 0);
+    // The same line through the D side: L1D misses but L2 hits.
+    const auto r = h.data(0x1000, 0);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Hit);
+}
+
+TEST(Hierarchy, DataAndInstTlbsAreSeparate)
+{
+    Hierarchy h(smallParams());
+    h.fetch(0x2000, 0);
+    const auto r = h.data(0x2000, 0);
+    EXPECT_FALSE(r.tlbHit); // D-TLB was not warmed by the fetch
+}
+
+TEST(Hierarchy, FlushTlbsKeepsCaches)
+{
+    Hierarchy h(smallParams());
+    h.fetch(0x3000, 0);
+    h.flushTlbs();
+    const auto r = h.fetch(0x3000, 0);
+    EXPECT_FALSE(r.tlbHit);
+    EXPECT_TRUE(r.l1Hit); // caches unaffected (physical tags)
+}
+
+TEST(Hierarchy, ClearStatsKeepsContents)
+{
+    Hierarchy h(smallParams());
+    h.fetch(0x1000, 0);
+    h.clearStats();
+    EXPECT_EQ(h.l1i().misses(), 0u);
+    EXPECT_TRUE(h.fetch(0x1000, 0).l1Hit);
+}
+
+TEST(Hierarchy, DefaultGeometryMatchesPaperTestbedClass)
+{
+    const HierarchyParams p;
+    EXPECT_EQ(p.l1i.sizeBytes, 32u * 1024);
+    EXPECT_EQ(p.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(p.l3.sizeBytes, 12u * 1024 * 1024); // 12MB LLC
+}

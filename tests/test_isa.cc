@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the ISA: opcode classification, instruction
+ * factories, encoding sizes, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/registers.hh"
+
+using namespace dlsim::isa;
+
+TEST(Opcode, ControlClassification)
+{
+    EXPECT_TRUE(isControl(Opcode::CallRel));
+    EXPECT_TRUE(isControl(Opcode::CallIndReg));
+    EXPECT_TRUE(isControl(Opcode::CallIndMem));
+    EXPECT_TRUE(isControl(Opcode::JmpRel));
+    EXPECT_TRUE(isControl(Opcode::JmpIndReg));
+    EXPECT_TRUE(isControl(Opcode::JmpIndMem));
+    EXPECT_TRUE(isControl(Opcode::CondBr));
+    EXPECT_TRUE(isControl(Opcode::Ret));
+    EXPECT_FALSE(isControl(Opcode::Nop));
+    EXPECT_FALSE(isControl(Opcode::IntAlu));
+    EXPECT_FALSE(isControl(Opcode::Load));
+    EXPECT_FALSE(isControl(Opcode::Store));
+    EXPECT_FALSE(isControl(Opcode::Push));
+    EXPECT_FALSE(isControl(Opcode::AbtbFlush));
+}
+
+TEST(Opcode, CallClassification)
+{
+    EXPECT_TRUE(isCall(Opcode::CallRel));
+    EXPECT_TRUE(isCall(Opcode::CallIndReg));
+    EXPECT_TRUE(isCall(Opcode::CallIndMem));
+    EXPECT_FALSE(isCall(Opcode::JmpRel));
+    EXPECT_FALSE(isCall(Opcode::Ret));
+}
+
+TEST(Opcode, IndirectClassification)
+{
+    EXPECT_TRUE(isIndirectControl(Opcode::JmpIndMem));
+    EXPECT_TRUE(isIndirectControl(Opcode::JmpIndReg));
+    EXPECT_TRUE(isIndirectControl(Opcode::Ret));
+    EXPECT_FALSE(isIndirectControl(Opcode::JmpRel));
+    EXPECT_FALSE(isIndirectControl(Opcode::CallRel));
+}
+
+TEST(Opcode, MemIndirectNeedsALoadSource)
+{
+    // Only these two have a guarded load source for the bloom
+    // filter; the classification gates ABTB population.
+    EXPECT_TRUE(isMemIndirectControl(Opcode::JmpIndMem));
+    EXPECT_TRUE(isMemIndirectControl(Opcode::CallIndMem));
+    EXPECT_FALSE(isMemIndirectControl(Opcode::JmpIndReg));
+    EXPECT_FALSE(isMemIndirectControl(Opcode::Ret));
+}
+
+TEST(Opcode, LoadStoreClassification)
+{
+    EXPECT_TRUE(hasLoad(Opcode::Load));
+    EXPECT_TRUE(hasLoad(Opcode::Pop));
+    EXPECT_TRUE(hasLoad(Opcode::Ret));
+    EXPECT_TRUE(hasLoad(Opcode::JmpIndMem));
+    EXPECT_FALSE(hasLoad(Opcode::Store));
+    EXPECT_TRUE(hasStore(Opcode::Store));
+    EXPECT_TRUE(hasStore(Opcode::Push));
+    EXPECT_TRUE(hasStore(Opcode::PushImm));
+    EXPECT_TRUE(hasStore(Opcode::CallRel)); // pushes return address
+    EXPECT_FALSE(hasStore(Opcode::Ret));
+}
+
+TEST(Opcode, NamesAreDistinctive)
+{
+    EXPECT_EQ(opcodeName(Opcode::CallRel), "call");
+    EXPECT_EQ(opcodeName(Opcode::JmpIndMem), "jmp*m");
+    EXPECT_EQ(opcodeName(Opcode::AbtbFlush), "abtbflush");
+}
+
+TEST(Instruction, FactorySizesPositive)
+{
+    EXPECT_GT(makeNop().size, 0);
+    EXPECT_GT(makeRet().size, 0);
+    EXPECT_GT(makeCallRel(0).size, 0);
+}
+
+TEST(Instruction, PltEntryIsSixteenBytes)
+{
+    // Matches x86-64 ELF PLT geometry (paper Fig. 2): four
+    // trampolines per 64-byte I-cache line.
+    const auto jmp = makeJmpIndMemAbs(0x1000);
+    const auto push = makePushImm(3);
+    const auto back = makeJmpRel(-32);
+    EXPECT_EQ(jmp.size + push.size + back.size, 16);
+}
+
+TEST(Instruction, Rel32Reach)
+{
+    EXPECT_EQ(Rel32Max, (1ll << 31) - 1);
+    EXPECT_EQ(Rel32Min, -(1ll << 31));
+}
+
+TEST(Instruction, FactoryFieldAssignment)
+{
+    const auto alu = makeAlu(AluKind::Xor, 2, 3, 4);
+    EXPECT_EQ(alu.op, Opcode::IntAlu);
+    EXPECT_EQ(alu.alu, AluKind::Xor);
+    EXPECT_EQ(alu.dst, 2);
+    EXPECT_EQ(alu.src1, 3);
+    EXPECT_EQ(alu.src2, 4);
+
+    const auto alui = makeAluImm(AluKind::Add, 2, 3, -7);
+    EXPECT_EQ(alui.src2, NoReg);
+    EXPECT_EQ(alui.imm, -7);
+
+    const auto load = makeLoad(1, 4, 16);
+    EXPECT_EQ(load.memBase, 4);
+    EXPECT_EQ(load.imm, 16);
+
+    const auto jmp = makeJmpIndMemAbs(0xdead000);
+    EXPECT_EQ(jmp.memBase, NoReg);
+    EXPECT_EQ(jmp.imm, 0xdead000);
+}
+
+TEST(Instruction, Disassembly)
+{
+    EXPECT_EQ(makeNop().toString(), "nop");
+    EXPECT_EQ(makeMovImm(3, 42).toString(), "mov r3, 42");
+    EXPECT_EQ(makeLoad(1, 4, 8).toString(), "load r1, [r4 + 8]");
+    EXPECT_EQ(makePush(5).toString(), "push r5");
+    // Relative targets render as absolute addresses given the pc.
+    const auto call = makeCallRel(0x100);
+    EXPECT_EQ(call.toString(0x1000),
+              "call 0x" + [] {
+                  char buf[32];
+                  snprintf(buf, sizeof(buf), "%llx",
+                           0x1000ull + 5 + 0x100);
+                  return std::string(buf);
+              }());
+}
+
+TEST(Registers, Conventions)
+{
+    EXPECT_LT(RegSp, NumRegs);
+    EXPECT_LT(RegRet, NumRegs);
+    EXPECT_NE(RegArg0, RegRet);
+    EXPECT_EQ(NoReg, 0xff);
+}

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the loader: address-space layout (conventional,
+ * ASLR, near-library), PLT/GOT construction, relocation, lazy and
+ * eager binding, symbol interposition, and dlopen/dlclose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hh"
+#include "linker/loader.hh"
+
+using namespace dlsim;
+using namespace dlsim::linker;
+
+namespace
+{
+
+elf::Module
+makeExe()
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &main = mb.function("main");
+    main.callExternal("libfn");
+    main.halt();
+    return mb.build();
+}
+
+elf::Module
+makeLib(const std::string &name, const std::string &fn)
+{
+    elf::ModuleBuilder mb(name);
+    mb.setDataSize(4096);
+    auto &f = mb.function(fn);
+    f.movImm(isa::RegRet, 42);
+    f.ret();
+    return mb.build();
+}
+
+} // namespace
+
+TEST(Loader, ConventionalLayoutSeparatesExeAndLibs)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+
+    const auto &exe = image->moduleAt(0);
+    const auto &lib = image->moduleAt(1);
+    EXPECT_EQ(exe.textBase, 0x400000u);
+    // Libraries load beyond rel32 reach of the executable (paper
+    // §2.3) — this is what necessitates the PLT.
+    EXPECT_GT(lib.textBase - exe.textBase,
+              static_cast<std::uint64_t>(isa::Rel32Max));
+}
+
+TEST(Loader, RegionsMappedWithExpectedPermissions)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto &as = image->addressSpace();
+
+    const auto &lib = image->moduleAt(1);
+    const auto *text = as.findRegion(lib.textBase);
+    ASSERT_NE(text, nullptr);
+    EXPECT_EQ(text->perms, mem::PermRead | mem::PermExec);
+    EXPECT_EQ(text->kind, mem::RegionKind::Text);
+
+    const auto *got = as.findRegion(lib.gotBase);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->kind, mem::RegionKind::Got);
+    EXPECT_EQ(got->perms, mem::PermRead | mem::PermWrite);
+
+    const auto *stack = as.findRegion(loader.stackTop() - 8);
+    ASSERT_NE(stack, nullptr);
+    EXPECT_EQ(stack->kind, mem::RegionKind::Stack);
+}
+
+TEST(Loader, PltGeometry)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto &exe = image->moduleAt(0);
+
+    ASSERT_EQ(exe.pltEntryVas.size(), 1u);
+    EXPECT_EQ(exe.pltEntryVas[0], exe.pltBase + 16);
+    EXPECT_EQ(exe.gotSlotAddrs[0], exe.gotBase + 16);
+
+    // The trampoline decodes to jmp *[got slot].
+    const Slot *tramp = image->decode(exe.pltEntryVas[0]);
+    ASSERT_NE(tramp, nullptr);
+    EXPECT_EQ(tramp->inst.op, isa::Opcode::JmpIndMem);
+    EXPECT_TRUE(tramp->flags & FlagPltJmp);
+    EXPECT_EQ(static_cast<std::uint64_t>(tramp->inst.imm),
+              exe.gotSlotAddrs[0]);
+
+    // Followed by push <reloc index> and jmp PLT0.
+    const Slot *push = image->decode(exe.pltEntryVas[0] + 6);
+    ASSERT_NE(push, nullptr);
+    EXPECT_EQ(push->inst.op, isa::Opcode::PushImm);
+    EXPECT_EQ(push->inst.imm, 0);
+    const Slot *back = image->decode(exe.pltEntryVas[0] + 11);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->inst.op, isa::Opcode::JmpRel);
+}
+
+TEST(Loader, LazyBindingInitialGotValues)
+{
+    Loader loader(LoaderOptions{.lazyBinding = true});
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto &exe = image->moduleAt(0);
+    // GOT[1] holds the resolver address; the import slot initially
+    // points back into its own PLT entry (lazy).
+    EXPECT_EQ(image->addressSpace().peek64(exe.gotBase + 8),
+              ResolverVa);
+    EXPECT_EQ(image->addressSpace().peek64(exe.gotSlotAddrs[0]),
+              exe.lazyGotValue(0));
+}
+
+TEST(Loader, EagerBindingResolvesAtLoad)
+{
+    LoaderOptions opts;
+    opts.lazyBinding = false;
+    Loader loader(opts);
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto &exe = image->moduleAt(0);
+    EXPECT_EQ(image->addressSpace().peek64(exe.gotSlotAddrs[0]),
+              image->symbolAddress("libfn"));
+}
+
+TEST(Loader, CallSiteRelocatedToOwnPlt)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto &exe = image->moduleAt(0);
+    const Addr main_va = exe.funcAddrs[0];
+    const Slot *call = image->decode(main_va);
+    ASSERT_NE(call, nullptr);
+    ASSERT_EQ(call->inst.op, isa::Opcode::CallRel);
+    const Addr target = main_va + call->inst.size +
+                        static_cast<Addr>(call->inst.imm);
+    EXPECT_EQ(target, exe.pltEntryVas[0]);
+}
+
+TEST(Loader, SymbolInterpositionFirstModuleWins)
+{
+    // ELF resolution order: the first loaded module providing a
+    // symbol wins (LD_PRELOAD-style interposition).
+    Loader loader;
+    auto image = loader.load(
+        makeExe(),
+        {makeLib("preload", "libfn"), makeLib("lib", "libfn")});
+    const auto addr = image->symbolAddress("libfn");
+    EXPECT_EQ(addr, image->moduleAt(1).funcAddrs[0]);
+}
+
+TEST(Loader, UndefinedSymbolThrows)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    EXPECT_THROW(image->symbolAddress("no_such"),
+                 std::out_of_range);
+}
+
+TEST(Loader, AslrIsSeedDeterministicAndSeedSensitive)
+{
+    LoaderOptions a;
+    a.aslr = true;
+    a.aslrSeed = 1;
+    LoaderOptions b = a;
+    LoaderOptions c = a;
+    c.aslrSeed = 2;
+
+    auto i1 = Loader(a).load(makeExe(), {makeLib("lib", "libfn")});
+    auto i2 = Loader(b).load(makeExe(), {makeLib("lib", "libfn")});
+    auto i3 = Loader(c).load(makeExe(), {makeLib("lib", "libfn")});
+
+    EXPECT_EQ(i1->moduleAt(1).textBase, i2->moduleAt(1).textBase);
+    EXPECT_NE(i1->moduleAt(1).textBase, i3->moduleAt(1).textBase);
+}
+
+TEST(Loader, NearLibrariesWithinRel32)
+{
+    LoaderOptions opts;
+    opts.nearLibraries = true;
+    Loader loader(opts);
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto &exe = image->moduleAt(0);
+    const auto &lib = image->moduleAt(1);
+    EXPECT_LT(lib.textBase - exe.textBase,
+              static_cast<std::uint64_t>(isa::Rel32Max));
+}
+
+TEST(Loader, DlopenAddsResolvableModule)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    loader.dlopen(*image, makeLib("plugin", "plugfn"));
+    EXPECT_NE(image->findModule("plugin"), SIZE_MAX);
+    EXPECT_NE(image->symbolAddress("plugfn"), 0u);
+}
+
+TEST(Loader, DlcloseRelazifiesImportersAndNotifies)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto &exe = image->moduleAt(0);
+
+    // Simulate a completed resolution.
+    image->addressSpace().poke64(exe.gotSlotAddrs[0],
+                                 image->symbolAddress("libfn"));
+
+    std::vector<Addr> notified;
+    loader.dlclose(*image, "lib",
+                   [&](Addr a) { notified.push_back(a); });
+
+    EXPECT_EQ(image->findModule("lib"), SIZE_MAX);
+    // The importer's GOT slot was reset to its lazy value...
+    EXPECT_EQ(image->addressSpace().peek64(exe.gotSlotAddrs[0]),
+              exe.lazyGotValue(0));
+    // ...and the write was reported (coherence traffic the ABTB
+    // must observe).
+    ASSERT_EQ(notified.size(), 1u);
+    EXPECT_EQ(notified[0], exe.gotSlotAddrs[0]);
+}
+
+TEST(Loader, DlcloseUnknownModuleThrows)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    EXPECT_THROW(loader.dlclose(*image, "ghost"),
+                 std::invalid_argument);
+}
+
+TEST(Loader, IfuncSelectionByHwCapLevel)
+{
+    elf::ModuleBuilder mb("lib");
+    mb.function("v0").ret();
+    mb.function("v1").ret();
+    mb.exportIfunc("sym", {"v0", "v1"});
+
+    LoaderOptions opts;
+    opts.hwCapLevel = 1;
+    Loader loader(opts);
+    auto image = loader.load(makeExe(), {makeLib("l0", "libfn"),
+                                         mb.build()});
+    const auto &lib = *std::find_if(
+        image->modules().begin(), image->modules().end(),
+        [](const auto &m) { return m.module.name() == "lib"; });
+    EXPECT_EQ(image->symbolAddress("sym"), lib.funcAddrs[1]);
+}
+
+TEST(Loader, TrampolineSymbolNames)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto &exe = image->moduleAt(0);
+    EXPECT_EQ(image->trampolineSymbol(exe.pltEntryVas[0]),
+              "libfn@app");
+    EXPECT_EQ(image->trampolineSymbol(0x1234), "");
+    EXPECT_EQ(image->totalTrampolines(), 1u);
+}
+
+TEST(Loader, LayoutDumpMentionsModules)
+{
+    Loader loader;
+    auto image = loader.load(makeExe(), {makeLib("lib", "libfn")});
+    const auto dump = image->dumpLayout();
+    EXPECT_NE(dump.find("app"), std::string::npos);
+    EXPECT_NE(dump.find("lib"), std::string::npos);
+}
+
+/**
+ * Option-matrix property: every combination of binding mode, ASLR,
+ * layout, and PLT style must load and execute correctly.
+ */
+#include "sim_fixture.hh"
+
+struct LoaderMatrix
+{
+    bool lazy;
+    bool aslr;
+    bool near;
+    PltStyle style;
+};
+
+class LoaderOptionsMatrix
+    : public ::testing::TestWithParam<LoaderMatrix>
+{
+};
+
+TEST_P(LoaderOptionsMatrix, LoadsAndRuns)
+{
+    const auto m = GetParam();
+    LoaderOptions opts;
+    opts.lazyBinding = m.lazy;
+    opts.aslr = m.aslr;
+    opts.aslrSeed = 99;
+    opts.nearLibraries = m.near;
+    opts.pltStyle = m.style;
+
+    elf::ModuleBuilder app("app");
+    app.setDataSize(4096);
+    auto &f = app.function("f");
+    f.callExternal("libfn");
+    f.aluImm(dlsim::isa::AluKind::Add, dlsim::isa::RegRet,
+             dlsim::isa::RegRet, 1);
+    f.ret();
+
+    elf::ModuleBuilder lib("lib");
+    auto &g = lib.function("libfn");
+    g.movImm(dlsim::isa::RegRet, 41);
+    g.ret();
+
+    dlsim::test::Sim sim(app.build(), {lib.build()}, {}, opts);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(sim.call("f").returnValue, 42u);
+    EXPECT_EQ(sim.linker->resolutionCount(), m.lazy ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, LoaderOptionsMatrix,
+    ::testing::Values(
+        LoaderMatrix{true, false, false, PltStyle::X86},
+        LoaderMatrix{false, false, false, PltStyle::X86},
+        LoaderMatrix{true, true, false, PltStyle::X86},
+        LoaderMatrix{true, false, true, PltStyle::X86},
+        LoaderMatrix{true, true, true, PltStyle::X86},
+        LoaderMatrix{true, false, false, PltStyle::Arm},
+        LoaderMatrix{false, false, false, PltStyle::Arm},
+        LoaderMatrix{true, true, false, PltStyle::Arm},
+        LoaderMatrix{false, true, true, PltStyle::Arm}));

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the software call-site patcher — the paper's evaluation
+ * methodology (§4.3) and the §2.3 strawman, including its failure
+ * modes: rel32 reach, tail jumps, and COW page copies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linker/patcher.hh"
+#include "sim_fixture.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using dlsim::test::Sim;
+
+namespace
+{
+
+elf::Module
+callerExe()
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    f.callExternal("libfn");
+    f.ret();
+    return mb.build();
+}
+
+elf::Module
+lib()
+{
+    elf::ModuleBuilder mb("lib");
+    auto &f = mb.function("libfn");
+    f.aluImm(AluKind::Add, RegRet, RegArg0, 7);
+    f.ret();
+    return mb.build();
+}
+
+/** Run with profiling and return the collected call-site trace. */
+linker::CallSiteTrace
+profile(Sim &sim, int warm_calls = 4)
+{
+    for (int i = 0; i < warm_calls; ++i)
+        sim.call("f", i);
+    return sim.core->callSiteTrace();
+}
+
+cpu::CoreParams
+profilingParams()
+{
+    cpu::CoreParams p;
+    p.collectCallSiteTrace = true;
+    return p;
+}
+
+linker::LoaderOptions
+nearOpts()
+{
+    linker::LoaderOptions o;
+    o.nearLibraries = true;
+    return o;
+}
+
+} // namespace
+
+TEST(Patcher, PatchedCallBypassesTrampoline)
+{
+    Sim sim(callerExe(), {lib()}, profilingParams(), nearOpts());
+    const auto trace = profile(sim);
+    ASSERT_EQ(trace.size(), 1u);
+
+    linker::Patcher patcher;
+    const auto stats = patcher.apply(*sim.image, trace);
+    EXPECT_EQ(stats.sitesPatched, 1u);
+    EXPECT_EQ(stats.sitesOutOfReach, 0u);
+
+    sim.core->clearStats();
+    EXPECT_EQ(sim.call("f", 1).returnValue, 8u);
+    // The trampoline is no longer on the call path at all.
+    EXPECT_EQ(sim.core->counters().trampolineInsts, 0u);
+}
+
+TEST(Patcher, ConventionalLayoutIsOutOfReach)
+{
+    // Libraries mapped high (the normal memory map) are beyond
+    // rel32 reach: the software approach simply cannot patch (§2.3).
+    Sim sim(callerExe(), {lib()}, profilingParams());
+    const auto trace = profile(sim);
+    linker::Patcher patcher;
+    const auto stats = patcher.apply(*sim.image, trace);
+    EXPECT_EQ(stats.sitesPatched, 0u);
+    EXPECT_EQ(stats.sitesOutOfReach, 1u);
+
+    // Execution still works through the untouched trampoline.
+    EXPECT_EQ(sim.call("f", 1).returnValue, 8u);
+}
+
+TEST(Patcher, TailJumpsSkippedByDefault)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &helper = mb.function("helper");
+    helper.jmpExternal("libfn");
+    auto &f = mb.function("f");
+    f.callLocal("helper");
+    f.ret();
+
+    Sim sim(mb.build(), {lib()}, profilingParams(), nearOpts());
+    const auto trace = profile(sim);
+    ASSERT_EQ(trace.size(), 1u);
+    ASSERT_TRUE(trace[0].tailJump);
+
+    linker::Patcher patcher;
+    const auto stats = patcher.apply(*sim.image, trace);
+    EXPECT_EQ(stats.tailJumpsSkipped, 1u);
+    EXPECT_EQ(stats.sitesPatched, 0u);
+
+    // With the opt-in (perfect knowledge), they can be patched.
+    linker::PatcherOptions opts;
+    opts.patchTailJumps = true;
+    linker::Patcher bold(opts);
+    const auto stats2 = bold.apply(*sim.image, trace);
+    EXPECT_EQ(stats2.sitesPatched, 1u);
+    EXPECT_EQ(sim.call("f", 1).returnValue, 8u);
+}
+
+TEST(Patcher, CowCopiesChargedAfterFork)
+{
+    // §5.5: patching after fork dirties shared text pages.
+    Sim sim(callerExe(), {lib()}, profilingParams(), nearOpts());
+    const auto trace = profile(sim);
+
+    // Fork and run as the child, keeping the parent alive so the
+    // pages stay shared.
+    auto parent = sim.image->releaseAddressSpace();
+    auto child = parent->fork();
+    sim.image->adoptAddressSpace(std::move(child));
+
+    linker::Patcher patcher;
+    const auto stats = patcher.apply(*sim.image, trace);
+    EXPECT_EQ(stats.sitesPatched, 1u);
+    EXPECT_EQ(stats.pagesTouched, 1u);
+    EXPECT_EQ(sim.image->addressSpace().cowCopies(
+                  mem::RegionKind::Text),
+              1u);
+}
+
+TEST(Patcher, NoCowCopiesWithoutSharing)
+{
+    Sim sim(callerExe(), {lib()}, profilingParams(), nearOpts());
+    const auto trace = profile(sim);
+    linker::Patcher patcher;
+    patcher.apply(*sim.image, trace);
+    EXPECT_EQ(sim.image->addressSpace().cowCopies(
+                  mem::RegionKind::Text),
+              0u);
+}
+
+TEST(Patcher, ProtectionRestoredAfterPatch)
+{
+    Sim sim(callerExe(), {lib()}, profilingParams(), nearOpts());
+    const auto trace = profile(sim);
+    linker::Patcher patcher;
+    const auto stats = patcher.apply(*sim.image, trace);
+    EXPECT_GE(stats.mprotectCalls, 2u);
+    const auto *region =
+        sim.image->addressSpace().findRegion(trace[0].callVa);
+    ASSERT_NE(region, nullptr);
+    EXPECT_EQ(region->perms, mem::PermRead | mem::PermExec);
+}
+
+TEST(Patcher, LeaveWritableOptionSkipsRestore)
+{
+    Sim sim(callerExe(), {lib()}, profilingParams(), nearOpts());
+    const auto trace = profile(sim);
+    linker::PatcherOptions opts;
+    opts.restoreProtection = false; // the jitsec-style hazard
+    linker::Patcher patcher(opts);
+    patcher.apply(*sim.image, trace);
+    const auto *region =
+        sim.image->addressSpace().findRegion(trace[0].callVa);
+    ASSERT_NE(region, nullptr);
+    EXPECT_TRUE(region->perms & mem::PermWrite);
+}
+
+TEST(Patcher, PatchedAndUnpatchedMachinesAgree)
+{
+    // The patcher is the paper's *emulation* of the hardware: both
+    // must compute identical results.
+    Sim plain(callerExe(), {lib()}, profilingParams(), nearOpts());
+    Sim patched(callerExe(), {lib()}, profilingParams(),
+                nearOpts());
+    const auto trace = profile(patched);
+    linker::Patcher().apply(*patched.image, trace);
+    for (std::uint64_t a = 0; a < 16; ++a) {
+        EXPECT_EQ(plain.call("f", a).returnValue,
+                  patched.call("f", a).returnValue);
+    }
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the performance-counter block: PKI normalisation,
+ * interval subtraction, and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/perf_counters.hh"
+
+using dlsim::cpu::PerfCounters;
+
+TEST(PerfCounters, PkiNormalisation)
+{
+    PerfCounters c;
+    c.instructions = 2000;
+    c.l1iMisses = 25;
+    EXPECT_DOUBLE_EQ(c.pki(c.l1iMisses), 12.5);
+}
+
+TEST(PerfCounters, PkiWithZeroInstructions)
+{
+    PerfCounters c;
+    EXPECT_DOUBLE_EQ(c.pki(123), 0.0);
+    EXPECT_DOUBLE_EQ(c.ipc(), 0.0);
+}
+
+TEST(PerfCounters, Ipc)
+{
+    PerfCounters c;
+    c.instructions = 300;
+    c.cycles = 600;
+    EXPECT_DOUBLE_EQ(c.ipc(), 0.5);
+}
+
+TEST(PerfCounters, IntervalSubtraction)
+{
+    PerfCounters a, b;
+    a.instructions = 100;
+    a.cycles = 200;
+    a.trampolineInsts = 10;
+    a.trampolineJmps = 8;
+    a.skippedTrampolines = 4;
+    a.loads = 30;
+    a.stores = 20;
+    a.branches = 15;
+    a.mispredicts = 3;
+    a.l1iMisses = 7;
+    a.itlbMisses = 2;
+    a.resolverCalls = 1;
+
+    b = a;
+    b.instructions = 40;
+    b.cycles = 90;
+    b.trampolineInsts = 4;
+
+    const auto d = a - b;
+    EXPECT_EQ(d.instructions, 60u);
+    EXPECT_EQ(d.cycles, 110u);
+    EXPECT_EQ(d.trampolineInsts, 6u);
+    EXPECT_EQ(d.loads, 0u);
+    EXPECT_EQ(d.mispredicts, 0u);
+}
+
+TEST(PerfCounters, ToStringMentionsKeyRows)
+{
+    PerfCounters c;
+    c.instructions = 1000;
+    c.cycles = 2000;
+    c.trampolineInsts = 12;
+    const auto s = c.toString();
+    EXPECT_NE(s.find("trampoline insts PKI"), std::string::npos);
+    EXPECT_NE(s.find("12.00"), std::string::npos);
+    EXPECT_NE(s.find("IPC 0.50"), std::string::npos);
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Integration tests of the full trampoline-skip mechanism running
+ * inside the core: architectural equivalence with the base machine,
+ * actual skipping, the startup flush, misprediction parity, unload
+ * invalidation, and the §3.4 explicit-invalidation variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using dlsim::test::Sim;
+using dlsim::test::enhancedParams;
+
+namespace
+{
+
+elf::Module
+callerExe(int sites = 1)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    for (int i = 0; i < sites; ++i)
+        f.callExternal("libfn");
+    f.ret();
+    return mb.build();
+}
+
+elf::Module
+addLib(std::int64_t k)
+{
+    elf::ModuleBuilder mb("lib");
+    auto &f = mb.function("libfn");
+    f.aluImm(AluKind::Add, RegRet, RegArg0, k);
+    f.ret();
+    return mb.build();
+}
+
+} // namespace
+
+TEST(SkipIntegration, TrampolineActuallySkipped)
+{
+    Sim sim(callerExe(), {addLib(5)}, enhancedParams());
+    sim.call("f", 1); // resolve (flushes ABTB via the GOT store)
+    sim.call("f", 1); // executes trampoline, populates ABTB
+    sim.call("f", 1); // substitution trains the BTB
+
+    sim.core->clearStats();
+    const auto r = sim.call("f", 2);
+    EXPECT_EQ(r.returnValue, 7u);
+    const auto c = sim.core->counters();
+    // Steady state: no PLT instruction is fetched or retired.
+    EXPECT_EQ(c.trampolineInsts, 0u);
+    EXPECT_EQ(c.skippedTrampolines, 1u);
+}
+
+TEST(SkipIntegration, ArchitecturalEquivalenceWithBase)
+{
+    Sim base(callerExe(3), {addLib(5)});
+    Sim enh(callerExe(3), {addLib(5)}, enhancedParams());
+    for (std::uint64_t arg = 0; arg < 32; ++arg) {
+        EXPECT_EQ(base.call("f", arg).returnValue,
+                  enh.call("f", arg).returnValue);
+    }
+    EXPECT_GT(enh.core->counters().skippedTrampolines, 0u);
+}
+
+TEST(SkipIntegration, StartupFlushHappensOncePerSymbol)
+{
+    // §3.2: "in practice, this happens only once per library call,
+    // at the start of a program's execution".
+    Sim sim(callerExe(), {addLib(0)}, enhancedParams());
+    for (int i = 0; i < 10; ++i)
+        sim.call("f", i);
+    EXPECT_EQ(sim.core->skipUnit()->stats().storeFlushes, 1u);
+}
+
+TEST(SkipIntegration, EnhancedExecutesFewerInstructions)
+{
+    Sim base(callerExe(4), {addLib(0)});
+    Sim enh(callerExe(4), {addLib(0)}, enhancedParams());
+    for (int i = 0; i < 4; ++i) {
+        base.call("f", i);
+        enh.call("f", i);
+    }
+    base.core->clearStats();
+    enh.core->clearStats();
+    base.call("f", 9);
+    enh.call("f", 9);
+    // Four skipped trampoline jumps = four fewer instructions.
+    EXPECT_EQ(base.core->counters().instructions,
+              enh.core->counters().instructions + 4);
+    // And four fewer loads (no GOT reads).
+    EXPECT_EQ(base.core->counters().loads,
+              enh.core->counters().loads + 4);
+}
+
+TEST(SkipIntegration, MispredictionParityWithBase)
+{
+    // §3.3: "we do not introduce any branch mispredictions that
+    // were not present in the base system" — compare totals over
+    // the warmup-and-steady window.
+    Sim base(callerExe(), {addLib(0)});
+    Sim enh(callerExe(), {addLib(0)}, enhancedParams());
+    for (int i = 0; i < 16; ++i) {
+        base.call("f", i);
+        enh.call("f", i);
+    }
+    EXPECT_LE(enh.core->counters().mispredicts,
+              base.core->counters().mispredicts + 1);
+}
+
+TEST(SkipIntegration, SteadyStateHasNoMispredicts)
+{
+    Sim sim(callerExe(), {addLib(0)}, enhancedParams());
+    for (int i = 0; i < 8; ++i)
+        sim.call("f", i);
+    sim.core->clearStats();
+    sim.call("f", 1);
+    // The call (BTB-trained to the function) and the function's
+    // ret (RAS) both predict correctly; only the final return to
+    // the harness may mispredict.
+    EXPECT_LE(sim.core->counters().mispredicts, 1u);
+}
+
+TEST(SkipIntegration, TailJumpBenefitsFromPopulatedAbtb)
+{
+    // A tail-jump site never populates the ABTB itself, but once a
+    // normal call has populated the trampoline's entry, the jump's
+    // resolution hits it too and skips.
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &helper = mb.function("helper");
+    helper.jmpExternal("libfn");
+    auto &f = mb.function("f");
+    f.callExternal("libfn"); // populator
+    f.callLocal("helper");   // tail-jump path
+    f.aluImm(AluKind::Add, RegRet, RegRet, 1);
+    f.ret();
+
+    Sim sim(mb.build(), {addLib(0)}, enhancedParams());
+    for (int i = 0; i < 4; ++i)
+        sim.call("f", i);
+    sim.core->clearStats();
+    const auto r = sim.call("f", 10);
+    EXPECT_EQ(r.returnValue, 11u);
+    // Both the call site and the tail-jump site skip.
+    EXPECT_EQ(sim.core->counters().skippedTrampolines, 2u);
+    EXPECT_EQ(sim.core->counters().trampolineInsts, 0u);
+}
+
+TEST(SkipIntegration, VirtualCallsDoNotPopulateAbtb)
+{
+    // §2.4.2: register-indirect calls to plain functions must not
+    // create ABTB entries.
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    f.movFuncAddr(5, "libfn");
+    f.callReg(5);
+    f.ret();
+    Sim sim(mb.build(), {addLib(0)}, enhancedParams());
+    for (int i = 0; i < 4; ++i)
+        sim.call("f", i);
+    EXPECT_EQ(sim.core->skipUnit()->stats().populations, 0u);
+    EXPECT_EQ(sim.core->counters().skippedTrampolines, 0u);
+}
+
+TEST(SkipIntegration, DlcloseInvalidatesViaCoherenceHook)
+{
+    Sim sim(callerExe(), {addLib(5)}, enhancedParams());
+    for (int i = 0; i < 4; ++i)
+        sim.call("f", i); // populated & skipping
+
+    sim.loader.dlclose(*sim.image, "lib", [&](Addr a) {
+        sim.core->onExternalGotWrite(a);
+    });
+    elf::ModuleBuilder v2("libv2");
+    auto &g = v2.function("libfn");
+    g.aluImm(AluKind::Add, RegRet, RegArg0, 1000);
+    g.ret();
+    sim.loader.dlopen(*sim.image, v2.build());
+
+    // The flush prevents a stale skip into the unloaded library;
+    // the checker (on by default) would abort otherwise.
+    EXPECT_EQ(sim.call("f", 1).returnValue, 1001u);
+    EXPECT_GE(sim.core->skipUnit()->stats().coherenceFlushes, 1u);
+}
+
+TEST(SkipIntegration, ExplicitInvalidationVariant)
+{
+    // §3.4: no bloom filter; the software executes AbtbFlush after
+    // rewriting a GOT entry.
+    auto params = enhancedParams();
+    params.skip.explicitInvalidation = true;
+
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    f.callExternal("libfn");
+    f.ret();
+    auto &g = mb.function("flush");
+    g.abtbFlush();
+    g.ret();
+
+    Sim sim(mb.build(), {addLib(5)}, params);
+    for (int i = 0; i < 4; ++i)
+        sim.call("f", i);
+    EXPECT_GT(sim.core->counters().skippedTrampolines, 0u);
+
+    // Rewrite the GOT by hand (simulating a linker update), then
+    // run the architectural flush instruction. (The resolver also
+    // issues one explicit flush per resolution in this mode.)
+    const auto flushes_before =
+        sim.core->skipUnit()->stats().explicitFlushes;
+    const auto &exe = sim.image->moduleAt(0);
+    sim.image->addressSpace().poke64(
+        exe.gotSlotAddrs[0], sim.image->symbolAddress("flush"));
+    sim.call("flush");
+    EXPECT_EQ(sim.core->skipUnit()->stats().explicitFlushes,
+              flushes_before + 1);
+    // Next call goes wherever the GOT now points — through the
+    // trampoline, since the ABTB is empty.
+    sim.core->clearStats();
+    sim.call("f", 0);
+    EXPECT_GT(sim.core->counters().trampolineInsts, 0u);
+}
+
+TEST(SkipIntegration, CheckerCatchesStaleEntries)
+{
+    // With explicit invalidation and NO flush, a GOT rewrite makes
+    // the ABTB stale; the architectural checker must trip rather
+    // than let execution diverge silently.
+    auto params = enhancedParams();
+    params.skip.explicitInvalidation = true;
+    params.checkSkips = true;
+
+    Sim sim(callerExe(), {addLib(5)}, params);
+    for (int i = 0; i < 4; ++i)
+        sim.call("f", i);
+
+    const auto &exe = sim.image->moduleAt(0);
+    sim.image->addressSpace().poke64(exe.gotSlotAddrs[0], 0x1234);
+    EXPECT_THROW(sim.call("f", 0), cpu::SimError);
+}
+
+TEST(SkipIntegration, AbtbSizeOneStillWorks)
+{
+    auto params = enhancedParams();
+    params.skip.abtb.entries = 1;
+    params.skip.abtb.assoc = 1;
+    Sim sim(callerExe(2), {addLib(3)}, params);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(sim.call("f", i).returnValue, i + 3);
+    EXPECT_GT(sim.core->counters().skippedTrampolines, 0u);
+}
+
+TEST(SkipIntegration, ContextSwitchFlushForcesRepopulation)
+{
+    Sim sim(callerExe(), {addLib(0)}, enhancedParams());
+    for (int i = 0; i < 4; ++i)
+        sim.call("f", i);
+    // Same process reattached = a context switch (§3.3).
+    sim.core->contextSwitch(sim.image.get(), sim.linker.get(), 0);
+    sim.core->clearStats();
+    sim.call("f", 1); // trampoline executes again once
+    EXPECT_GT(sim.core->counters().trampolineInsts, 0u);
+    sim.core->clearStats();
+    sim.call("f", 1); // then skipping resumes
+    sim.call("f", 1);
+    EXPECT_GT(sim.core->counters().skippedTrampolines, 0u);
+}

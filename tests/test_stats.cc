@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for the stats library: RNG determinism, distributions,
+ * histograms, and sample-set percentile/CDF extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/cdf.hh"
+#include "stats/histogram.hh"
+#include "stats/rng.hh"
+#include "stats/table.hh"
+
+using namespace dlsim::stats;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng parent(5);
+    Rng child = parent.fork();
+    // The child stream should not mirror the parent stream.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, PmfMonotonicallyDecreasing)
+{
+    ZipfDistribution z(100, 1.2);
+    for (std::size_t r = 1; r < 100; ++r)
+        EXPECT_LE(z.pmf(r), z.pmf(r - 1) + 1e-12);
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfDistribution z(50, 0.8);
+    double sum = 0;
+    for (std::size_t r = 0; r < 50; ++r)
+        sum += z.pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, SkewConcentratesMass)
+{
+    // Higher s -> more mass on rank 0.
+    ZipfDistribution flat(1000, 0.5), steep(1000, 2.0);
+    EXPECT_GT(steep.pmf(0), flat.pmf(0));
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    ZipfDistribution z(10, 1.0);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(rng), 10u);
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    ZipfDistribution z(4, 0.0);
+    for (std::size_t r = 0; r < 4; ++r)
+        EXPECT_NEAR(z.pmf(r), 0.25, 1e-9);
+}
+
+TEST(Discrete, RespectsWeights)
+{
+    DiscreteDistribution d({1.0, 3.0});
+    Rng rng(9);
+    int ones = 0;
+    for (int i = 0; i < 100000; ++i)
+        ones += d.sample(rng) == 1;
+    EXPECT_NEAR(ones / 100000.0, 0.75, 0.01);
+}
+
+TEST(Discrete, ZeroWeightNeverSampled)
+{
+    DiscreteDistribution d({1.0, 0.0, 1.0});
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_NE(d.sample(rng), 1u);
+}
+
+TEST(Histogram, BinsAndCounts)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-1.0);
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, MeanIncludesAllSamples)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(2.0);
+    h.add(4.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, PeakCenter)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 5; ++i)
+        h.add(7.3);
+    h.add(1.0);
+    EXPECT_NEAR(h.peakCenter(), 7.5, 1e-9);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.binCount(1), 0u);
+}
+
+TEST(SampleSet, MeanMinMax)
+{
+    SampleSet s;
+    s.add(3.0);
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleSet, AddAfterQueryResorts)
+{
+    SampleSet s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    s.add(9.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, CdfPointsMonotone)
+{
+    SampleSet s;
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i)
+        s.add(rng.nextDouble());
+    const auto pts = s.cdfPoints(20);
+    ASSERT_EQ(pts.size(), 20u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GE(pts[i].first, pts[i - 1].first);
+        EXPECT_GT(pts[i].second, pts[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(SampleSet, FractionBelow)
+{
+    SampleSet s;
+    for (int i = 1; i <= 10; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.fractionBelow(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionBelow(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.fractionBelow(10.0), 1.0);
+}
+
+TEST(SampleSet, TrimOutliers)
+{
+    SampleSet s;
+    for (int i = 0; i < 100; ++i)
+        s.add(1.0);
+    s.add(1000.0); // perturbation outlier, as in the paper's runs
+    EXPECT_EQ(s.trimOutliers(10.0), 1u);
+    EXPECT_DOUBLE_EQ(s.max(), 1.0);
+}
+
+/** Percentile property sweep: nearest-rank percentile of 1..N. */
+class PercentileTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PercentileTest, NearestRankOnIota)
+{
+    const int n = GetParam();
+    SampleSet s;
+    for (int i = 1; i <= n; ++i)
+        s.add(i);
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        const double expect =
+            std::ceil(p / 100.0 * n); // nearest-rank definition
+        EXPECT_DOUBLE_EQ(s.percentile(p), expect)
+            << "n=" << n << " p=" << p;
+    }
+    // p=0 clamps to the smallest sample.
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PercentileTest,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+TEST(Table, RenderAligned)
+{
+    TablePrinter t({"A", "BB"});
+    t.addRow({"x", "1"});
+    const auto out = t.render();
+    EXPECT_NE(out.find("A"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(Table, Csv)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(std::uint64_t{1234567}),
+              "1,234,567");
+    EXPECT_EQ(TablePrinter::num(std::uint64_t{12}), "12");
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the OS layer: fork/COW across processes, context
+ * switching on one core, and the §5.5 prefork memory accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linker/patcher.hh"
+#include "sim_fixture.hh"
+#include "sim/system.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using dlsim::sim::System;
+using dlsim::test::Sim;
+
+namespace
+{
+
+elf::Module
+counterExe()
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    // f(): returns ++counter (a private per-process data word).
+    auto &f = mb.function("f");
+    f.movDataAddr(4, 0);
+    f.load(RegRet, 4, 0);
+    f.aluImm(AluKind::Add, RegRet, RegRet, 1);
+    f.store(RegRet, 4, 0);
+    f.callExternal("libfn");
+    f.ret();
+    return mb.build();
+}
+
+elf::Module
+lib()
+{
+    elf::ModuleBuilder mb("lib");
+    auto &f = mb.function("libfn");
+    f.nop();
+    f.ret();
+    return mb.build();
+}
+
+} // namespace
+
+TEST(System, ForkedProcessesHavePrivateData)
+{
+    Sim sim(counterExe(), {lib()});
+    System system(*sim.core, *sim.image, *sim.linker);
+
+    auto &parent = system.initialProcess();
+    sim.call("f"); // counter -> 1 in the parent
+    auto &child = system.fork(parent);
+
+    system.switchTo(child);
+    // The child inherited counter==1, then increments privately.
+    EXPECT_EQ(sim.call("f").returnValue, 2u);
+    EXPECT_EQ(sim.call("f").returnValue, 3u);
+
+    system.switchTo(parent);
+    EXPECT_EQ(sim.call("f").returnValue, 2u);
+}
+
+TEST(System, SwitchPreservesRegisterState)
+{
+    Sim sim(counterExe(), {lib()});
+    System system(*sim.core, *sim.image, *sim.linker);
+    auto &parent = system.initialProcess();
+    auto &child = system.fork(parent);
+
+    sim.core->state().regs[9] = 111;
+    system.switchTo(child);
+    sim.core->state().regs[9] = 222;
+    system.switchTo(parent);
+    EXPECT_EQ(sim.core->state().regs[9], 111u);
+    system.switchTo(child);
+    EXPECT_EQ(sim.core->state().regs[9], 222u);
+}
+
+TEST(System, SwitchToCurrentIsNoop)
+{
+    Sim sim(counterExe(), {lib()});
+    System system(*sim.core, *sim.image, *sim.linker);
+    system.switchTo(system.initialProcess());
+    EXPECT_EQ(&system.current(), &system.initialProcess());
+}
+
+TEST(System, ContextSwitchFlushesAbtb)
+{
+    Sim sim(counterExe(), {lib()}, dlsim::test::enhancedParams());
+    System system(*sim.core, *sim.image, *sim.linker);
+    auto &parent = system.initialProcess();
+    auto &child = system.fork(parent);
+
+    for (int i = 0; i < 4; ++i)
+        sim.call("f"); // populate the ABTB
+    EXPECT_GT(sim.core->skipUnit()->abtb().occupancy(), 0u);
+    system.switchTo(child);
+    EXPECT_EQ(sim.core->skipUnit()->abtb().occupancy(), 0u);
+    EXPECT_GE(sim.core->skipUnit()
+                  ->stats().contextSwitchFlushes, 1u);
+}
+
+TEST(System, CowStacksAndDataCopyOnWrite)
+{
+    Sim sim(counterExe(), {lib()});
+    System system(*sim.core, *sim.image, *sim.linker);
+    auto &parent = system.initialProcess();
+    sim.call("f"); // touch data + stack in the parent
+    auto &child = system.fork(parent);
+    system.switchTo(child);
+    sim.call("f"); // dirties data + stack pages in the child
+
+    const auto stats = system.memoryStats();
+    EXPECT_GE(stats.dataCowCopies, 1u);
+    EXPECT_GE(stats.stackCowCopies, 1u);
+    EXPECT_EQ(stats.textCowCopies, 0u); // code stays shared
+}
+
+TEST(System, PreforkPatchingCopiesTextPagesPerProcess)
+{
+    // The §5.5 scenario: profile, fork workers, then patch in each
+    // worker — every worker pays private copies of the patched
+    // text pages, while the hardware approach would pay none.
+    cpu::CoreParams prof;
+    prof.collectCallSiteTrace = true;
+    linker::LoaderOptions near;
+    near.nearLibraries = true;
+    Sim sim(counterExe(), {lib()}, prof, near);
+    System system(*sim.core, *sim.image, *sim.linker);
+
+    for (int i = 0; i < 3; ++i)
+        sim.call("f");
+    const auto trace = sim.core->callSiteTrace();
+    ASSERT_FALSE(trace.empty());
+
+    auto &parent = system.initialProcess();
+    constexpr int Workers = 4;
+    std::vector<dlsim::sim::Process *> workers;
+    for (int i = 0; i < Workers; ++i)
+        workers.push_back(&system.fork(parent));
+
+    linker::Patcher patcher;
+    for (auto *w : workers) {
+        system.switchTo(*w);
+        patcher.apply(*sim.image, trace);
+    }
+
+    const auto stats = system.memoryStats();
+    // Every worker copied the patched text page privately.
+    EXPECT_EQ(stats.textCowCopies,
+              static_cast<std::uint64_t>(Workers));
+}
+
+TEST(System, HardwareMechanismKeepsTextShared)
+{
+    // Contrast case: the enhanced machine never writes text, so
+    // prefork workers share every code page forever.
+    Sim sim(counterExe(), {lib()}, dlsim::test::enhancedParams());
+    System system(*sim.core, *sim.image, *sim.linker);
+    auto &parent = system.initialProcess();
+    auto &w1 = system.fork(parent);
+    auto &w2 = system.fork(parent);
+
+    system.switchTo(w1);
+    for (int i = 0; i < 4; ++i)
+        sim.call("f");
+    system.switchTo(w2);
+    for (int i = 0; i < 4; ++i)
+        sim.call("f");
+
+    EXPECT_EQ(system.memoryStats().textCowCopies, 0u);
+    EXPECT_GT(sim.core->counters().skippedTrampolines, 0u);
+}
+
+TEST(System, ProcessNamesAndCount)
+{
+    Sim sim(counterExe(), {lib()});
+    System system(*sim.core, *sim.image, *sim.linker);
+    system.fork(system.initialProcess());
+    system.fork(system.initialProcess());
+    EXPECT_EQ(system.numProcesses(), 3u);
+    EXPECT_EQ(system.process(1).name, "proc1");
+    EXPECT_NE(system.process(1).asid, system.process(2).asid);
+}

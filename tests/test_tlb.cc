@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the TLB model: page-granular hits, LRU, flushes,
+ * and ASID behaviour (the retention option §3.3 of the paper
+ * parallels for the ABTB).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+using namespace dlsim::mem;
+
+TEST(Tlb, PageGranularity)
+{
+    Tlb t(TlbParams{"t", 16, 4});
+    EXPECT_FALSE(t.access(0x1000, 0));
+    EXPECT_TRUE(t.access(0x1ff8, 0)); // same 4KB page
+    EXPECT_FALSE(t.access(0x2000, 0));
+}
+
+TEST(Tlb, FlushAll)
+{
+    Tlb t(TlbParams{"t", 16, 4});
+    t.access(0x1000, 0);
+    t.flushAll();
+    EXPECT_FALSE(t.access(0x1000, 0));
+}
+
+TEST(Tlb, FlushAsidSelective)
+{
+    Tlb t(TlbParams{"t", 16, 4});
+    t.access(0x1000, 1);
+    t.access(0x1000, 2);
+    t.flushAsid(1);
+    EXPECT_FALSE(t.access(0x1000, 1));
+    EXPECT_TRUE(t.access(0x1000, 2));
+}
+
+TEST(Tlb, AsidTaggedEntries)
+{
+    Tlb t(TlbParams{"t", 16, 4});
+    t.access(0x1000, 1);
+    EXPECT_FALSE(t.access(0x1000, 2));
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb t(TlbParams{"t", 4, 4}); // one set, 4 entries
+    for (Addr p = 0; p < 5; ++p)
+        t.access(p << PageShift, 0);
+    // The first page was LRU-evicted by the fifth.
+    EXPECT_FALSE(t.access(0, 0));
+}
+
+TEST(Tlb, StatsAccumulateAndClear)
+{
+    Tlb t(TlbParams{"t", 16, 4});
+    t.access(0x1000, 0);
+    t.access(0x1000, 0);
+    EXPECT_EQ(t.misses(), 1u);
+    EXPECT_EQ(t.hits(), 1u);
+    t.clearStats();
+    EXPECT_EQ(t.misses(), 0u);
+}
+
+class TlbGeometry
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(TlbGeometry, WorkingSetWithinCapacityStaysWarm)
+{
+    const auto [entries, assoc] = GetParam();
+    Tlb t(TlbParams{"t", static_cast<std::uint32_t>(entries),
+                    static_cast<std::uint32_t>(assoc)});
+    const int pages = entries / 2;
+    for (int p = 0; p < pages; ++p)
+        t.access(static_cast<Addr>(p) << PageShift, 0);
+    for (int p = 0; p < pages; ++p)
+        EXPECT_TRUE(
+            t.access(static_cast<Addr>(p) << PageShift, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TlbGeometry,
+                         ::testing::Values(std::pair{16, 4},
+                                           std::pair{64, 4},
+                                           std::pair{64, 8},
+                                           std::pair{128, 4}));

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the retire-stream trace infrastructure: wire-format
+ * round-trips, core recording, and the replay engine's parity with
+ * the live mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim_fixture.hh"
+#include "trace/replay.hh"
+#include "trace/trace.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using namespace dlsim::trace;
+using dlsim::test::Sim;
+
+namespace
+{
+
+/** Unique temp path per test. */
+std::string
+tmpPath(const std::string &tag)
+{
+    return ::testing::TempDir() + "dlsim_trace_" + tag + ".bin";
+}
+
+elf::Module
+callerExe(int sites = 2)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    for (int i = 0; i < sites; ++i)
+        f.callExternal("libfn");
+    f.ret();
+    return mb.build();
+}
+
+elf::Module
+lib()
+{
+    elf::ModuleBuilder mb("lib");
+    auto &f = mb.function("libfn");
+    f.aluImm(AluKind::Add, RegRet, RegArg0, 1);
+    f.ret();
+    return mb.build();
+}
+
+} // namespace
+
+TEST(Trace, WriterReaderRoundTrip)
+{
+    const auto path = tmpPath("roundtrip");
+    {
+        TraceWriter writer(path);
+        ASSERT_TRUE(writer.good());
+        TraceEvent a;
+        a.kind = EventKind::Control;
+        a.op = Opcode::CallRel;
+        a.flags = 3;
+        a.taken = 1;
+        a.pc = 0x400010;
+        a.addr = 0x7f0000000000;
+        a.loadSrc = 0x401000;
+        writer.append(a);
+        TraceEvent b;
+        b.kind = EventKind::Store;
+        b.addr = 0xdeadbeef8;
+        writer.append(b);
+        writer.close();
+        EXPECT_EQ(writer.count(), 2u);
+    }
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.good());
+    EXPECT_EQ(reader.count(), 2u);
+
+    TraceEvent e;
+    ASSERT_TRUE(reader.next(e));
+    EXPECT_EQ(e.kind, EventKind::Control);
+    EXPECT_EQ(e.op, Opcode::CallRel);
+    EXPECT_EQ(e.flags, 3);
+    EXPECT_EQ(e.taken, 1);
+    EXPECT_EQ(e.pc, 0x400010u);
+    EXPECT_EQ(e.addr, 0x7f0000000000u);
+    EXPECT_EQ(e.loadSrc, 0x401000u);
+    ASSERT_TRUE(reader.next(e));
+    EXPECT_EQ(e.kind, EventKind::Store);
+    EXPECT_EQ(e.addr, 0xdeadbeef8u);
+    EXPECT_FALSE(reader.next(e));
+
+    reader.rewind();
+    ASSERT_TRUE(reader.next(e));
+    EXPECT_EQ(e.kind, EventKind::Control);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReaderRejectsGarbage)
+{
+    const auto path = tmpPath("garbage");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all............";
+    }
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.good());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReaderRejectsMissingFile)
+{
+    TraceReader reader("/nonexistent/definitely/not/here.bin");
+    EXPECT_FALSE(reader.good());
+}
+
+TEST(Trace, CoreRecordsRetireStream)
+{
+    const auto path = tmpPath("record");
+    {
+        cpu::CoreParams params;
+        params.tracePath = path;
+        Sim sim(callerExe(), {lib()}, params);
+        sim.call("f", 1);
+        sim.call("f", 2);
+        sim.core->closeTrace();
+    }
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.good());
+    EXPECT_GT(reader.count(), 10u);
+
+    std::uint64_t controls = 0, stores = 0, others = 0,
+                  plt_jmps = 0, resolver_stores = 0;
+    TraceEvent e;
+    while (reader.next(e)) {
+        switch (e.kind) {
+          case EventKind::Control:
+            ++controls;
+            plt_jmps += (e.flags & linker::FlagPltJmp) ? 1 : 0;
+            break;
+          case EventKind::Store:
+            ++stores;
+            resolver_stores +=
+                e.pc == linker::ResolverVa ? 1 : 0;
+            break;
+          case EventKind::Other:
+            ++others;
+            break;
+        }
+    }
+    EXPECT_GT(controls, 0u);
+    EXPECT_GT(stores, 0u);
+    EXPECT_GT(others, 0u);
+    // Two sites, two calls each = 4 trampoline-jump retires.
+    EXPECT_EQ(plt_jmps, 4u);
+    // One lazy resolution -> one resolver GOT store.
+    EXPECT_EQ(resolver_stores, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayMatchesLiveMechanism)
+{
+    // Record a base run; replay it through the skip unit; the
+    // would-skip count must equal the live enhanced machine's
+    // skipped-trampoline count on the identical input sequence.
+    const auto path = tmpPath("parity");
+    constexpr int Rounds = 8;
+    {
+        cpu::CoreParams params;
+        params.tracePath = path;
+        Sim sim(callerExe(), {lib()}, params);
+        for (int i = 0; i < Rounds; ++i)
+            sim.call("f", i);
+        sim.core->closeTrace();
+    }
+
+    Sim live(callerExe(), {lib()}, dlsim::test::enhancedParams());
+    for (int i = 0; i < Rounds; ++i)
+        live.call("f", i);
+
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.good());
+    const auto replay =
+        replaySkipUnit(reader, core::SkipUnitParams{});
+
+    EXPECT_EQ(replay.wouldSkip,
+              live.core->counters().skippedTrampolines);
+    EXPECT_EQ(replay.skipStats.storeFlushes,
+              live.core->skipUnit()->stats().storeFlushes);
+    EXPECT_GT(replay.trampolineExecutions, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReplaySweepMonotoneInAbtbSize)
+{
+    // Larger ABTBs never skip fewer trampolines on the same trace.
+    const auto path = tmpPath("sweep");
+    {
+        cpu::CoreParams params;
+        params.tracePath = path;
+        // Many distinct call sites to pressure a tiny ABTB.
+        Sim sim(callerExe(24), {lib()}, params);
+        for (int i = 0; i < 6; ++i)
+            sim.call("f", i);
+        sim.core->closeTrace();
+    }
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.good());
+
+    double prev = -1.0;
+    for (std::uint32_t entries : {1u, 4u, 16u, 64u, 256u}) {
+        core::SkipUnitParams params;
+        params.abtb.entries = entries;
+        params.abtb.assoc = std::min(entries, 4u);
+        const auto r = replaySkipUnit(reader, params);
+        EXPECT_GE(r.skipRate(), prev - 1e-12)
+            << "entries " << entries;
+        prev = r.skipRate();
+    }
+    EXPECT_GT(prev, 0.5); // large ABTB skips most executions
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayIsDeterministic)
+{
+    const auto path = tmpPath("deterministic");
+    {
+        cpu::CoreParams params;
+        params.tracePath = path;
+        Sim sim(callerExe(), {lib()}, params);
+        for (int i = 0; i < 4; ++i)
+            sim.call("f", i);
+        sim.core->closeTrace();
+    }
+    TraceReader reader(path);
+    const auto a = replaySkipUnit(reader, core::SkipUnitParams{});
+    const auto b = replaySkipUnit(reader, core::SkipUnitParams{});
+    EXPECT_EQ(a.wouldSkip, b.wouldSkip);
+    EXPECT_EQ(a.events, b.events);
+    std::remove(path.c_str());
+}

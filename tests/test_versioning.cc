@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for ELF-style symbol versioning and dlmopen namespace
+ * isolation — the dynamic-linking substrate features that let one
+ * process carry several ABI revisions or copies of a library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using dlsim::test::Sim;
+
+namespace
+{
+
+/** libv: one symbol, two versioned revisions, v2 the default. */
+elf::Module
+versionedLib()
+{
+    elf::ModuleBuilder mb("libv");
+    auto &v1 = mb.function("compat_impl");
+    v1.movImm(RegRet, 100);
+    v1.ret();
+    auto &v2 = mb.function("current_impl");
+    v2.movImm(RegRet, 200);
+    v2.ret();
+    mb.exportVersion("api", "V1", "compat_impl");
+    mb.exportVersion("api", "V2", "current_impl",
+                     /*is_default=*/true);
+    return mb.build();
+}
+
+elf::Module
+exeCalling(const std::string &sym)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    f.callExternal(sym);
+    f.ret();
+    return mb.build();
+}
+
+} // namespace
+
+TEST(Versioning, UnversionedImportBindsToDefault)
+{
+    Sim sim(exeCalling("api"), {versionedLib()});
+    EXPECT_EQ(sim.call("f").returnValue, 200u);
+}
+
+TEST(Versioning, ExplicitVersionedImports)
+{
+    // An old binary pinned to V1 keeps the compat implementation.
+    Sim old_app(exeCalling("api@V1"), {versionedLib()});
+    EXPECT_EQ(old_app.call("f").returnValue, 100u);
+
+    Sim new_app(exeCalling("api@V2"), {versionedLib()});
+    EXPECT_EQ(new_app.call("f").returnValue, 200u);
+}
+
+TEST(Versioning, BothVersionsUsableFromOneBinary)
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &f = mb.function("f");
+    f.callExternal("api@V1");
+    f.push(RegRet);
+    f.callExternal("api@V2");
+    f.pop(5);
+    f.alu(AluKind::Add, RegRet, RegRet, 5);
+    f.ret();
+    Sim sim(mb.build(), {versionedLib()});
+    EXPECT_EQ(sim.call("f").returnValue, 300u);
+    // Two distinct imports -> two PLT entries, two resolutions.
+    EXPECT_EQ(sim.image->totalTrampolines(), 2u);
+    EXPECT_EQ(sim.linker->resolutionCount(), 2u);
+}
+
+TEST(Versioning, MissingImplementationThrowsAtBuild)
+{
+    elf::ModuleBuilder mb("lib");
+    mb.exportVersion("api", "V1", "ghost");
+    EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(Versioning, DefaultAliasVisibleInSymbolTable)
+{
+    Sim sim(exeCalling("api"), {versionedLib()});
+    const auto by_name = sim.image->symbolAddress("api");
+    const auto by_version = sim.image->symbolAddress("api@V2");
+    EXPECT_EQ(by_name, by_version);
+    EXPECT_NE(by_name, sim.image->symbolAddress("api@V1"));
+}
+
+namespace
+{
+
+elf::Module
+namedLib(const std::string &module, std::int64_t value)
+{
+    elf::ModuleBuilder mb(module);
+    auto &f = mb.function("plugin_entry");
+    f.movImm(RegRet, value);
+    f.ret();
+    return mb.build();
+}
+
+/** A plugin that calls its own namespace's helper. */
+elf::Module
+pluginWithDep(std::int64_t base)
+{
+    elf::ModuleBuilder mb("plugin");
+    auto &f = mb.function("plugin_entry");
+    f.callExternal("helper");
+    f.aluImm(AluKind::Add, RegRet, RegRet, base);
+    f.ret();
+    return mb.build();
+}
+
+elf::Module
+helperLib(std::int64_t value)
+{
+    elf::ModuleBuilder mb("helper_lib");
+    auto &f = mb.function("helper");
+    f.movImm(RegRet, value);
+    f.ret();
+    return mb.build();
+}
+
+} // namespace
+
+TEST(Namespaces, DlmopenIsolatesSymbols)
+{
+    Sim sim(exeCalling("api"), {versionedLib()});
+    const auto ns =
+        sim.loader.dlmopen(*sim.image, {namedLib("iso", 7)});
+
+    // Visible inside its namespace, invisible in the default one.
+    EXPECT_EQ(sim.image->symbolAddress("plugin_entry", ns),
+              sim.image->symbolAddress("plugin_entry", ns));
+    EXPECT_THROW(sim.image->symbolAddress("plugin_entry"),
+                 std::out_of_range);
+    // And the default namespace's symbols are invisible inside.
+    EXPECT_THROW(sim.image->symbolAddress("api", ns),
+                 std::out_of_range);
+}
+
+TEST(Namespaces, TwoCopiesOfOneLibraryCoexist)
+{
+    Sim sim(exeCalling("api"), {versionedLib()});
+    const auto ns1 =
+        sim.loader.dlmopen(*sim.image, {namedLib("copyA", 111)});
+    const auto ns2 =
+        sim.loader.dlmopen(*sim.image, {namedLib("copyB", 222)});
+    ASSERT_NE(ns1, ns2);
+
+    const auto r1 = sim.core->callFunction(
+        sim.image->symbolAddress("plugin_entry", ns1));
+    const auto r2 = sim.core->callFunction(
+        sim.image->symbolAddress("plugin_entry", ns2));
+    EXPECT_EQ(r1.returnValue, 111u);
+    EXPECT_EQ(r2.returnValue, 222u);
+}
+
+TEST(Namespaces, ImportsResolveWithinOwnNamespace)
+{
+    // Both the default namespace and the dlmopen group define
+    // `helper`; the plugin must bind to its group's copy.
+    Sim sim(exeCalling("api"), {versionedLib(), helperLib(5)});
+    const auto ns = sim.loader.dlmopen(
+        *sim.image, {pluginWithDep(1000), helperLib(50)});
+
+    const auto r = sim.core->callFunction(
+        sim.image->symbolAddress("plugin_entry", ns));
+    EXPECT_EQ(r.returnValue, 1050u); // 50 (its helper) + 1000
+}
+
+TEST(Namespaces, MissingDepFailsAtFirstCallNotLoad)
+{
+    // Lazy binding: a namespace lacking a dependency loads fine
+    // but faults on first use, with the namespace identified.
+    Sim sim(exeCalling("api"), {versionedLib(), helperLib(5)});
+    const auto ns =
+        sim.loader.dlmopen(*sim.image, {pluginWithDep(0)});
+    EXPECT_THROW(sim.core->callFunction(sim.image->symbolAddress(
+                     "plugin_entry", ns)),
+                 std::out_of_range);
+}
+
+TEST(Namespaces, SkippingWorksInsideNamespaces)
+{
+    cpu::CoreParams params;
+    params.skipUnitEnabled = true;
+    Sim sim(exeCalling("api"), {versionedLib(), helperLib(5)},
+            params);
+    const auto ns = sim.loader.dlmopen(
+        *sim.image, {pluginWithDep(1000), helperLib(50)});
+
+    const auto entry =
+        sim.image->symbolAddress("plugin_entry", ns);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(sim.core->callFunction(entry).returnValue,
+                  1050u);
+    EXPECT_GT(sim.core->counters().skippedTrampolines, 0u);
+}

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and Workbench: deter-
+ * minism, structural properties, base/enhanced architectural
+ * equivalence, and loose calibration bounds against the paper's
+ * Table 2/3 characterisation (tight matching is the benches' job).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/engine.hh"
+#include "workload/profiles.hh"
+#include "workload/program.hh"
+
+using namespace dlsim;
+using namespace dlsim::workload;
+
+namespace
+{
+
+/** A small, fast profile for structure tests. */
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.name = "tiny";
+    p.seed = 7;
+    p.numLibs = 3;
+    p.funcsPerLib = 8;
+    p.libFnInsts = 10;
+    p.requests = {{"A", 0.5, 1, 2}, {"B", 0.5, 1, 3}};
+    p.stepsPerRequest = 6;
+    p.appWorkInsts = 4;
+    p.calledImports = 12;
+    p.libDataBytes = 4096;
+    p.appDataBytes = 8192;
+    p.ifuncSymbols = 2;
+    p.tailJumpFrac = 0.2;
+    p.virtualCallFrac = 0.2;
+    return p;
+}
+
+} // namespace
+
+TEST(Program, DeterministicForSeed)
+{
+    const auto a = buildProgram(tinyParams());
+    const auto b = buildProgram(tinyParams());
+    ASSERT_EQ(a.libs.size(), b.libs.size());
+    EXPECT_EQ(a.exe.textSize(), b.exe.textSize());
+    for (std::size_t i = 0; i < a.libs.size(); ++i) {
+        EXPECT_EQ(a.libs[i].textSize(), b.libs[i].textSize());
+        EXPECT_EQ(a.libs[i].imports(), b.libs[i].imports());
+    }
+    EXPECT_EQ(a.calledSymbols, b.calledSymbols);
+}
+
+TEST(Program, SeedChangesProgram)
+{
+    auto p = tinyParams();
+    const auto a = buildProgram(p);
+    p.seed = 8;
+    const auto b = buildProgram(p);
+    EXPECT_NE(a.exe.textSize(), b.exe.textSize());
+}
+
+TEST(Program, StructureMatchesParams)
+{
+    const auto p = tinyParams();
+    const auto prog = buildProgram(p);
+    EXPECT_EQ(prog.libs.size(), p.numLibs); // no kernel module
+    ASSERT_EQ(prog.handlers.size(), 2u);
+    EXPECT_EQ(prog.handlers[0], "handle_A");
+    std::uint32_t idx = 0;
+    EXPECT_TRUE(prog.exe.findFunction("handle_A", idx));
+    EXPECT_TRUE(prog.exe.findFunction("handle_B", idx));
+    EXPECT_TRUE(prog.exe.findFunction("main", idx));
+    EXPECT_LE(prog.calledSymbols.size(), p.calledImports);
+}
+
+TEST(Program, KernelModuleWhenConfigured)
+{
+    auto p = tinyParams();
+    p.kernelFuncs = 10;
+    const auto prog = buildProgram(p);
+    ASSERT_EQ(prog.libs.size(), p.numLibs + 1);
+    EXPECT_EQ(prog.libs.back().name(), "kernel");
+    std::uint32_t idx = 0;
+    EXPECT_TRUE(prog.libs.back().findFunction("sys_path", idx));
+}
+
+TEST(Program, IfuncSymbolsExported)
+{
+    const auto prog = buildProgram(tinyParams());
+    int ifuncs = 0;
+    for (const auto &lib : prog.libs) {
+        for (const auto &[name, exp] : lib.exports())
+            ifuncs += exp.ifunc;
+    }
+    EXPECT_EQ(ifuncs, 2);
+}
+
+TEST(Workbench, RunsRequestsAndCounts)
+{
+    Workbench wb(tinyParams(), MachineConfig{});
+    const auto r = wb.runRequest();
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_LT(r.kind, 2u);
+}
+
+TEST(Workbench, SpecificKindUsesThatHandler)
+{
+    Workbench wb(tinyParams(), MachineConfig{});
+    const auto r = wb.runRequest(1);
+    EXPECT_EQ(r.kind, 1u);
+}
+
+TEST(Workbench, WarmupClearsStats)
+{
+    Workbench wb(tinyParams(), MachineConfig{});
+    wb.warmup(5);
+    EXPECT_EQ(wb.core().counters().instructions, 0u);
+    wb.runRequest();
+    EXPECT_GT(wb.core().counters().instructions, 0u);
+}
+
+TEST(Workbench, IdenticalRequestStreamsAcrossArms)
+{
+    // Base and enhanced arms must draw identical request streams.
+    Workbench base(tinyParams(), MachineConfig{});
+    MachineConfig enh;
+    enh.enhanced = true;
+    Workbench fast(tinyParams(), enh);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(base.runRequest().kind, fast.runRequest().kind);
+    }
+}
+
+TEST(Workbench, BaseAndEnhancedArchitecturallyEquivalent)
+{
+    // The strongest end-to-end property: the mechanism must be
+    // architecturally invisible. Identical streams must execute
+    // identical work; only timing may differ. skippedTrampolines
+    // confirms the mechanism was actually engaged.
+    Workbench base(tinyParams(), MachineConfig{});
+    MachineConfig cfg;
+    cfg.enhanced = true;
+    Workbench enh(tinyParams(), cfg);
+
+    for (int i = 0; i < 100; ++i) {
+        base.runRequest();
+        enh.runRequest();
+    }
+    EXPECT_GT(enh.core().counters().skippedTrampolines, 0u);
+    // Identical register file at the end of the identical stream.
+    for (int r = 0; r < dlsim::isa::NumRegs; ++r) {
+        EXPECT_EQ(base.core().state().regs[r],
+                  enh.core().state().regs[r])
+            << "register r" << r;
+    }
+}
+
+TEST(Workbench, EnhancedRetiresFewerInstructions)
+{
+    Workbench base(tinyParams(), MachineConfig{});
+    MachineConfig cfg;
+    cfg.enhanced = true;
+    Workbench enh(tinyParams(), cfg);
+    base.warmup(20);
+    enh.warmup(20);
+    for (int i = 0; i < 100; ++i) {
+        base.runRequest();
+        enh.runRequest();
+    }
+    EXPECT_LT(enh.core().counters().instructions,
+              base.core().counters().instructions);
+    EXPECT_LE(enh.core().counters().cycles,
+              base.core().counters().cycles);
+}
+
+/** Calibration smoke: loose bounds on the paper's Table 2/3. */
+struct ProfileExpectation
+{
+    const char *name;
+    double pkiLo, pkiHi;
+    std::uint64_t distinctLo, distinctHi;
+};
+
+class ProfileCalibration
+    : public ::testing::TestWithParam<ProfileExpectation>
+{
+};
+
+TEST_P(ProfileCalibration, TrampolineBehaviourInRange)
+{
+    const auto exp = GetParam();
+    MachineConfig mc;
+    mc.profileTrampolines = true;
+    Workbench wb(profileByName(exp.name), mc);
+    wb.warmup(30);
+    for (int i = 0; i < 250; ++i)
+        wb.runRequest();
+    const auto c = wb.core().counters();
+    const double pki = c.pki(c.trampolineInsts);
+    EXPECT_GE(pki, exp.pkiLo) << exp.name;
+    EXPECT_LE(pki, exp.pkiHi) << exp.name;
+    const auto distinct = wb.distinctTrampolinesExecuted();
+    EXPECT_GE(distinct, exp.distinctLo) << exp.name;
+    EXPECT_LE(distinct, exp.distinctHi) << exp.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperProfiles, ProfileCalibration,
+    ::testing::Values(
+        // Paper: apache 12.23 PKI / 501 distinct.
+        ProfileExpectation{"apache", 7.0, 18.0, 320, 800},
+        // Paper: memcached 1.75 PKI / 33 distinct.
+        ProfileExpectation{"memcached", 0.9, 3.0, 18, 45},
+        // Paper: mysql 5.56 PKI / 1611 distinct (accumulates with
+        // run length; 250 requests reach a fraction).
+        ProfileExpectation{"mysql", 3.0, 9.0, 300, 2000},
+        // Paper: firefox 0.72 PKI / 2457 distinct.
+        ProfileExpectation{"firefox", 0.3, 1.3, 500, 3000}));
+
+TEST(Workbench, OrderingAcrossWorkloadsMatchesPaper)
+{
+    // Table 2's qualitative ordering:
+    // apache > mysql > memcached > firefox in trampoline PKI.
+    double pki[4];
+    const char *names[4] = {"apache", "mysql", "memcached",
+                            "firefox"};
+    for (int i = 0; i < 4; ++i) {
+        Workbench wb(profileByName(names[i]), MachineConfig{});
+        wb.warmup(20);
+        for (int r = 0; r < 120; ++r)
+            wb.runRequest();
+        const auto c = wb.core().counters();
+        pki[i] = c.pki(c.trampolineInsts);
+    }
+    EXPECT_GT(pki[0], pki[1]);
+    EXPECT_GT(pki[1], pki[2]);
+    EXPECT_GT(pki[2], pki[3]);
+}
+
+TEST(Workbench, GeneratedMainRunsToHalt)
+{
+    // The generated program's `main` exercises every handler once
+    // and halts — the whole-program (Core::run) path.
+    Workbench wb(tinyParams(), MachineConfig{});
+    wb.core().state().pc = wb.image().symbolAddress("main");
+    const auto executed = wb.core().run(2'000'000);
+    EXPECT_TRUE(wb.core().state().halted);
+    EXPECT_GT(executed, 100u);
+}
+
+TEST(Workbench, ArmProfileEndToEnd)
+{
+    // A paper profile on ARM-style trampolines: higher trampoline
+    // PKI (3 instructions per invocation), same distinct count.
+    MachineConfig x86, arm;
+    arm.pltStyle = linker::PltStyle::Arm;
+    Workbench wx(memcachedProfile(), x86), wa(memcachedProfile(),
+                                              arm);
+    wx.warmup(20);
+    wa.warmup(20);
+    for (int i = 0; i < 80; ++i) {
+        wx.runRequest();
+        wa.runRequest();
+    }
+    const auto cx = wx.core().counters();
+    const auto ca = wa.core().counters();
+    EXPECT_EQ(cx.trampolineJmps, ca.trampolineJmps);
+    EXPECT_NEAR(double(ca.trampolineInsts),
+                3.0 * double(cx.trampolineInsts), 1.0);
+}
+
+TEST(Workbench, AslrArmRunsCorrectly)
+{
+    // Engine-level ASLR: randomised layout, same architectural
+    // results as the deterministic layout.
+    auto wl = tinyParams();
+    MachineConfig plain, aslr;
+    aslr.aslr = true;
+    Workbench a(wl, plain), b(wl, aslr);
+    for (int i = 0; i < 40; ++i) {
+        // Registers may hold layout-dependent addresses, but the
+        // computed work (instruction counts) is layout-invariant.
+        const auto ra = a.runRequest();
+        const auto rb = b.runRequest();
+        EXPECT_EQ(ra.kind, rb.kind);
+        EXPECT_EQ(ra.instructions, rb.instructions);
+    }
+    // The library really moved.
+    EXPECT_NE(a.image().moduleAt(1).textBase,
+              b.image().moduleAt(1).textBase);
+}

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * dlsim command-line driver: run any calibrated workload on any
+ * machine configuration and print the counter report, record retire
+ * traces, or sweep ABTB sizes against a recorded trace.
+ *
+ * Usage:
+ *   dlsim_cli run <workload> [options]
+ *   dlsim_cli record <workload> <trace-file> [options]
+ *   dlsim_cli replay <trace-file> [--abtb-entries N]...
+ *   dlsim_cli sweep <trace-file>
+ *
+ * Options for run/record:
+ *   --enhanced            enable the trampoline-skip hardware
+ *   --requests N          measured requests (default 500)
+ *   --warmup N            warmup requests (default 100)
+ *   --abtb-entries N      ABTB capacity (default 256)
+ *   --arm                 ARM-style trampolines
+ *   --explicit-inval      §3.4 alternate implementation
+ *   --eager               BIND_NOW-style eager binding
+ *   --aslr                randomise library placement
+ *   --seed N              workload seed (default 42)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/replay.hh"
+#include "workload/engine.hh"
+#include "workload/profiles.hh"
+
+using namespace dlsim;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string workload;
+    std::string tracePath;
+    bool enhanced = false;
+    bool arm = false;
+    bool explicitInval = false;
+    bool eager = false;
+    bool aslr = false;
+    int requests = 500;
+    int warmup = 100;
+    std::uint32_t abtbEntries = 256;
+    std::uint64_t seed = 42;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: dlsim_cli run|record|replay|sweep ...\n"
+                 "see the file header for options\n");
+    return 2;
+}
+
+bool
+parse(int argc, char **argv, Options &opt)
+{
+    if (argc < 2)
+        return false;
+    opt.command = argv[1];
+    int positional = 0;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_int = [&](long def) {
+            return i + 1 < argc ? std::atol(argv[++i]) : def;
+        };
+        if (arg == "--enhanced") {
+            opt.enhanced = true;
+        } else if (arg == "--arm") {
+            opt.arm = true;
+        } else if (arg == "--explicit-inval") {
+            opt.explicitInval = true;
+        } else if (arg == "--eager") {
+            opt.eager = true;
+        } else if (arg == "--aslr") {
+            opt.aslr = true;
+        } else if (arg == "--requests") {
+            opt.requests = static_cast<int>(next_int(500));
+        } else if (arg == "--warmup") {
+            opt.warmup = static_cast<int>(next_int(100));
+        } else if (arg == "--abtb-entries") {
+            opt.abtbEntries =
+                static_cast<std::uint32_t>(next_int(256));
+        } else if (arg == "--seed") {
+            opt.seed = static_cast<std::uint64_t>(next_int(42));
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option %s\n",
+                         arg.c_str());
+            return false;
+        } else if (positional == 0) {
+            if (opt.command == "replay" ||
+                opt.command == "sweep") {
+                opt.tracePath = arg;
+            } else {
+                opt.workload = arg;
+            }
+            ++positional;
+        } else if (positional == 1) {
+            opt.tracePath = arg;
+            ++positional;
+        }
+    }
+    if (opt.command == "run" || opt.command == "record") {
+        if (opt.workload.empty())
+            return false;
+    }
+    if (opt.command == "record" || opt.command == "replay" ||
+        opt.command == "sweep") {
+        if (opt.tracePath.empty())
+            return false;
+    }
+    return true;
+}
+
+workload::MachineConfig
+machineFor(const Options &opt)
+{
+    workload::MachineConfig mc;
+    mc.enhanced = opt.enhanced;
+    mc.abtbEntries = opt.abtbEntries;
+    mc.abtbAssoc = std::min(opt.abtbEntries, 4u);
+    mc.explicitInvalidation = opt.explicitInval;
+    mc.lazyBinding = !opt.eager;
+    mc.aslr = opt.aslr;
+    if (opt.arm)
+        mc.pltStyle = linker::PltStyle::Arm;
+    return mc;
+}
+
+int
+cmdRun(const Options &opt)
+{
+    auto mc = machineFor(opt);
+    mc.profileTrampolines = true;
+    workload::Workbench wb(
+        workload::profileByName(opt.workload, opt.seed), mc);
+    wb.warmup(static_cast<std::uint32_t>(opt.warmup));
+    for (int i = 0; i < opt.requests; ++i)
+        wb.runRequest();
+
+    const auto c = wb.core().counters();
+    std::printf("workload %s (%s machine, %s trampolines)\n",
+                opt.workload.c_str(),
+                opt.enhanced ? "enhanced" : "base",
+                opt.arm ? "ARM" : "x86-64");
+    std::printf("%s", c.toString().c_str());
+    std::printf("distinct trampolines:  %llu\n",
+                (unsigned long long)
+                    wb.distinctTrampolinesExecuted());
+    if (wb.core().skipUnit()) {
+        const auto &s = wb.core().skipUnit()->stats();
+        const auto total =
+            c.skippedTrampolines + c.trampolineJmps;
+        std::printf("skip rate:             %.1f%%\n",
+                    total ? 100.0 *
+                                double(c.skippedTrampolines) /
+                                double(total)
+                          : 0.0);
+        std::printf("store flushes:         %llu (%llu FP)\n",
+                    (unsigned long long)s.storeFlushes,
+                    (unsigned long long)s.falsePositiveFlushes);
+        std::printf("hardware bytes:        %llu\n",
+                    (unsigned long long)
+                        wb.core().skipUnit()->hardwareBytes());
+    }
+    return 0;
+}
+
+int
+cmdRecord(const Options &opt)
+{
+    auto mc = machineFor(opt);
+    mc.core.tracePath = opt.tracePath;
+    workload::Workbench wb(
+        workload::profileByName(opt.workload, opt.seed), mc);
+    // No warmup-discard: the trace must contain the lazy
+    // resolutions, as the paper's Pin collections did.
+    for (int i = 0; i < opt.requests; ++i)
+        wb.runRequest();
+    wb.core().closeTrace();
+    std::printf("recorded %d requests of %s to %s\n",
+                opt.requests, opt.workload.c_str(),
+                opt.tracePath.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Options &opt)
+{
+    trace::TraceReader reader(opt.tracePath);
+    if (!reader.good()) {
+        std::fprintf(stderr, "cannot read trace %s\n",
+                     opt.tracePath.c_str());
+        return 1;
+    }
+    core::SkipUnitParams params;
+    params.abtb.entries = opt.abtbEntries;
+    params.abtb.assoc = std::min(opt.abtbEntries, 4u);
+    if (opt.arm)
+        params.patternWindow = 2;
+    const auto r = trace::replaySkipUnit(reader, params);
+    std::printf("events %llu, controls %llu, stores %llu\n",
+                (unsigned long long)r.events,
+                (unsigned long long)r.controlTransfers,
+                (unsigned long long)r.stores);
+    std::printf("trampoline executions %llu, would skip %llu "
+                "(%.1f%%) with %u entries\n",
+                (unsigned long long)r.trampolineExecutions,
+                (unsigned long long)r.wouldSkip,
+                100.0 * r.skipRate(), params.abtb.entries);
+    return 0;
+}
+
+int
+cmdSweep(const Options &opt)
+{
+    trace::TraceReader reader(opt.tracePath);
+    if (!reader.good()) {
+        std::fprintf(stderr, "cannot read trace %s\n",
+                     opt.tracePath.c_str());
+        return 1;
+    }
+    std::printf("%8s %10s %12s\n", "entries", "bytes",
+                "skip rate");
+    for (std::uint32_t entries :
+         {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u,
+          1024u}) {
+        core::SkipUnitParams params;
+        params.abtb.entries = entries;
+        params.abtb.assoc = std::min(entries, 4u);
+        if (opt.arm)
+            params.patternWindow = 2;
+        const auto r = trace::replaySkipUnit(reader, params);
+        std::printf("%8u %10u %11.1f%%\n", entries, entries * 12,
+                    100.0 * r.skipRate());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parse(argc, argv, opt))
+        return usage();
+    try {
+        if (opt.command == "run")
+            return cmdRun(opt);
+        if (opt.command == "record")
+            return cmdRecord(opt);
+        if (opt.command == "replay")
+            return cmdReplay(opt);
+        if (opt.command == "sweep")
+            return cmdSweep(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Calibration harness: quick per-workload counter dump used while
+ * tuning profiles against the paper's Tables 2-4. For full
+ * experiments use dlsim_cli or the bench binaries.
+ *
+ * Usage: smoke <workload> [requests] [enhanced 0|1]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/engine.hh"
+#include "workload/profiles.hh"
+
+using namespace dlsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string profile = argc > 1 ? argv[1] : "apache";
+    const int requests = argc > 2 ? std::atoi(argv[2]) : 500;
+    const bool enhanced = argc > 3 && std::atoi(argv[3]) != 0;
+
+    workload::MachineConfig mc;
+    mc.enhanced = enhanced;
+    mc.profileTrampolines = true;
+
+    workload::Workbench wb(workload::profileByName(profile), mc);
+    wb.warmup(50);
+    for (int i = 0; i < requests; ++i)
+        wb.runRequest();
+
+    const auto c = wb.core().counters();
+    std::printf("%s %s\n", profile.c_str(),
+                enhanced ? "(enhanced)" : "(base)");
+    std::printf("insts            %llu\n",
+                (unsigned long long)c.instructions);
+    std::printf("cycles           %llu  IPC %.3f\n",
+                (unsigned long long)c.cycles, c.ipc());
+    std::printf("tramp PKI        %.2f\n", c.pki(c.trampolineInsts));
+    std::printf("tramp jmps PKI   %.2f\n", c.pki(c.trampolineJmps));
+    std::printf("skipped          %llu\n",
+                (unsigned long long)c.skippedTrampolines);
+    std::printf("distinct tramps  %llu\n",
+                (unsigned long long)
+                    wb.distinctTrampolinesExecuted());
+    std::printf("I$ miss PKI      %.2f\n", c.pki(c.l1iMisses));
+    std::printf("ITLB miss PKI    %.2f\n", c.pki(c.itlbMisses));
+    std::printf("D$ miss PKI      %.2f\n", c.pki(c.l1dMisses));
+    std::printf("DTLB miss PKI    %.2f\n", c.pki(c.dtlbMisses));
+    std::printf("mispred PKI      %.2f\n", c.pki(c.mispredicts));
+    std::printf("insts/request    %.0f\n",
+                (double)c.instructions / requests);
+    if (wb.core().skipUnit()) {
+        const auto &s = wb.core().skipUnit()->stats();
+        std::printf("subs %llu pops %llu storeFlush %llu\n",
+                    (unsigned long long)s.substitutions,
+                    (unsigned long long)s.populations,
+                    (unsigned long long)s.storeFlushes);
+    }
+    return 0;
+}
