@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arm.dir/ablation_arm.cc.o"
+  "CMakeFiles/ablation_arm.dir/ablation_arm.cc.o.d"
+  "ablation_arm"
+  "ablation_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_invalidation.dir/ablation_invalidation.cc.o"
+  "CMakeFiles/ablation_invalidation.dir/ablation_invalidation.cc.o.d"
+  "ablation_invalidation"
+  "ablation_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_trampoline_frequency.dir/fig4_trampoline_frequency.cc.o"
+  "CMakeFiles/fig4_trampoline_frequency.dir/fig4_trampoline_frequency.cc.o.d"
+  "fig4_trampoline_frequency"
+  "fig4_trampoline_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_trampoline_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_memcached_histogram.dir/fig7_memcached_histogram.cc.o"
+  "CMakeFiles/fig7_memcached_histogram.dir/fig7_memcached_histogram.cc.o.d"
+  "fig7_memcached_histogram"
+  "fig7_memcached_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memcached_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

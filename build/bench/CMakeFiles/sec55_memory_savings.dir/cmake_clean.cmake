@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_memory_savings.dir/sec55_memory_savings.cc.o"
+  "CMakeFiles/sec55_memory_savings.dir/sec55_memory_savings.cc.o.d"
+  "sec55_memory_savings"
+  "sec55_memory_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_memory_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_opportunity.dir/table2_opportunity.cc.o"
+  "CMakeFiles/table2_opportunity.dir/table2_opportunity.cc.o.d"
+  "table2_opportunity"
+  "table2_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_distinct_trampolines.dir/table3_distinct_trampolines.cc.o"
+  "CMakeFiles/table3_distinct_trampolines.dir/table3_distinct_trampolines.cc.o.d"
+  "table3_distinct_trampolines"
+  "table3_distinct_trampolines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_distinct_trampolines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

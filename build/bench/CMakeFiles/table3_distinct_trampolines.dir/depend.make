@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_distinct_trampolines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_microarch_counters.dir/table4_microarch_counters.cc.o"
+  "CMakeFiles/table4_microarch_counters.dir/table4_microarch_counters.cc.o.d"
+  "table4_microarch_counters"
+  "table4_microarch_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_microarch_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

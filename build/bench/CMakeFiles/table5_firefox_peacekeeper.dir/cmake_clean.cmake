@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_firefox_peacekeeper.dir/table5_firefox_peacekeeper.cc.o"
+  "CMakeFiles/table5_firefox_peacekeeper.dir/table5_firefox_peacekeeper.cc.o.d"
+  "table5_firefox_peacekeeper"
+  "table5_firefox_peacekeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_firefox_peacekeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

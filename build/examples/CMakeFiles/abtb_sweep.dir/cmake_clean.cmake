@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abtb_sweep.dir/abtb_sweep.cpp.o"
+  "CMakeFiles/abtb_sweep.dir/abtb_sweep.cpp.o.d"
+  "abtb_sweep"
+  "abtb_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abtb_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

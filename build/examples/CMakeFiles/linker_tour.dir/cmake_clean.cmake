@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linker_tour.dir/linker_tour.cpp.o"
+  "CMakeFiles/linker_tour.dir/linker_tour.cpp.o.d"
+  "linker_tour"
+  "linker_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linker_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithreaded_server.dir/multithreaded_server.cpp.o"
+  "CMakeFiles/multithreaded_server.dir/multithreaded_server.cpp.o.d"
+  "multithreaded_server"
+  "multithreaded_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefork_memory.dir/prefork_memory.cpp.o"
+  "CMakeFiles/prefork_memory.dir/prefork_memory.cpp.o.d"
+  "prefork_memory"
+  "prefork_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefork_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

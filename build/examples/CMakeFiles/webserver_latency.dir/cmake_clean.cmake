@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_latency.dir/webserver_latency.cpp.o"
+  "CMakeFiles/webserver_latency.dir/webserver_latency.cpp.o.d"
+  "webserver_latency"
+  "webserver_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("isa")
+subdirs("mem")
+subdirs("branch")
+subdirs("elf")
+subdirs("linker")
+subdirs("core")
+subdirs("trace")
+subdirs("cpu")
+subdirs("sim")
+subdirs("workload")

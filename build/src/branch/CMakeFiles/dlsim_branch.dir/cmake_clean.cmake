@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_branch.dir/btb.cc.o"
+  "CMakeFiles/dlsim_branch.dir/btb.cc.o.d"
+  "CMakeFiles/dlsim_branch.dir/direction.cc.o"
+  "CMakeFiles/dlsim_branch.dir/direction.cc.o.d"
+  "CMakeFiles/dlsim_branch.dir/indirect.cc.o"
+  "CMakeFiles/dlsim_branch.dir/indirect.cc.o.d"
+  "CMakeFiles/dlsim_branch.dir/predictor.cc.o"
+  "CMakeFiles/dlsim_branch.dir/predictor.cc.o.d"
+  "CMakeFiles/dlsim_branch.dir/ras.cc.o"
+  "CMakeFiles/dlsim_branch.dir/ras.cc.o.d"
+  "libdlsim_branch.a"
+  "libdlsim_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abtb.cc" "src/core/CMakeFiles/dlsim_core.dir/abtb.cc.o" "gcc" "src/core/CMakeFiles/dlsim_core.dir/abtb.cc.o.d"
+  "/root/repo/src/core/bloom_filter.cc" "src/core/CMakeFiles/dlsim_core.dir/bloom_filter.cc.o" "gcc" "src/core/CMakeFiles/dlsim_core.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/core/skip_unit.cc" "src/core/CMakeFiles/dlsim_core.dir/skip_unit.cc.o" "gcc" "src/core/CMakeFiles/dlsim_core.dir/skip_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dlsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

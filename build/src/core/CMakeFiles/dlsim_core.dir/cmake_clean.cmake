@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_core.dir/abtb.cc.o"
+  "CMakeFiles/dlsim_core.dir/abtb.cc.o.d"
+  "CMakeFiles/dlsim_core.dir/bloom_filter.cc.o"
+  "CMakeFiles/dlsim_core.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/dlsim_core.dir/skip_unit.cc.o"
+  "CMakeFiles/dlsim_core.dir/skip_unit.cc.o.d"
+  "libdlsim_core.a"
+  "libdlsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_cpu.dir/core.cc.o"
+  "CMakeFiles/dlsim_cpu.dir/core.cc.o.d"
+  "CMakeFiles/dlsim_cpu.dir/perf_counters.cc.o"
+  "CMakeFiles/dlsim_cpu.dir/perf_counters.cc.o.d"
+  "libdlsim_cpu.a"
+  "libdlsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

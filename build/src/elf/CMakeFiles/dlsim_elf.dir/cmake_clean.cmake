@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_elf.dir/builder.cc.o"
+  "CMakeFiles/dlsim_elf.dir/builder.cc.o.d"
+  "CMakeFiles/dlsim_elf.dir/module.cc.o"
+  "CMakeFiles/dlsim_elf.dir/module.cc.o.d"
+  "libdlsim_elf.a"
+  "libdlsim_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_isa.dir/instruction.cc.o"
+  "CMakeFiles/dlsim_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/dlsim_isa.dir/opcode.cc.o"
+  "CMakeFiles/dlsim_isa.dir/opcode.cc.o.d"
+  "libdlsim_isa.a"
+  "libdlsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

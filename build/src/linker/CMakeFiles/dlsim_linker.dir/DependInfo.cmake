@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linker/dynamic_linker.cc" "src/linker/CMakeFiles/dlsim_linker.dir/dynamic_linker.cc.o" "gcc" "src/linker/CMakeFiles/dlsim_linker.dir/dynamic_linker.cc.o.d"
+  "/root/repo/src/linker/image.cc" "src/linker/CMakeFiles/dlsim_linker.dir/image.cc.o" "gcc" "src/linker/CMakeFiles/dlsim_linker.dir/image.cc.o.d"
+  "/root/repo/src/linker/loader.cc" "src/linker/CMakeFiles/dlsim_linker.dir/loader.cc.o" "gcc" "src/linker/CMakeFiles/dlsim_linker.dir/loader.cc.o.d"
+  "/root/repo/src/linker/patcher.cc" "src/linker/CMakeFiles/dlsim_linker.dir/patcher.cc.o" "gcc" "src/linker/CMakeFiles/dlsim_linker.dir/patcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elf/CMakeFiles/dlsim_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dlsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dlsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

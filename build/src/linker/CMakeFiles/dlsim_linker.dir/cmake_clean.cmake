@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_linker.dir/dynamic_linker.cc.o"
+  "CMakeFiles/dlsim_linker.dir/dynamic_linker.cc.o.d"
+  "CMakeFiles/dlsim_linker.dir/image.cc.o"
+  "CMakeFiles/dlsim_linker.dir/image.cc.o.d"
+  "CMakeFiles/dlsim_linker.dir/loader.cc.o"
+  "CMakeFiles/dlsim_linker.dir/loader.cc.o.d"
+  "CMakeFiles/dlsim_linker.dir/patcher.cc.o"
+  "CMakeFiles/dlsim_linker.dir/patcher.cc.o.d"
+  "libdlsim_linker.a"
+  "libdlsim_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_mem.dir/address_space.cc.o"
+  "CMakeFiles/dlsim_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/dlsim_mem.dir/cache.cc.o"
+  "CMakeFiles/dlsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/dlsim_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/dlsim_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/dlsim_mem.dir/tlb.cc.o"
+  "CMakeFiles/dlsim_mem.dir/tlb.cc.o.d"
+  "libdlsim_mem.a"
+  "libdlsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlsim_mem.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_sim.dir/multicore.cc.o"
+  "CMakeFiles/dlsim_sim.dir/multicore.cc.o.d"
+  "CMakeFiles/dlsim_sim.dir/system.cc.o"
+  "CMakeFiles/dlsim_sim.dir/system.cc.o.d"
+  "libdlsim_sim.a"
+  "libdlsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_stats.dir/cdf.cc.o"
+  "CMakeFiles/dlsim_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/dlsim_stats.dir/histogram.cc.o"
+  "CMakeFiles/dlsim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dlsim_stats.dir/rng.cc.o"
+  "CMakeFiles/dlsim_stats.dir/rng.cc.o.d"
+  "CMakeFiles/dlsim_stats.dir/table.cc.o"
+  "CMakeFiles/dlsim_stats.dir/table.cc.o.d"
+  "libdlsim_stats.a"
+  "libdlsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_trace.dir/replay.cc.o"
+  "CMakeFiles/dlsim_trace.dir/replay.cc.o.d"
+  "CMakeFiles/dlsim_trace.dir/trace.cc.o"
+  "CMakeFiles/dlsim_trace.dir/trace.cc.o.d"
+  "libdlsim_trace.a"
+  "libdlsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_workload.dir/engine.cc.o"
+  "CMakeFiles/dlsim_workload.dir/engine.cc.o.d"
+  "CMakeFiles/dlsim_workload.dir/profiles.cc.o"
+  "CMakeFiles/dlsim_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/dlsim_workload.dir/program.cc.o"
+  "CMakeFiles/dlsim_workload.dir/program.cc.o.d"
+  "libdlsim_workload.a"
+  "libdlsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

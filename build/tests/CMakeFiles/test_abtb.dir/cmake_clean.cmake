@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abtb.dir/test_abtb.cc.o"
+  "CMakeFiles/test_abtb.dir/test_abtb.cc.o.d"
+  "test_abtb"
+  "test_abtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

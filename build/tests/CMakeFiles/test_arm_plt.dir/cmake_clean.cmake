@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arm_plt.dir/test_arm_plt.cc.o"
+  "CMakeFiles/test_arm_plt.dir/test_arm_plt.cc.o.d"
+  "test_arm_plt"
+  "test_arm_plt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arm_plt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

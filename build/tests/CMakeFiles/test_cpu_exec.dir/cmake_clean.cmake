@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_exec.dir/test_cpu_exec.cc.o"
+  "CMakeFiles/test_cpu_exec.dir/test_cpu_exec.cc.o.d"
+  "test_cpu_exec"
+  "test_cpu_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

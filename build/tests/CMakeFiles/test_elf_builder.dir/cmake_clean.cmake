@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elf_builder.dir/test_elf_builder.cc.o"
+  "CMakeFiles/test_elf_builder.dir/test_elf_builder.cc.o.d"
+  "test_elf_builder"
+  "test_elf_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elf_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/test_hierarchy.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/test_hierarchy.dir/test_hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dlsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/dlsim_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/dlsim_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dlsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dlsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dlsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patcher.dir/test_patcher.cc.o"
+  "CMakeFiles/test_patcher.dir/test_patcher.cc.o.d"
+  "test_patcher"
+  "test_patcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

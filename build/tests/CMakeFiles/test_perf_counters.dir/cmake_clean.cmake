@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_counters.dir/test_perf_counters.cc.o"
+  "CMakeFiles/test_perf_counters.dir/test_perf_counters.cc.o.d"
+  "test_perf_counters"
+  "test_perf_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skip_integration.dir/test_skip_integration.cc.o"
+  "CMakeFiles/test_skip_integration.dir/test_skip_integration.cc.o.d"
+  "test_skip_integration"
+  "test_skip_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skip_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

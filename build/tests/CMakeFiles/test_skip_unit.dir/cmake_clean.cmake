@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skip_unit.dir/test_skip_unit.cc.o"
+  "CMakeFiles/test_skip_unit.dir/test_skip_unit.cc.o.d"
+  "test_skip_unit"
+  "test_skip_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skip_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_cli.dir/dlsim_cli.cc.o"
+  "CMakeFiles/dlsim_cli.dir/dlsim_cli.cc.o.d"
+  "dlsim_cli"
+  "dlsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
