@@ -16,10 +16,11 @@ using namespace dlsim;
 using namespace dlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation — x86-64 vs ARM trampoline style",
            "Section 2 (Fig. 2), Section 1 (cross-ISA claim)");
+    JsonOut json("ablation_arm", argc, argv);
 
     const auto wl = workload::apacheProfile();
     stats::TablePrinter t({"Style", "Arm", "Tramp insts PKI",
@@ -37,6 +38,15 @@ main()
 
         const auto b = runArm(wl, base, 150, 500);
         const auto e = runArm(wl, enh, 150, 500);
+
+        json.add(std::string(name) + ".base", b,
+                 {{"workload", "apache"},
+                  {"machine", "base"},
+                  {"plt_style", name}});
+        json.add(std::string(name) + ".enhanced", e,
+                 {{"workload", "apache"},
+                  {"machine", "enhanced"},
+                  {"plt_style", name}});
 
         const auto total = e.counters.skippedTrampolines +
                            e.counters.trampolineJmps;
@@ -62,5 +72,5 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("expected: ARM base pays ~3x the trampoline "
                 "instructions, so elision gains more\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -17,10 +17,11 @@ using namespace dlsim;
 using namespace dlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation — bloom filter sizing vs skip rate",
            "Section 3.1 (sizing unspecified in the paper)");
+    JsonOut json("ablation_bloom", argc, argv);
 
     const auto wl = workload::apacheProfile();
     stats::TablePrinter t({"Bloom bits", "Bytes", "Hashes",
@@ -49,6 +50,14 @@ main()
 
         const auto c = wb.core().counters();
         const auto &s = wb.core().skipUnit()->stats();
+        auto &run = json.addRun("bloom" +
+                                std::to_string(cfg.bits) + "x" +
+                                std::to_string(cfg.hashes));
+        run.with("workload", "apache")
+            .with("machine", "enhanced")
+            .with("bloom_bits", std::to_string(cfg.bits))
+            .with("bloom_hashes", std::to_string(cfg.hashes));
+        wb.reportMetrics(run.registry, "dlsim");
         const auto total =
             c.skippedTrampolines + c.trampolineJmps;
         t.addRow({stats::TablePrinter::num(
@@ -69,5 +78,5 @@ main()
                 "the mechanism's benefit — a sizing constraint "
                 "the paper's software emulation could not "
                 "observe\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -23,13 +23,22 @@ namespace
 {
 
 double
-gain(const workload::WorkloadParams &wl,
+gain(JsonOut &json, const std::string &variant,
+     const workload::WorkloadParams &wl,
      const workload::MachineConfig &base_mc)
 {
     auto enh_mc = base_mc;
     enh_mc.enhanced = true;
     const auto b = runArm(wl, base_mc, 150, 450);
     const auto e = runArm(wl, enh_mc, 150, 450);
+    json.add(variant + ".base", b,
+             {{"workload", "apache"},
+              {"machine", "base"},
+              {"frontend", variant}});
+    json.add(variant + ".enhanced", e,
+             {{"workload", "apache"},
+              {"machine", "enhanced"},
+              {"frontend", variant}});
     return 100.0 *
            (double(b.counters.cycles) - double(e.counters.cycles)) /
            double(b.counters.cycles);
@@ -38,10 +47,11 @@ gain(const workload::WorkloadParams &wl,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation — front-end strength vs mechanism benefit",
            "Sections 2.2 and 6 (related work)");
+    JsonOut json("ablation_frontend", argc, argv);
 
     const auto wl = workload::apacheProfile();
 
@@ -50,27 +60,32 @@ main()
         workload::MachineConfig mc;
         mc.core.predictor.direction = dir;
         t.addRow({std::string("direction: ") + dir,
-                  stats::TablePrinter::num(gain(wl, mc), 2) +
+                  stats::TablePrinter::num(
+                      gain(json, dir, wl, mc), 2) +
                       "%"});
     }
     {
         workload::MachineConfig mc;
         mc.core.mem.iPrefetchNextLine = true;
         t.addRow({"next-line I-prefetch",
-                  stats::TablePrinter::num(gain(wl, mc), 2) +
+                  stats::TablePrinter::num(
+                      gain(json, "next_line_prefetch", wl, mc),
+                      2) +
                       "%"});
     }
     {
         workload::MachineConfig mc;
         mc.core.predictor.indirect.enabled = true;
         t.addRow({"VPC-style indirect target cache",
-                  stats::TablePrinter::num(gain(wl, mc), 2) +
+                  stats::TablePrinter::num(
+                      gain(json, "indirect_cache", wl, mc), 2) +
                       "%"});
     }
     {
         workload::MachineConfig mc;
         t.addRow({"baseline (gshare, no prefetch)",
-                  stats::TablePrinter::num(gain(wl, mc), 2) +
+                  stats::TablePrinter::num(
+                      gain(json, "baseline", wl, mc), 2) +
                       "%"});
     }
     std::printf("%s\n", t.render().c_str());
@@ -78,5 +93,5 @@ main()
                 "prediction and next-line prefetching — trampoline "
                 "costs are not mispredicts or sequential-miss "
                 "costs\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

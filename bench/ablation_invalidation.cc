@@ -28,11 +28,12 @@ struct Variant
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation — invalidation scheme (bloom vs explicit) "
            "and ASID retention",
            "Sections 3.3 and 3.4");
+    JsonOut json("ablation_invalidation", argc, argv);
 
     const Variant variants[] = {
         {"bloom filter (default)", false, false},
@@ -55,6 +56,13 @@ main()
 
         const auto c = wb.core().counters();
         const auto &s = wb.core().skipUnit()->stats();
+        auto &run = json.addRun(v.name);
+        run.with("workload", "apache")
+            .with("machine", "enhanced")
+            .with("explicit_invalidation",
+                  v.explicitInval ? "1" : "0")
+            .with("asid_retention", v.asidRetention ? "1" : "0");
+        wb.reportMetrics(run.registry, "dlsim");
         const auto total =
             c.skippedTrampolines + c.trampolineJmps;
         t.addRow({v.name,
@@ -73,5 +81,5 @@ main()
                 "explicit variant trades the bloom filter's bytes "
                 "for an architecturally visible flush "
                 "instruction\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -20,13 +20,22 @@ namespace
 {
 
 double
-gainFor(const workload::MachineConfig &base_mc)
+gainFor(JsonOut &json, const std::string &variant,
+        const workload::MachineConfig &base_mc)
 {
     const auto wl = workload::apacheProfile();
     auto enh_mc = base_mc;
     enh_mc.enhanced = true;
     const auto b = runArm(wl, base_mc, 120, 400);
     const auto e = runArm(wl, enh_mc, 120, 400);
+    json.add(variant + ".base", b,
+             {{"workload", "apache"},
+              {"machine", "base"},
+              {"variation", variant}});
+    json.add(variant + ".enhanced", e,
+             {{"workload", "apache"},
+              {"machine", "enhanced"},
+              {"variation", variant}});
     return 100.0 *
            (double(b.counters.cycles) - double(e.counters.cycles)) /
            double(b.counters.cycles);
@@ -35,10 +44,11 @@ gainFor(const workload::MachineConfig &base_mc)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation — machine sensitivity of the benefit",
            "Section 5.4 (single-machine result, generalised)");
+    JsonOut json("ablation_machine", argc, argv);
 
     stats::TablePrinter t({"Machine variation", "Cycle gain"});
 
@@ -46,24 +56,39 @@ main()
         workload::MachineConfig mc;
         mc.core.issueWidth = width;
         t.addRow({"issue width " + std::to_string(width),
-                  stats::TablePrinter::num(gainFor(mc), 2) + "%"});
+                  stats::TablePrinter::num(
+                      gainFor(json,
+                              "width" + std::to_string(width),
+                              mc),
+                      2) +
+                      "%"});
     }
     for (std::uint32_t penalty : {8u, 15u, 25u}) {
         workload::MachineConfig mc;
         mc.core.mispredictPenalty = penalty;
         t.addRow({"mispredict penalty " + std::to_string(penalty),
-                  stats::TablePrinter::num(gainFor(mc), 2) + "%"});
+                  stats::TablePrinter::num(
+                      gainFor(json,
+                              "penalty" + std::to_string(penalty),
+                              mc),
+                      2) +
+                      "%"});
     }
     for (std::uint32_t lat : {120u, 220u, 400u}) {
         workload::MachineConfig mc;
         mc.core.mem.memLatency = lat;
         t.addRow({"memory latency " + std::to_string(lat),
-                  stats::TablePrinter::num(gainFor(mc), 2) + "%"});
+                  stats::TablePrinter::num(
+                      gainFor(json,
+                              "memlat" + std::to_string(lat),
+                              mc),
+                      2) +
+                      "%"});
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("expected: benefit grows with issue width (the "
                 "taken-branch bubble and per-trampoline misses "
                 "cost a larger share of a wide machine's "
                 "cycles)\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

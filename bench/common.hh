@@ -16,10 +16,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stats/cdf.hh"
 #include "stats/histogram.hh"
+#include "stats/metrics.hh"
 #include "stats/table.hh"
 #include "workload/engine.hh"
 #include "workload/profiles.hh"
@@ -37,6 +39,9 @@ struct ArmResult
     std::uint64_t distinctTrampolines = 0;
     /** Skip-unit stats (enhanced arms only). */
     core::SkipUnitStats skipStats;
+    /** Full metrics snapshot (dlsim.* namespace), including
+     *  per-request-kind latency histograms. */
+    stats::MetricsRegistry registry;
 };
 
 /** Run one arm of an experiment. */
@@ -59,8 +64,79 @@ runArm(const workload::WorkloadParams &wl,
             wb.distinctTrampolinesExecuted();
     if (wb.core().skipUnit())
         result.skipStats = wb.core().skipUnit()->stats();
+    wb.reportMetrics(result.registry, "dlsim");
+    for (std::size_t k = 0; k < result.latency.size(); ++k) {
+        result.registry.histogram("dlsim.workload.latency." +
+                                      wl.requests[k].name,
+                                  result.latency[k]);
+    }
     return result;
 }
+
+/**
+ * `--json-out <path>` handling shared by every bench binary.
+ *
+ * Runs are collected unconditionally (snapshots are cheap relative
+ * to simulation) but the document is only written when the flag was
+ * given. All JsonOut messages go to stderr, so the human-readable
+ * stdout tables are byte-identical with or without the flag.
+ */
+class JsonOut
+{
+  public:
+    JsonOut(const char *tool, int argc, char **argv) : doc_(tool)
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == "--json-out" &&
+                i + 1 < argc) {
+                path_ = argv[i + 1];
+                ++i;
+            }
+        }
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record one measured arm under `name`. */
+    void
+    add(const std::string &name, const ArmResult &result,
+        std::vector<std::pair<std::string, std::string>> context =
+            {})
+    {
+        auto &run = doc_.addRun(name);
+        run.context = std::move(context);
+        run.registry = result.registry;
+    }
+
+    /** Record a run filled by the caller (non-runArm benches). */
+    stats::MetricsRun &
+    addRun(const std::string &name)
+    {
+        return doc_.addRun(name);
+    }
+
+    /**
+     * Write the document if --json-out was given.
+     * @return False on I/O failure (diagnostic on stderr).
+     */
+    bool
+    write() const
+    {
+        if (path_.empty())
+            return true;
+        std::string error;
+        if (!doc_.writeFile(path_, &error)) {
+            std::fprintf(stderr, "json-out: %s\n", error.c_str());
+            return false;
+        }
+        std::fprintf(stderr, "json-out: wrote %s\n", path_.c_str());
+        return true;
+    }
+
+  private:
+    stats::MetricsDocument doc_;
+    std::string path_;
+};
 
 /** Convenience: base-machine arm. */
 inline workload::MachineConfig

@@ -19,13 +19,19 @@ namespace
 {
 
 std::vector<std::uint64_t>
-censusCounts(const char *profile, int requests)
+censusCounts(JsonOut &json, const char *profile, int requests)
 {
     auto mc = baseMachine();
     mc.profileTrampolines = true;
     workload::Workbench wb(workload::profileByName(profile), mc);
     for (int i = 0; i < requests; ++i)
         wb.runRequest();
+
+    auto &run = json.addRun(profile);
+    run.with("workload", profile)
+        .with("machine", "base")
+        .with("requests", std::to_string(requests));
+    wb.reportMetrics(run.registry, "dlsim");
 
     std::vector<std::uint64_t> counts;
     counts.reserve(wb.core().trampolineCounts().size());
@@ -38,15 +44,16 @@ censusCounts(const char *profile, int requests)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 4 — trampoline frequency by rank (log-log)",
            "Section 5.1, Figure 4");
+    JsonOut json("fig4_trampoline_frequency", argc, argv);
 
     const char *profiles[] = {"apache", "firefox", "memcached"};
     std::vector<std::vector<std::uint64_t>> all;
     for (const auto *p : profiles)
-        all.push_back(censusCounts(p, 900));
+        all.push_back(censusCounts(json, p, 900));
 
     // Print log-spaced ranks, as the paper's log-log axes do.
     stats::TablePrinter table({"Rank", "apache", "firefox",
@@ -86,5 +93,5 @@ main()
                         i == 1 ? "  (expected shallowest)" : "");
         }
     }
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -18,8 +18,8 @@ namespace
 {
 
 double
-skipRate(const char *profile, std::uint32_t entries, int warmup,
-         int requests)
+skipRate(JsonOut &json, const char *profile, std::uint32_t entries,
+         int warmup, int requests)
 {
     workload::MachineConfig mc = enhancedMachine();
     mc.abtbEntries = entries;
@@ -29,18 +29,29 @@ skipRate(const char *profile, std::uint32_t entries, int warmup,
                             warmup, requests);
     const auto &c = arm.counters;
     const auto total = c.skippedTrampolines + c.trampolineJmps;
-    return total == 0 ? 0.0
-                      : 100.0 * double(c.skippedTrampolines) /
-                            double(total);
+    const double rate =
+        total == 0 ? 0.0
+                   : 100.0 * double(c.skippedTrampolines) /
+                         double(total);
+
+    json.add(std::string(profile) + ".entries" +
+                 std::to_string(entries),
+             arm,
+             {{"workload", profile},
+              {"machine", "enhanced"},
+              {"abtb_entries", std::to_string(entries)},
+              {"requests", std::to_string(requests)}});
+    return rate;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 5 — trampolines skipped vs ABTB size",
            "Sections 5.3, Figure 5");
+    JsonOut json("fig5_abtb_sweep", argc, argv);
 
     // Firefox lazily binds thousands of symbols; each first call
     // ends in a GOT store that flushes the ABTB ("once per library
@@ -60,7 +71,7 @@ main()
             std::to_string(entries * core::AbtbEntryBytes)};
         for (int i = 0; i < 3; ++i) {
             row.push_back(stats::TablePrinter::num(
-                              skipRate(profiles[i], entries,
+                              skipRate(json, profiles[i], entries,
                                        warmups[i], requests[i]),
                               1) +
                           "%");
@@ -72,5 +83,5 @@ main()
                 "workloads;\n");
     std::printf("       256 entries skip nearly all actively "
                 "used trampolines.\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

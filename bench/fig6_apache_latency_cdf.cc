@@ -14,7 +14,7 @@ using namespace dlsim;
 using namespace dlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 6 — Apache request latency CDFs, "
            "base vs enhanced",
@@ -24,6 +24,16 @@ main()
     constexpr int Warmup = 250, Requests = 3000;
     auto base = runArm(wl, baseMachine(), Warmup, Requests);
     auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+
+    JsonOut json("fig6_apache_latency_cdf", argc, argv);
+    json.add("apache.base", base,
+             {{"workload", "apache"},
+              {"machine", "base"},
+              {"requests", std::to_string(Requests)}});
+    json.add("apache.enhanced", enh,
+             {{"workload", "apache"},
+              {"machine", "enhanced"},
+              {"requests", std::to_string(Requests)}});
 
     double mean_imp_sum = 0;
     for (std::size_t k = 0; k < wl.requests.size(); ++k) {
@@ -59,5 +69,5 @@ main()
                 mean_imp_sum / double(wl.requests.size()));
     std::printf("paper: up to 4%% improvement in average response "
                 "time, tails unaffected\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

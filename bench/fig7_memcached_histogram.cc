@@ -15,7 +15,7 @@ using namespace dlsim;
 using namespace dlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 7 — Memcached GET/SET processing-time "
            "histograms",
@@ -25,6 +25,16 @@ main()
     constexpr int Warmup = 200, Requests = 4000;
     auto base = runArm(wl, baseMachine(), Warmup, Requests);
     auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+
+    JsonOut json("fig7_memcached_histogram", argc, argv);
+    json.add("memcached.base", base,
+             {{"workload", "memcached"},
+              {"machine", "base"},
+              {"requests", std::to_string(Requests)}});
+    json.add("memcached.enhanced", enh,
+             {{"workload", "memcached"},
+              {"machine", "enhanced"},
+              {"requests", std::to_string(Requests)}});
 
     for (std::size_t k = 0; k < wl.requests.size(); ++k) {
         auto &b = base.latency[k];
@@ -70,5 +80,5 @@ main()
     }
     std::printf("paper: enhanced peaks shifted left for both GET "
                 "and SET\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -18,7 +18,7 @@ using namespace dlsim;
 using namespace dlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 8 / Table 6 — MySQL request latency, "
            "base vs enhanced",
@@ -28,6 +28,16 @@ main()
     constexpr int Warmup = 200, Requests = 2500;
     auto base = runArm(wl, baseMachine(), Warmup, Requests);
     auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+
+    JsonOut json("fig8_mysql_latency", argc, argv);
+    json.add("mysql.base", base,
+             {{"workload", "mysql"},
+              {"machine", "base"},
+              {"requests", std::to_string(Requests)}});
+    json.add("mysql.enhanced", enh,
+             {{"workload", "mysql"},
+              {"machine", "enhanced"},
+              {"requests", std::to_string(Requests)}});
 
     const double paper[2][4][2] = {
         {{43.5, 43.0}, {57.3, 56.9}, {72.8, 72.3}, {87.1, 86.8}},
@@ -76,5 +86,5 @@ main()
     }
     std::printf("expected shape: base needs more time than "
                 "enhanced at every percentile\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "branch/btb.hh"
 #include "core/abtb.hh"
 #include "core/bloom_filter.hh"
@@ -126,3 +129,39 @@ BENCHMARK(BM_SimulatedInstructionThroughput)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Custom main: accept the repo-wide `--json-out <path>` spelling by
+ * translating it into google-benchmark's own JSON reporter flags
+ * before Initialize() parses the command line. Other arguments pass
+ * through untouched.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    args.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json-out" && i + 1 < argc) {
+            args.emplace_back(std::string("--benchmark_out=") +
+                              argv[i + 1]);
+            args.emplace_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            args.emplace_back(argv[i]);
+        }
+    }
+    std::vector<char *> cargs;
+    cargs.reserve(args.size());
+    for (auto &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

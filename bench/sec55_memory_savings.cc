@@ -67,14 +67,34 @@ runPrefork(bool software_patching, int workers)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Section 5.5 — prefork memory savings",
            "Section 5.5");
+    JsonOut json("sec55_memory_savings", argc, argv);
 
     constexpr int Workers = 32;
     const auto sw = runPrefork(true, Workers);
     const auto hw = runPrefork(false, Workers);
+
+    auto record = [&](const char *name, const ServerResult &r,
+                      const char *machine) {
+        auto &run = json.addRun(name);
+        run.with("workload", "apache")
+            .with("machine", machine)
+            .with("workers", std::to_string(Workers));
+        run.registry.counter("dlsim.prefork.text_cow_copies",
+                             r.memory.textCowCopies);
+        run.registry.counter("dlsim.prefork.sites_patched",
+                             r.sitesPatched);
+        run.registry.counter("dlsim.prefork.pages_per_process",
+                             r.pagesPerProcess);
+        run.registry.gauge("dlsim.prefork.mb_wasted",
+                           double(r.memory.textCowCopies) * 4096 /
+                               (1 << 20));
+    };
+    record("software_patching", sw, "base");
+    record("proposed_hardware", hw, "enhanced");
 
     stats::TablePrinter t({"Approach", "Text pages copied",
                            "MB wasted", "KB/process",
@@ -106,5 +126,5 @@ main()
                 busy_server_gb);
     std::printf("hardware approach: zero text pages copied — all "
                 "code stays COW-shared\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -13,10 +13,11 @@ using namespace dlsim;
 using namespace dlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Table 2 — trampoline instructions PKI",
            "Section 5.1, Table 2");
+    JsonOut json("table2_opportunity", argc, argv);
 
     struct Row
     {
@@ -38,6 +39,10 @@ main()
             runArm(workload::profileByName(row.name),
                    baseMachine(), 120, row.requests);
         const auto &c = arm.counters;
+        json.add(row.name, arm,
+                 {{"workload", row.name},
+                  {"machine", "base"},
+                  {"requests", std::to_string(row.requests)}});
         table.addRow(
             {row.name,
              stats::TablePrinter::num(c.pki(c.trampolineInsts)),
@@ -48,5 +53,5 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("expected shape: apache >> mysql > memcached > "
                 "firefox\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -15,10 +15,11 @@ using namespace dlsim;
 using namespace dlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Table 3 — distinct trampolines executed",
            "Section 5.1, Table 3");
+    JsonOut json("table3_distinct_trampolines", argc, argv);
 
     struct Row
     {
@@ -45,6 +46,11 @@ main()
         // including startup, as the paper's Pin run did.
         for (int i = 0; i < row.requests; ++i)
             wb.runRequest();
+        auto &run = json.addRun(row.name);
+        run.with("workload", row.name)
+            .with("machine", "base")
+            .with("requests", std::to_string(row.requests));
+        wb.reportMetrics(run.registry, "dlsim");
         table.addRow(
             {row.name,
              stats::TablePrinter::num(
@@ -56,5 +62,5 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("expected shape: firefox > mysql > apache >> "
                 "memcached\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -29,11 +29,12 @@ struct PaperRow
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Table 4 — microarchitectural counters PKI, "
            "base vs enhanced",
            "Section 5.2, Table 4");
+    JsonOut json("table4_microarch_counters", argc, argv);
 
     const PaperRow rows[] = {
         {"apache", 109.31, 104.22, 1.78, 1.18, 7.96, 7.56, 4.03,
@@ -54,6 +55,15 @@ main()
             runArm(wl, enhancedMachine(), 150, row.requests);
         const auto &b = base.counters;
         const auto &e = enh.counters;
+
+        json.add(std::string(row.name) + ".base", base,
+                 {{"workload", row.name},
+                  {"machine", "base"},
+                  {"requests", std::to_string(row.requests)}});
+        json.add(std::string(row.name) + ".enhanced", enh,
+                 {{"workload", row.name},
+                  {"machine", "enhanced"},
+                  {"requests", std::to_string(row.requests)}});
 
         std::printf("--- %s ---\n", row.name);
         stats::TablePrinter t({"Counter PKI", "Base", "Enhanced",
@@ -85,5 +95,5 @@ main()
                     100.0 * (double(b.cycles) - double(e.cycles)) /
                         double(b.cycles));
     }
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -24,7 +24,7 @@ constexpr double GHz = 3.0e9;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Table 5 — Firefox Peacekeeper scores, "
            "base vs enhanced",
@@ -34,6 +34,16 @@ main()
     constexpr int Warmup = 80, Requests = 1200;
     auto base = runArm(wl, baseMachine(), Warmup, Requests);
     auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+
+    JsonOut json("table5_firefox_peacekeeper", argc, argv);
+    json.add("firefox.base", base,
+             {{"workload", "firefox"},
+              {"machine", "base"},
+              {"requests", std::to_string(Requests)}});
+    json.add("firefox.enhanced", enh,
+             {{"workload", "firefox"},
+              {"machine", "enhanced"},
+              {"requests", std::to_string(Requests)}});
 
     struct PaperRow
     {
@@ -70,5 +80,5 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("expected shape: every category improves "
                 "(paper: +0.8%% to +2.7%%)\n");
-    return 0;
+    return json.write() ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "stats/metrics.hh"
+
 namespace dlsim::branch
 {
 
@@ -31,12 +33,26 @@ Btb::lookup(Addr pc)
     return std::nullopt;
 }
 
+Btb::Entry *
+Btb::findVictim(std::size_t set)
+{
+    Entry *base = &entries_[set * params_.assoc];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (!e.valid)
+            return &e; // first invalid entry, deterministically
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    return victim;
+}
+
 void
 Btb::update(Addr pc, Addr target)
 {
     ++tick_;
     Entry *base = &entries_[setOf(pc) * params_.assoc];
-    Entry *victim = base;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
         Entry &e = base[w];
         if (e.valid && e.pc == pc) {
@@ -44,12 +60,10 @@ Btb::update(Addr pc, Addr target)
             e.lastUse = tick_;
             return;
         }
-        if (!e.valid) {
-            victim = &e;
-        } else if (victim->valid && e.lastUse < victim->lastUse) {
-            victim = &e;
-        }
     }
+    Entry *victim = findVictim(setOf(pc));
+    if (victim->valid)
+        ++evictions_;
     victim->valid = true;
     victim->pc = pc;
     victim->target = target;
@@ -71,6 +85,16 @@ Btb::invalidateAll()
 {
     for (auto &e : entries_)
         e.valid = false;
+}
+
+void
+Btb::reportMetrics(stats::MetricsRegistry &reg,
+                   const std::string &prefix) const
+{
+    reg.counter(prefix + ".lookups", lookups_);
+    reg.counter(prefix + ".hits", hits_);
+    reg.counter(prefix + ".misses", misses());
+    reg.counter(prefix + ".evictions", evictions_);
 }
 
 } // namespace dlsim::branch

@@ -14,9 +14,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "isa/instruction.hh"
+
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
 
 namespace dlsim::branch
 {
@@ -51,7 +57,12 @@ class Btb
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return lookups_ - hits_; }
-    void clearStats() { lookups_ = hits_ = 0; }
+    std::uint64_t evictions() const { return evictions_; }
+    void clearStats() { lookups_ = hits_ = evictions_ = 0; }
+
+    /** Register lookup/hit/miss/eviction counters under `prefix`. */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Entry
@@ -61,6 +72,9 @@ class Btb
         bool valid = false;
         std::uint64_t lastUse = 0;
     };
+
+    /** First invalid entry in the set, else first LRU-minimal one. */
+    Entry *findVictim(std::size_t set);
 
     std::size_t setOf(Addr pc) const
     {
@@ -73,6 +87,7 @@ class Btb
     std::uint64_t tick_ = 0;
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace dlsim::branch

@@ -4,8 +4,23 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "stats/metrics.hh"
+
 namespace dlsim::branch
 {
+
+void
+DirectionPredictor::reportMetrics(stats::MetricsRegistry &reg,
+                                  const std::string &prefix) const
+{
+    reg.counter(prefix + ".predictions", predictions_);
+    reg.counter(prefix + ".mispredicts", mispredicts_);
+    reg.gauge(prefix + ".mispredict_rate",
+              predictions_ == 0
+                  ? 0.0
+                  : static_cast<double>(mispredicts_) /
+                        static_cast<double>(predictions_));
+}
 
 namespace
 {
@@ -29,20 +44,20 @@ BimodalPredictor::BimodalPredictor(std::size_t entries)
 }
 
 bool
-BimodalPredictor::predict(Addr pc)
+BimodalPredictor::doPredict(Addr pc)
 {
     return table_[indexOf(pc)] >= 2;
 }
 
 void
-BimodalPredictor::update(Addr pc, bool taken)
+BimodalPredictor::doUpdate(Addr pc, bool taken)
 {
     auto &c = table_[indexOf(pc)];
     c = bump(c, taken);
 }
 
 void
-BimodalPredictor::reset()
+BimodalPredictor::doReset()
 {
     std::fill(table_.begin(), table_.end(), WeaklyNotTaken);
 }
@@ -57,13 +72,13 @@ GsharePredictor::GsharePredictor(std::size_t entries,
 }
 
 bool
-GsharePredictor::predict(Addr pc)
+GsharePredictor::doPredict(Addr pc)
 {
     return table_[indexOf(pc)] >= 2;
 }
 
 void
-GsharePredictor::update(Addr pc, bool taken)
+GsharePredictor::doUpdate(Addr pc, bool taken)
 {
     auto &c = table_[indexOf(pc)];
     c = bump(c, taken);
@@ -71,7 +86,7 @@ GsharePredictor::update(Addr pc, bool taken)
 }
 
 void
-GsharePredictor::reset()
+GsharePredictor::doReset()
 {
     std::fill(table_.begin(), table_.end(), WeaklyNotTaken);
     history_ = 0;
@@ -86,7 +101,7 @@ TournamentPredictor::TournamentPredictor(std::size_t entries,
 }
 
 bool
-TournamentPredictor::predict(Addr pc)
+TournamentPredictor::doPredict(Addr pc)
 {
     const bool use_gshare = chooser_[chooserIndex(pc)] >= 2;
     return use_gshare ? gshare_.predict(pc)
@@ -94,7 +109,7 @@ TournamentPredictor::predict(Addr pc)
 }
 
 void
-TournamentPredictor::update(Addr pc, bool taken)
+TournamentPredictor::doUpdate(Addr pc, bool taken)
 {
     const bool b = bimodal_.predict(pc) == taken;
     const bool g = gshare_.predict(pc) == taken;
@@ -109,7 +124,7 @@ TournamentPredictor::update(Addr pc, bool taken)
 }
 
 void
-TournamentPredictor::reset()
+TournamentPredictor::doReset()
 {
     bimodal_.reset();
     gshare_.reset();

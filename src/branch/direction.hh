@@ -20,25 +20,70 @@
 
 #include "isa/instruction.hh"
 
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
+
 namespace dlsim::branch
 {
 
 using isa::Addr;
 
-/** Interface for direction predictors. */
+/**
+ * Interface for direction predictors.
+ *
+ * The public predict/update/reset entry points are non-virtual
+ * counting wrappers (predictions, mispredicts) around the protected
+ * doPredict/doUpdate/doReset hooks that concrete schemes implement,
+ * so every scheme gets identical accounting for free.
+ */
 class DirectionPredictor
 {
   public:
     virtual ~DirectionPredictor() = default;
 
     /** Predict taken/not-taken for the conditional branch at pc. */
-    virtual bool predict(Addr pc) = 0;
+    bool
+    predict(Addr pc)
+    {
+        ++predictions_;
+        return doPredict(pc);
+    }
 
-    /** Train with the resolved direction. */
-    virtual void update(Addr pc, bool taken) = 0;
+    /**
+     * Train with the resolved direction. Re-derives the prediction
+     * first to classify the outcome as a mispredict; callers train
+     * immediately after predicting the same branch, so the table
+     * state still matches prediction time.
+     */
+    void
+    update(Addr pc, bool taken)
+    {
+        if (doPredict(pc) != taken)
+            ++mispredicts_;
+        doUpdate(pc, taken);
+    }
 
-    /** Reset all state. */
-    virtual void reset() = 0;
+    /** Reset all predictor state (statistics survive). */
+    void reset() { doReset(); }
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    void clearStats() { predictions_ = mispredicts_ = 0; }
+
+    /** Register prediction/mispredict counters under `prefix`. */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
+  protected:
+    virtual bool doPredict(Addr pc) = 0;
+    virtual void doUpdate(Addr pc, bool taken) = 0;
+    virtual void doReset() = 0;
+
+  private:
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredicts_ = 0;
 };
 
 /** Table of 2-bit saturating counters indexed by pc. */
@@ -48,9 +93,10 @@ class BimodalPredictor : public DirectionPredictor
     /** @param entries Table size; must be a power of two. */
     explicit BimodalPredictor(std::size_t entries = 16384);
 
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
-    void reset() override;
+  protected:
+    bool doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken) override;
+    void doReset() override;
 
   private:
     std::size_t indexOf(Addr pc) const
@@ -73,9 +119,10 @@ class GsharePredictor : public DirectionPredictor
     explicit GsharePredictor(std::size_t entries = 16384,
                              std::uint32_t historyBits = 12);
 
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
-    void reset() override;
+  protected:
+    bool doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken) override;
+    void doReset() override;
 
   private:
     std::size_t indexOf(Addr pc) const
@@ -100,9 +147,10 @@ class TournamentPredictor : public DirectionPredictor
     explicit TournamentPredictor(std::size_t entries = 16384,
                                  std::uint32_t historyBits = 12);
 
-    bool predict(Addr pc) override;
-    void update(Addr pc, bool taken) override;
-    void reset() override;
+  protected:
+    bool doPredict(Addr pc) override;
+    void doUpdate(Addr pc, bool taken) override;
+    void doReset() override;
 
   private:
     std::size_t chooserIndex(Addr pc) const

@@ -97,4 +97,21 @@ BranchPredictor::contextSwitch()
     indirect_.reset();
 }
 
+void
+BranchPredictor::clearStats()
+{
+    btb_.clearStats();
+    direction_->clearStats();
+    ras_.clearStats();
+}
+
+void
+BranchPredictor::reportMetrics(stats::MetricsRegistry &reg,
+                               const std::string &prefix) const
+{
+    btb_.reportMetrics(reg, prefix + ".btb");
+    direction_->reportMetrics(reg, prefix + ".direction");
+    ras_.reportMetrics(reg, prefix + ".ras");
+}
+
 } // namespace dlsim::branch

@@ -60,6 +60,14 @@ class BranchPredictor
     /** Context switch: clear the RAS (speculative state). */
     void contextSwitch();
 
+    /** Clear all ensemble statistics (BTB, direction, RAS). */
+    void clearStats();
+
+    /** Register the whole ensemble's counters under `prefix`:
+     *  `<prefix>.btb.*`, `<prefix>.direction.*`, `<prefix>.ras.*`. */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
     Btb &btb() { return btb_; }
     const Btb &btb() const { return btb_; }
     ReturnAddressStack &ras() { return ras_; }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "stats/metrics.hh"
+
 namespace dlsim::branch
 {
 
@@ -14,6 +16,7 @@ ReturnAddressStack::ReturnAddressStack(std::size_t depth)
 void
 ReturnAddressStack::push(Addr ret_addr)
 {
+    ++pushes_;
     stack_[top_] = ret_addr;
     top_ = (top_ + 1) % stack_.size();
     if (occupancy_ < stack_.size())
@@ -23,8 +26,11 @@ ReturnAddressStack::push(Addr ret_addr)
 std::optional<Addr>
 ReturnAddressStack::pop()
 {
-    if (occupancy_ == 0)
+    if (occupancy_ == 0) {
+        ++underflows_;
         return std::nullopt;
+    }
+    ++pops_;
     top_ = (top_ + stack_.size() - 1) % stack_.size();
     --occupancy_;
     return stack_[top_];
@@ -35,6 +41,15 @@ ReturnAddressStack::clear()
 {
     top_ = 0;
     occupancy_ = 0;
+}
+
+void
+ReturnAddressStack::reportMetrics(stats::MetricsRegistry &reg,
+                                  const std::string &prefix) const
+{
+    reg.counter(prefix + ".pushes", pushes_);
+    reg.counter(prefix + ".pops", pops_);
+    reg.counter(prefix + ".underflows", underflows_);
 }
 
 } // namespace dlsim::branch

@@ -8,9 +8,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "isa/instruction.hh"
+
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
 
 namespace dlsim::branch
 {
@@ -39,10 +45,22 @@ class ReturnAddressStack
     std::size_t depth() const { return stack_.size(); }
     std::size_t occupancy() const { return occupancy_; }
 
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    std::uint64_t underflows() const { return underflows_; }
+    void clearStats() { pushes_ = pops_ = underflows_ = 0; }
+
+    /** Register push/pop/underflow counters under `prefix`. */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     std::vector<Addr> stack_;
     std::size_t top_ = 0;
     std::size_t occupancy_ = 0;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    std::uint64_t underflows_ = 0;
 };
 
 } // namespace dlsim::branch

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "stats/metrics.hh"
+
 namespace dlsim::core
 {
 
@@ -33,6 +35,21 @@ Abtb::lookup(Addr trampoline, std::uint16_t asid)
     return std::nullopt;
 }
 
+Abtb::Way *
+Abtb::findVictim(std::size_t set)
+{
+    Way *base = &ways_[set * params_.assoc];
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Way &way = base[w];
+        if (!way.valid)
+            return &way; // first invalid way, deterministically
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    return victim;
+}
+
 void
 Abtb::insert(Addr trampoline, Addr function, Addr got_addr,
              std::uint16_t asid)
@@ -40,7 +57,6 @@ Abtb::insert(Addr trampoline, Addr function, Addr got_addr,
     ++tick_;
     ++inserts_;
     Way *base = &ways_[setOf(trampoline) * params_.assoc];
-    Way *victim = base;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
         Way &way = base[w];
         if (way.valid && way.entry.trampoline == trampoline &&
@@ -50,13 +66,8 @@ Abtb::insert(Addr trampoline, Addr function, Addr got_addr,
             way.lastUse = tick_;
             return;
         }
-        if (!way.valid) {
-            victim = &way;
-        } else if (victim->valid &&
-                   way.lastUse < victim->lastUse) {
-            victim = &way;
-        }
     }
+    Way *victim = findVictim(setOf(trampoline));
     if (victim->valid)
         ++evictions_;
     victim->valid = true;
@@ -86,6 +97,21 @@ void
 Abtb::clearStats()
 {
     lookups_ = hits_ = inserts_ = evictions_ = 0;
+}
+
+void
+Abtb::reportMetrics(stats::MetricsRegistry &reg,
+                    const std::string &prefix) const
+{
+    reg.counter(prefix + ".lookups", lookups_);
+    reg.counter(prefix + ".hits", hits_);
+    reg.counter(prefix + ".misses", lookups_ - hits_);
+    reg.counter(prefix + ".inserts", inserts_);
+    reg.counter(prefix + ".evictions", evictions_);
+    reg.gauge(prefix + ".occupancy",
+              static_cast<double>(occupancy()));
+    reg.gauge(prefix + ".size_bytes",
+              static_cast<double>(sizeBytes()));
 }
 
 } // namespace dlsim::core

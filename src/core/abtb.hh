@@ -17,9 +17,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "isa/instruction.hh"
+
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
 
 namespace dlsim::core
 {
@@ -81,6 +87,13 @@ class Abtb
 
     void clearStats();
 
+    /**
+     * Register lookup/hit/insert/eviction counters and the occupancy
+     * gauge under `prefix` (e.g. "dlsim.core.abtb").
+     */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     struct Way
     {
@@ -88,6 +101,9 @@ class Abtb
         bool valid = false;
         std::uint64_t lastUse = 0;
     };
+
+    /** First invalid way in the set, else first LRU-minimal one. */
+    Way *findVictim(std::size_t set);
 
     std::size_t setOf(Addr trampoline) const
     {

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "stats/metrics.hh"
+
 namespace dlsim::core
 {
 
@@ -61,6 +63,16 @@ BloomFilter::occupancy() const
         set += static_cast<std::uint64_t>(std::popcount(w));
     return static_cast<double>(set) /
            static_cast<double>(word_.size() * 64);
+}
+
+void
+BloomFilter::reportMetrics(stats::MetricsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.counter(prefix + ".insertions", insertions_);
+    reg.gauge(prefix + ".occupancy", occupancy());
+    reg.gauge(prefix + ".size_bytes",
+              static_cast<double>(sizeBytes()));
 }
 
 } // namespace dlsim::core

@@ -16,9 +16,15 @@
 #define DLSIM_CORE_BLOOM_FILTER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "isa/instruction.hh"
+
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
 
 namespace dlsim::core
 {
@@ -56,6 +62,10 @@ class BloomFilter
 
     /** Storage cost in bytes. */
     std::uint64_t sizeBytes() const { return word_.size() * 8; }
+
+    /** Register insertion count and occupancy under `prefix`. */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     std::uint64_t hash(Addr addr, std::uint32_t i) const;

@@ -1,5 +1,7 @@
 #include "core/skip_unit.hh"
 
+#include "stats/metrics.hh"
+
 namespace dlsim::core
 {
 
@@ -112,6 +114,28 @@ TrampolineSkipUnit::hardwareBytes() const
 {
     return abtb_.sizeBytes() +
            (params_.explicitInvalidation ? 0 : bloom_.sizeBytes());
+}
+
+void
+TrampolineSkipUnit::reportMetrics(stats::MetricsRegistry &reg,
+                                  const std::string &prefix) const
+{
+    abtb_.reportMetrics(reg, prefix + ".abtb");
+    if (!params_.explicitInvalidation)
+        bloom_.reportMetrics(reg, prefix + ".bloom");
+    const std::string skip = prefix + ".skip";
+    reg.counter(skip + ".substitutions", stats_.substitutions);
+    reg.counter(skip + ".populations", stats_.populations);
+    reg.counter(skip + ".store_flushes", stats_.storeFlushes);
+    reg.counter(skip + ".coherence_flushes",
+                stats_.coherenceFlushes);
+    reg.counter(skip + ".context_switch_flushes",
+                stats_.contextSwitchFlushes);
+    reg.counter(skip + ".explicit_flushes", stats_.explicitFlushes);
+    reg.counter(skip + ".false_positive_flushes",
+                stats_.falsePositiveFlushes);
+    reg.gauge(skip + ".hardware_bytes",
+              static_cast<double>(hardwareBytes()));
 }
 
 } // namespace dlsim::core

@@ -149,6 +149,11 @@ class TrampolineSkipUnit
 
     void clearStats() { stats_ = {}; }
 
+    /** Register the mechanism's counters under `prefix`:
+     *  `<prefix>.abtb.*`, `<prefix>.bloom.*`, `<prefix>.skip.*`. */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     void flushFor(std::uint64_t SkipUnitStats::*counter, Addr addr,
                   bool check_bloom);

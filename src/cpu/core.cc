@@ -525,9 +525,20 @@ Core::clearStats()
     condBranches_ = condMispredicts_ = 0;
     resolverCalls_ = 0;
     hierarchy_.clearStats();
-    predictor_.btb().clearStats();
+    predictor_.clearStats();
     if (skipUnit_)
         skipUnit_->clearStats();
+}
+
+void
+Core::reportMetrics(stats::MetricsRegistry &reg,
+                    const std::string &prefix) const
+{
+    counters().reportMetrics(reg, prefix + ".cpu");
+    hierarchy_.reportMetrics(reg, prefix + ".cpu");
+    predictor_.reportMetrics(reg, prefix + ".cpu");
+    if (skipUnit_)
+        skipUnit_->reportMetrics(reg, prefix + ".core");
 }
 
 void
@@ -543,6 +554,10 @@ Core::onExternalGotWrite(Addr addr)
 {
     if (skipUnit_)
         skipUnit_->coherenceInvalidate(addr);
+    // The write lands in this process's address space, so the stale
+    // copy to drop is this ASID's — a targeted invalidation, not a
+    // physical snoop.
+    hierarchy_.invalidateDataLine(addr, asid_);
 }
 
 void

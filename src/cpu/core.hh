@@ -211,6 +211,16 @@ class Core
     /** Zero all statistics (leaves cache/predictor *contents*). */
     void clearStats();
 
+    /**
+     * Register every structure's statistics: the counter block plus
+     * the memory hierarchy under `<prefix>.cpu`, the branch ensemble
+     * under `<prefix>.cpu.{btb,direction,ras}`, and the skip unit
+     * under `<prefix>.core.{abtb,bloom,skip}` when enabled. Pass
+     * "dlsim" for the canonical namespace.
+     */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
     /** Null when the mechanism is disabled. */
     core::TrampolineSkipUnit *skipUnit() { return skipUnit_.get(); }
     const core::TrampolineSkipUnit *skipUnit() const

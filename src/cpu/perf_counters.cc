@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "stats/metrics.hh"
+
 namespace dlsim::cpu
 {
 
@@ -69,6 +71,49 @@ PerfCounters::toString() const
        << "branch mispredicts PKI:" << pki(mispredicts) << "\n"
        << "resolver calls:        " << resolverCalls << "\n";
     return os.str();
+}
+
+void
+PerfCounters::reportMetrics(stats::MetricsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.counter(prefix + ".instructions", instructions);
+    reg.counter(prefix + ".cycles", cycles);
+    reg.counter(prefix + ".trampoline_insts", trampolineInsts);
+    reg.counter(prefix + ".trampoline_jmps", trampolineJmps);
+    reg.counter(prefix + ".skipped_trampolines",
+                skippedTrampolines);
+    reg.counter(prefix + ".loads", loads);
+    reg.counter(prefix + ".stores", stores);
+    reg.counter(prefix + ".branches", branches);
+    reg.counter(prefix + ".mispredicts", mispredicts);
+    reg.counter(prefix + ".cond_branches", condBranches);
+    reg.counter(prefix + ".cond_mispredicts", condMispredicts);
+    reg.counter(prefix + ".l1i.misses", l1iMisses);
+    reg.counter(prefix + ".l1d.misses", l1dMisses);
+    reg.counter(prefix + ".l2.misses", l2Misses);
+    reg.counter(prefix + ".l3.misses", l3Misses);
+    reg.counter(prefix + ".itlb.misses", itlbMisses);
+    reg.counter(prefix + ".dtlb.misses", dtlbMisses);
+    reg.counter(prefix + ".btb.lookups", btbLookups);
+    reg.counter(prefix + ".btb.misses", btbMisses);
+    reg.counter(prefix + ".resolver_calls", resolverCalls);
+
+    // The Table-4 rows, as the paper reports them.
+    reg.gauge(prefix + ".trampoline_insts_pki",
+              pki(trampolineInsts));
+    reg.gauge(prefix + ".l1i_misses_pki", pki(l1iMisses));
+    reg.gauge(prefix + ".l1d_misses_pki", pki(l1dMisses));
+    reg.gauge(prefix + ".itlb_misses_pki", pki(itlbMisses));
+    reg.gauge(prefix + ".dtlb_misses_pki", pki(dtlbMisses));
+    reg.gauge(prefix + ".mispredicts_pki", pki(mispredicts));
+    reg.gauge(prefix + ".ipc", ipc());
+    reg.gauge(prefix + ".trampoline_skip_rate",
+              trampolineJmps + skippedTrampolines == 0
+                  ? 0.0
+                  : static_cast<double>(skippedTrampolines) /
+                        static_cast<double>(trampolineJmps +
+                                            skippedTrampolines));
 }
 
 } // namespace dlsim::cpu

@@ -14,6 +14,11 @@
 #include <cstdint>
 #include <string>
 
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
+
 namespace dlsim::cpu
 {
 
@@ -61,6 +66,14 @@ struct PerfCounters
 
     /** Multi-line human-readable dump. */
     std::string toString() const;
+
+    /**
+     * Register every raw counter plus the derived Table-4 PKI
+     * gauges, IPC, and trampoline skip rate under `prefix`
+     * (e.g. "dlsim.cpu").
+     */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 } // namespace dlsim::cpu

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "stats/metrics.hh"
+
 namespace dlsim::mem
 {
 
@@ -20,32 +22,58 @@ Cache::Cache(const CacheParams &params) : params_(params)
     ways_.resize(numSets_ * params_.assoc);
 }
 
+Cache::Way *
+Cache::findWay(std::uint64_t line, std::size_t set,
+               std::uint16_t asid)
+{
+    Way *base = &ways_[set * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line && way.asid == asid)
+            return &way;
+    }
+    return nullptr;
+}
+
+Cache::Way *
+Cache::findVictim(std::size_t set)
+{
+    Way *base = &ways_[set * params_.assoc];
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Way &way = base[w];
+        if (!way.valid)
+            return &way; // first invalid way, deterministically
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    return victim;
+}
+
+void
+Cache::fill(Way *victim, std::uint64_t line, std::uint16_t asid)
+{
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->tag = line;
+    victim->asid = asid;
+    victim->lastUse = tick_;
+}
+
 bool
 Cache::access(Addr addr, std::uint16_t asid)
 {
     ++tick_;
     const std::uint64_t line = lineOf(addr);
     const std::size_t set = setOf(line);
-    Way *base = &ways_[set * params_.assoc];
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line && way.asid == asid) {
-            way.lastUse = tick_;
-            ++hits_;
-            return true;
-        }
-        if (!way.valid) {
-            victim = &way;
-        } else if (victim->valid && way.lastUse < victim->lastUse) {
-            victim = &way;
-        }
+    if (Way *way = findWay(line, set, asid)) {
+        way->lastUse = tick_;
+        ++hits_;
+        return true;
     }
     ++misses_;
-    victim->valid = true;
-    victim->tag = line;
-    victim->asid = asid;
-    victim->lastUse = tick_;
+    fill(findVictim(set), line, asid);
     return false;
 }
 
@@ -55,24 +83,12 @@ Cache::prefetch(Addr addr, std::uint16_t asid)
     ++tick_;
     const std::uint64_t line = lineOf(addr);
     const std::size_t set = setOf(line);
-    Way *base = &ways_[set * params_.assoc];
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line && way.asid == asid) {
-            way.lastUse = tick_;
-            return;
-        }
-        if (!way.valid) {
-            victim = &way;
-        } else if (victim->valid && way.lastUse < victim->lastUse) {
-            victim = &way;
-        }
+    if (Way *way = findWay(line, set, asid)) {
+        way->lastUse = tick_;
+        return;
     }
-    victim->valid = true;
-    victim->tag = line;
-    victim->asid = asid;
-    victim->lastUse = tick_;
+    ++prefetches_;
+    fill(findVictim(set), line, asid);
 }
 
 bool
@@ -90,7 +106,20 @@ Cache::contains(Addr addr, std::uint16_t asid) const
 }
 
 void
-Cache::invalidateLine(Addr addr)
+Cache::invalidateLine(Addr addr, std::uint16_t asid)
+{
+    const std::uint64_t line = lineOf(addr);
+    const std::size_t set = setOf(line);
+    Way *base = &ways_[set * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line &&
+            base[w].asid == asid)
+            base[w].valid = false;
+    }
+}
+
+void
+Cache::invalidateLineAllAsids(Addr addr)
 {
     const std::uint64_t line = lineOf(addr);
     const std::size_t set = setOf(line);
@@ -121,7 +150,18 @@ Cache::missRate() const
 void
 Cache::clearStats()
 {
-    hits_ = misses_ = 0;
+    hits_ = misses_ = prefetches_ = evictions_ = 0;
+}
+
+void
+Cache::reportMetrics(stats::MetricsRegistry &reg,
+                     const std::string &prefix) const
+{
+    reg.counter(prefix + ".hits", hits_);
+    reg.counter(prefix + ".misses", misses_);
+    reg.counter(prefix + ".prefetches", prefetches_);
+    reg.counter(prefix + ".evictions", evictions_);
+    reg.gauge(prefix + ".miss_rate", missRate());
 }
 
 } // namespace dlsim::mem

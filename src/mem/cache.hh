@@ -20,6 +20,11 @@
 
 #include "isa/instruction.hh"
 
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
+
 namespace dlsim::mem
 {
 
@@ -57,12 +62,25 @@ class Cache
 
     /**
      * Prefetch fill: allocate the line (LRU-updating) without
-     * touching the demand hit/miss statistics.
+     * touching the demand hit/miss statistics. Fills are counted in
+     * the dedicated prefetches() counter instead.
      */
     void prefetch(Addr addr, std::uint16_t asid);
 
-    /** Invalidate the line containing addr in all address spaces. */
-    void invalidateLine(Addr addr);
+    /**
+     * Targeted invalidation: drop the line containing addr in the
+     * given address space only (e.g. after a store to a GOT slot
+     * observed by this core's own address space).
+     */
+    void invalidateLine(Addr addr, std::uint16_t asid);
+
+    /**
+     * Coherence invalidation: drop the line containing addr in every
+     * address space. Multicore write-invalidate snoops operate on
+     * physical lines and cannot know which ASIDs map them, so they
+     * genuinely need the all-ASID variant.
+     */
+    void invalidateLineAllAsids(Addr addr);
 
     /** Invalidate everything. */
     void invalidateAll();
@@ -71,8 +89,17 @@ class Cache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t accesses() const { return hits_ + misses_; }
+    std::uint64_t prefetches() const { return prefetches_; }
+    std::uint64_t evictions() const { return evictions_; }
     double missRate() const;
     void clearStats();
+
+    /**
+     * Register hit/miss/prefetch/eviction counters and the miss-rate
+     * gauge under `prefix` (e.g. "dlsim.cpu.l1i").
+     */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Way
@@ -82,6 +109,21 @@ class Cache
         bool valid = false;
         std::uint64_t lastUse = 0;
     };
+
+    /** Hit scan: the way holding (line, asid), or null. */
+    Way *findWay(std::uint64_t line, std::size_t set,
+                 std::uint16_t asid);
+
+    /**
+     * Deterministic victim selection within a set: the first invalid
+     * way if any, otherwise the first way with the minimum lastUse.
+     * Shared by access() and prefetch() so demand and prefetch fills
+     * can never diverge.
+     */
+    Way *findVictim(std::size_t set);
+
+    /** Allocate (line, asid) into victim, counting evictions. */
+    void fill(Way *victim, std::uint64_t line, std::uint16_t asid);
 
     std::uint64_t lineOf(Addr addr) const { return addr >> lineShift_; }
     std::size_t setOf(std::uint64_t line) const
@@ -101,6 +143,8 @@ class Cache
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t prefetches_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace dlsim::mem

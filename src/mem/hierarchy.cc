@@ -58,9 +58,17 @@ Hierarchy::flushTlbs()
 void
 Hierarchy::invalidateDataLine(Addr addr)
 {
-    l1d_.invalidateLine(addr);
-    l2_.invalidateLine(addr);
-    l3_.invalidateLine(addr);
+    l1d_.invalidateLineAllAsids(addr);
+    l2_.invalidateLineAllAsids(addr);
+    l3_.invalidateLineAllAsids(addr);
+}
+
+void
+Hierarchy::invalidateDataLine(Addr addr, std::uint16_t asid)
+{
+    l1d_.invalidateLine(addr, asid);
+    l2_.invalidateLine(addr, asid);
+    l3_.invalidateLine(addr, asid);
 }
 
 void
@@ -72,6 +80,18 @@ Hierarchy::clearStats()
     l3_.clearStats();
     itlb_.clearStats();
     dtlb_.clearStats();
+}
+
+void
+Hierarchy::reportMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const
+{
+    l1i_.reportMetrics(reg, prefix + ".l1i");
+    l1d_.reportMetrics(reg, prefix + ".l1d");
+    l2_.reportMetrics(reg, prefix + ".l2");
+    l3_.reportMetrics(reg, prefix + ".l3");
+    itlb_.reportMetrics(reg, prefix + ".itlb");
+    dtlb_.reportMetrics(reg, prefix + ".dtlb");
 }
 
 } // namespace dlsim::mem

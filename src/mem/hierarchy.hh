@@ -74,8 +74,13 @@ class Hierarchy
     void flushTlbs();
 
     /** Coherence write-invalidate from another core: drop the line
-     *  from the data-side caches. */
+     *  from the data-side caches in every address space (a physical
+     *  snoop cannot know which ASIDs map the line). */
     void invalidateDataLine(Addr addr);
+
+    /** Targeted invalidation of one address space's copy, e.g. when
+     *  this core observes a store to a GOT slot it caches. */
+    void invalidateDataLine(Addr addr, std::uint16_t asid);
 
     const Cache &l1i() const { return l1i_; }
     const Cache &l1d() const { return l1d_; }
@@ -87,6 +92,11 @@ class Hierarchy
     const HierarchyParams &params() const { return params_; }
 
     void clearStats();
+
+    /** Register every level's counters under `prefix` (e.g.
+     *  "dlsim.cpu" yields "dlsim.cpu.l1i.misses", ...). */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     AccessResult accessThrough(Tlb &tlb, Cache &l1, Addr addr,

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "stats/metrics.hh"
+
 namespace dlsim::mem
 {
 
@@ -14,6 +16,21 @@ Tlb::Tlb(const TlbParams &params) : params_(params)
     entries_.resize(numSets_ * params_.assoc);
 }
 
+Tlb::Entry *
+Tlb::findVictim(std::size_t set)
+{
+    Entry *base = &entries_[set * params_.assoc];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (!e.valid)
+            return &e; // first invalid entry, deterministically
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    return victim;
+}
+
 bool
 Tlb::access(Addr addr, std::uint16_t asid)
 {
@@ -22,7 +39,6 @@ Tlb::access(Addr addr, std::uint16_t asid)
     const std::size_t set =
         static_cast<std::size_t>(vpn & (numSets_ - 1));
     Entry *base = &entries_[set * params_.assoc];
-    Entry *victim = base;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
         Entry &e = base[w];
         if (e.valid && e.vpn == vpn && e.asid == asid) {
@@ -30,13 +46,11 @@ Tlb::access(Addr addr, std::uint16_t asid)
             ++hits_;
             return true;
         }
-        if (!e.valid) {
-            victim = &e;
-        } else if (victim->valid && e.lastUse < victim->lastUse) {
-            victim = &e;
-        }
     }
     ++misses_;
+    Entry *victim = findVictim(set);
+    if (victim->valid)
+        ++evictions_;
     victim->valid = true;
     victim->vpn = vpn;
     victim->asid = asid;
@@ -63,7 +77,16 @@ Tlb::flushAsid(std::uint16_t asid)
 void
 Tlb::clearStats()
 {
-    hits_ = misses_ = 0;
+    hits_ = misses_ = evictions_ = 0;
+}
+
+void
+Tlb::reportMetrics(stats::MetricsRegistry &reg,
+                   const std::string &prefix) const
+{
+    reg.counter(prefix + ".hits", hits_);
+    reg.counter(prefix + ".misses", misses_);
+    reg.counter(prefix + ".evictions", evictions_);
 }
 
 } // namespace dlsim::mem

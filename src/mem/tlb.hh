@@ -23,6 +23,11 @@
 #include "isa/instruction.hh"
 #include "mem/address_space.hh"
 
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
+
 namespace dlsim::mem
 {
 
@@ -55,7 +60,12 @@ class Tlb
     const TlbParams &params() const { return params_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
     void clearStats();
+
+    /** Register hit/miss/eviction counters under `prefix`. */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Entry
@@ -66,12 +76,16 @@ class Tlb
         std::uint64_t lastUse = 0;
     };
 
+    /** First invalid entry in the set, else first LRU-minimal one. */
+    Entry *findVictim(std::size_t set);
+
     TlbParams params_;
     std::uint64_t numSets_;
     std::vector<Entry> entries_;
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace dlsim::mem

@@ -1,0 +1,471 @@
+#include "stats/json_writer.hh"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dlsim::stats
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indentWidth)
+    : os_(os), indentWidth_(indentWidth)
+{
+}
+
+void
+JsonWriter::indent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0;
+         i < stack_.size() * static_cast<std::size_t>(indentWidth_);
+         ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already positioned us
+    }
+    if (!stack_.empty()) {
+        if (stack_.back().items > 0)
+            os_ << ',';
+        indent();
+        ++stack_.back().items;
+    }
+}
+
+void
+JsonWriter::raw(const std::string &text)
+{
+    beforeValue();
+    os_ << text;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back(Level{false, 0});
+}
+
+void
+JsonWriter::endObject()
+{
+    assert(!stack_.empty() && !stack_.back().isArray);
+    const bool had_items = stack_.back().items > 0;
+    stack_.pop_back();
+    if (had_items)
+        indent();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back(Level{true, 0});
+}
+
+void
+JsonWriter::endArray()
+{
+    assert(!stack_.empty() && stack_.back().isArray);
+    const bool had_items = stack_.back().items > 0;
+    stack_.pop_back();
+    if (had_items)
+        indent();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    assert(!stack_.empty() && !stack_.back().isArray);
+    assert(!pendingKey_);
+    if (stack_.back().items > 0)
+        os_ << ',';
+    indent();
+    ++stack_.back().items;
+    os_ << '"' << jsonEscape(k) << "\": ";
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    raw('"' + jsonEscape(v) + '"');
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    raw(jsonNumber(v));
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    raw(std::to_string(v));
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    raw(std::to_string(v));
+}
+
+void
+JsonWriter::value(bool v)
+{
+    raw(v ? "true" : "false");
+}
+
+void
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    key(k);
+    value(v);
+}
+
+void
+JsonWriter::field(const std::string &k, const char *v)
+{
+    key(k);
+    value(v);
+}
+
+void
+JsonWriter::field(const std::string &k, double v)
+{
+    key(k);
+    value(v);
+}
+
+void
+JsonWriter::field(const std::string &k, std::uint64_t v)
+{
+    key(k);
+    value(v);
+}
+
+void
+JsonWriter::field(const std::string &k, bool v)
+{
+    key(k);
+    value(v);
+}
+
+namespace
+{
+
+/** Recursive-descent JSON checker over a raw character range. */
+class Validator
+{
+  public:
+    Validator(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    run()
+    {
+        skipWs();
+        if (!parseValue())
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_) {
+            *error_ = what + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<
+                                           unsigned char>(
+                                text_[pos_])))
+                            return fail("bad \\u escape");
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+            }
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("expected digit");
+        if (text_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return fail("expected fraction digit");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return fail("expected exponent digit");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    parseValue()
+    {
+        if (++depth_ > MaxDepth)
+            return fail("nesting too deep");
+        bool ok = false;
+        skipWs();
+        if (pos_ >= text_.size()) {
+            ok = fail("unexpected end of document");
+        } else {
+            switch (text_[pos_]) {
+              case '{':
+                ok = parseObject();
+                break;
+              case '[':
+                ok = parseArray();
+                break;
+              case '"':
+                ok = parseString();
+                break;
+              case 't':
+                ok = literal("true");
+                break;
+              case 'f':
+                ok = literal("false");
+                break;
+              case 'n':
+                ok = literal("null");
+                break;
+              default:
+                ok = parseNumber();
+                break;
+            }
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseObject()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseString())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    static constexpr int MaxDepth = 256;
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+jsonValidate(const std::string &text, std::string *error)
+{
+    return Validator(text, error).run();
+}
+
+} // namespace dlsim::stats

@@ -1,0 +1,181 @@
+#include "stats/metrics.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "stats/json_writer.hh"
+
+namespace dlsim::stats
+{
+
+void
+MetricsRegistry::counter(const std::string &name, std::uint64_t value)
+{
+    Metric m;
+    m.kind = MetricKind::Counter;
+    m.counter = value;
+    metrics_[name] = m;
+}
+
+void
+MetricsRegistry::gauge(const std::string &name, double value)
+{
+    Metric m;
+    m.kind = MetricKind::Gauge;
+    m.gauge = value;
+    metrics_[name] = m;
+}
+
+void
+MetricsRegistry::histogram(const std::string &name,
+                           const SampleSet &samples,
+                           std::size_t cdfPoints)
+{
+    Metric m;
+    m.kind = MetricKind::Histogram;
+    m.histogram.count = samples.count();
+    if (samples.count() > 0) {
+        m.histogram.mean = samples.mean();
+        m.histogram.min = samples.min();
+        m.histogram.max = samples.max();
+        for (const double p : {50.0, 75.0, 90.0, 95.0, 99.0})
+            m.histogram.percentiles.emplace_back(
+                p, samples.percentile(p));
+        if (cdfPoints > 0)
+            m.histogram.cdf = samples.cdfPoints(cdfPoints);
+    }
+    metrics_[name] = m;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return metrics_.count(name) > 0;
+}
+
+const Metric *
+MetricsRegistry::find(const std::string &name) const
+{
+    const auto it = metrics_.find(name);
+    return it == metrics_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    const Metric *m = find(name);
+    return (m && m->kind == MetricKind::Counter) ? m->counter : 0;
+}
+
+MetricsRun &
+MetricsDocument::addRun(const std::string &name)
+{
+    runs_.emplace_back();
+    runs_.back().name = name;
+    return runs_.back();
+}
+
+namespace
+{
+
+void
+writeMetric(JsonWriter &w, const Metric &m)
+{
+    w.beginObject();
+    switch (m.kind) {
+      case MetricKind::Counter:
+        w.field("kind", "counter");
+        w.field("value", m.counter);
+        break;
+      case MetricKind::Gauge:
+        w.field("kind", "gauge");
+        w.field("value", m.gauge);
+        break;
+      case MetricKind::Histogram:
+        w.field("kind", "histogram");
+        w.field("count", m.histogram.count);
+        if (m.histogram.count > 0) {
+            w.field("mean", m.histogram.mean);
+            w.field("min", m.histogram.min);
+            w.field("max", m.histogram.max);
+            w.key("percentiles");
+            w.beginObject();
+            for (const auto &[pct, value] : m.histogram.percentiles) {
+                w.field("p" + jsonNumber(pct), value);
+            }
+            w.endObject();
+            if (!m.histogram.cdf.empty()) {
+                w.key("cdf");
+                w.beginArray();
+                for (const auto &[value, frac] : m.histogram.cdf) {
+                    w.beginArray();
+                    w.value(value);
+                    w.value(frac);
+                    w.endArray();
+                }
+                w.endArray();
+            }
+        }
+        break;
+    }
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+MetricsDocument::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", SchemaName);
+    w.field("version", SchemaVersion);
+    w.field("tool", tool_);
+    w.key("runs");
+    w.beginArray();
+    for (const MetricsRun &run : runs_) {
+        w.beginObject();
+        w.field("name", run.name);
+        w.key("context");
+        w.beginObject();
+        for (const auto &[key, value] : run.context)
+            w.field(key, value);
+        w.endObject();
+        w.key("metrics");
+        w.beginObject();
+        for (const auto &[name, metric] :
+             run.registry.metrics()) {
+            w.key(name);
+            writeMetric(w, metric);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+bool
+MetricsDocument::writeFile(const std::string &path,
+                           std::string *error) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    out << toJson();
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace dlsim::stats

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Hierarchical metrics registry and versioned JSON export.
+ *
+ * Every simulated structure (caches, TLBs, BTB, direction predictor,
+ * RAS, ABTB, bloom filter, skip unit, perf-counter block) reports its
+ * statistics into a MetricsRegistry under a dotted path such as
+ * `dlsim.cpu.l1i.misses` or `dlsim.core.abtb.evictions`. A registry
+ * snapshot is the machine-readable twin of the human-readable tables
+ * the benches print: the paper's argument rests on per-structure
+ * counters (Table 4, Fig. 5), and counters are only trustworthy when
+ * they are observable — so every bench and the CLI can serialise one
+ * or more registries to a versioned JSON document via `--json-out`.
+ *
+ * Naming convention (see docs/metrics.md):
+ *   dlsim.<layer>.<structure>.<stat>
+ * with snake_case stat names, `counter` for monotonic event counts,
+ * `gauge` for derived or instantaneous values, and `histogram` for
+ * latency SampleSets (serialised with percentiles and CDF points).
+ */
+
+#ifndef DLSIM_STATS_METRICS_HH
+#define DLSIM_STATS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/cdf.hh"
+
+namespace dlsim::stats
+{
+
+/** What a metric measures. */
+enum class MetricKind
+{
+    Counter,  ///< Monotonic event count (hits, misses, flushes).
+    Gauge,    ///< Instantaneous or derived value (occupancy, IPC).
+    Histogram ///< Distribution summary of a SampleSet.
+};
+
+/** Serialisable summary of a SampleSet. */
+struct HistogramSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /** (percentile, value) pairs, e.g. (99, 1234.0). */
+    std::vector<std::pair<double, double>> percentiles;
+    /** (value, fraction-below) pairs for plotting a CDF curve. */
+    std::vector<std::pair<double, double>> cdf;
+};
+
+/** One registered metric. */
+struct Metric
+{
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    HistogramSummary histogram;
+};
+
+/**
+ * A snapshot of named metrics, sorted by full dotted path so that
+ * serialisation (and golden-file tests over the key set) is
+ * deterministic. Registering a name twice overwrites — structures
+ * report fresh snapshots, they do not accumulate here.
+ */
+class MetricsRegistry
+{
+  public:
+    void counter(const std::string &name, std::uint64_t value);
+    void gauge(const std::string &name, double value);
+
+    /**
+     * Register a histogram summary of `samples`.
+     * @param cdfPoints Number of evenly spaced CDF points to
+     *                  serialise (0 omits the curve).
+     */
+    void histogram(const std::string &name,
+                   const SampleSet &samples,
+                   std::size_t cdfPoints = 16);
+
+    bool has(const std::string &name) const;
+    /** Null when `name` is not registered. */
+    const Metric *find(const std::string &name) const;
+    /** Convenience: counter value, or 0 when missing. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    const std::map<std::string, Metric> &
+    metrics() const
+    {
+        return metrics_;
+    }
+    std::size_t size() const { return metrics_.size(); }
+    void clear() { metrics_.clear(); }
+
+  private:
+    std::map<std::string, Metric> metrics_;
+};
+
+/** One named run (experiment arm) inside a MetricsDocument. */
+struct MetricsRun
+{
+    std::string name;
+    /** Free-form string context (workload, machine, request count). */
+    std::vector<std::pair<std::string, std::string>> context;
+    MetricsRegistry registry;
+
+    /** Append one context entry (chainable). */
+    MetricsRun &
+    with(const std::string &key, const std::string &value)
+    {
+        context.emplace_back(key, value);
+        return *this;
+    }
+};
+
+/**
+ * A versioned multi-run JSON document. Schema `dlsim-metrics-v1`:
+ *
+ * @code{.json}
+ * {
+ *   "schema": "dlsim-metrics-v1",
+ *   "version": 1,
+ *   "tool": "table4_microarch_counters",
+ *   "runs": [
+ *     {
+ *       "name": "apache.base",
+ *       "context": {"workload": "apache", "machine": "base"},
+ *       "metrics": {
+ *         "dlsim.cpu.l1i.misses": {"kind": "counter", "value": 42},
+ *         ...
+ *       }
+ *     }
+ *   ]
+ * }
+ * @endcode
+ */
+class MetricsDocument
+{
+  public:
+    static constexpr const char *SchemaName = "dlsim-metrics-v1";
+    static constexpr std::uint64_t SchemaVersion = 1;
+
+    explicit MetricsDocument(std::string tool)
+        : tool_(std::move(tool))
+    {
+    }
+
+    /** Append a run and return it for filling. */
+    MetricsRun &addRun(const std::string &name);
+
+    const std::vector<MetricsRun> &runs() const { return runs_; }
+    const std::string &tool() const { return tool_; }
+
+    std::string toJson() const;
+
+    /**
+     * Serialise to `path`.
+     * @return False (with *error set when non-null) on I/O failure.
+     */
+    bool writeFile(const std::string &path,
+                   std::string *error = nullptr) const;
+
+  private:
+    std::string tool_;
+    std::vector<MetricsRun> runs_;
+};
+
+} // namespace dlsim::stats
+
+#endif // DLSIM_STATS_METRICS_HH

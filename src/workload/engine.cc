@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "mem/address_space.hh"
+#include "stats/metrics.hh"
 
 namespace dlsim::workload
 {
@@ -105,6 +106,19 @@ std::uint64_t
 Workbench::distinctTrampolinesExecuted() const
 {
     return core_->trampolineCounts().size();
+}
+
+void
+Workbench::reportMetrics(stats::MetricsRegistry &reg,
+                         const std::string &prefix) const
+{
+    core_->reportMetrics(reg, prefix);
+    if (mc_.profileTrampolines) {
+        reg.counter(prefix + ".workload.distinct_trampolines",
+                    distinctTrampolinesExecuted());
+    }
+    reg.gauge(prefix + ".workload.library_count",
+              static_cast<double>(wl_.numLibs));
 }
 
 } // namespace dlsim::workload

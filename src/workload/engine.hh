@@ -102,6 +102,14 @@ class Workbench
     /** Distinct trampolines executed (needs profileTrampolines). */
     std::uint64_t distinctTrampolinesExecuted() const;
 
+    /**
+     * Register the whole arm's statistics under `prefix` ("dlsim"):
+     * the core's structures plus workload-level facts such as the
+     * distinct-trampoline census when profiling is on.
+     */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     void seedDataRegions();
 

@@ -66,6 +66,30 @@ TEST(Abtb, LruEvictionWithinSet)
     EXPECT_EQ(abtb.evictions(), 1u);
 }
 
+TEST(Abtb, DeterministicVictimAndLruOrdering)
+{
+    // Victim selection must be deterministic: first invalid way,
+    // else the true LRU. Filling an emptied set therefore causes no
+    // evictions, and overflow evicts entries strictly in insertion-
+    // age order.
+    Abtb abtb(AbtbParams{4, 2}); // 2 sets x 2 ways
+    abtb.insert(0x00, 1, 0);
+    abtb.insert(0x40, 2, 0);
+    abtb.flushAll();
+    abtb.insert(0x00, 1, 0); // refill the empty set
+    abtb.insert(0x40, 2, 0);
+    EXPECT_EQ(abtb.evictions(), 0u);
+    abtb.insert(0x80, 3, 0); // evicts 0x00 (oldest)
+    EXPECT_EQ(abtb.evictions(), 1u);
+    EXPECT_FALSE(abtb.lookup(0x00).has_value());
+    ASSERT_TRUE(abtb.lookup(0x40).has_value());
+    abtb.insert(0xc0, 4, 0); // evicts 0x80: 0x40 was refreshed
+    EXPECT_EQ(abtb.evictions(), 2u);
+    EXPECT_FALSE(abtb.lookup(0x80).has_value());
+    EXPECT_TRUE(abtb.lookup(0x40).has_value());
+    EXPECT_TRUE(abtb.lookup(0xc0).has_value());
+}
+
 TEST(Abtb, AsidTaggingIsolatesProcesses)
 {
     Abtb abtb(AbtbParams{16, 4});

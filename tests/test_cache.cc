@@ -61,12 +61,95 @@ TEST(Cache, AsidIsolation)
     EXPECT_FALSE(c.access(0x1000, 2)); // different process: miss
 }
 
-TEST(Cache, InvalidateLineAllAsids)
+TEST(Cache, InvalidateLineHonorsAsid)
+{
+    // Two processes cache the same line; a targeted invalidation of
+    // one address space must not clobber the other's copy.
+    Cache c(tiny());
+    c.access(0x1000, 1);
+    c.access(0x1000, 2);
+    c.invalidateLine(0x1000, 2);
+    EXPECT_TRUE(c.contains(0x1000, 1));
+    EXPECT_FALSE(c.contains(0x1000, 2));
+}
+
+TEST(Cache, InvalidateLineMissesOtherAsid)
 {
     Cache c(tiny());
     c.access(0x1000, 1);
-    c.invalidateLine(0x1000);
+    c.invalidateLine(0x1000, 2); // no-op: asid 2 holds nothing
+    EXPECT_TRUE(c.contains(0x1000, 1));
+}
+
+TEST(Cache, InvalidateLineAllAsids)
+{
+    // The coherence variant is the sledgehammer: a physical snoop
+    // drops every address space's copy.
+    Cache c(tiny());
+    c.access(0x1000, 1);
+    c.access(0x1000, 2);
+    c.invalidateLineAllAsids(0x1000);
     EXPECT_FALSE(c.contains(0x1000, 1));
+    EXPECT_FALSE(c.contains(0x1000, 2));
+}
+
+TEST(Cache, PrefetchAccounting)
+{
+    Cache c(tiny());
+    c.prefetch(0x1000, 0);
+    EXPECT_EQ(c.prefetches(), 1u);
+    EXPECT_EQ(c.accesses(), 0u); // demand stats untouched
+    c.prefetch(0x1000, 0);       // already present: not a fill
+    EXPECT_EQ(c.prefetches(), 1u);
+    EXPECT_TRUE(c.access(0x1000, 0)); // demand access hits the fill
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, PrefetchFillsCountEvictions)
+{
+    Cache c(tiny()); // 2-way; same set every 0x100
+    c.access(0x000, 0);
+    c.access(0x100, 0);
+    c.prefetch(0x200, 0); // set full: the fill evicts the LRU
+    EXPECT_EQ(c.evictions(), 1u);
+    EXPECT_FALSE(c.contains(0x000, 0));
+    EXPECT_TRUE(c.contains(0x100, 0));
+    EXPECT_TRUE(c.contains(0x200, 0));
+}
+
+TEST(Cache, DeterministicFillAfterInvalidation)
+{
+    // A targeted invalidation opens a hole in a full set; the next
+    // fill must take the hole (first invalid way) and leave the
+    // surviving entry's LRU position intact.
+    Cache c(tiny());
+    c.access(0x000, 0);
+    c.access(0x100, 0);
+    c.invalidateLine(0x000, 0);
+    c.access(0x200, 0); // fills the hole, no eviction
+    EXPECT_EQ(c.evictions(), 0u);
+    EXPECT_TRUE(c.contains(0x100, 0));
+    EXPECT_TRUE(c.contains(0x200, 0));
+    c.access(0x300, 0); // set full again: evicts 0x100, the LRU
+    EXPECT_EQ(c.evictions(), 1u);
+    EXPECT_FALSE(c.contains(0x100, 0));
+    EXPECT_TRUE(c.contains(0x200, 0));
+    EXPECT_TRUE(c.contains(0x300, 0));
+}
+
+TEST(Cache, HitInLaterWayAfterEarlierInvalidation)
+{
+    // Regression guard for the two-pass lookup: a hit residing in a
+    // later way than an invalidated one must still be found (a
+    // single fused hit+victim scan that breaks at the first invalid
+    // way would miss it and double-allocate).
+    Cache c(tiny());
+    c.access(0x000, 0); // way 0
+    c.access(0x100, 0); // way 1
+    c.invalidateLine(0x000, 0);
+    EXPECT_TRUE(c.access(0x100, 0)); // must hit, not refill
+    EXPECT_EQ(c.hits(), 1u);
 }
 
 TEST(Cache, InvalidateAll)

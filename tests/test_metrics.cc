@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Metrics registry, JSON writer/validator, and document schema
+ * tests, including a golden-file test pinning the metric-key set a
+ * full runArm() snapshot produces. The golden file is the schema
+ * contract for downstream consumers of `--json-out` documents: a
+ * renamed or dropped metric fails here before it breaks a plot
+ * script.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common.hh"
+#include "stats/json_writer.hh"
+#include "stats/metrics.hh"
+
+using namespace dlsim;
+using namespace dlsim::stats;
+
+TEST(MetricsRegistry, CounterGaugeRoundTrip)
+{
+    MetricsRegistry reg;
+    reg.counter("dlsim.a.hits", 7);
+    reg.gauge("dlsim.a.rate", 0.5);
+
+    EXPECT_TRUE(reg.has("dlsim.a.hits"));
+    EXPECT_FALSE(reg.has("dlsim.a.misses"));
+    EXPECT_EQ(reg.counterValue("dlsim.a.hits"), 7u);
+    EXPECT_EQ(reg.counterValue("dlsim.a.missing"), 0u);
+
+    const auto *m = reg.find("dlsim.a.rate");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind, MetricKind::Gauge);
+    EXPECT_DOUBLE_EQ(m->gauge, 0.5);
+}
+
+TEST(MetricsRegistry, ReRegistrationOverwrites)
+{
+    MetricsRegistry reg;
+    reg.counter("dlsim.x", 1);
+    reg.counter("dlsim.x", 9);
+    EXPECT_EQ(reg.counterValue("dlsim.x"), 9u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KeysAreSorted)
+{
+    MetricsRegistry reg;
+    reg.counter("dlsim.z", 1);
+    reg.counter("dlsim.a", 1);
+    reg.counter("dlsim.m", 1);
+    std::vector<std::string> keys;
+    for (const auto &[name, metric] : reg.metrics())
+        keys.push_back(name);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(MetricsRegistry, HistogramSummarisesSampleSet)
+{
+    SampleSet samples;
+    for (int i = 1; i <= 100; ++i)
+        samples.add(double(i));
+
+    MetricsRegistry reg;
+    reg.histogram("dlsim.lat", samples, 4);
+    const auto *m = reg.find("dlsim.lat");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind, MetricKind::Histogram);
+    EXPECT_EQ(m->histogram.count, 100u);
+    EXPECT_DOUBLE_EQ(m->histogram.min, 1.0);
+    EXPECT_DOUBLE_EQ(m->histogram.max, 100.0);
+    EXPECT_NEAR(m->histogram.mean, 50.5, 1e-9);
+    ASSERT_EQ(m->histogram.percentiles.size(), 5u);
+    EXPECT_DOUBLE_EQ(m->histogram.percentiles[0].first, 50.0);
+    EXPECT_EQ(m->histogram.cdf.size(), 4u);
+    // CDF fractions are monotonically non-decreasing in [0, 1].
+    double prev = 0.0;
+    for (const auto &[value, frac] : m->histogram.cdf) {
+        EXPECT_GE(frac, prev);
+        EXPECT_LE(frac, 1.0);
+        prev = frac;
+    }
+}
+
+TEST(MetricsRegistry, EmptyHistogramHasNoPercentiles)
+{
+    SampleSet samples;
+    MetricsRegistry reg;
+    reg.histogram("dlsim.lat", samples);
+    const auto *m = reg.find("dlsim.lat");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->histogram.count, 0u);
+    EXPECT_TRUE(m->histogram.percentiles.empty());
+    EXPECT_TRUE(m->histogram.cdf.empty());
+}
+
+TEST(JsonWriter, EscapesAndValidates)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("s", "he\"llo");
+    w.field("n", std::uint64_t{42});
+    w.key("arr");
+    w.beginArray();
+    w.value(1.5);
+    w.value(false);
+    w.endArray();
+    w.endObject();
+    const auto text = os.str();
+
+    std::string error;
+    EXPECT_TRUE(jsonValidate(text, &error)) << error;
+    EXPECT_NE(text.find("\"he\\\"llo\""), std::string::npos);
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(jsonValidate("", &error));
+    EXPECT_FALSE(jsonValidate("{", &error));
+    EXPECT_FALSE(jsonValidate("{\"a\":}", &error));
+    EXPECT_FALSE(jsonValidate("[1,]", &error));
+    EXPECT_FALSE(jsonValidate("{\"a\":1} extra", &error));
+    EXPECT_TRUE(jsonValidate("{\"a\": [1, 2.5, \"x\", null, "
+                             "true]}",
+                             &error))
+        << error;
+}
+
+TEST(MetricsDocument, SerialisesSchemaAndRuns)
+{
+    MetricsDocument doc("test_tool");
+    auto &run = doc.addRun("arm1");
+    run.with("workload", "apache").with("machine", "base");
+    run.registry.counter("dlsim.cpu.instructions", 123);
+    run.registry.gauge("dlsim.cpu.ipc", 1.5);
+
+    SampleSet samples;
+    samples.add(10.0);
+    samples.add(20.0);
+    run.registry.histogram("dlsim.workload.latency.get", samples);
+
+    const auto text = doc.toJson();
+    std::string error;
+    ASSERT_TRUE(jsonValidate(text, &error)) << error;
+
+    EXPECT_NE(text.find("\"schema\": \"dlsim-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"tool\": \"test_tool\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"name\": \"arm1\""), std::string::npos);
+    EXPECT_NE(text.find("\"workload\": \"apache\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"dlsim.cpu.instructions\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"kind\": \"histogram\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsDocument, WriteFileRoundTrip)
+{
+    MetricsDocument doc("test_tool");
+    doc.addRun("r").registry.counter("dlsim.c", 1);
+
+    const std::string path =
+        ::testing::TempDir() + "/metrics_roundtrip.json";
+    std::string error;
+    ASSERT_TRUE(doc.writeFile(path, &error)) << error;
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), doc.toJson());
+    EXPECT_FALSE(
+        doc.writeFile("/nonexistent-dir/x.json", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+namespace
+{
+
+/** Keys of a full enhanced-machine runArm() snapshot. */
+std::vector<std::string>
+snapshotKeys()
+{
+    auto mc = bench::enhancedMachine();
+    mc.profileTrampolines = true;
+    const auto arm = bench::runArm(
+        workload::profileByName("memcached"), mc, 20, 30);
+    std::vector<std::string> keys;
+    for (const auto &[name, metric] : arm.registry.metrics())
+        keys.push_back(name);
+    return keys;
+}
+
+} // namespace
+
+/**
+ * Golden-file schema test: the exact key set of a runArm() metrics
+ * snapshot. Regenerate after an intentional schema change with:
+ *   build/tests/test_metrics --gtest_filter=MetricsGolden.\* \
+ *     2>/dev/null | grep '^dlsim' > tests/data/metrics_keys.golden
+ * (the test prints the actual keys on mismatch).
+ */
+TEST(MetricsGolden, RunArmKeySetMatchesGoldenFile)
+{
+    const std::string golden_path =
+        std::string(DLSIM_TEST_DATA_DIR) + "/metrics_keys.golden";
+    std::ifstream in(golden_path);
+    ASSERT_TRUE(in.good()) << "missing " << golden_path;
+
+    std::vector<std::string> expected;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            expected.push_back(line);
+
+    const auto actual = snapshotKeys();
+    if (actual != expected) {
+        std::printf("actual runArm() metric keys:\n");
+        for (const auto &k : actual)
+            std::printf("%s\n", k.c_str());
+    }
+    EXPECT_EQ(actual, expected)
+        << "runArm() metric-key set diverged from "
+        << golden_path
+        << " — update the golden file if the change is "
+           "intentional";
+}
+
+/** The snapshot must carry the paper's headline counters. */
+TEST(MetricsGolden, SnapshotCarriesHeadlineCounters)
+{
+    auto mc = bench::enhancedMachine();
+    const auto arm = bench::runArm(
+        workload::profileByName("memcached"), mc, 20, 30);
+    const auto &reg = arm.registry;
+    for (const char *key :
+         {"dlsim.cpu.instructions", "dlsim.cpu.cycles",
+          "dlsim.cpu.l1i.misses", "dlsim.cpu.l1i.hits",
+          "dlsim.cpu.l1i.evictions", "dlsim.cpu.l1d.misses",
+          "dlsim.cpu.itlb.misses", "dlsim.cpu.dtlb.misses",
+          "dlsim.cpu.btb.misses", "dlsim.cpu.ras.pushes",
+          "dlsim.cpu.direction.mispredicts",
+          "dlsim.core.abtb.hits", "dlsim.core.abtb.evictions",
+          "dlsim.core.bloom.insertions",
+          "dlsim.core.skip.substitutions"}) {
+        EXPECT_TRUE(reg.has(key)) << "missing " << key;
+    }
+    EXPECT_TRUE(reg.has("dlsim.cpu.trampoline_skip_rate"));
+    EXPECT_TRUE(reg.has("dlsim.cpu.ipc"));
+    EXPECT_GT(reg.counterValue("dlsim.cpu.instructions"), 0u);
+}

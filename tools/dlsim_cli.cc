@@ -20,6 +20,10 @@
  *   --eager               BIND_NOW-style eager binding
  *   --aslr                randomise library placement
  *   --seed N              workload seed (default 42)
+ *
+ * All commands additionally accept:
+ *   --json-out FILE       write a dlsim-metrics-v1 JSON document
+ *                         alongside the human-readable output
  */
 
 #include <cstdio>
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/metrics.hh"
 #include "trace/replay.hh"
 #include "workload/engine.hh"
 #include "workload/profiles.hh"
@@ -42,6 +47,7 @@ struct Options
     std::string command;
     std::string workload;
     std::string tracePath;
+    std::string jsonOut;
     bool enhanced = false;
     bool arm = false;
     bool explicitInval = false;
@@ -93,6 +99,9 @@ parse(int argc, char **argv, Options &opt)
                 static_cast<std::uint32_t>(next_int(256));
         } else if (arg == "--seed") {
             opt.seed = static_cast<std::uint64_t>(next_int(42));
+        } else if (arg == "--json-out") {
+            if (i + 1 < argc)
+                opt.jsonOut = argv[++i];
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option %s\n",
                          arg.c_str());
@@ -119,6 +128,22 @@ parse(int argc, char **argv, Options &opt)
         if (opt.tracePath.empty())
             return false;
     }
+    return true;
+}
+
+/** Write `doc` if --json-out was given; true unless I/O failed. */
+bool
+writeJson(const Options &opt, const stats::MetricsDocument &doc)
+{
+    if (opt.jsonOut.empty())
+        return true;
+    std::string error;
+    if (!doc.writeFile(opt.jsonOut, &error)) {
+        std::fprintf(stderr, "json-out: %s\n", error.c_str());
+        return false;
+    }
+    std::fprintf(stderr, "json-out: wrote %s\n",
+                 opt.jsonOut.c_str());
     return true;
 }
 
@@ -173,7 +198,15 @@ cmdRun(const Options &opt)
                     (unsigned long long)
                         wb.core().skipUnit()->hardwareBytes());
     }
-    return 0;
+
+    stats::MetricsDocument doc("dlsim_cli run");
+    auto &run = doc.addRun(opt.workload);
+    run.with("workload", opt.workload)
+        .with("machine", opt.enhanced ? "enhanced" : "base")
+        .with("requests", std::to_string(opt.requests))
+        .with("seed", std::to_string(opt.seed));
+    wb.reportMetrics(run.registry, "dlsim");
+    return writeJson(opt, doc) ? 0 : 1;
 }
 
 int
@@ -191,7 +224,15 @@ cmdRecord(const Options &opt)
     std::printf("recorded %d requests of %s to %s\n",
                 opt.requests, opt.workload.c_str(),
                 opt.tracePath.c_str());
-    return 0;
+
+    stats::MetricsDocument doc("dlsim_cli record");
+    auto &run = doc.addRun(opt.workload);
+    run.with("workload", opt.workload)
+        .with("machine", opt.enhanced ? "enhanced" : "base")
+        .with("requests", std::to_string(opt.requests))
+        .with("trace", opt.tracePath);
+    wb.reportMetrics(run.registry, "dlsim");
+    return writeJson(opt, doc) ? 0 : 1;
 }
 
 int
@@ -218,7 +259,21 @@ cmdReplay(const Options &opt)
                 (unsigned long long)r.trampolineExecutions,
                 (unsigned long long)r.wouldSkip,
                 100.0 * r.skipRate(), params.abtb.entries);
-    return 0;
+
+    stats::MetricsDocument doc("dlsim_cli replay");
+    auto &run = doc.addRun("replay");
+    run.with("trace", opt.tracePath)
+        .with("abtb_entries",
+              std::to_string(params.abtb.entries));
+    run.registry.counter("dlsim.replay.events", r.events);
+    run.registry.counter("dlsim.replay.control_transfers",
+                         r.controlTransfers);
+    run.registry.counter("dlsim.replay.stores", r.stores);
+    run.registry.counter("dlsim.replay.trampoline_executions",
+                         r.trampolineExecutions);
+    run.registry.counter("dlsim.replay.would_skip", r.wouldSkip);
+    run.registry.gauge("dlsim.replay.skip_rate", r.skipRate());
+    return writeJson(opt, doc) ? 0 : 1;
 }
 
 int
@@ -230,6 +285,7 @@ cmdSweep(const Options &opt)
                      opt.tracePath.c_str());
         return 1;
     }
+    stats::MetricsDocument doc("dlsim_cli sweep");
     std::printf("%8s %10s %12s\n", "entries", "bytes",
                 "skip rate");
     for (std::uint32_t entries :
@@ -243,8 +299,19 @@ cmdSweep(const Options &opt)
         const auto r = trace::replaySkipUnit(reader, params);
         std::printf("%8u %10u %11.1f%%\n", entries, entries * 12,
                     100.0 * r.skipRate());
+        auto &run =
+            doc.addRun("entries" + std::to_string(entries));
+        run.with("trace", opt.tracePath)
+            .with("abtb_entries", std::to_string(entries));
+        run.registry.counter(
+            "dlsim.replay.trampoline_executions",
+            r.trampolineExecutions);
+        run.registry.counter("dlsim.replay.would_skip",
+                             r.wouldSkip);
+        run.registry.gauge("dlsim.replay.skip_rate",
+                           r.skipRate());
     }
-    return 0;
+    return writeJson(opt, doc) ? 0 : 1;
 }
 
 } // namespace
