@@ -18,26 +18,37 @@ using namespace dlsim::bench;
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("ablation_arm", argc, argv);
     banner("Ablation — x86-64 vs ARM trampoline style",
            "Section 2 (Fig. 2), Section 1 (cross-ISA claim)");
-    JsonOut json("ablation_arm", argc, argv);
+    JsonOut json("ablation_arm", args);
 
     const auto wl = workload::apacheProfile();
+    const linker::PltStyle styles[] = {linker::PltStyle::X86,
+                                       linker::PltStyle::Arm};
+
+    // Two jobs per style: [x86.base, x86.enh, arm.base, arm.enh].
+    std::vector<std::function<ArmResult()>> work;
+    for (const auto style : styles) {
+        for (const bool enhanced : {false, true}) {
+            work.push_back([style, enhanced, &wl, &args] {
+                workload::MachineConfig mc;
+                mc.pltStyle = style;
+                mc.enhanced = enhanced;
+                return runArm(wl, mc, args.scaled(150),
+                              args.scaled(500));
+            });
+        }
+    }
+    const auto arms = runJobs(args, std::move(work));
+
     stats::TablePrinter t({"Style", "Arm", "Tramp insts PKI",
                            "Skip rate", "Cycle gain"});
-
-    for (const auto style :
-         {linker::PltStyle::X86, linker::PltStyle::Arm}) {
+    for (std::size_t i = 0; i < std::size(styles); ++i) {
         const char *name =
-            style == linker::PltStyle::X86 ? "x86-64" : "ARM";
-
-        workload::MachineConfig base;
-        base.pltStyle = style;
-        auto enh = base;
-        enh.enhanced = true;
-
-        const auto b = runArm(wl, base, 150, 500);
-        const auto e = runArm(wl, enh, 150, 500);
+            styles[i] == linker::PltStyle::X86 ? "x86-64" : "ARM";
+        const ArmResult &b = arms[2 * i];
+        const ArmResult &e = arms[2 * i + 1];
 
         json.add(std::string(name) + ".base", b,
                  {{"workload", "apache"},

@@ -16,17 +16,28 @@
 using namespace dlsim;
 using namespace dlsim::bench;
 
+namespace
+{
+
+/** One bloom configuration's run, fully computed in its job. */
+struct BloomResult
+{
+    stats::MetricsRegistry registry;
+    cpu::PerfCounters counters;
+    core::SkipUnitStats skipStats;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("ablation_bloom", argc, argv);
     banner("Ablation — bloom filter sizing vs skip rate",
            "Section 3.1 (sizing unspecified in the paper)");
-    JsonOut json("ablation_bloom", argc, argv);
+    JsonOut json("ablation_bloom", args);
 
     const auto wl = workload::apacheProfile();
-    stats::TablePrinter t({"Bloom bits", "Bytes", "Hashes",
-                           "Skip rate", "Store flushes",
-                           "FP flushes"});
 
     struct Config
     {
@@ -38,18 +49,35 @@ main(int argc, char **argv)
         {8192, 4}, {32768, 4}, {131072, 4},
     };
 
+    std::vector<std::function<BloomResult()>> work;
     for (const auto &cfg : configs) {
-        auto mc = enhancedMachine();
-        mc.bloomBits = cfg.bits;
-        mc.bloomHashes = cfg.hashes;
+        work.push_back([cfg, &wl, &args] {
+            auto mc = enhancedMachine();
+            mc.bloomBits = cfg.bits;
+            mc.bloomHashes = cfg.hashes;
 
-        workload::Workbench wb(wl, mc);
-        wb.warmup(150);
-        for (int i = 0; i < 500; ++i)
-            wb.runRequest();
+            workload::Workbench wb(wl, mc);
+            wb.warmup(static_cast<std::uint32_t>(
+                args.scaled(150)));
+            for (int i = 0; i < args.scaled(500); ++i)
+                wb.runRequest();
 
-        const auto c = wb.core().counters();
-        const auto &s = wb.core().skipUnit()->stats();
+            BloomResult r;
+            r.counters = wb.core().counters();
+            r.skipStats = wb.core().skipUnit()->stats();
+            wb.reportMetrics(r.registry, "dlsim");
+            return r;
+        });
+    }
+    const auto results = runJobs(args, std::move(work));
+
+    stats::TablePrinter t({"Bloom bits", "Bytes", "Hashes",
+                           "Skip rate", "Store flushes",
+                           "FP flushes"});
+    for (std::size_t i = 0; i < std::size(configs); ++i) {
+        const Config &cfg = configs[i];
+        const auto &c = results[i].counters;
+        const auto &s = results[i].skipStats;
         auto &run = json.addRun("bloom" +
                                 std::to_string(cfg.bits) + "x" +
                                 std::to_string(cfg.hashes));
@@ -57,7 +85,7 @@ main(int argc, char **argv)
             .with("machine", "enhanced")
             .with("bloom_bits", std::to_string(cfg.bits))
             .with("bloom_hashes", std::to_string(cfg.hashes));
-        wb.reportMetrics(run.registry, "dlsim");
+        run.registry = results[i].registry;
         const auto total =
             c.skippedTrampolines + c.trampolineJmps;
         t.addRow({stats::TablePrinter::num(

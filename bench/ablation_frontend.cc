@@ -19,74 +19,77 @@
 using namespace dlsim;
 using namespace dlsim::bench;
 
-namespace
-{
-
-double
-gain(JsonOut &json, const std::string &variant,
-     const workload::WorkloadParams &wl,
-     const workload::MachineConfig &base_mc)
-{
-    auto enh_mc = base_mc;
-    enh_mc.enhanced = true;
-    const auto b = runArm(wl, base_mc, 150, 450);
-    const auto e = runArm(wl, enh_mc, 150, 450);
-    json.add(variant + ".base", b,
-             {{"workload", "apache"},
-              {"machine", "base"},
-              {"frontend", variant}});
-    json.add(variant + ".enhanced", e,
-             {{"workload", "apache"},
-              {"machine", "enhanced"},
-              {"frontend", variant}});
-    return 100.0 *
-           (double(b.counters.cycles) - double(e.counters.cycles)) /
-           double(b.counters.cycles);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("ablation_frontend", argc, argv);
     banner("Ablation — front-end strength vs mechanism benefit",
            "Sections 2.2 and 6 (related work)");
-    JsonOut json("ablation_frontend", argc, argv);
+    JsonOut json("ablation_frontend", args);
 
     const auto wl = workload::apacheProfile();
 
-    stats::TablePrinter t({"Front end", "Cycle gain from ABTB"});
+    struct Variant
+    {
+        std::string label;
+        std::string jsonName;
+        workload::MachineConfig mc;
+    };
+    std::vector<Variant> variants;
     for (const char *dir : {"bimodal", "gshare", "tournament"}) {
         workload::MachineConfig mc;
         mc.core.predictor.direction = dir;
-        t.addRow({std::string("direction: ") + dir,
-                  stats::TablePrinter::num(
-                      gain(json, dir, wl, mc), 2) +
-                      "%"});
+        variants.push_back(
+            {std::string("direction: ") + dir, dir, mc});
     }
     {
         workload::MachineConfig mc;
         mc.core.mem.iPrefetchNextLine = true;
-        t.addRow({"next-line I-prefetch",
-                  stats::TablePrinter::num(
-                      gain(json, "next_line_prefetch", wl, mc),
-                      2) +
-                      "%"});
+        variants.push_back({"next-line I-prefetch",
+                            "next_line_prefetch", mc});
     }
     {
         workload::MachineConfig mc;
         mc.core.predictor.indirect.enabled = true;
-        t.addRow({"VPC-style indirect target cache",
-                  stats::TablePrinter::num(
-                      gain(json, "indirect_cache", wl, mc), 2) +
-                      "%"});
+        variants.push_back({"VPC-style indirect target cache",
+                            "indirect_cache", mc});
     }
-    {
-        workload::MachineConfig mc;
-        t.addRow({"baseline (gshare, no prefetch)",
-                  stats::TablePrinter::num(
-                      gain(json, "baseline", wl, mc), 2) +
-                      "%"});
+    variants.push_back({"baseline (gshare, no prefetch)",
+                        "baseline", workload::MachineConfig{}});
+
+    // Two jobs per variant: [v0.base, v0.enh, v1.base, ...].
+    std::vector<std::function<ArmResult()>> work;
+    for (const Variant &v : variants) {
+        for (const bool enhanced : {false, true}) {
+            work.push_back([&v, enhanced, &wl, &args] {
+                auto mc = v.mc;
+                mc.enhanced = enhanced;
+                return runArm(wl, mc, args.scaled(150),
+                              args.scaled(450));
+            });
+        }
+    }
+    const auto arms = runJobs(args, std::move(work));
+
+    stats::TablePrinter t({"Front end", "Cycle gain from ABTB"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const Variant &v = variants[i];
+        const ArmResult &b = arms[2 * i];
+        const ArmResult &e = arms[2 * i + 1];
+        json.add(v.jsonName + ".base", b,
+                 {{"workload", "apache"},
+                  {"machine", "base"},
+                  {"frontend", v.jsonName}});
+        json.add(v.jsonName + ".enhanced", e,
+                 {{"workload", "apache"},
+                  {"machine", "enhanced"},
+                  {"frontend", v.jsonName}});
+        const double gain =
+            100.0 *
+            (double(b.counters.cycles) - double(e.counters.cycles)) /
+            double(b.counters.cycles);
+        t.addRow({v.label,
+                  stats::TablePrinter::num(gain, 2) + "%"});
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("expected: the benefit survives stronger direction "

@@ -25,15 +25,25 @@ struct Variant
     bool asidRetention;
 };
 
+/** One variant's run, fully computed inside its job. */
+struct VariantResult
+{
+    stats::MetricsRegistry registry;
+    cpu::PerfCounters counters;
+    core::SkipUnitStats skipStats;
+    std::uint64_t hwBytes = 0;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("ablation_invalidation", argc, argv);
     banner("Ablation — invalidation scheme (bloom vs explicit) "
            "and ASID retention",
            "Sections 3.3 and 3.4");
-    JsonOut json("ablation_invalidation", argc, argv);
+    JsonOut json("ablation_invalidation", args);
 
     const Variant variants[] = {
         {"bloom filter (default)", false, false},
@@ -42,27 +52,43 @@ main(int argc, char **argv)
     };
 
     const auto wl = workload::apacheProfile();
+
+    std::vector<std::function<VariantResult()>> work;
+    for (const auto &v : variants) {
+        work.push_back([v, &wl, &args] {
+            auto mc = enhancedMachine();
+            mc.explicitInvalidation = v.explicitInval;
+            mc.asidRetention = v.asidRetention;
+
+            workload::Workbench wb(wl, mc);
+            wb.warmup(static_cast<std::uint32_t>(
+                args.scaled(150)));
+            for (int i = 0; i < args.scaled(600); ++i)
+                wb.runRequest();
+
+            VariantResult r;
+            r.counters = wb.core().counters();
+            r.skipStats = wb.core().skipUnit()->stats();
+            r.hwBytes = wb.core().skipUnit()->hardwareBytes();
+            wb.reportMetrics(r.registry, "dlsim");
+            return r;
+        });
+    }
+    const auto results = runJobs(args, std::move(work));
+
     stats::TablePrinter t({"Variant", "Skip rate", "Store flushes",
                            "FP flushes", "HW bytes"});
-    for (const auto &v : variants) {
-        auto mc = enhancedMachine();
-        mc.explicitInvalidation = v.explicitInval;
-        mc.asidRetention = v.asidRetention;
-
-        workload::Workbench wb(wl, mc);
-        wb.warmup(150);
-        for (int i = 0; i < 600; ++i)
-            wb.runRequest();
-
-        const auto c = wb.core().counters();
-        const auto &s = wb.core().skipUnit()->stats();
+    for (std::size_t i = 0; i < std::size(variants); ++i) {
+        const Variant &v = variants[i];
+        const auto &c = results[i].counters;
+        const auto &s = results[i].skipStats;
         auto &run = json.addRun(v.name);
         run.with("workload", "apache")
             .with("machine", "enhanced")
             .with("explicit_invalidation",
                   v.explicitInval ? "1" : "0")
             .with("asid_retention", v.asidRetention ? "1" : "0");
-        wb.reportMetrics(run.registry, "dlsim");
+        run.registry = results[i].registry;
         const auto total =
             c.skippedTrampolines + c.trampolineJmps;
         t.addRow({v.name,
@@ -73,8 +99,7 @@ main(int argc, char **argv)
                   stats::TablePrinter::num(s.storeFlushes),
                   stats::TablePrinter::num(
                       s.falsePositiveFlushes),
-                  stats::TablePrinter::num(
-                      wb.core().skipUnit()->hardwareBytes())});
+                  stats::TablePrinter::num(results[i].hwBytes)});
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("expected: identical steady-state skip rates; the "

@@ -16,74 +16,78 @@
 using namespace dlsim;
 using namespace dlsim::bench;
 
-namespace
-{
-
-double
-gainFor(JsonOut &json, const std::string &variant,
-        const workload::MachineConfig &base_mc)
-{
-    const auto wl = workload::apacheProfile();
-    auto enh_mc = base_mc;
-    enh_mc.enhanced = true;
-    const auto b = runArm(wl, base_mc, 120, 400);
-    const auto e = runArm(wl, enh_mc, 120, 400);
-    json.add(variant + ".base", b,
-             {{"workload", "apache"},
-              {"machine", "base"},
-              {"variation", variant}});
-    json.add(variant + ".enhanced", e,
-             {{"workload", "apache"},
-              {"machine", "enhanced"},
-              {"variation", variant}});
-    return 100.0 *
-           (double(b.counters.cycles) - double(e.counters.cycles)) /
-           double(b.counters.cycles);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("ablation_machine", argc, argv);
     banner("Ablation — machine sensitivity of the benefit",
            "Section 5.4 (single-machine result, generalised)");
-    JsonOut json("ablation_machine", argc, argv);
+    JsonOut json("ablation_machine", args);
 
-    stats::TablePrinter t({"Machine variation", "Cycle gain"});
+    const auto wl = workload::apacheProfile();
 
+    struct Variant
+    {
+        std::string label;
+        std::string jsonName;
+        workload::MachineConfig mc;
+    };
+    std::vector<Variant> variants;
     for (std::uint32_t width : {1u, 2u, 4u}) {
         workload::MachineConfig mc;
         mc.core.issueWidth = width;
-        t.addRow({"issue width " + std::to_string(width),
-                  stats::TablePrinter::num(
-                      gainFor(json,
-                              "width" + std::to_string(width),
-                              mc),
-                      2) +
-                      "%"});
+        variants.push_back(
+            {"issue width " + std::to_string(width),
+             "width" + std::to_string(width), mc});
     }
     for (std::uint32_t penalty : {8u, 15u, 25u}) {
         workload::MachineConfig mc;
         mc.core.mispredictPenalty = penalty;
-        t.addRow({"mispredict penalty " + std::to_string(penalty),
-                  stats::TablePrinter::num(
-                      gainFor(json,
-                              "penalty" + std::to_string(penalty),
-                              mc),
-                      2) +
-                      "%"});
+        variants.push_back(
+            {"mispredict penalty " + std::to_string(penalty),
+             "penalty" + std::to_string(penalty), mc});
     }
     for (std::uint32_t lat : {120u, 220u, 400u}) {
         workload::MachineConfig mc;
         mc.core.mem.memLatency = lat;
-        t.addRow({"memory latency " + std::to_string(lat),
-                  stats::TablePrinter::num(
-                      gainFor(json,
-                              "memlat" + std::to_string(lat),
-                              mc),
-                      2) +
-                      "%"});
+        variants.push_back(
+            {"memory latency " + std::to_string(lat),
+             "memlat" + std::to_string(lat), mc});
+    }
+
+    // Two jobs per variant: [v0.base, v0.enh, v1.base, ...].
+    std::vector<std::function<ArmResult()>> work;
+    for (const Variant &v : variants) {
+        for (const bool enhanced : {false, true}) {
+            work.push_back([&v, enhanced, &wl, &args] {
+                auto mc = v.mc;
+                mc.enhanced = enhanced;
+                return runArm(wl, mc, args.scaled(120),
+                              args.scaled(400));
+            });
+        }
+    }
+    const auto arms = runJobs(args, std::move(work));
+
+    stats::TablePrinter t({"Machine variation", "Cycle gain"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const Variant &v = variants[i];
+        const ArmResult &b = arms[2 * i];
+        const ArmResult &e = arms[2 * i + 1];
+        json.add(v.jsonName + ".base", b,
+                 {{"workload", "apache"},
+                  {"machine", "base"},
+                  {"variation", v.jsonName}});
+        json.add(v.jsonName + ".enhanced", e,
+                 {{"workload", "apache"},
+                  {"machine", "enhanced"},
+                  {"variation", v.jsonName}});
+        const double gain =
+            100.0 *
+            (double(b.counters.cycles) - double(e.counters.cycles)) /
+            double(b.counters.cycles);
+        t.addRow({v.label,
+                  stats::TablePrinter::num(gain, 2) + "%"});
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("expected: benefit grows with issue width (the "

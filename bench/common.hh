@@ -9,16 +9,27 @@
  * match (the substrate is a simulator, not the authors' Xeon); the
  * shape — who wins, roughly by what factor — is the claim under
  * reproduction.
+ *
+ * Benches execute their measurement grid through sim::JobRunner:
+ * every arm is an independent job (own Workbench, own registry, own
+ * RNG streams), jobs run on `--jobs N` host threads, and results
+ * come back in submission order — so stdout tables and --json-out
+ * documents are byte-identical for every N. See
+ * docs/performance.md.
  */
 
 #ifndef DLSIM_BENCH_COMMON_HH
 #define DLSIM_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/job_runner.hh"
 #include "stats/cdf.hh"
 #include "stats/histogram.hh"
 #include "stats/metrics.hh"
@@ -28,6 +39,108 @@
 
 namespace dlsim::bench
 {
+
+/**
+ * Command-line arguments shared by every bench binary.
+ *
+ * Accepted flags (and nothing else — unknown flags, positional
+ * arguments and duplicated flags are rejected with exit code 2):
+ *
+ *   --jobs N         run the measurement grid on N host threads
+ *                    (default: hardware concurrency; 1 = serial)
+ *   --quick          shrink warmup/request counts ~8x for smoke
+ *                    runs and wall-clock comparisons
+ *   --json-out FILE  write a dlsim-metrics-v1 JSON document
+ *   --help           print this usage text and exit 0
+ */
+class BenchArgs
+{
+  public:
+    BenchArgs(const char *tool, int argc, char **argv)
+        : tool_(tool)
+    {
+        bool saw_jobs = false, saw_json = false;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                printHelp(stdout);
+                std::exit(0);
+            } else if (arg == "--quick") {
+                quick_ = true;
+            } else if (arg == "--jobs") {
+                if (saw_jobs)
+                    die("duplicate --jobs");
+                saw_jobs = true;
+                if (i + 1 >= argc)
+                    die("--jobs requires a count");
+                const long n = std::atol(argv[++i]);
+                if (n < 1)
+                    die("--jobs requires a count >= 1");
+                jobs_ = static_cast<unsigned>(n);
+            } else if (arg == "--json-out") {
+                if (saw_json)
+                    die("duplicate --json-out");
+                saw_json = true;
+                if (i + 1 >= argc)
+                    die("--json-out requires a path");
+                jsonOut_ = argv[++i];
+            } else {
+                die(("unknown argument '" + arg + "'").c_str());
+            }
+        }
+        if (jobs_ == 0)
+            jobs_ = sim::JobRunner::defaultJobs();
+    }
+
+    unsigned jobs() const { return jobs_; }
+    bool quick() const { return quick_; }
+    const std::string &jsonOut() const { return jsonOut_; }
+
+    /** Scale a warmup/request count for --quick runs. */
+    int
+    scaled(int n) const
+    {
+        return quick_ ? std::max(1, n / 8) : n;
+    }
+
+  private:
+    void
+    printHelp(std::FILE *to) const
+    {
+        std::fprintf(
+            to,
+            "usage: %s [--jobs N] [--quick] [--json-out FILE]\n"
+            "\n"
+            "  --jobs N         run independent experiment arms "
+            "on N host\n"
+            "                   threads (default: hardware "
+            "concurrency;\n"
+            "                   1 = serial). Output is "
+            "byte-identical for\n"
+            "                   every N.\n"
+            "  --quick          shrink warmup/request counts "
+            "(~8x) for\n"
+            "                   smoke runs\n"
+            "  --json-out FILE  also write a dlsim-metrics-v1 "
+            "JSON\n"
+            "                   document to FILE\n"
+            "  --help           show this text\n",
+            tool_.c_str());
+    }
+
+    [[noreturn]] void
+    die(const char *message) const
+    {
+        std::fprintf(stderr, "%s: %s\n", tool_.c_str(), message);
+        printHelp(stderr);
+        std::exit(2);
+    }
+
+    std::string tool_;
+    unsigned jobs_ = 0;
+    bool quick_ = false;
+    std::string jsonOut_;
+};
 
 /** Result of one measured arm. */
 struct ArmResult
@@ -74,6 +187,20 @@ runArm(const workload::WorkloadParams &wl,
 }
 
 /**
+ * Execute a bench's independent jobs on the shared runner,
+ * honouring --jobs. Results come back in submission order;
+ * accumulate tables/JSON from them serially afterwards.
+ */
+template <typename R>
+inline std::vector<R>
+runJobs(const BenchArgs &args,
+        std::vector<std::function<R()>> work)
+{
+    sim::JobRunner runner(args.jobs());
+    return runner.run(std::move(work));
+}
+
+/**
  * `--json-out <path>` handling shared by every bench binary.
  *
  * Runs are collected unconditionally (snapshots are cheap relative
@@ -84,15 +211,9 @@ runArm(const workload::WorkloadParams &wl,
 class JsonOut
 {
   public:
-    JsonOut(const char *tool, int argc, char **argv) : doc_(tool)
+    JsonOut(const char *tool, const BenchArgs &args)
+        : doc_(tool), path_(args.jsonOut())
     {
-        for (int i = 1; i < argc; ++i) {
-            if (std::string(argv[i]) == "--json-out" &&
-                i + 1 < argc) {
-                path_ = argv[i + 1];
-                ++i;
-            }
-        }
     }
 
     bool enabled() const { return !path_.empty(); }

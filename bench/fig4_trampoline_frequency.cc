@@ -18,8 +18,15 @@ using namespace dlsim::bench;
 namespace
 {
 
-std::vector<std::uint64_t>
-censusCounts(JsonOut &json, const char *profile, int requests)
+/** One workload's census, fully computed inside its job. */
+struct Census
+{
+    stats::MetricsRegistry registry;
+    std::vector<std::uint64_t> counts;
+};
+
+Census
+censusCounts(const char *profile, int requests)
 {
     auto mc = baseMachine();
     mc.profileTrampolines = true;
@@ -27,18 +34,13 @@ censusCounts(JsonOut &json, const char *profile, int requests)
     for (int i = 0; i < requests; ++i)
         wb.runRequest();
 
-    auto &run = json.addRun(profile);
-    run.with("workload", profile)
-        .with("machine", "base")
-        .with("requests", std::to_string(requests));
-    wb.reportMetrics(run.registry, "dlsim");
-
-    std::vector<std::uint64_t> counts;
-    counts.reserve(wb.core().trampolineCounts().size());
+    Census census;
+    wb.reportMetrics(census.registry, "dlsim");
+    census.counts.reserve(wb.core().trampolineCounts().size());
     for (const auto &[va, n] : wb.core().trampolineCounts())
-        counts.push_back(n);
-    std::sort(counts.rbegin(), counts.rend());
-    return counts;
+        census.counts.push_back(n);
+    std::sort(census.counts.rbegin(), census.counts.rend());
+    return census;
 }
 
 } // namespace
@@ -46,14 +48,29 @@ censusCounts(JsonOut &json, const char *profile, int requests)
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("fig4_trampoline_frequency", argc, argv);
     banner("Figure 4 — trampoline frequency by rank (log-log)",
            "Section 5.1, Figure 4");
-    JsonOut json("fig4_trampoline_frequency", argc, argv);
+    JsonOut json("fig4_trampoline_frequency", args);
 
     const char *profiles[] = {"apache", "firefox", "memcached"};
+    const int requests = args.scaled(900);
+    std::vector<std::function<Census()>> work;
+    for (const auto *p : profiles) {
+        work.push_back(
+            [p, requests] { return censusCounts(p, requests); });
+    }
+    const auto results = runJobs(args, std::move(work));
+
     std::vector<std::vector<std::uint64_t>> all;
-    for (const auto *p : profiles)
-        all.push_back(censusCounts(json, p, 900));
+    for (std::size_t i = 0; i < std::size(profiles); ++i) {
+        auto &run = json.addRun(profiles[i]);
+        run.with("workload", profiles[i])
+            .with("machine", "base")
+            .with("requests", std::to_string(requests));
+        run.registry = results[i].registry;
+        all.push_back(results[i].counts);
+    }
 
     // Print log-spaced ranks, as the paper's log-log axes do.
     stats::TablePrinter table({"Rank", "apache", "firefox",

@@ -18,30 +18,13 @@ namespace
 {
 
 double
-skipRate(JsonOut &json, const char *profile, std::uint32_t entries,
-         int warmup, int requests)
+skipRate(const ArmResult &arm)
 {
-    workload::MachineConfig mc = enhancedMachine();
-    mc.abtbEntries = entries;
-    mc.abtbAssoc = std::min(entries, 4u);
-
-    const auto arm = runArm(workload::profileByName(profile), mc,
-                            warmup, requests);
     const auto &c = arm.counters;
     const auto total = c.skippedTrampolines + c.trampolineJmps;
-    const double rate =
-        total == 0 ? 0.0
-                   : 100.0 * double(c.skippedTrampolines) /
-                         double(total);
-
-    json.add(std::string(profile) + ".entries" +
-                 std::to_string(entries),
-             arm,
-             {{"workload", profile},
-              {"machine", "enhanced"},
-              {"abtb_entries", std::to_string(entries)},
-              {"requests", std::to_string(requests)}});
-    return rate;
+    return total == 0 ? 0.0
+                      : 100.0 * double(c.skippedTrampolines) /
+                            double(total);
 }
 
 } // namespace
@@ -49,9 +32,10 @@ skipRate(JsonOut &json, const char *profile, std::uint32_t entries,
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("fig5_abtb_sweep", argc, argv);
     banner("Figure 5 — trampolines skipped vs ABTB size",
            "Sections 5.3, Figure 5");
-    JsonOut json("fig5_abtb_sweep", argc, argv);
+    JsonOut json("fig5_abtb_sweep", args);
 
     // Firefox lazily binds thousands of symbols; each first call
     // ends in a GOT store that flushes the ABTB ("once per library
@@ -60,20 +44,58 @@ main(int argc, char **argv)
     const char *profiles[] = {"apache", "firefox", "memcached"};
     const int warmups[] = {300, 1200, 150};
     const int requests[] = {400, 250, 350};
+    const std::uint32_t sizes[] = {1u,  2u,   4u,   8u,
+                                   16u, 32u,  64u,  128u,
+                                   256u, 512u, 1024u};
+
+    // One job per (size, workload) cell; the whole grid runs on
+    // --jobs threads and is consumed below in submission order.
+    struct Cell
+    {
+        std::uint32_t entries;
+        int profile;
+    };
+    std::vector<Cell> cells;
+    for (const std::uint32_t entries : sizes)
+        for (int i = 0; i < 3; ++i)
+            cells.push_back({entries, i});
+
+    std::vector<std::function<ArmResult()>> work;
+    work.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        work.push_back([cell, &args, &profiles, &warmups,
+                        &requests] {
+            workload::MachineConfig mc = enhancedMachine();
+            mc.abtbEntries = cell.entries;
+            mc.abtbAssoc = std::min(cell.entries, 4u);
+            return runArm(
+                workload::profileByName(profiles[cell.profile]),
+                mc, args.scaled(warmups[cell.profile]),
+                args.scaled(requests[cell.profile]));
+        });
+    }
+    const auto arms = runJobs(args, std::move(work));
 
     stats::TablePrinter table({"Entries", "Bytes", "apache",
                                "firefox", "memcached"});
-    for (std::uint32_t entries :
-         {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u,
-          1024u}) {
+    for (std::size_t c = 0; c < cells.size(); c += 3) {
+        const std::uint32_t entries = cells[c].entries;
         std::vector<std::string> row{
             std::to_string(entries),
             std::to_string(entries * core::AbtbEntryBytes)};
         for (int i = 0; i < 3; ++i) {
-            row.push_back(stats::TablePrinter::num(
-                              skipRate(json, profiles[i], entries,
-                                       warmups[i], requests[i]),
-                              1) +
+            const ArmResult &arm = arms[c + i];
+            json.add(std::string(profiles[i]) + ".entries" +
+                         std::to_string(entries),
+                     arm,
+                     {{"workload", profiles[i]},
+                      {"machine", "enhanced"},
+                      {"abtb_entries", std::to_string(entries)},
+                      {"requests",
+                       std::to_string(
+                           args.scaled(requests[i]))}});
+            row.push_back(stats::TablePrinter::num(skipRate(arm),
+                                                   1) +
                           "%");
         }
         table.addRow(std::move(row));

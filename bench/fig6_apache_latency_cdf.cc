@@ -16,24 +16,34 @@ using namespace dlsim::bench;
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("fig6_apache_latency_cdf", argc, argv);
     banner("Figure 6 — Apache request latency CDFs, "
            "base vs enhanced",
            "Section 5.4, Figure 6");
 
     const auto wl = workload::apacheProfile();
-    constexpr int Warmup = 250, Requests = 3000;
-    auto base = runArm(wl, baseMachine(), Warmup, Requests);
-    auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+    const int warmup = args.scaled(250);
+    const int requests = args.scaled(3000);
+    std::vector<std::function<ArmResult()>> work;
+    work.push_back([&] {
+        return runArm(wl, baseMachine(), warmup, requests);
+    });
+    work.push_back([&] {
+        return runArm(wl, enhancedMachine(), warmup, requests);
+    });
+    auto arms = runJobs(args, std::move(work));
+    ArmResult &base = arms[0];
+    ArmResult &enh = arms[1];
 
-    JsonOut json("fig6_apache_latency_cdf", argc, argv);
+    JsonOut json("fig6_apache_latency_cdf", args);
     json.add("apache.base", base,
              {{"workload", "apache"},
               {"machine", "base"},
-              {"requests", std::to_string(Requests)}});
+              {"requests", std::to_string(requests)}});
     json.add("apache.enhanced", enh,
              {{"workload", "apache"},
               {"machine", "enhanced"},
-              {"requests", std::to_string(Requests)}});
+              {"requests", std::to_string(requests)}});
 
     double mean_imp_sum = 0;
     for (std::size_t k = 0; k < wl.requests.size(); ++k) {

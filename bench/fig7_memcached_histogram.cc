@@ -17,24 +17,34 @@ using namespace dlsim::bench;
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("fig7_memcached_histogram", argc, argv);
     banner("Figure 7 — Memcached GET/SET processing-time "
            "histograms",
            "Section 5.4, Figure 7");
 
     const auto wl = workload::memcachedProfile();
-    constexpr int Warmup = 200, Requests = 4000;
-    auto base = runArm(wl, baseMachine(), Warmup, Requests);
-    auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+    const int warmup = args.scaled(200);
+    const int requests = args.scaled(4000);
+    std::vector<std::function<ArmResult()>> work;
+    work.push_back([&] {
+        return runArm(wl, baseMachine(), warmup, requests);
+    });
+    work.push_back([&] {
+        return runArm(wl, enhancedMachine(), warmup, requests);
+    });
+    auto arms = runJobs(args, std::move(work));
+    ArmResult &base = arms[0];
+    ArmResult &enh = arms[1];
 
-    JsonOut json("fig7_memcached_histogram", argc, argv);
+    JsonOut json("fig7_memcached_histogram", args);
     json.add("memcached.base", base,
              {{"workload", "memcached"},
               {"machine", "base"},
-              {"requests", std::to_string(Requests)}});
+              {"requests", std::to_string(requests)}});
     json.add("memcached.enhanced", enh,
              {{"workload", "memcached"},
               {"machine", "enhanced"},
-              {"requests", std::to_string(Requests)}});
+              {"requests", std::to_string(requests)}});
 
     for (std::size_t k = 0; k < wl.requests.size(); ++k) {
         auto &b = base.latency[k];

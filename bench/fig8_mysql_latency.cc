@@ -20,24 +20,34 @@ using namespace dlsim::bench;
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("fig8_mysql_latency", argc, argv);
     banner("Figure 8 / Table 6 — MySQL request latency, "
            "base vs enhanced",
            "Section 5.4, Figure 8 and Table 6");
 
     const auto wl = workload::mysqlProfile();
-    constexpr int Warmup = 200, Requests = 2500;
-    auto base = runArm(wl, baseMachine(), Warmup, Requests);
-    auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+    const int warmup = args.scaled(200);
+    const int requests = args.scaled(2500);
+    std::vector<std::function<ArmResult()>> work;
+    work.push_back([&] {
+        return runArm(wl, baseMachine(), warmup, requests);
+    });
+    work.push_back([&] {
+        return runArm(wl, enhancedMachine(), warmup, requests);
+    });
+    auto arms = runJobs(args, std::move(work));
+    ArmResult &base = arms[0];
+    ArmResult &enh = arms[1];
 
-    JsonOut json("fig8_mysql_latency", argc, argv);
+    JsonOut json("fig8_mysql_latency", args);
     json.add("mysql.base", base,
              {{"workload", "mysql"},
               {"machine", "base"},
-              {"requests", std::to_string(Requests)}});
+              {"requests", std::to_string(requests)}});
     json.add("mysql.enhanced", enh,
              {{"workload", "mysql"},
               {"machine", "enhanced"},
-              {"requests", std::to_string(Requests)}});
+              {"requests", std::to_string(requests)}});
 
     const double paper[2][4][2] = {
         {{43.5, 43.0}, {57.3, 56.9}, {72.8, 72.3}, {87.1, 86.8}},

@@ -28,7 +28,8 @@ struct ServerResult
 };
 
 ServerResult
-runPrefork(bool software_patching, int workers)
+runPrefork(bool software_patching, int workers, int masterRequests,
+           int workerRequests)
 {
     workload::MachineConfig mc;
     mc.enhanced = !software_patching;
@@ -39,7 +40,7 @@ runPrefork(bool software_patching, int workers)
     sim::System system(wb.core(), wb.image(), wb.linker());
 
     // Master profiles (the paper's Pin run), then forks workers.
-    for (int i = 0; i < 120; ++i)
+    for (int i = 0; i < masterRequests; ++i)
         wb.runRequest();
     const auto trace = wb.core().callSiteTrace();
 
@@ -57,7 +58,7 @@ runPrefork(bool software_patching, int workers)
             result.sitesPatched = stats.sitesPatched;
             result.pagesPerProcess = stats.pagesTouched;
         }
-        for (int i = 0; i < 8; ++i)
+        for (int i = 0; i < workerRequests; ++i)
             wb.runRequest();
     }
     result.memory = system.memoryStats();
@@ -69,13 +70,26 @@ runPrefork(bool software_patching, int workers)
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("sec55_memory_savings", argc, argv);
     banner("Section 5.5 — prefork memory savings",
            "Section 5.5");
-    JsonOut json("sec55_memory_savings", argc, argv);
+    JsonOut json("sec55_memory_savings", args);
 
     constexpr int Workers = 32;
-    const auto sw = runPrefork(true, Workers);
-    const auto hw = runPrefork(false, Workers);
+    const int masterRequests = args.scaled(120);
+    const int workerRequests = args.quick() ? 2 : 8;
+    std::vector<std::function<ServerResult()>> work;
+    work.push_back([&] {
+        return runPrefork(true, Workers, masterRequests,
+                          workerRequests);
+    });
+    work.push_back([&] {
+        return runPrefork(false, Workers, masterRequests,
+                          workerRequests);
+    });
+    const auto results = runJobs(args, std::move(work));
+    const ServerResult &sw = results[0];
+    const ServerResult &hw = results[1];
 
     auto record = [&](const char *name, const ServerResult &r,
                       const char *machine) {

@@ -15,9 +15,10 @@ using namespace dlsim::bench;
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("table2_opportunity", argc, argv);
     banner("Table 2 — trampoline instructions PKI",
            "Section 5.1, Table 2");
-    JsonOut json("table2_opportunity", argc, argv);
+    JsonOut json("table2_opportunity", args);
 
     struct Row
     {
@@ -32,23 +33,32 @@ main(int argc, char **argv)
         {"mysql", 5.56, 700},
     };
 
+    std::vector<std::function<ArmResult()>> work;
+    for (const Row &row : rows) {
+        work.push_back([&row, &args] {
+            return runArm(workload::profileByName(row.name),
+                          baseMachine(), args.scaled(120),
+                          args.scaled(row.requests));
+        });
+    }
+    const auto arms = runJobs(args, std::move(work));
+
     stats::TablePrinter table({"Workload", "Measured PKI",
                                "Paper PKI", "Insts/request"});
-    for (const auto &row : rows) {
-        const auto arm =
-            runArm(workload::profileByName(row.name),
-                   baseMachine(), 120, row.requests);
-        const auto &c = arm.counters;
-        json.add(row.name, arm,
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+        const Row &row = rows[i];
+        const int requests = args.scaled(row.requests);
+        const auto &c = arms[i].counters;
+        json.add(row.name, arms[i],
                  {{"workload", row.name},
                   {"machine", "base"},
-                  {"requests", std::to_string(row.requests)}});
+                  {"requests", std::to_string(requests)}});
         table.addRow(
             {row.name,
              stats::TablePrinter::num(c.pki(c.trampolineInsts)),
              stats::TablePrinter::num(row.paper),
              stats::TablePrinter::num(
-                 double(c.instructions) / row.requests, 0)});
+                 double(c.instructions) / requests, 0)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("expected shape: apache >> mysql > memcached > "

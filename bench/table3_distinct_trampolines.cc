@@ -14,12 +14,26 @@
 using namespace dlsim;
 using namespace dlsim::bench;
 
+namespace
+{
+
+/** One workload's census, fully computed inside its job. */
+struct Census
+{
+    stats::MetricsRegistry registry;
+    std::uint64_t distinct = 0;
+    std::uint64_t pltEntries = 0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("table3_distinct_trampolines", argc, argv);
     banner("Table 3 — distinct trampolines executed",
            "Section 5.1, Table 3");
-    JsonOut json("table3_distinct_trampolines", argc, argv);
+    JsonOut json("table3_distinct_trampolines", args);
 
     struct Row
     {
@@ -34,30 +48,43 @@ main(int argc, char **argv)
         {"mysql", 1611, 2000},
     };
 
+    std::vector<std::function<Census()>> work;
+    for (const Row &row : rows) {
+        work.push_back([&row, &args] {
+            auto mc = baseMachine();
+            mc.profileTrampolines = true;
+            workload::Workbench wb(
+                workload::profileByName(row.name), mc);
+            // No warmup clear: the census covers the whole run,
+            // including startup, as the paper's Pin run did.
+            for (int i = 0; i < args.scaled(row.requests); ++i)
+                wb.runRequest();
+            Census census;
+            wb.reportMetrics(census.registry, "dlsim");
+            census.distinct = wb.distinctTrampolinesExecuted();
+            census.pltEntries = wb.image().totalTrampolines();
+            return census;
+        });
+    }
+    const auto results = runJobs(args, std::move(work));
+
     stats::TablePrinter table({"Workload", "Measured distinct",
                                "Paper distinct",
                                "PLT entries loaded"});
-    for (const auto &row : rows) {
-        auto mc = baseMachine();
-        mc.profileTrampolines = true;
-        workload::Workbench wb(workload::profileByName(row.name),
-                               mc);
-        // No warmup clear: the census covers the whole run,
-        // including startup, as the paper's Pin run did.
-        for (int i = 0; i < row.requests; ++i)
-            wb.runRequest();
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+        const Row &row = rows[i];
+        const Census &census = results[i];
         auto &run = json.addRun(row.name);
         run.with("workload", row.name)
             .with("machine", "base")
-            .with("requests", std::to_string(row.requests));
-        wb.reportMetrics(run.registry, "dlsim");
+            .with("requests",
+                  std::to_string(args.scaled(row.requests)));
+        run.registry = census.registry;
         table.addRow(
             {row.name,
-             stats::TablePrinter::num(
-                 wb.distinctTrampolinesExecuted()),
+             stats::TablePrinter::num(census.distinct),
              stats::TablePrinter::num(row.paper),
-             stats::TablePrinter::num(
-                 wb.image().totalTrampolines())});
+             stats::TablePrinter::num(census.pltEntries)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("expected shape: firefox > mysql > apache >> "

@@ -31,10 +31,11 @@ struct PaperRow
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("table4_microarch_counters", argc, argv);
     banner("Table 4 — microarchitectural counters PKI, "
            "base vs enhanced",
            "Section 5.2, Table 4");
-    JsonOut json("table4_microarch_counters", argc, argv);
+    JsonOut json("table4_microarch_counters", args);
 
     const PaperRow rows[] = {
         {"apache", 109.31, 104.22, 1.78, 1.18, 7.96, 7.56, 4.03,
@@ -47,23 +48,39 @@ main(int argc, char **argv)
          2.77, 14.44, 14.40, 700},
     };
 
-    for (const auto &row : rows) {
-        const auto wl = workload::profileByName(row.name);
-        const auto base =
-            runArm(wl, baseMachine(), 150, row.requests);
-        const auto enh =
-            runArm(wl, enhancedMachine(), 150, row.requests);
+    // Two jobs (base, enhanced) per workload, interleaved so the
+    // results land as [base0, enh0, base1, enh1, ...].
+    std::vector<std::function<ArmResult()>> work;
+    for (const PaperRow &row : rows) {
+        for (const bool enhanced : {false, true}) {
+            work.push_back([&row, enhanced, &args] {
+                return runArm(workload::profileByName(row.name),
+                              enhanced ? enhancedMachine()
+                                       : baseMachine(),
+                              args.scaled(150),
+                              args.scaled(row.requests));
+            });
+        }
+    }
+    const auto arms = runJobs(args, std::move(work));
+
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+        const PaperRow &row = rows[i];
+        const ArmResult &base = arms[2 * i];
+        const ArmResult &enh = arms[2 * i + 1];
         const auto &b = base.counters;
         const auto &e = enh.counters;
+        const auto requests =
+            std::to_string(args.scaled(row.requests));
 
         json.add(std::string(row.name) + ".base", base,
                  {{"workload", row.name},
                   {"machine", "base"},
-                  {"requests", std::to_string(row.requests)}});
+                  {"requests", requests}});
         json.add(std::string(row.name) + ".enhanced", enh,
                  {{"workload", row.name},
                   {"machine", "enhanced"},
-                  {"requests", std::to_string(row.requests)}});
+                  {"requests", requests}});
 
         std::printf("--- %s ---\n", row.name);
         stats::TablePrinter t({"Counter PKI", "Base", "Enhanced",

@@ -26,24 +26,34 @@ constexpr double GHz = 3.0e9;
 int
 main(int argc, char **argv)
 {
+    BenchArgs args("table5_firefox_peacekeeper", argc, argv);
     banner("Table 5 — Firefox Peacekeeper scores, "
            "base vs enhanced",
            "Section 5.4, Table 5");
 
     const auto wl = workload::firefoxProfile();
-    constexpr int Warmup = 80, Requests = 1200;
-    auto base = runArm(wl, baseMachine(), Warmup, Requests);
-    auto enh = runArm(wl, enhancedMachine(), Warmup, Requests);
+    const int warmup = args.scaled(80);
+    const int requests = args.scaled(1200);
+    std::vector<std::function<ArmResult()>> work;
+    work.push_back([&] {
+        return runArm(wl, baseMachine(), warmup, requests);
+    });
+    work.push_back([&] {
+        return runArm(wl, enhancedMachine(), warmup, requests);
+    });
+    auto arms = runJobs(args, std::move(work));
+    const ArmResult &base = arms[0];
+    const ArmResult &enh = arms[1];
 
-    JsonOut json("table5_firefox_peacekeeper", argc, argv);
+    JsonOut json("table5_firefox_peacekeeper", args);
     json.add("firefox.base", base,
              {{"workload", "firefox"},
               {"machine", "base"},
-              {"requests", std::to_string(Requests)}});
+              {"requests", std::to_string(requests)}});
     json.add("firefox.enhanced", enh,
              {{"workload", "firefox"},
               {"machine", "enhanced"},
-              {"requests", std::to_string(Requests)}});
+              {"requests", std::to_string(requests)}});
 
     struct PaperRow
     {

@@ -1,20 +1,97 @@
 #include "linker/image.hh"
 
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 
 namespace dlsim::linker
 {
 
+namespace
+{
+
+/** Empty/tombstone sentinels for the decode cache's value array. */
+constexpr std::uint32_t FastEmpty = 0xffffffffu;
+constexpr std::uint32_t FastTombstone = 0xfffffffeu;
+
+/** Mix a va into a well-distributed hash (vas are structured). */
+inline std::uint64_t
+fastHash(Addr va)
+{
+    std::uint64_t h = va * 0x9e3779b97f4a7c15ull;
+    return h ^ (h >> 29);
+}
+
+} // namespace
+
 Image::Image() : as_(std::make_unique<mem::AddressSpace>()) {}
 
 const Slot *
 Image::decode(Addr va) const
 {
+    if (fastMask_ != 0) {
+        std::uint64_t i = fastHash(va) & fastMask_;
+        while (true) {
+            const std::uint32_t v = fastVals_[i];
+            if (v == FastEmpty)
+                break;
+            if (v != FastTombstone && fastKeys_[i] == va) {
+                ++decodeHits_;
+                return &slots_[v];
+            }
+            i = (i + 1) & fastMask_;
+        }
+    }
+    ++decodeMisses_;
     const auto it = slotIndex_.find(va);
     if (it == slotIndex_.end())
         return nullptr;
+    fastInsert(va, it->second);
     return &slots_[it->second];
+}
+
+void
+Image::fastInsert(Addr va, std::uint32_t index) const
+{
+    if (fastMask_ == 0)
+        return;
+    std::uint64_t i = fastHash(va) & fastMask_;
+    while (fastVals_[i] != FastEmpty &&
+           fastVals_[i] != FastTombstone) {
+        i = (i + 1) & fastMask_;
+    }
+    fastKeys_[i] = va;
+    fastVals_[i] = index;
+}
+
+void
+Image::fastErase(Addr va)
+{
+    if (fastMask_ == 0)
+        return;
+    std::uint64_t i = fastHash(va) & fastMask_;
+    while (fastVals_[i] != FastEmpty) {
+        if (fastVals_[i] != FastTombstone && fastKeys_[i] == va) {
+            // A tombstone, not FastEmpty: later entries may have
+            // probed past this slot.
+            fastVals_[i] = FastTombstone;
+            return;
+        }
+        i = (i + 1) & fastMask_;
+    }
+}
+
+void
+Image::fastReset()
+{
+    // Capacity 2x the live key count keeps the load factor <= 0.5
+    // (a re-inserted key reuses its own tombstone, so patch
+    // invalidation cannot grow the occupancy).
+    const std::uint64_t capacity = std::bit_ceil(
+        std::max<std::uint64_t>(16, 2 * slots_.size()));
+    fastMask_ = capacity - 1;
+    fastKeys_.assign(capacity, 0);
+    fastVals_.assign(capacity, FastEmpty);
 }
 
 Slot *
@@ -23,6 +100,10 @@ Image::decodeMutable(Addr va)
     const auto it = slotIndex_.find(va);
     if (it == slotIndex_.end())
         return nullptr;
+    // The caller is about to rewrite this slot (software call-site
+    // patching); drop the cached translation so the next fetch
+    // re-resolves it.
+    fastErase(va);
     return &slots_[it->second];
 }
 
@@ -159,6 +240,7 @@ Image::indexSlots()
 {
     slotIndex_.clear();
     pltJmpInfo_.clear();
+    fastReset();
     slotIndex_.reserve(slots_.size());
     for (std::uint32_t i = 0; i < slots_.size(); ++i) {
         const Slot &s = slots_[i];

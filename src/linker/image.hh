@@ -131,10 +131,21 @@ class Image
     /** @name Decode @{ */
     /** Decoded slot at va, or nullptr when va is not code. */
     const Slot *decode(Addr va) const;
-    /** Mutable access for the software patcher. */
+    /**
+     * Mutable access for the software patcher. Invalidates the
+     * decode-cache entry for va: a patched call site must not be
+     * served from a cached translation (see docs/performance.md).
+     */
     Slot *decodeMutable(Addr va);
     /** Contiguous successor slot (fall-through fast path). */
     const Slot *nextSlot(const Slot *slot) const;
+
+    /** Decode-cache observability (tests, docs/performance.md). */
+    std::uint64_t decodeCacheHits() const { return decodeHits_; }
+    std::uint64_t decodeCacheMisses() const
+    {
+        return decodeMisses_;
+    }
     /** @} */
 
     mem::AddressSpace &addressSpace() { return *as_; }
@@ -207,10 +218,34 @@ class Image
     /** @} */
 
   private:
+    /** Insert (va -> slot index) into the decode cache. */
+    void fastInsert(Addr va, std::uint32_t index) const;
+    /** Drop the cached entry for va (tombstone), if present. */
+    void fastErase(Addr va);
+    /** Clear and re-size the decode cache for slots_.size(). */
+    void fastReset();
+
     std::unique_ptr<mem::AddressSpace> as_;
     std::vector<LoadedModule> modules_;
     std::vector<Slot> slots_;
     std::unordered_map<Addr, std::uint32_t> slotIndex_;
+
+    /**
+     * Decode cache: an open-addressed (linear probing) va -> slot
+     * index table in front of slotIndex_, populated on first
+     * decode of each pc. Steady-state fetch resolves a pc with one
+     * hash and (almost always) one probe against two flat arrays
+     * instead of an unordered_map walk. Invalidated entry-wise by
+     * decodeMutable (software patcher) and wholesale by
+     * indexSlots/removeModuleSlots (dlopen/dlclose). Mutable: the
+     * cache is populated from const decode(); an Image is owned by
+     * a single job thread (docs/performance.md).
+     */
+    mutable std::vector<Addr> fastKeys_;
+    mutable std::vector<std::uint32_t> fastVals_;
+    mutable std::uint64_t fastMask_ = 0;
+    mutable std::uint64_t decodeHits_ = 0;
+    mutable std::uint64_t decodeMisses_ = 0;
     std::unordered_map<Addr, std::pair<std::uint16_t, std::uint32_t>>
         pltJmpInfo_; ///< trampoline va -> (module, import index).
     std::uint32_t hwCapLevel_ = 0;

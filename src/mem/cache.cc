@@ -20,6 +20,7 @@ Cache::Cache(const CacheParams &params) : params_(params)
     numSets_ = lines / params_.assoc;
     setsArePow2_ = std::has_single_bit(numSets_);
     ways_.resize(numSets_ * params_.assoc);
+    mruWay_.assign(numSets_, 0);
 }
 
 Cache::Way *
@@ -27,12 +28,15 @@ Cache::findWay(std::uint64_t line, std::size_t set,
                std::uint16_t asid)
 {
     Way *base = &ways_[set * params_.assoc];
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line && way.asid == asid)
-            return &way;
-    }
-    return nullptr;
+    // Branchless select over the set: fixed trip count, no
+    // data-dependent early exit (at most one way can match).
+    std::uint32_t hit = params_.assoc;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w)
+        hit = wayMatches(base[w], line, asid) ? w : hit;
+    if (hit == params_.assoc)
+        return nullptr;
+    mruWay_[set] = hit;
+    return &base[hit];
 }
 
 Cache::Way *
@@ -59,6 +63,11 @@ Cache::fill(Way *victim, std::uint64_t line, std::uint16_t asid)
     victim->tag = line;
     victim->asid = asid;
     victim->lastUse = tick_;
+    // The filled line is the set's next likely hit.
+    const std::size_t slot = static_cast<std::size_t>(
+        victim - ways_.data());
+    mruWay_[slot / params_.assoc] =
+        static_cast<std::uint32_t>(slot % params_.assoc);
 }
 
 bool
@@ -67,6 +76,15 @@ Cache::access(Addr addr, std::uint16_t asid)
     ++tick_;
     const std::uint64_t line = lineOf(addr);
     const std::size_t set = setOf(line);
+    // Fast path: the fetch/data stream revisits the same line back
+    // to back, so one compare against the set's MRU way settles
+    // most L1 hits before the full scan.
+    Way &mru = ways_[set * params_.assoc + mruWay_[set]];
+    if (wayMatches(mru, line, asid)) {
+        mru.lastUse = tick_;
+        ++hits_;
+        return true;
+    }
     if (Way *way = findWay(line, set, asid)) {
         way->lastUse = tick_;
         ++hits_;

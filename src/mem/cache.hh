@@ -114,6 +114,17 @@ class Cache
     Way *findWay(std::uint64_t line, std::size_t set,
                  std::uint16_t asid);
 
+    /** True when `way` holds (line, asid). Computed with integer
+     *  arithmetic (no short-circuit) so the full-set scan compiles
+     *  to conditional moves instead of per-way branches. */
+    static bool wayMatches(const Way &way, std::uint64_t line,
+                           std::uint16_t asid)
+    {
+        return (static_cast<unsigned>(way.valid) &
+                static_cast<unsigned>(way.tag == line) &
+                static_cast<unsigned>(way.asid == asid)) != 0;
+    }
+
     /**
      * Deterministic victim selection within a set: the first invalid
      * way if any, otherwise the first way with the minimum lastUse.
@@ -140,6 +151,15 @@ class Cache
     std::uint64_t numSets_;
     bool setsArePow2_;
     std::vector<Way> ways_; // numSets * assoc, set-major.
+    /**
+     * Most-recently-used way per set: the fetch stream touches the
+     * same line for several consecutive instructions, so a single
+     * compare against the MRU way resolves the overwhelming
+     * majority of L1 hits without scanning the set. Purely a
+     * lookup accelerator — hit/miss/LRU/eviction behaviour (and so
+     * every counter) is identical with or without it.
+     */
+    std::vector<std::uint32_t> mruWay_;
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -1,0 +1,66 @@
+#include "sim/job_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace dlsim::sim
+{
+
+JobRunner::JobRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+}
+
+unsigned
+JobRunner::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+JobRunner::runAll(std::vector<std::function<void()>> tasks)
+{
+    const std::size_t n = tasks.size();
+    std::vector<std::exception_ptr> errors(n);
+
+    // Workers claim tasks from a shared cursor. Claim order is
+    // nondeterministic; result order is not — each task writes
+    // only its own slot, and the caller consumes slots in
+    // submission order.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                tasks[i]();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const unsigned threads = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, n));
+    if (threads <= 1) {
+        worker(); // serial path: no threads, same semantics
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    for (auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+} // namespace dlsim::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-size thread-pool runner for independent simulation jobs.
+ *
+ * Every bench binary replays a (workload x machine-config x arm)
+ * grid whose cells are completely independent: each cell builds its
+ * own Workbench (image, linker, core, RNGs) and fills its own
+ * MetricsRegistry. JobRunner executes such a grid on N host
+ * threads and hands the results back strictly in submission order,
+ * so tables, CDFs and --json-out documents printed from the results
+ * are byte-identical to a serial run.
+ *
+ * Ownership rule (enforced by a debug assert in MetricsRegistry):
+ * everything a job touches — Workbench, Image, DynamicLinker,
+ * MetricsRegistry, Rng — is constructed inside the job closure and
+ * owned by exactly one worker thread until the job returns. The
+ * returned results become visible to the submitting thread with a
+ * happens-before edge through the worker join.
+ */
+
+#ifndef DLSIM_SIM_JOB_RUNNER_HH
+#define DLSIM_SIM_JOB_RUNNER_HH
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace dlsim::sim
+{
+
+/**
+ * Runs a batch of independent jobs on a fixed number of host
+ * threads.
+ *
+ * With jobs == 1 no threads are spawned and the batch runs inline
+ * on the calling thread — exactly the historical serial path.
+ * Failure semantics are identical in both modes: every job runs to
+ * completion (jobs are independent, a failure cannot poison its
+ * siblings), then the exception of the earliest-submitted failed
+ * job is rethrown.
+ */
+class JobRunner
+{
+  public:
+    /** @param jobs Worker count; 0 selects defaultJobs(). */
+    explicit JobRunner(unsigned jobs = 0);
+
+    /** std::thread::hardware_concurrency, clamped to >= 1. */
+    static unsigned defaultJobs();
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute every task, blocking until all have finished.
+     * Rethrows the earliest-submitted task's exception, if any.
+     */
+    void runAll(std::vector<std::function<void()>> tasks);
+
+    /**
+     * Execute every task and return their results indexed by
+     * submission order. R must be default-constructible and
+     * movable; a failed task leaves a default-constructed R and
+     * its exception is rethrown after the batch drains.
+     */
+    template <typename R>
+    std::vector<R>
+    run(std::vector<std::function<R()>> tasks)
+    {
+        std::vector<R> results(tasks.size());
+        std::vector<std::function<void()>> thunks;
+        thunks.reserve(tasks.size());
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            thunks.push_back([&results, &tasks, i] {
+                results[i] = tasks[i]();
+            });
+        }
+        runAll(std::move(thunks));
+        return results;
+    }
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace dlsim::sim
+
+#endif // DLSIM_SIM_JOB_RUNNER_HH

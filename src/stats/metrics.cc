@@ -11,6 +11,7 @@ namespace dlsim::stats
 void
 MetricsRegistry::counter(const std::string &name, std::uint64_t value)
 {
+    assertOwned();
     Metric m;
     m.kind = MetricKind::Counter;
     m.counter = value;
@@ -20,6 +21,7 @@ MetricsRegistry::counter(const std::string &name, std::uint64_t value)
 void
 MetricsRegistry::gauge(const std::string &name, double value)
 {
+    assertOwned();
     Metric m;
     m.kind = MetricKind::Gauge;
     m.gauge = value;
@@ -31,6 +33,7 @@ MetricsRegistry::histogram(const std::string &name,
                            const SampleSet &samples,
                            std::size_t cdfPoints)
 {
+    assertOwned();
     Metric m;
     m.kind = MetricKind::Histogram;
     m.histogram.count = samples.count();

@@ -22,9 +22,11 @@
 #ifndef DLSIM_STATS_METRICS_HH
 #define DLSIM_STATS_METRICS_HH
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -72,6 +74,38 @@ struct Metric
 class MetricsRegistry
 {
   public:
+    MetricsRegistry() = default;
+
+    /**
+     * Copying or moving a registry re-binds ownership: the
+     * destination belongs to whichever thread mutates it next.
+     * This is the one-registry-per-job handoff — a job thread
+     * fills a registry, the runner joins, and the submitting
+     * thread copies it into a MetricsDocument.
+     */
+    MetricsRegistry(const MetricsRegistry &other)
+        : metrics_(other.metrics_)
+    {
+    }
+    MetricsRegistry(MetricsRegistry &&other) noexcept
+        : metrics_(std::move(other.metrics_))
+    {
+    }
+    MetricsRegistry &
+    operator=(const MetricsRegistry &other)
+    {
+        metrics_ = other.metrics_;
+        owner_ = std::thread::id{};
+        return *this;
+    }
+    MetricsRegistry &
+    operator=(MetricsRegistry &&other) noexcept
+    {
+        metrics_ = std::move(other.metrics_);
+        owner_ = std::thread::id{};
+        return *this;
+    }
+
     void counter(const std::string &name, std::uint64_t value);
     void gauge(const std::string &name, double value);
 
@@ -96,10 +130,38 @@ class MetricsRegistry
         return metrics_;
     }
     std::size_t size() const { return metrics_.size(); }
-    void clear() { metrics_.clear(); }
+    void
+    clear()
+    {
+        assertOwned();
+        metrics_.clear();
+    }
 
   private:
+    /**
+     * One-registry-per-job ownership rule: a registry is mutated
+     * by exactly one thread. The first mutating call binds the
+     * owner; every later mutation asserts it came from the same
+     * thread (assertions stay enabled in all dlsim build types).
+     * Copy/move re-bind ownership on the destination, giving the
+     * post-join handoff from a JobRunner worker to the submitting
+     * thread. Reads are not checked — results are consumed after
+     * the join's happens-before edge.
+     */
+    void
+    assertOwned()
+    {
+        if (owner_ == std::thread::id{}) {
+            owner_ = std::this_thread::get_id();
+            return;
+        }
+        assert(owner_ == std::this_thread::get_id() &&
+               "MetricsRegistry mutated from two threads; give "
+               "each job its own registry");
+    }
+
     std::map<std::string, Metric> metrics_;
+    std::thread::id owner_{};
 };
 
 /** One named run (experiment arm) inside a MetricsDocument. */

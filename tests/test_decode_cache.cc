@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the Image decode cache: first decode misses and
+ * populates, repeat decodes hit, the software patcher's
+ * decodeMutable invalidates the patched va, and dlopen/dlclose
+ * rebuild the cache wholesale.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hh"
+#include "linker/loader.hh"
+
+using namespace dlsim;
+using namespace dlsim::linker;
+
+namespace
+{
+
+std::unique_ptr<Image>
+makeImage(Loader &loader)
+{
+    elf::ModuleBuilder app("app");
+    app.setDataSize(4096);
+    auto &f = app.function("f");
+    f.nop();
+    f.movImm(1, 5);
+    f.callExternal("g");
+    f.ret();
+
+    elf::ModuleBuilder lib("lib");
+    auto &g = lib.function("g");
+    g.ret();
+
+    return loader.load(app.build(), {lib.build()});
+}
+
+} // namespace
+
+TEST(DecodeCache, FirstDecodeMissesThenHits)
+{
+    Loader loader;
+    auto image = makeImage(loader);
+    const Addr f = image->symbolAddress("f");
+
+    const auto misses0 = image->decodeCacheMisses();
+    const Slot *first = image->decode(f);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(image->decodeCacheMisses(), misses0 + 1);
+
+    const auto hits0 = image->decodeCacheHits();
+    const Slot *second = image->decode(f);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(image->decodeCacheHits(), hits0 + 1);
+    EXPECT_EQ(image->decodeCacheMisses(), misses0 + 1);
+}
+
+TEST(DecodeCache, NonCodeAddressAlwaysMisses)
+{
+    Loader loader;
+    auto image = makeImage(loader);
+    const Addr f = image->symbolAddress("f");
+
+    // f+2 is mid-instruction: not decodable, never cached.
+    const auto misses0 = image->decodeCacheMisses();
+    const auto hits0 = image->decodeCacheHits();
+    EXPECT_EQ(image->decode(f + 2), nullptr);
+    EXPECT_EQ(image->decode(f + 2), nullptr);
+    EXPECT_EQ(image->decodeCacheMisses(), misses0 + 2);
+    EXPECT_EQ(image->decodeCacheHits(), hits0);
+}
+
+TEST(DecodeCache, DecodeMutableInvalidatesCachedSlot)
+{
+    Loader loader;
+    auto image = makeImage(loader);
+    const Addr f = image->symbolAddress("f");
+
+    ASSERT_NE(image->decode(f), nullptr); // miss, populates
+    ASSERT_NE(image->decode(f), nullptr); // hit
+
+    // The patcher's mutable access drops the cached translation.
+    Slot *slot = image->decodeMutable(f);
+    ASSERT_NE(slot, nullptr);
+
+    const auto misses0 = image->decodeCacheMisses();
+    const Slot *redecoded = image->decode(f);
+    ASSERT_NE(redecoded, nullptr);
+    EXPECT_EQ(redecoded, slot);
+    EXPECT_EQ(image->decodeCacheMisses(), misses0 + 1);
+
+    // Re-populated: the next decode hits again.
+    const auto hits0 = image->decodeCacheHits();
+    EXPECT_NE(image->decode(f), nullptr);
+    EXPECT_EQ(image->decodeCacheHits(), hits0 + 1);
+}
+
+TEST(DecodeCache, PatcherRewriteIsVisibleAfterInvalidation)
+{
+    Loader loader;
+    auto image = makeImage(loader);
+    const Addr f = image->symbolAddress("f");
+
+    const Slot *before = image->decode(f);
+    ASSERT_NE(before, nullptr);
+    const auto original_op = before->inst.op;
+
+    Slot *patched = image->decodeMutable(f);
+    ASSERT_NE(patched, nullptr);
+    patched->inst.op = isa::Opcode::MovImm;
+
+    const Slot *after = image->decode(f);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->inst.op, isa::Opcode::MovImm);
+    EXPECT_NE(after->inst.op, original_op);
+}
+
+TEST(DecodeCache, DlcloseDropsCachedModuleSlots)
+{
+    Loader loader;
+    auto image = makeImage(loader);
+    const Addr f = image->symbolAddress("f");
+    const Addr g = image->symbolAddress("g");
+
+    ASSERT_NE(image->decode(f), nullptr);
+    ASSERT_NE(image->decode(g), nullptr);
+    ASSERT_NE(image->decode(g), nullptr); // cached
+
+    loader.dlclose(*image, "lib");
+
+    // The unloaded module's slots are gone — not served stale from
+    // the cache — and the survivors re-populate.
+    EXPECT_EQ(image->decode(g), nullptr);
+    const Slot *still = image->decode(f);
+    ASSERT_NE(still, nullptr);
+    const auto hits0 = image->decodeCacheHits();
+    EXPECT_EQ(image->decode(f), still);
+    EXPECT_EQ(image->decodeCacheHits(), hits0 + 1);
+}
+
+TEST(DecodeCache, ManyDistinctVasStayConsistent)
+{
+    Loader loader;
+    elf::ModuleBuilder app("app");
+    app.setDataSize(4096);
+    auto &f = app.function("f");
+    for (int i = 0; i < 200; ++i)
+        f.movImm(1, i);
+    f.ret();
+    auto image = loader.load(app.build(), {});
+
+    // Decode every slot of the function once (populating the
+    // cache), then again: the second pass must be all hits.
+    std::vector<const Slot *> first_pass;
+    Addr va = image->symbolAddress("f");
+    while (true) {
+        const Slot *s = image->decode(va);
+        ASSERT_NE(s, nullptr);
+        first_pass.push_back(s);
+        if (s->inst.op == isa::Opcode::Ret)
+            break;
+        va += s->inst.size;
+    }
+    ASSERT_GE(first_pass.size(), 201u);
+
+    const auto misses0 = image->decodeCacheMisses();
+    for (const Slot *slot : first_pass)
+        EXPECT_EQ(image->decode(slot->va), slot);
+    EXPECT_EQ(image->decodeCacheMisses(), misses0);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cross-thread-count determinism: the same measurement grid run
+ * through sim::JobRunner with 1 and with 4 workers must produce
+ * byte-identical metric documents and rendered tables. This is the
+ * contract every bench binary's --jobs flag relies on, and the
+ * test the TSan smoke build runs (ctest -L tsan-smoke).
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common.hh"
+
+using namespace dlsim;
+using namespace dlsim::bench;
+
+namespace
+{
+
+/** A small but non-trivial grid: 2 workloads x 2 machines. */
+std::vector<std::function<ArmResult()>>
+makeGrid()
+{
+    std::vector<std::function<ArmResult()>> work;
+    for (const char *name : {"apache", "memcached"}) {
+        for (const bool enhanced : {false, true}) {
+            work.push_back([name, enhanced] {
+                return runArm(workload::profileByName(name),
+                              enhanced ? enhancedMachine()
+                                       : baseMachine(),
+                              20, 30);
+            });
+        }
+    }
+    return work;
+}
+
+/** Serialise the grid's results exactly as a bench would. */
+std::string
+renderJson(const std::vector<ArmResult> &arms)
+{
+    stats::MetricsDocument doc("test_determinism");
+    const char *names[] = {"apache.base", "apache.enhanced",
+                           "memcached.base",
+                           "memcached.enhanced"};
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        auto &run = doc.addRun(names[i]);
+        run.registry = arms[i].registry;
+    }
+    return doc.toJson();
+}
+
+/** Render a counters table exactly as a bench would. */
+std::string
+renderTable(const std::vector<ArmResult> &arms)
+{
+    stats::TablePrinter t({"Arm", "Cycles", "Insts",
+                           "I$ misses", "Skips"});
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        const auto &c = arms[i].counters;
+        t.addRow({std::to_string(i),
+                  stats::TablePrinter::num(c.cycles),
+                  stats::TablePrinter::num(c.instructions),
+                  stats::TablePrinter::num(c.l1iMisses),
+                  stats::TablePrinter::num(
+                      c.skippedTrampolines)});
+    }
+    return t.render();
+}
+
+} // namespace
+
+TEST(Determinism, SerialAndParallelRunsAreByteIdentical)
+{
+    auto serial_arms = sim::JobRunner(1).run(makeGrid());
+    auto parallel_arms = sim::JobRunner(4).run(makeGrid());
+    ASSERT_EQ(serial_arms.size(), parallel_arms.size());
+
+    EXPECT_EQ(renderJson(serial_arms),
+              renderJson(parallel_arms));
+    EXPECT_EQ(renderTable(serial_arms),
+              renderTable(parallel_arms));
+}
+
+TEST(Determinism, RepeatedParallelRunsAreByteIdentical)
+{
+    auto first = sim::JobRunner(4).run(makeGrid());
+    auto second = sim::JobRunner(4).run(makeGrid());
+    EXPECT_EQ(renderJson(first), renderJson(second));
+}
+
+TEST(Determinism, LatencySamplesMatchAcrossThreadCounts)
+{
+    auto serial_arms = sim::JobRunner(1).run(makeGrid());
+    auto parallel_arms = sim::JobRunner(4).run(makeGrid());
+    ASSERT_EQ(serial_arms.size(), parallel_arms.size());
+    for (std::size_t i = 0; i < serial_arms.size(); ++i) {
+        const auto &s = serial_arms[i].latency;
+        const auto &p = parallel_arms[i].latency;
+        ASSERT_EQ(s.size(), p.size());
+        for (std::size_t k = 0; k < s.size(); ++k)
+            EXPECT_EQ(s[k].samples(), p[k].samples())
+                << "arm " << i << " kind " << k;
+    }
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for sim::JobRunner: submission-order results, the inline
+ * serial path, exception propagation (earliest-submitted failure
+ * wins), and the every-job-still-runs guarantee.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/job_runner.hh"
+
+using namespace dlsim;
+
+TEST(JobRunner, DefaultJobsAtLeastOne)
+{
+    EXPECT_GE(sim::JobRunner::defaultJobs(), 1u);
+    EXPECT_EQ(sim::JobRunner(0).jobs(),
+              sim::JobRunner::defaultJobs());
+    EXPECT_EQ(sim::JobRunner(3).jobs(), 3u);
+}
+
+TEST(JobRunner, ResultsComeBackInSubmissionOrder)
+{
+    constexpr int N = 64;
+    std::vector<std::function<int()>> work;
+    for (int i = 0; i < N; ++i) {
+        work.push_back([i] {
+            // Earlier jobs sleep longer, so with several workers
+            // completion order is roughly the reverse of
+            // submission order.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((N - i) * 10));
+            return i;
+        });
+    }
+    const auto results =
+        sim::JobRunner(4).run(std::move(work));
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(N));
+    for (int i = 0; i < N; ++i)
+        EXPECT_EQ(results[i], i);
+}
+
+TEST(JobRunner, SerialPathRunsInline)
+{
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::function<std::thread::id()>> work;
+    for (int i = 0; i < 4; ++i)
+        work.push_back([] { return std::this_thread::get_id(); });
+    const auto ids = sim::JobRunner(1).run(std::move(work));
+    for (const auto &id : ids)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(JobRunner, EmptyBatchIsANoop)
+{
+    sim::JobRunner runner(4);
+    runner.runAll({});
+    EXPECT_TRUE(
+        runner.run(std::vector<std::function<int()>>{}).empty());
+}
+
+TEST(JobRunner, EarliestSubmittedExceptionWins)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        std::vector<std::function<void()>> work;
+        work.push_back([] {});
+        work.push_back(
+            [] { throw std::runtime_error("job 1 failed"); });
+        work.push_back([] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        });
+        work.push_back(
+            [] { throw std::runtime_error("job 3 failed"); });
+        try {
+            sim::JobRunner(jobs).runAll(std::move(work));
+            FAIL() << "expected a rethrow (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "job 1 failed");
+        }
+    }
+}
+
+TEST(JobRunner, FailureDoesNotPoisonSiblings)
+{
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> work;
+    for (int i = 0; i < 16; ++i) {
+        work.push_back([i, &ran] {
+            ++ran;
+            if (i % 4 == 0)
+                throw std::runtime_error("boom");
+        });
+    }
+    EXPECT_THROW(sim::JobRunner(4).runAll(std::move(work)),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(JobRunner, MoreWorkersThanTasks)
+{
+    std::vector<std::function<int()>> work;
+    work.push_back([] { return 7; });
+    const auto results =
+        sim::JobRunner(16).run(std::move(work));
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0], 7);
+}

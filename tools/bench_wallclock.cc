@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Wall-clock comparison of the serial and parallel experiment
+ * runners: run the same Figure-5-style measurement grid with
+ * `--jobs 1` and with `--jobs N`, require the two metric documents
+ * to be byte-identical, and record both wall-clock times (and the
+ * speedup) into BENCH_wallclock.json.
+ *
+ * The speedup is a property of the host (cores, load); the
+ * byte-identical check is a property of dlsim and must hold
+ * everywhere.
+ *
+ * Usage: bench_wallclock [--jobs N] [--quick] [--json-out FILE]
+ * FILE defaults to BENCH_wallclock.json in the working directory.
+ */
+
+#include <chrono>
+
+#include "common.hh"
+
+using namespace dlsim;
+using namespace dlsim::bench;
+
+namespace
+{
+
+struct GridRun
+{
+    std::string json;
+    double seconds = 0;
+};
+
+/** Run the whole grid on `jobs` threads; serialise the document. */
+GridRun
+runGrid(const BenchArgs &args, unsigned jobs)
+{
+    const char *profiles[] = {"apache", "firefox", "memcached"};
+    const int warmups[] = {40, 80, 30};
+    const int requests[] = {40, 30, 40};
+    const std::uint32_t sizes[] = {4u, 16u, 64u, 256u};
+
+    struct Cell
+    {
+        std::uint32_t entries;
+        int profile;
+    };
+    std::vector<Cell> cells;
+    for (const std::uint32_t entries : sizes)
+        for (int i = 0; i < 3; ++i)
+            cells.push_back({entries, i});
+
+    std::vector<std::function<ArmResult()>> work;
+    work.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        work.push_back([cell, &args, &profiles, &warmups,
+                        &requests] {
+            auto mc = enhancedMachine();
+            mc.abtbEntries = cell.entries;
+            mc.abtbAssoc = std::min(cell.entries, 4u);
+            return runArm(
+                workload::profileByName(profiles[cell.profile]),
+                mc, args.scaled(warmups[cell.profile]),
+                args.scaled(requests[cell.profile]));
+        });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    sim::JobRunner runner(jobs);
+    const auto arms = runner.run(std::move(work));
+    const auto stop = std::chrono::steady_clock::now();
+
+    stats::MetricsDocument doc("bench_wallclock grid");
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        auto &run = doc.addRun(
+            std::string(profiles[cells[c].profile]) + ".entries" +
+            std::to_string(cells[c].entries));
+        run.with("workload", profiles[cells[c].profile])
+            .with("machine", "enhanced")
+            .with("abtb_entries",
+                  std::to_string(cells[c].entries));
+        run.registry = arms[c].registry;
+    }
+
+    GridRun result;
+    result.json = doc.toJson();
+    result.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args("bench_wallclock", argc, argv);
+    banner("Runner wall-clock — serial vs --jobs N",
+           "dlsim infrastructure (docs/performance.md)");
+
+    const unsigned jobs = args.jobs();
+    std::printf("grid: 12 arms; host threads for parallel run: "
+                "%u\n\n",
+                jobs);
+
+    const auto serial = runGrid(args, 1);
+    std::printf("serial   (--jobs 1): %.3f s\n", serial.seconds);
+    const auto parallel = runGrid(args, jobs);
+    std::printf("parallel (--jobs %u): %.3f s\n", jobs,
+                parallel.seconds);
+
+    if (serial.json != parallel.json) {
+        std::fprintf(stderr,
+                     "FAIL: serial and parallel runs produced "
+                     "different metric documents\n");
+        return 1;
+    }
+    std::printf("documents byte-identical: yes (%zu bytes)\n",
+                serial.json.size());
+    const double speedup =
+        parallel.seconds > 0 ? serial.seconds / parallel.seconds
+                             : 0.0;
+    std::printf("speedup: %.2fx\n", speedup);
+
+    stats::MetricsDocument doc("bench_wallclock");
+    auto &run = doc.addRun("wallclock");
+    run.with("grid", "fig5-style, 12 arms")
+        .with("jobs", std::to_string(jobs))
+        .with("byte_identical", "1");
+    run.registry.gauge("dlsim.wallclock.serial_seconds",
+                       serial.seconds);
+    run.registry.gauge("dlsim.wallclock.parallel_seconds",
+                       parallel.seconds);
+    run.registry.gauge("dlsim.wallclock.speedup", speedup);
+    run.registry.counter("dlsim.wallclock.jobs", jobs);
+
+    const std::string path = args.jsonOut().empty()
+                                 ? "BENCH_wallclock.json"
+                                 : args.jsonOut();
+    std::string error;
+    if (!doc.writeFile(path, &error)) {
+        std::fprintf(stderr, "write: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

@@ -8,7 +8,7 @@
  *   dlsim_cli run <workload> [options]
  *   dlsim_cli record <workload> <trace-file> [options]
  *   dlsim_cli replay <trace-file> [--abtb-entries N]...
- *   dlsim_cli sweep <trace-file>
+ *   dlsim_cli sweep <trace-file> [--jobs N]
  *
  * Options for run/record:
  *   --enhanced            enable the trampoline-skip hardware
@@ -24,14 +24,23 @@
  * All commands additionally accept:
  *   --json-out FILE       write a dlsim-metrics-v1 JSON document
  *                         alongside the human-readable output
+ *   --jobs N              host threads for independent sweep
+ *                         points (default: hardware concurrency;
+ *                         1 = serial; output is byte-identical
+ *                         for every N)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <iterator>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/job_runner.hh"
 #include "stats/metrics.hh"
 #include "trace/replay.hh"
 #include "workload/engine.hh"
@@ -57,6 +66,7 @@ struct Options
     int warmup = 100;
     std::uint32_t abtbEntries = 256;
     std::uint64_t seed = 42;
+    unsigned jobs = 0; // 0 = hardware concurrency
 };
 
 int
@@ -99,6 +109,14 @@ parse(int argc, char **argv, Options &opt)
                 static_cast<std::uint32_t>(next_int(256));
         } else if (arg == "--seed") {
             opt.seed = static_cast<std::uint64_t>(next_int(42));
+        } else if (arg == "--jobs") {
+            const long n = next_int(0);
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--jobs requires a count >= 1\n");
+                return false;
+            }
+            opt.jobs = static_cast<unsigned>(n);
         } else if (arg == "--json-out") {
             if (i + 1 < argc)
                 opt.jsonOut = argv[++i];
@@ -279,24 +297,48 @@ cmdReplay(const Options &opt)
 int
 cmdSweep(const Options &opt)
 {
-    trace::TraceReader reader(opt.tracePath);
-    if (!reader.good()) {
-        std::fprintf(stderr, "cannot read trace %s\n",
-                     opt.tracePath.c_str());
-        return 1;
+    {
+        // Fail early with the serial diagnostic before spawning
+        // any jobs.
+        trace::TraceReader probe(opt.tracePath);
+        if (!probe.good()) {
+            std::fprintf(stderr, "cannot read trace %s\n",
+                         opt.tracePath.c_str());
+            return 1;
+        }
     }
+    const std::uint32_t sizes[] = {1u,  2u,   4u,   8u,
+                                   16u, 32u,  64u,  128u,
+                                   256u, 512u, 1024u};
+
+    // Every sweep point is an independent job with its own
+    // TraceReader (the reader is not shareable across threads);
+    // results come back in submission order, so stdout and the
+    // JSON document are byte-identical for every --jobs value.
+    std::vector<std::function<trace::ReplayResult()>> work;
+    for (const std::uint32_t entries : sizes) {
+        work.push_back([entries, &opt] {
+            trace::TraceReader reader(opt.tracePath);
+            if (!reader.good())
+                throw std::runtime_error("cannot read trace " +
+                                         opt.tracePath);
+            core::SkipUnitParams params;
+            params.abtb.entries = entries;
+            params.abtb.assoc = std::min(entries, 4u);
+            if (opt.arm)
+                params.patternWindow = 2;
+            return trace::replaySkipUnit(reader, params);
+        });
+    }
+    sim::JobRunner runner(opt.jobs);
+    const auto results = runner.run(std::move(work));
+
     stats::MetricsDocument doc("dlsim_cli sweep");
     std::printf("%8s %10s %12s\n", "entries", "bytes",
                 "skip rate");
-    for (std::uint32_t entries :
-         {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u,
-          1024u}) {
-        core::SkipUnitParams params;
-        params.abtb.entries = entries;
-        params.abtb.assoc = std::min(entries, 4u);
-        if (opt.arm)
-            params.patternWindow = 2;
-        const auto r = trace::replaySkipUnit(reader, params);
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const std::uint32_t entries = sizes[i];
+        const trace::ReplayResult &r = results[i];
         std::printf("%8u %10u %11.1f%%\n", entries, entries * 12,
                     100.0 * r.skipRate());
         auto &run =
