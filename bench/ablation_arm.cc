@@ -23,7 +23,8 @@ main(int argc, char **argv)
            "Section 2 (Fig. 2), Section 1 (cross-ISA claim)");
     JsonOut json("ablation_arm", args);
 
-    const auto wl = workload::apacheProfile();
+    auto wl = workload::apacheProfile();
+    wl.seed = args.seed();
     const linker::PltStyle styles[] = {linker::PltStyle::X86,
                                        linker::PltStyle::Arm};
 

@@ -27,7 +27,8 @@ main(int argc, char **argv)
            "Sections 2.2 and 6 (related work)");
     JsonOut json("ablation_frontend", args);
 
-    const auto wl = workload::apacheProfile();
+    auto wl = workload::apacheProfile();
+    wl.seed = args.seed();
 
     struct Variant
     {

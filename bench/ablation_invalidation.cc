@@ -51,7 +51,8 @@ main(int argc, char **argv)
         {"bloom + ASID retention", false, true},
     };
 
-    const auto wl = workload::apacheProfile();
+    auto wl = workload::apacheProfile();
+    wl.seed = args.seed();
 
     std::vector<std::function<VariantResult()>> work;
     for (const auto &v : variants) {

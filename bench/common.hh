@@ -22,6 +22,7 @@
 #define DLSIM_BENCH_COMMON_HH
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -30,6 +31,8 @@
 #include <vector>
 
 #include "sim/job_runner.hh"
+#include "snapshot/format.hh"
+#include "snapshot/io.hh"
 #include "stats/cdf.hh"
 #include "stats/histogram.hh"
 #include "stats/metrics.hh"
@@ -50,7 +53,13 @@ namespace dlsim::bench
  *                    (default: hardware concurrency; 1 = serial)
  *   --quick          shrink warmup/request counts ~8x for smoke
  *                    runs and wall-clock comparisons
+ *   --seed N         workload RNG seed (default 42)
  *   --json-out FILE  write a dlsim-metrics-v1 JSON document
+ *   --snapshot-after FILE  snapshot-capable benches: also write the
+ *                    post-warm-up machine state to FILE
+ *   --from-snapshot FILE   snapshot-capable benches: restore the
+ *                    warm state from FILE instead of simulating the
+ *                    warm-up phase; output is byte-identical
  *   --help           print this usage text and exit 0
  */
 class BenchArgs
@@ -60,6 +69,7 @@ class BenchArgs
         : tool_(tool)
     {
         bool saw_jobs = false, saw_json = false;
+        bool saw_seed = false, saw_snap = false, saw_from = false;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg == "--help" || arg == "-h") {
@@ -77,6 +87,14 @@ class BenchArgs
                 if (n < 1)
                     die("--jobs requires a count >= 1");
                 jobs_ = static_cast<unsigned>(n);
+            } else if (arg == "--seed") {
+                if (saw_seed)
+                    die("duplicate --seed");
+                saw_seed = true;
+                if (i + 1 >= argc)
+                    die("--seed requires a value");
+                seed_ = static_cast<std::uint64_t>(
+                    std::atoll(argv[++i]));
             } else if (arg == "--json-out") {
                 if (saw_json)
                     die("duplicate --json-out");
@@ -84,6 +102,20 @@ class BenchArgs
                 if (i + 1 >= argc)
                     die("--json-out requires a path");
                 jsonOut_ = argv[++i];
+            } else if (arg == "--snapshot-after") {
+                if (saw_snap)
+                    die("duplicate --snapshot-after");
+                saw_snap = true;
+                if (i + 1 >= argc)
+                    die("--snapshot-after requires a path");
+                snapshotAfter_ = argv[++i];
+            } else if (arg == "--from-snapshot") {
+                if (saw_from)
+                    die("duplicate --from-snapshot");
+                saw_from = true;
+                if (i + 1 >= argc)
+                    die("--from-snapshot requires a path");
+                fromSnapshot_ = argv[++i];
             } else {
                 die(("unknown argument '" + arg + "'").c_str());
             }
@@ -94,7 +126,17 @@ class BenchArgs
 
     unsigned jobs() const { return jobs_; }
     bool quick() const { return quick_; }
+    std::uint64_t seed() const { return seed_; }
     const std::string &jsonOut() const { return jsonOut_; }
+    const std::string &snapshotAfter() const
+    {
+        return snapshotAfter_;
+    }
+    const std::string &fromSnapshot() const
+    {
+        return fromSnapshot_;
+    }
+    const std::string &tool() const { return tool_; }
 
     /** Scale a warmup/request count for --quick runs. */
     int
@@ -109,7 +151,10 @@ class BenchArgs
     {
         std::fprintf(
             to,
-            "usage: %s [--jobs N] [--quick] [--json-out FILE]\n"
+            "usage: %s [--jobs N] [--quick] [--seed N] "
+            "[--json-out FILE]\n"
+            "       [--snapshot-after FILE] [--from-snapshot "
+            "FILE]\n"
             "\n"
             "  --jobs N         run independent experiment arms "
             "on N host\n"
@@ -121,9 +166,22 @@ class BenchArgs
             "  --quick          shrink warmup/request counts "
             "(~8x) for\n"
             "                   smoke runs\n"
+            "  --seed N         workload RNG seed (default 42)\n"
             "  --json-out FILE  also write a dlsim-metrics-v1 "
             "JSON\n"
             "                   document to FILE\n"
+            "  --snapshot-after FILE\n"
+            "                   snapshot-capable benches: also "
+            "write the\n"
+            "                   post-warm-up machine state to "
+            "FILE\n"
+            "  --from-snapshot FILE\n"
+            "                   snapshot-capable benches: restore "
+            "the warm\n"
+            "                   state from FILE instead of "
+            "simulating the\n"
+            "                   warm-up; output is "
+            "byte-identical\n"
             "  --help           show this text\n",
             tool_.c_str());
     }
@@ -139,7 +197,10 @@ class BenchArgs
     std::string tool_;
     unsigned jobs_ = 0;
     bool quick_ = false;
+    std::uint64_t seed_ = 42;
     std::string jsonOut_;
+    std::string snapshotAfter_;
+    std::string fromSnapshot_;
 };
 
 /** Result of one measured arm. */
@@ -157,14 +218,11 @@ struct ArmResult
     stats::MetricsRegistry registry;
 };
 
-/** Run one arm of an experiment. */
+/** Measurement phase shared by runArm and runArmFromState. */
 inline ArmResult
-runArm(const workload::WorkloadParams &wl,
-       const workload::MachineConfig &mc, int warmup, int requests)
+measureArm(workload::Workbench &wb, int requests)
 {
-    workload::Workbench wb(wl, mc);
-    wb.warmup(static_cast<std::uint32_t>(warmup));
-
+    const auto &wl = wb.params();
     ArmResult result;
     result.latency.resize(wl.requests.size());
     for (int i = 0; i < requests; ++i) {
@@ -172,7 +230,7 @@ runArm(const workload::WorkloadParams &wl,
         result.latency[r.kind].add(static_cast<double>(r.cycles));
     }
     result.counters = wb.core().counters();
-    if (mc.profileTrampolines)
+    if (wb.machine().profileTrampolines)
         result.distinctTrampolines =
             wb.distinctTrampolinesExecuted();
     if (wb.core().skipUnit())
@@ -184,6 +242,82 @@ runArm(const workload::WorkloadParams &wl,
                                   result.latency[k]);
     }
     return result;
+}
+
+/** Run one arm of an experiment. */
+inline ArmResult
+runArm(const workload::WorkloadParams &wl,
+       const workload::MachineConfig &mc, int warmup, int requests)
+{
+    workload::Workbench wb(wl, mc);
+    wb.warmup(static_cast<std::uint32_t>(warmup));
+    return measureArm(wb, requests);
+}
+
+/**
+ * Warm-machine state for a snapshot-capable bench: warm up one
+ * reference Workbench and serialize it, or — under --from-snapshot —
+ * read the serialized bytes back instead of simulating the warm-up.
+ * Either way every sweep arm starts from the same byte buffer, so
+ * output is identical whichever path produced it. `key` (a workload
+ * name, may be empty) suffixes the snapshot file of multi-workload
+ * benches. Snapshot failures (bad magic/version/CRC, parameter
+ * fingerprint mismatch, I/O errors) are fatal: diagnostic on stderr,
+ * exit 1, never partial state.
+ */
+inline std::vector<std::uint8_t>
+warmState(const BenchArgs &args, const std::string &key,
+          const workload::WorkloadParams &wl,
+          const workload::MachineConfig &ref_mc, int warmup)
+{
+    const std::string suffix = key.empty() ? "" : "." + key;
+    try {
+        if (!args.fromSnapshot().empty()) {
+            const std::string path = args.fromSnapshot() + suffix;
+            auto bytes = snapshot::readFile(path);
+            workload::checkSnapshotCompatible(bytes, wl, ref_mc);
+            std::fprintf(stderr,
+                         "snapshot: warm state restored from %s "
+                         "(%zu bytes)\n",
+                         path.c_str(), bytes.size());
+            return bytes;
+        }
+        workload::Workbench wb(wl, ref_mc);
+        wb.warmup(static_cast<std::uint32_t>(warmup));
+        auto bytes = workload::snapshotWorkbench(wb);
+        if (!args.snapshotAfter().empty()) {
+            const std::string path = args.snapshotAfter() + suffix;
+            snapshot::writeFile(path, bytes);
+            std::fprintf(stderr,
+                         "snapshot: warm state written to %s "
+                         "(%zu bytes)\n",
+                         path.c_str(), bytes.size());
+        }
+        return bytes;
+    } catch (const snapshot::SnapshotError &e) {
+        std::fprintf(stderr, "%s: %s\n", args.tool().c_str(),
+                     e.what());
+        std::exit(1);
+    }
+}
+
+/**
+ * Run one sweep arm from shared warm-state bytes: rebuild a
+ * Workbench on the reference machine, restore the snapshot into it,
+ * then reconfigure to the arm's machine (timing scalars and a fresh
+ * cold skip unit; see Workbench::reconfigure). Thread-safe against
+ * concurrent arms — the byte buffer is only read.
+ */
+inline ArmResult
+runArmFromState(const std::vector<std::uint8_t> &state,
+                const workload::WorkloadParams &wl,
+                const workload::MachineConfig &ref_mc,
+                const workload::MachineConfig &arm_mc, int requests)
+{
+    workload::Workbench wb(wl, ref_mc);
+    workload::restoreWorkbench(wb, state.data(), state.size());
+    wb.reconfigure(arm_mc);
+    return measureArm(wb, requests);
 }
 
 /**

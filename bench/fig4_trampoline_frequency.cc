@@ -26,11 +26,14 @@ struct Census
 };
 
 Census
-censusCounts(const char *profile, int requests)
+censusCounts(const char *profile, int requests,
+             std::uint64_t seed)
 {
     auto mc = baseMachine();
     mc.profileTrampolines = true;
-    workload::Workbench wb(workload::profileByName(profile), mc);
+    auto wl = workload::profileByName(profile);
+    wl.seed = seed;
+    workload::Workbench wb(wl, mc);
     for (int i = 0; i < requests; ++i)
         wb.runRequest();
 
@@ -58,7 +61,9 @@ main(int argc, char **argv)
     std::vector<std::function<Census()>> work;
     for (const auto *p : profiles) {
         work.push_back(
-            [p, requests] { return censusCounts(p, requests); });
+            [p, requests, &args] {
+                return censusCounts(p, requests, args.seed());
+            });
     }
     const auto results = runJobs(args, std::move(work));
 

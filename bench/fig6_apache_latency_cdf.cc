@@ -21,7 +21,8 @@ main(int argc, char **argv)
            "base vs enhanced",
            "Section 5.4, Figure 6");
 
-    const auto wl = workload::apacheProfile();
+    auto wl = workload::apacheProfile();
+    wl.seed = args.seed();
     const int warmup = args.scaled(250);
     const int requests = args.scaled(3000);
     std::vector<std::function<ArmResult()>> work;

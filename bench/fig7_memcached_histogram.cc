@@ -22,7 +22,8 @@ main(int argc, char **argv)
            "histograms",
            "Section 5.4, Figure 7");
 
-    const auto wl = workload::memcachedProfile();
+    auto wl = workload::memcachedProfile();
+    wl.seed = args.seed();
     const int warmup = args.scaled(200);
     const int requests = args.scaled(4000);
     std::vector<std::function<ArmResult()>> work;

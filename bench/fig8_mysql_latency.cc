@@ -25,7 +25,8 @@ main(int argc, char **argv)
            "base vs enhanced",
            "Section 5.4, Figure 8 and Table 6");
 
-    const auto wl = workload::mysqlProfile();
+    auto wl = workload::mysqlProfile();
+    wl.seed = args.seed();
     const int warmup = args.scaled(200);
     const int requests = args.scaled(2500);
     std::vector<std::function<ArmResult()>> work;

@@ -29,14 +29,16 @@ struct ServerResult
 
 ServerResult
 runPrefork(bool software_patching, int workers, int masterRequests,
-           int workerRequests)
+           int workerRequests, std::uint64_t seed)
 {
     workload::MachineConfig mc;
     mc.enhanced = !software_patching;
     mc.nearLibraries = software_patching;
     mc.collectCallSiteTrace = software_patching;
 
-    workload::Workbench wb(workload::apacheProfile(), mc);
+    auto wl = workload::apacheProfile();
+    wl.seed = seed;
+    workload::Workbench wb(wl, mc);
     sim::System system(wb.core(), wb.image(), wb.linker());
 
     // Master profiles (the paper's Pin run), then forks workers.
@@ -81,11 +83,11 @@ main(int argc, char **argv)
     std::vector<std::function<ServerResult()>> work;
     work.push_back([&] {
         return runPrefork(true, Workers, masterRequests,
-                          workerRequests);
+                          workerRequests, args.seed());
     });
     work.push_back([&] {
         return runPrefork(false, Workers, masterRequests,
-                          workerRequests);
+                          workerRequests, args.seed());
     });
     const auto results = runJobs(args, std::move(work));
     const ServerResult &sw = results[0];

@@ -36,7 +36,9 @@ main(int argc, char **argv)
     std::vector<std::function<ArmResult()>> work;
     for (const Row &row : rows) {
         work.push_back([&row, &args] {
-            return runArm(workload::profileByName(row.name),
+            auto wl = workload::profileByName(row.name);
+            wl.seed = args.seed();
+            return runArm(wl,
                           baseMachine(), args.scaled(120),
                           args.scaled(row.requests));
         });

@@ -53,8 +53,9 @@ main(int argc, char **argv)
         work.push_back([&row, &args] {
             auto mc = baseMachine();
             mc.profileTrampolines = true;
-            workload::Workbench wb(
-                workload::profileByName(row.name), mc);
+            auto wl = workload::profileByName(row.name);
+            wl.seed = args.seed();
+            workload::Workbench wb(wl, mc);
             // No warmup clear: the census covers the whole run,
             // including startup, as the paper's Pin run did.
             for (int i = 0; i < args.scaled(row.requests); ++i)

@@ -54,7 +54,9 @@ main(int argc, char **argv)
     for (const PaperRow &row : rows) {
         for (const bool enhanced : {false, true}) {
             work.push_back([&row, enhanced, &args] {
-                return runArm(workload::profileByName(row.name),
+                auto wl = workload::profileByName(row.name);
+                wl.seed = args.seed();
+                return runArm(wl,
                               enhanced ? enhancedMachine()
                                        : baseMachine(),
                               args.scaled(150),

@@ -31,7 +31,8 @@ main(int argc, char **argv)
            "base vs enhanced",
            "Section 5.4, Table 5");
 
-    const auto wl = workload::firefoxProfile();
+    auto wl = workload::firefoxProfile();
+    wl.seed = args.seed();
     const int warmup = args.scaled(80);
     const int requests = args.scaled(1200);
     std::vector<std::function<ArmResult()>> work;

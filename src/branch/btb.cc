@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "snapshot/serializer.hh"
+
 #include "stats/metrics.hh"
 
 namespace dlsim::branch
@@ -95,6 +97,45 @@ Btb::reportMetrics(stats::MetricsRegistry &reg,
     reg.counter(prefix + ".hits", hits_);
     reg.counter(prefix + ".misses", misses());
     reg.counter(prefix + ".evictions", evictions_);
+}
+
+
+void
+Btb::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("btb");
+    s.u32(params_.entries);
+    s.u32(params_.assoc);
+    s.u64(tick_);
+    s.u64(lookups_);
+    s.u64(hits_);
+    s.u64(evictions_);
+    for (const Entry &e : entries_) {
+        s.u64(e.pc);
+        s.u64(e.target);
+        s.boolean(e.valid);
+        s.u64(e.lastUse);
+    }
+    s.endStruct();
+}
+
+void
+Btb::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("btb");
+    d.checkU32(params_.entries, "btb entries");
+    d.checkU32(params_.assoc, "btb assoc");
+    tick_ = d.u64();
+    lookups_ = d.u64();
+    hits_ = d.u64();
+    evictions_ = d.u64();
+    for (Entry &e : entries_) {
+        e.pc = d.u64();
+        e.target = d.u64();
+        e.valid = d.boolean();
+        e.lastUse = d.u64();
+    }
+    d.leaveStruct();
 }
 
 } // namespace dlsim::branch

@@ -24,6 +24,12 @@ namespace dlsim::stats
 class MetricsRegistry;
 }
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::branch
 {
 
@@ -63,6 +69,12 @@ class Btb
     /** Register lookup/hit/miss/eviction counters under `prefix`. */
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint contents, LRU state, and counters. */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on geometry mismatch. */
+    void load(snapshot::Deserializer &d);
 
   private:
     struct Entry

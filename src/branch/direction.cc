@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "snapshot/serializer.hh"
+
 #include "stats/metrics.hh"
 
 namespace dlsim::branch
@@ -142,6 +144,91 @@ makeDirectionPredictor(const std::string &kind)
         return std::make_unique<TournamentPredictor>();
     throw std::invalid_argument("unknown direction predictor: " +
                                 kind);
+}
+
+
+void
+DirectionPredictor::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("dir");
+    s.u64(predictions_);
+    s.u64(mispredicts_);
+    s.endStruct();
+    doSave(s);
+}
+
+void
+DirectionPredictor::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("dir");
+    predictions_ = d.u64();
+    mispredicts_ = d.u64();
+    d.leaveStruct();
+    doLoad(d);
+}
+
+void
+BimodalPredictor::doSave(snapshot::Serializer &s) const
+{
+    s.beginStruct("bimodal");
+    s.u64(table_.size());
+    s.bytes(table_.data(), table_.size());
+    s.endStruct();
+}
+
+void
+BimodalPredictor::doLoad(snapshot::Deserializer &d)
+{
+    d.enterStruct("bimodal");
+    d.checkU64(table_.size(), "bimodal table size");
+    d.bytes(table_.data(), table_.size());
+    d.leaveStruct();
+}
+
+void
+GsharePredictor::doSave(snapshot::Serializer &s) const
+{
+    s.beginStruct("gshare");
+    s.u64(table_.size());
+    s.u64(historyMask_);
+    s.u64(history_);
+    s.bytes(table_.data(), table_.size());
+    s.endStruct();
+}
+
+void
+GsharePredictor::doLoad(snapshot::Deserializer &d)
+{
+    d.enterStruct("gshare");
+    d.checkU64(table_.size(), "gshare table size");
+    d.checkU64(historyMask_, "gshare history mask");
+    history_ = d.u64();
+    d.bytes(table_.data(), table_.size());
+    d.leaveStruct();
+}
+
+void
+TournamentPredictor::doSave(snapshot::Serializer &s) const
+{
+    s.beginStruct("tourn");
+    s.u64(chooser_.size());
+    s.bytes(chooser_.data(), chooser_.size());
+    s.endStruct();
+    // Component predictors carry their own (accruing) counters, so
+    // they roundtrip through their full save/load, not doSave.
+    bimodal_.save(s);
+    gshare_.save(s);
+}
+
+void
+TournamentPredictor::doLoad(snapshot::Deserializer &d)
+{
+    d.enterStruct("tourn");
+    d.checkU64(chooser_.size(), "tournament chooser size");
+    d.bytes(chooser_.data(), chooser_.size());
+    d.leaveStruct();
+    bimodal_.load(d);
+    gshare_.load(d);
 }
 
 } // namespace dlsim::branch

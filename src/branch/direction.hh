@@ -25,6 +25,12 @@ namespace dlsim::stats
 class MetricsRegistry;
 }
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::branch
 {
 
@@ -76,10 +82,18 @@ class DirectionPredictor
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
 
+    /** Checkpoint counters plus the scheme's tables (doSave). */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on geometry mismatch. */
+    void load(snapshot::Deserializer &d);
+
   protected:
     virtual bool doPredict(Addr pc) = 0;
     virtual void doUpdate(Addr pc, bool taken) = 0;
     virtual void doReset() = 0;
+    virtual void doSave(snapshot::Serializer &s) const = 0;
+    virtual void doLoad(snapshot::Deserializer &d) = 0;
 
   private:
     std::uint64_t predictions_ = 0;
@@ -97,6 +111,8 @@ class BimodalPredictor : public DirectionPredictor
     bool doPredict(Addr pc) override;
     void doUpdate(Addr pc, bool taken) override;
     void doReset() override;
+    void doSave(snapshot::Serializer &s) const override;
+    void doLoad(snapshot::Deserializer &d) override;
 
   private:
     std::size_t indexOf(Addr pc) const
@@ -123,6 +139,8 @@ class GsharePredictor : public DirectionPredictor
     bool doPredict(Addr pc) override;
     void doUpdate(Addr pc, bool taken) override;
     void doReset() override;
+    void doSave(snapshot::Serializer &s) const override;
+    void doLoad(snapshot::Deserializer &d) override;
 
   private:
     std::size_t indexOf(Addr pc) const
@@ -151,6 +169,8 @@ class TournamentPredictor : public DirectionPredictor
     bool doPredict(Addr pc) override;
     void doUpdate(Addr pc, bool taken) override;
     void doReset() override;
+    void doSave(snapshot::Serializer &s) const override;
+    void doLoad(snapshot::Deserializer &d) override;
 
   private:
     std::size_t chooserIndex(Addr pc) const

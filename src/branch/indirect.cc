@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "snapshot/serializer.hh"
+
 namespace dlsim::branch
 {
 
@@ -86,6 +88,45 @@ IndirectPredictor::reset()
     for (auto &e : entries_)
         e.valid = false;
     history_ = 0;
+}
+
+
+void
+IndirectPredictor::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("indirect");
+    s.boolean(params_.enabled);
+    s.u32(params_.entries);
+    s.u32(params_.assoc);
+    s.u32(params_.historyBits);
+    s.u64(history_);
+    s.u64(tick_);
+    for (const Entry &e : entries_) {
+        s.u64(e.tag);
+        s.u64(e.target);
+        s.boolean(e.valid);
+        s.u64(e.lastUse);
+    }
+    s.endStruct();
+}
+
+void
+IndirectPredictor::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("indirect");
+    d.checkBool(params_.enabled, "indirect enabled");
+    d.checkU32(params_.entries, "indirect entries");
+    d.checkU32(params_.assoc, "indirect assoc");
+    d.checkU32(params_.historyBits, "indirect historyBits");
+    history_ = d.u64();
+    tick_ = d.u64();
+    for (Entry &e : entries_) {
+        e.tag = d.u64();
+        e.target = d.u64();
+        e.valid = d.boolean();
+        e.lastUse = d.u64();
+    }
+    d.leaveStruct();
 }
 
 } // namespace dlsim::branch

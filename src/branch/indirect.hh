@@ -21,6 +21,12 @@
 
 #include "isa/instruction.hh"
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::branch
 {
 
@@ -60,6 +66,12 @@ class IndirectPredictor
     {
         return params_;
     }
+
+    /** Checkpoint contents, path history, and LRU state. */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on geometry mismatch. */
+    void load(snapshot::Deserializer &d);
 
   private:
     struct Entry

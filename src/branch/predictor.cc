@@ -1,5 +1,7 @@
 #include "branch/predictor.hh"
 
+#include "snapshot/serializer.hh"
+
 namespace dlsim::branch
 {
 
@@ -112,6 +114,25 @@ BranchPredictor::reportMetrics(stats::MetricsRegistry &reg,
     btb_.reportMetrics(reg, prefix + ".btb");
     direction_->reportMetrics(reg, prefix + ".direction");
     ras_.reportMetrics(reg, prefix + ".ras");
+}
+
+
+void
+BranchPredictor::save(snapshot::Serializer &s) const
+{
+    btb_.save(s);
+    direction_->save(s);
+    ras_.save(s);
+    indirect_.save(s);
+}
+
+void
+BranchPredictor::load(snapshot::Deserializer &d)
+{
+    btb_.load(d);
+    direction_->load(d);
+    ras_.load(d);
+    indirect_.load(d);
 }
 
 } // namespace dlsim::branch

@@ -73,6 +73,10 @@ class BranchPredictor
     ReturnAddressStack &ras() { return ras_; }
     IndirectPredictor &indirect() { return indirect_; }
 
+    /** Checkpoint the whole ensemble. */
+    void save(snapshot::Serializer &s) const;
+    void load(snapshot::Deserializer &d);
+
   private:
     Btb btb_;
     std::unique_ptr<DirectionPredictor> direction_;

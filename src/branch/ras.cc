@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "snapshot/serializer.hh"
+
 #include "stats/metrics.hh"
 
 namespace dlsim::branch
@@ -50,6 +52,37 @@ ReturnAddressStack::reportMetrics(stats::MetricsRegistry &reg,
     reg.counter(prefix + ".pushes", pushes_);
     reg.counter(prefix + ".pops", pops_);
     reg.counter(prefix + ".underflows", underflows_);
+}
+
+
+void
+ReturnAddressStack::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("ras");
+    s.u64(stack_.size());
+    s.u64(top_);
+    s.u64(occupancy_);
+    s.u64(pushes_);
+    s.u64(pops_);
+    s.u64(underflows_);
+    for (const Addr a : stack_)
+        s.u64(a);
+    s.endStruct();
+}
+
+void
+ReturnAddressStack::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("ras");
+    d.checkU64(stack_.size(), "ras depth");
+    top_ = d.u64();
+    occupancy_ = d.u64();
+    pushes_ = d.u64();
+    pops_ = d.u64();
+    underflows_ = d.u64();
+    for (Addr &a : stack_)
+        a = d.u64();
+    d.leaveStruct();
 }
 
 } // namespace dlsim::branch

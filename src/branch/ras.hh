@@ -18,6 +18,12 @@ namespace dlsim::stats
 class MetricsRegistry;
 }
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::branch
 {
 
@@ -53,6 +59,12 @@ class ReturnAddressStack
     /** Register push/pop/underflow counters under `prefix`. */
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint the stack and counters. */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on depth mismatch. */
+    void load(snapshot::Deserializer &d);
 
   private:
     std::vector<Addr> stack_;

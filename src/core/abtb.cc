@@ -1,5 +1,7 @@
 #include "core/abtb.hh"
 
+#include "snapshot/serializer.hh"
+
 #include <bit>
 #include <cassert>
 
@@ -112,6 +114,51 @@ Abtb::reportMetrics(stats::MetricsRegistry &reg,
               static_cast<double>(occupancy()));
     reg.gauge(prefix + ".size_bytes",
               static_cast<double>(sizeBytes()));
+}
+
+
+void
+Abtb::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("abtb");
+    s.u32(params_.entries);
+    s.u32(params_.assoc);
+    s.u64(tick_);
+    s.u64(lookups_);
+    s.u64(hits_);
+    s.u64(inserts_);
+    s.u64(evictions_);
+    for (const Way &w : ways_) {
+        s.u64(w.entry.trampoline);
+        s.u64(w.entry.function);
+        s.u64(w.entry.gotAddr);
+        s.u16(w.entry.asid);
+        s.boolean(w.valid);
+        s.u64(w.lastUse);
+    }
+    s.endStruct();
+}
+
+void
+Abtb::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("abtb");
+    d.checkU32(params_.entries, "abtb entries");
+    d.checkU32(params_.assoc, "abtb assoc");
+    tick_ = d.u64();
+    lookups_ = d.u64();
+    hits_ = d.u64();
+    inserts_ = d.u64();
+    evictions_ = d.u64();
+    for (Way &w : ways_) {
+        w.entry.trampoline = d.u64();
+        w.entry.function = d.u64();
+        w.entry.gotAddr = d.u64();
+        w.entry.asid = d.u16();
+        w.valid = d.boolean();
+        w.lastUse = d.u64();
+    }
+    d.leaveStruct();
 }
 
 } // namespace dlsim::core

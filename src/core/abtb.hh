@@ -27,6 +27,12 @@ namespace dlsim::stats
 class MetricsRegistry;
 }
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::core
 {
 
@@ -93,6 +99,12 @@ class Abtb
      */
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint contents, LRU state, and counters. */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on geometry mismatch. */
+    void load(snapshot::Deserializer &d);
 
   private:
     struct Way

@@ -1,5 +1,7 @@
 #include "core/bloom_filter.hh"
 
+#include "snapshot/serializer.hh"
+
 #include <bit>
 #include <cassert>
 
@@ -73,6 +75,31 @@ BloomFilter::reportMetrics(stats::MetricsRegistry &reg,
     reg.gauge(prefix + ".occupancy", occupancy());
     reg.gauge(prefix + ".size_bytes",
               static_cast<double>(sizeBytes()));
+}
+
+
+void
+BloomFilter::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("bloom");
+    s.u32(bits());
+    s.u32(hashes_);
+    s.u64(insertions_);
+    for (const std::uint64_t w : word_)
+        s.u64(w);
+    s.endStruct();
+}
+
+void
+BloomFilter::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("bloom");
+    d.checkU32(bits(), "bloom bits");
+    d.checkU32(hashes_, "bloom hashes");
+    insertions_ = d.u64();
+    for (std::uint64_t &w : word_)
+        w = d.u64();
+    d.leaveStruct();
 }
 
 } // namespace dlsim::core

@@ -26,6 +26,12 @@ namespace dlsim::stats
 class MetricsRegistry;
 }
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::core
 {
 
@@ -66,6 +72,12 @@ class BloomFilter
     /** Register insertion count and occupancy under `prefix`. */
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint the bit array and insertion count. */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on sizing mismatch. */
+    void load(snapshot::Deserializer &d);
 
   private:
     std::uint64_t hash(Addr addr, std::uint32_t i) const;

@@ -1,5 +1,10 @@
 #include "core/skip_unit.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "snapshot/serializer.hh"
+
 #include "stats/metrics.hh"
 
 namespace dlsim::core
@@ -136,6 +141,70 @@ TrampolineSkipUnit::reportMetrics(stats::MetricsRegistry &reg,
                 stats_.falsePositiveFlushes);
     reg.gauge(skip + ".hardware_bytes",
               static_cast<double>(hardwareBytes()));
+}
+
+
+void
+TrampolineSkipUnit::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("skip");
+    s.u32(params_.bloomBits);
+    s.u32(params_.bloomHashes);
+    s.boolean(params_.explicitInvalidation);
+    s.boolean(params_.asidRetention);
+    s.u32(params_.patternWindow);
+    s.u64(stats_.substitutions);
+    s.u64(stats_.populations);
+    s.u64(stats_.storeFlushes);
+    s.u64(stats_.coherenceFlushes);
+    s.u64(stats_.contextSwitchFlushes);
+    s.u64(stats_.explicitFlushes);
+    s.u64(stats_.falsePositiveFlushes);
+    s.boolean(patternArmed_);
+    s.u64(lastCallTarget_);
+    s.u32(windowLeft_);
+    s.u16(asid_);
+    // The shadow set is unordered; emit sorted for stable bytes.
+    std::vector<Addr> shadow(bloomShadow_.begin(),
+                             bloomShadow_.end());
+    std::sort(shadow.begin(), shadow.end());
+    s.u64(shadow.size());
+    for (const Addr a : shadow)
+        s.u64(a);
+    s.endStruct();
+    abtb_.save(s);
+    bloom_.save(s);
+}
+
+void
+TrampolineSkipUnit::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("skip");
+    d.checkU32(params_.bloomBits, "skip bloomBits");
+    d.checkU32(params_.bloomHashes, "skip bloomHashes");
+    d.checkBool(params_.explicitInvalidation,
+                "skip explicitInvalidation");
+    d.checkBool(params_.asidRetention, "skip asidRetention");
+    d.checkU32(params_.patternWindow, "skip patternWindow");
+    stats_.substitutions = d.u64();
+    stats_.populations = d.u64();
+    stats_.storeFlushes = d.u64();
+    stats_.coherenceFlushes = d.u64();
+    stats_.contextSwitchFlushes = d.u64();
+    stats_.explicitFlushes = d.u64();
+    stats_.falsePositiveFlushes = d.u64();
+    patternArmed_ = d.boolean();
+    lastCallTarget_ = d.u64();
+    windowLeft_ = d.u32();
+    asid_ = d.u16();
+    bloomShadow_.clear();
+    const std::uint64_t n = d.u64();
+    bloomShadow_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        bloomShadow_.insert(d.u64());
+    d.leaveStruct();
+    abtb_.load(d);
+    bloom_.load(d);
 }
 
 } // namespace dlsim::core

@@ -31,6 +31,12 @@
 #include "core/bloom_filter.hh"
 #include "isa/opcode.hh"
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::core
 {
 
@@ -153,6 +159,12 @@ class TrampolineSkipUnit
      *  `<prefix>.abtb.*`, `<prefix>.bloom.*`, `<prefix>.skip.*`. */
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint ABTB, bloom filter, and pattern/stat state. */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on config mismatch. */
+    void load(snapshot::Deserializer &d);
 
   private:
     void flushFor(std::uint64_t SkipUnitStats::*counter, Addr addr,

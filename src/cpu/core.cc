@@ -2,6 +2,11 @@
 
 #include <sstream>
 
+#include <algorithm>
+#include <vector>
+
+#include "snapshot/serializer.hh"
+
 namespace dlsim::cpu
 {
 
@@ -565,6 +570,136 @@ Core::closeTrace()
 {
     if (traceWriter_)
         traceWriter_->close();
+}
+
+
+void
+Core::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("cpu");
+    for (const std::uint64_t r : state_.regs)
+        s.u64(r);
+    s.u64(state_.pc);
+    s.boolean(state_.halted);
+    s.u32(issueSlot_);
+    s.u16(asid_);
+    s.u64(instructions_);
+    s.u64(cycles_);
+    s.u64(trampolineInsts_);
+    s.u64(trampolineJmps_);
+    s.u64(skippedTrampolines_);
+    s.u64(loads_);
+    s.u64(stores_);
+    s.u64(branches_);
+    s.u64(mispredicts_);
+    s.u64(condBranches_);
+    s.u64(condMispredicts_);
+    s.u64(resolverCalls_);
+    // Profiler maps/sets are unordered; emit sorted for stable
+    // bytes.
+    std::vector<std::pair<Addr, std::uint64_t>> counts(
+        trampolineCounts_.begin(), trampolineCounts_.end());
+    std::sort(counts.begin(), counts.end());
+    s.u64(counts.size());
+    for (const auto &[va, n] : counts) {
+        s.u64(va);
+        s.u64(n);
+    }
+    s.u64(trace_.size());
+    for (const linker::CallSiteRecord &r : trace_) {
+        s.u64(r.callVa);
+        s.u64(r.trampolineVa);
+        s.u64(r.targetVa);
+        s.boolean(r.tailJump);
+    }
+    std::vector<Addr> traced(tracedSites_.begin(),
+                             tracedSites_.end());
+    std::sort(traced.begin(), traced.end());
+    s.u64(traced.size());
+    for (const Addr va : traced)
+        s.u64(va);
+    s.boolean(hasLastCtl_);
+    s.u64(lastCtlVa_);
+    s.boolean(lastCtlWasCall_);
+    s.boolean(skipUnit_ != nullptr);
+    s.endStruct();
+    hierarchy_.save(s);
+    predictor_.save(s);
+    if (skipUnit_)
+        skipUnit_->save(s);
+}
+
+void
+Core::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("cpu");
+    for (std::uint64_t &r : state_.regs)
+        r = d.u64();
+    state_.pc = d.u64();
+    state_.halted = d.boolean();
+    issueSlot_ = d.u32();
+    asid_ = d.u16();
+    instructions_ = d.u64();
+    cycles_ = d.u64();
+    trampolineInsts_ = d.u64();
+    trampolineJmps_ = d.u64();
+    skippedTrampolines_ = d.u64();
+    loads_ = d.u64();
+    stores_ = d.u64();
+    branches_ = d.u64();
+    mispredicts_ = d.u64();
+    condBranches_ = d.u64();
+    condMispredicts_ = d.u64();
+    resolverCalls_ = d.u64();
+    trampolineCounts_.clear();
+    const std::uint64_t ncounts = d.u64();
+    trampolineCounts_.reserve(ncounts);
+    for (std::uint64_t i = 0; i < ncounts; ++i) {
+        const Addr va = d.u64();
+        trampolineCounts_[va] = d.u64();
+    }
+    trace_.clear();
+    const std::uint64_t ntrace = d.u64();
+    trace_.reserve(ntrace);
+    for (std::uint64_t i = 0; i < ntrace; ++i) {
+        linker::CallSiteRecord r;
+        r.callVa = d.u64();
+        r.trampolineVa = d.u64();
+        r.targetVa = d.u64();
+        r.tailJump = d.boolean();
+        trace_.push_back(r);
+    }
+    tracedSites_.clear();
+    const std::uint64_t ntraced = d.u64();
+    tracedSites_.reserve(ntraced);
+    for (std::uint64_t i = 0; i < ntraced; ++i)
+        tracedSites_.insert(d.u64());
+    hasLastCtl_ = d.boolean();
+    lastCtlVa_ = d.u64();
+    lastCtlWasCall_ = d.boolean();
+    d.checkBool(skipUnit_ != nullptr, "skip unit presence");
+    d.leaveStruct();
+    // The decoded-slot cursor points into the image; it is
+    // re-established on the next fetch.
+    curSlot_ = nullptr;
+    hierarchy_.load(d);
+    predictor_.load(d);
+    if (skipUnit_)
+        skipUnit_->load(d);
+}
+
+void
+Core::resetSkipUnit(bool enabled,
+                    const core::SkipUnitParams &skip)
+{
+    params_.skipUnitEnabled = enabled;
+    params_.skip = skip;
+    if (!enabled) {
+        skipUnit_.reset();
+        return;
+    }
+    skipUnit_ = std::make_unique<core::TrampolineSkipUnit>(skip);
+    skipUnit_->setAsid(asid_);
 }
 
 } // namespace dlsim::cpu

@@ -255,6 +255,47 @@ class Core
      */
     void onExternalGotWrite(Addr addr);
 
+    /**
+     * Checkpoint the core: architectural state, counters, profiler
+     * state, the memory hierarchy, the branch ensemble, and the
+     * skip unit (when present). The attached image/linker are not
+     * part of the core's snapshot; composers save them separately
+     * and re-attach on load.
+     */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on any structural mismatch
+     *  (including skip unit presence). */
+    void load(snapshot::Deserializer &d);
+
+    /**
+     * Override timing-only knobs after a snapshot restore, so one
+     * warm checkpoint can fan out a machine sweep. These scalars
+     * never influence which state structures *contain* — only the
+     * cycle cost of events — so changing them post-restore is
+     * exactly equivalent to having warmed up with them.
+     */
+    void setTiming(std::uint32_t issue_width,
+                   std::uint32_t mispredict_penalty,
+                   std::uint64_t resolver_insts,
+                   std::uint64_t resolver_cycles)
+    {
+        params_.issueWidth = issue_width;
+        params_.mispredictPenalty = mispredict_penalty;
+        params_.resolverInsts = resolver_insts;
+        params_.resolverCycles = resolver_cycles;
+    }
+
+    /**
+     * Replace the skip unit with a cold one of the given geometry
+     * (or remove it). Snapshot-based sweeps restore a shared warm
+     * machine and then give every arm its own fresh ABTB/bloom
+     * configuration; measurement starts with the unit empty in
+     * every arm, so arms differ only in the mechanism under test.
+     */
+    void resetSkipUnit(bool enabled,
+                       const core::SkipUnitParams &skip);
+
     /** Flush and finalise the retire trace (tracePath mode). */
     void closeTrace();
 

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "snapshot/serializer.hh"
+
 #include "stats/metrics.hh"
 
 namespace dlsim::cpu
@@ -114,6 +116,61 @@ PerfCounters::reportMetrics(stats::MetricsRegistry &reg,
                   : static_cast<double>(skippedTrampolines) /
                         static_cast<double>(trampolineJmps +
                                             skippedTrampolines));
+}
+
+
+void
+PerfCounters::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("perf");
+    s.u64(instructions);
+    s.u64(cycles);
+    s.u64(trampolineInsts);
+    s.u64(trampolineJmps);
+    s.u64(skippedTrampolines);
+    s.u64(loads);
+    s.u64(stores);
+    s.u64(branches);
+    s.u64(mispredicts);
+    s.u64(condBranches);
+    s.u64(condMispredicts);
+    s.u64(l1iMisses);
+    s.u64(l1dMisses);
+    s.u64(l2Misses);
+    s.u64(l3Misses);
+    s.u64(itlbMisses);
+    s.u64(dtlbMisses);
+    s.u64(btbLookups);
+    s.u64(btbMisses);
+    s.u64(resolverCalls);
+    s.endStruct();
+}
+
+void
+PerfCounters::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("perf");
+    instructions = d.u64();
+    cycles = d.u64();
+    trampolineInsts = d.u64();
+    trampolineJmps = d.u64();
+    skippedTrampolines = d.u64();
+    loads = d.u64();
+    stores = d.u64();
+    branches = d.u64();
+    mispredicts = d.u64();
+    condBranches = d.u64();
+    condMispredicts = d.u64();
+    l1iMisses = d.u64();
+    l1dMisses = d.u64();
+    l2Misses = d.u64();
+    l3Misses = d.u64();
+    itlbMisses = d.u64();
+    dtlbMisses = d.u64();
+    btbLookups = d.u64();
+    btbMisses = d.u64();
+    resolverCalls = d.u64();
+    d.leaveStruct();
 }
 
 } // namespace dlsim::cpu

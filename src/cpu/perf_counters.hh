@@ -19,6 +19,12 @@ namespace dlsim::stats
 class MetricsRegistry;
 }
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::cpu
 {
 
@@ -74,6 +80,10 @@ struct PerfCounters
      */
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint all counters. */
+    void save(snapshot::Serializer &s) const;
+    void load(snapshot::Deserializer &d);
 };
 
 } // namespace dlsim::cpu

@@ -1,5 +1,7 @@
 #include "linker/dynamic_linker.hh"
 
+#include "snapshot/serializer.hh"
+
 #include <stdexcept>
 
 namespace dlsim::linker
@@ -42,6 +44,25 @@ DynamicLinker::resolve(std::uint32_t module_id,
 
     ++resolutions_;
     return result;
+}
+
+
+void
+DynamicLinker::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("dlink");
+    s.u64(resolutions_);
+    s.u64(ifuncResolutions_);
+    s.endStruct();
+}
+
+void
+DynamicLinker::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("dlink");
+    resolutions_ = d.u64();
+    ifuncResolutions_ = d.u64();
+    d.leaveStruct();
 }
 
 } // namespace dlsim::linker

@@ -23,6 +23,12 @@
 
 #include "linker/image.hh"
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::linker
 {
 
@@ -59,6 +65,10 @@ class DynamicLinker
     }
 
     Image &image() { return image_; }
+
+    /** Checkpoint resolution counters. */
+    void save(snapshot::Serializer &s) const;
+    void load(snapshot::Deserializer &d);
 
   private:
     Image &image_;

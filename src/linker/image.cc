@@ -1,5 +1,7 @@
 #include "linker/image.hh"
 
+#include "snapshot/serializer.hh"
+
 #include <bit>
 #include <sstream>
 #include <stdexcept>
@@ -260,6 +262,78 @@ Image::removeModuleSlots(std::uint16_t module_id)
 {
     modules_[module_id].loaded = false;
     indexSlots();
+}
+
+
+void
+Image::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("image");
+    s.u32(hwCapLevel_);
+    s.u16(nextNamespace_);
+    s.u32(static_cast<std::uint32_t>(modules_.size()));
+    for (const LoadedModule &m : modules_) {
+        s.boolean(m.loaded);
+        s.u16(m.namespaceId);
+    }
+    s.u64(slots_.size());
+    for (const Slot &slot : slots_) {
+        s.u64(slot.va);
+        s.u8(slot.flags);
+        s.u16(slot.moduleId);
+        s.u16(slot.pltIndex);
+        s.u8(static_cast<std::uint8_t>(slot.inst.op));
+        s.u8(slot.inst.size);
+        s.u8(static_cast<std::uint8_t>(slot.inst.alu));
+        s.u8(static_cast<std::uint8_t>(slot.inst.cond));
+        s.u8(slot.inst.dst);
+        s.u8(slot.inst.src1);
+        s.u8(slot.inst.src2);
+        s.u8(slot.inst.memBase);
+        s.i64(slot.inst.imm);
+    }
+    s.u64(decodeHits_);
+    s.u64(decodeMisses_);
+    s.endStruct();
+}
+
+void
+Image::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("image");
+    hwCapLevel_ = d.u32();
+    nextNamespace_ = d.u16();
+    d.checkU32(static_cast<std::uint32_t>(modules_.size()),
+               "image module count");
+    for (LoadedModule &m : modules_) {
+        m.loaded = d.boolean();
+        m.namespaceId = d.u16();
+    }
+    d.checkU64(slots_.size(), "image slot count");
+    for (Slot &slot : slots_) {
+        slot.va = d.u64();
+        slot.flags = d.u8();
+        slot.moduleId = d.u16();
+        slot.pltIndex = d.u16();
+        slot.inst.op = static_cast<isa::Opcode>(d.u8());
+        slot.inst.size = d.u8();
+        slot.inst.alu = static_cast<isa::AluKind>(d.u8());
+        slot.inst.cond = static_cast<isa::CondKind>(d.u8());
+        slot.inst.dst = d.u8();
+        slot.inst.src1 = d.u8();
+        slot.inst.src2 = d.u8();
+        slot.inst.memBase = d.u8();
+        slot.inst.imm = d.i64();
+    }
+    const std::uint64_t hits = d.u64();
+    const std::uint64_t misses = d.u64();
+    d.leaveStruct();
+    // Rebuild the derived decode index (and reset the decode
+    // cache) from the restored slots and loaded flags, then pin
+    // the counters the restored run should continue from.
+    indexSlots();
+    decodeHits_ = hits;
+    decodeMisses_ = misses;
 }
 
 } // namespace dlsim::linker

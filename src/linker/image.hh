@@ -26,6 +26,12 @@
 #include "isa/instruction.hh"
 #include "mem/address_space.hh"
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::linker
 {
 
@@ -207,6 +213,20 @@ class Image
 
     /** Human-readable layout dump (examples / debugging). */
     std::string dumpLayout() const;
+
+    /**
+     * Checkpoint the image's mutable runtime state: per-module
+     * loaded/namespace flags, every decoded slot (the software
+     * patcher mutates slots in place, so patch state lives here),
+     * hwcap level, and namespace allocation. The decode index and
+     * cache are derived and rebuilt on load. The backing address
+     * space is serialized separately by the composer.
+     */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on module/slot count
+     *  mismatch. Rebuilds the decode index. */
+    void load(snapshot::Deserializer &d);
 
     /** @name Construction interface (Loader/DynamicLinker) @{ */
     std::uint16_t addModule(elf::Module module);

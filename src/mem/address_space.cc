@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "snapshot/serializer.hh"
+
 namespace dlsim::mem
 {
 
@@ -242,6 +244,121 @@ AddressSpace::privateBytes() const
             ++n;
     }
     return n * PageBytes;
+}
+
+std::uint32_t
+PagePoolSaver::idOf(const std::shared_ptr<PhysPage> &page)
+{
+    const auto it = ids_.find(page.get());
+    if (it != ids_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(pages_.size());
+    pages_.push_back(page.get());
+    ids_.emplace(page.get(), id);
+    return id;
+}
+
+void
+PagePoolSaver::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("pages");
+    s.u32(static_cast<std::uint32_t>(pages_.size()));
+    for (const PhysPage *page : pages_)
+        s.bytes(page->words.data(), PageBytes);
+    s.endStruct();
+}
+
+void
+PagePoolLoader::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("pages");
+    const std::uint32_t count = d.u32();
+    pages_.clear();
+    pages_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        auto page = std::make_shared<PhysPage>();
+        d.bytes(page->words.data(), PageBytes);
+        pages_.push_back(std::move(page));
+    }
+    d.leaveStruct();
+}
+
+const std::shared_ptr<PhysPage> &
+PagePoolLoader::page(std::uint32_t id) const
+{
+    if (id >= pages_.size())
+        throw snapshot::SnapshotError(
+            "snapshot: page id " + std::to_string(id) +
+            " out of range (pool has " +
+            std::to_string(pages_.size()) + ")");
+    return pages_[id];
+}
+
+void
+AddressSpace::save(snapshot::Serializer &s,
+                   PagePoolSaver &pool) const
+{
+    s.beginStruct("aspace");
+    s.u32(static_cast<std::uint32_t>(regions_.size()));
+    for (const Region &r : regions_) {
+        s.u64(r.start);
+        s.u64(r.size);
+        s.u8(r.perms);
+        s.u8(static_cast<std::uint8_t>(r.kind));
+        s.str(r.name);
+    }
+    for (const std::uint64_t c : cowCopies_)
+        s.u64(c);
+    // The page table is an unordered map; emit in page-number order
+    // so identical state always produces identical bytes.
+    std::vector<Addr> nums;
+    nums.reserve(pages_.size());
+    for (const auto &[num, slot] : pages_) {
+        (void)slot;
+        nums.push_back(num);
+    }
+    std::sort(nums.begin(), nums.end());
+    s.u64(nums.size());
+    for (const Addr num : nums) {
+        const PageSlot &slot = pages_.at(num);
+        s.u64(num);
+        s.u32(pool.idOf(slot.page));
+        s.boolean(slot.cow);
+    }
+    s.endStruct();
+}
+
+void
+AddressSpace::load(snapshot::Deserializer &d,
+                   const PagePoolLoader &pool)
+{
+    d.enterStruct("aspace");
+    regions_.clear();
+    lastRegion_ = 0;
+    const std::uint32_t nregions = d.u32();
+    regions_.reserve(nregions);
+    for (std::uint32_t i = 0; i < nregions; ++i) {
+        Region r;
+        r.start = d.u64();
+        r.size = d.u64();
+        r.perms = d.u8();
+        r.kind = static_cast<RegionKind>(d.u8());
+        r.name = d.str();
+        regions_.push_back(std::move(r));
+    }
+    for (std::uint64_t &c : cowCopies_)
+        c = d.u64();
+    pages_.clear();
+    const std::uint64_t npages = d.u64();
+    pages_.reserve(npages);
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        const Addr num = d.u64();
+        PageSlot slot;
+        slot.page = pool.page(d.u32());
+        slot.cow = d.boolean();
+        pages_.emplace(num, std::move(slot));
+    }
+    d.leaveStruct();
 }
 
 } // namespace dlsim::mem

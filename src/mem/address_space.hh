@@ -22,6 +22,12 @@
 
 #include "isa/instruction.hh"
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::mem
 {
 
@@ -77,6 +83,45 @@ enum class MemFault : std::uint8_t
 struct PhysPage
 {
     std::array<std::uint64_t, WordsPerPage> words{};
+};
+
+/**
+ * Deduplicating page pool for checkpointing. COW-shared pages are
+ * identified by pointer, so a backing page referenced by several
+ * address spaces (or several page numbers) is written once and the
+ * sharing topology — and with it sharedPages()/privateBytes()
+ * accounting — survives a save/load roundtrip exactly.
+ *
+ * Usage: every AddressSpace::save records page ids through one
+ * shared saver, then the saver itself is saved (after all spaces).
+ * On restore the loader is loaded first and handed to every
+ * AddressSpace::load.
+ */
+class PagePoolSaver
+{
+  public:
+    /** Id of `page`, registering it on first sight. */
+    std::uint32_t idOf(const std::shared_ptr<PhysPage> &page);
+
+    /** Write all registered pages ("pages" struct record). */
+    void save(snapshot::Serializer &s) const;
+
+  private:
+    std::vector<const PhysPage *> pages_;
+    std::unordered_map<const PhysPage *, std::uint32_t> ids_;
+};
+
+/** Restores the pool written by PagePoolSaver. */
+class PagePoolLoader
+{
+  public:
+    void load(snapshot::Deserializer &d);
+
+    /** Shared page for `id`; throws SnapshotError if out of range. */
+    const std::shared_ptr<PhysPage> &page(std::uint32_t id) const;
+
+  private:
+    std::vector<std::shared_ptr<PhysPage>> pages_;
 };
 
 /**
@@ -157,6 +202,17 @@ class AddressSpace
     /** Bytes of backing uniquely owned by this space. */
     std::uint64_t privateBytes() const;
     /** @} */
+
+    /**
+     * Checkpoint regions, the page table (as pool ids), and COW
+     * accounting. Backing pages themselves are written once by the
+     * shared `pool`.
+     */
+    void save(snapshot::Serializer &s, PagePoolSaver &pool) const;
+
+    /** Restore from a snapshot; replaces all current state. */
+    void load(snapshot::Deserializer &d,
+              const PagePoolLoader &pool);
 
   private:
     struct PageSlot

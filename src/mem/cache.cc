@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "snapshot/serializer.hh"
 #include "stats/metrics.hh"
 
 namespace dlsim::mem
@@ -180,6 +181,57 @@ Cache::reportMetrics(stats::MetricsRegistry &reg,
     reg.counter(prefix + ".prefetches", prefetches_);
     reg.counter(prefix + ".evictions", evictions_);
     reg.gauge(prefix + ".miss_rate", missRate());
+}
+
+void
+Cache::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("cache");
+    s.str(params_.name);
+    s.u64(params_.sizeBytes);
+    s.u32(params_.assoc);
+    s.u32(params_.lineBytes);
+    s.u64(tick_);
+    s.u64(hits_);
+    s.u64(misses_);
+    s.u64(prefetches_);
+    s.u64(evictions_);
+    for (const Way &w : ways_) {
+        s.u64(w.tag);
+        s.u16(w.asid);
+        s.boolean(w.valid);
+        s.u64(w.lastUse);
+    }
+    for (const std::uint32_t m : mruWay_)
+        s.u32(m);
+    s.endStruct();
+}
+
+void
+Cache::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("cache");
+    const std::string name = d.str();
+    if (name != params_.name)
+        d.fail("cache name mismatch: snapshot has '" + name +
+               "', machine has '" + params_.name + "'");
+    d.checkU64(params_.sizeBytes, params_.name + " sizeBytes");
+    d.checkU32(params_.assoc, params_.name + " assoc");
+    d.checkU32(params_.lineBytes, params_.name + " lineBytes");
+    tick_ = d.u64();
+    hits_ = d.u64();
+    misses_ = d.u64();
+    prefetches_ = d.u64();
+    evictions_ = d.u64();
+    for (Way &w : ways_) {
+        w.tag = d.u64();
+        w.asid = d.u16();
+        w.valid = d.boolean();
+        w.lastUse = d.u64();
+    }
+    for (std::uint32_t &m : mruWay_)
+        m = d.u32();
+    d.leaveStruct();
 }
 
 } // namespace dlsim::mem

@@ -25,6 +25,12 @@ namespace dlsim::stats
 class MetricsRegistry;
 }
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::mem
 {
 
@@ -100,6 +106,12 @@ class Cache
      */
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint contents, LRU state, and counters. */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; throws SnapshotError on geometry mismatch. */
+    void load(snapshot::Deserializer &d);
 
   private:
     struct Way

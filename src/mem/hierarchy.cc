@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include "snapshot/serializer.hh"
+
 namespace dlsim::mem
 {
 
@@ -69,6 +71,28 @@ Hierarchy::invalidateDataLine(Addr addr, std::uint16_t asid)
     l1d_.invalidateLine(addr, asid);
     l2_.invalidateLine(addr, asid);
     l3_.invalidateLine(addr, asid);
+}
+
+void
+Hierarchy::save(snapshot::Serializer &s) const
+{
+    l1i_.save(s);
+    l1d_.save(s);
+    l2_.save(s);
+    l3_.save(s);
+    itlb_.save(s);
+    dtlb_.save(s);
+}
+
+void
+Hierarchy::load(snapshot::Deserializer &d)
+{
+    l1i_.load(d);
+    l1d_.load(d);
+    l2_.load(d);
+    l3_.load(d);
+    itlb_.load(d);
+    dtlb_.load(d);
 }
 
 void

@@ -91,6 +91,25 @@ class Hierarchy
 
     const HierarchyParams &params() const { return params_; }
 
+    /**
+     * Override the hierarchy's latency scalars. Used when fanning a
+     * machine sweep out from a restored snapshot: latencies are pure
+     * timing inputs, so changing them post-restore cannot perturb
+     * cache/TLB contents.
+     */
+    void setLatencies(std::uint32_t l2, std::uint32_t l3,
+                      std::uint32_t mem, std::uint32_t walk)
+    {
+        params_.l2Latency = l2;
+        params_.l3Latency = l3;
+        params_.memLatency = mem;
+        params_.walkLatency = walk;
+    }
+
+    /** Checkpoint every level (geometry-checked on load). */
+    void save(snapshot::Serializer &s) const;
+    void load(snapshot::Deserializer &d);
+
     void clearStats();
 
     /** Register every level's counters under `prefix` (e.g.

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "snapshot/serializer.hh"
 #include "stats/metrics.hh"
 
 namespace dlsim::mem
@@ -87,6 +88,49 @@ Tlb::reportMetrics(stats::MetricsRegistry &reg,
     reg.counter(prefix + ".hits", hits_);
     reg.counter(prefix + ".misses", misses_);
     reg.counter(prefix + ".evictions", evictions_);
+}
+
+void
+Tlb::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("tlb");
+    s.str(params_.name);
+    s.u32(params_.entries);
+    s.u32(params_.assoc);
+    s.u64(tick_);
+    s.u64(hits_);
+    s.u64(misses_);
+    s.u64(evictions_);
+    for (const Entry &e : entries_) {
+        s.u64(e.vpn);
+        s.u16(e.asid);
+        s.boolean(e.valid);
+        s.u64(e.lastUse);
+    }
+    s.endStruct();
+}
+
+void
+Tlb::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("tlb");
+    const std::string name = d.str();
+    if (name != params_.name)
+        d.fail("tlb name mismatch: snapshot has '" + name +
+               "', machine has '" + params_.name + "'");
+    d.checkU32(params_.entries, params_.name + " entries");
+    d.checkU32(params_.assoc, params_.name + " assoc");
+    tick_ = d.u64();
+    hits_ = d.u64();
+    misses_ = d.u64();
+    evictions_ = d.u64();
+    for (Entry &e : entries_) {
+        e.vpn = d.u64();
+        e.asid = d.u16();
+        e.valid = d.boolean();
+        e.lastUse = d.u64();
+    }
+    d.leaveStruct();
 }
 
 } // namespace dlsim::mem

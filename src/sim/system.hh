@@ -36,6 +36,12 @@
 #include "linker/image.hh"
 #include "mem/address_space.hh"
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::sim
 {
 
@@ -100,6 +106,20 @@ class System
 
     cpu::Core &core() { return core_; }
     linker::Image &image() { return image_; }
+
+    /**
+     * Checkpoint the whole system: the process table (ASIDs,
+     * register state, per-process address spaces with their COW
+     * sharing topology), the shared image, the linker, and the
+     * core. The referenced core/image/linker objects themselves
+     * must be rebuilt from the same parameters before load().
+     */
+    void save(snapshot::Serializer &s) const;
+
+    /** Restore; replaces the process table. Throws SnapshotError
+     *  on any mismatch, leaving the system untouched on the
+     *  process-table level until all records parse. */
+    void load(snapshot::Deserializer &d);
 
   private:
     const mem::AddressSpace &spaceOf(const Process &proc) const;

@@ -1,0 +1,57 @@
+#include "snapshot/io.hh"
+
+#include <cstdio>
+
+#include "snapshot/format.hh"
+
+namespace dlsim::snapshot
+{
+
+void
+writeFile(const std::string &path,
+          const std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw SnapshotError("snapshot: cannot open '" + path +
+                            "' for writing");
+    const std::size_t n =
+        bytes.empty()
+            ? 0
+            : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool ok = n == bytes.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(path.c_str());
+        throw SnapshotError("snapshot: short write to '" + path +
+                            "'");
+    }
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapshotError("snapshot: cannot open '" + path +
+                            "'");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(f);
+        throw SnapshotError("snapshot: cannot size '" + path +
+                            "'");
+    }
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(size));
+    const std::size_t n =
+        bytes.empty() ? 0
+                      : std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (n != bytes.size())
+        throw SnapshotError("snapshot: short read from '" + path +
+                            "'");
+    return bytes;
+}
+
+} // namespace dlsim::snapshot

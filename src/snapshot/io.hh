@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Whole-file snapshot I/O. Reads/writes are all-or-nothing: a
+ * failed write removes the partial file, a failed read throws
+ * before any bytes reach a Deserializer.
+ */
+
+#ifndef DLSIM_SNAPSHOT_IO_HH
+#define DLSIM_SNAPSHOT_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlsim::snapshot
+{
+
+/** Write `bytes` to `path`. @throws SnapshotError on I/O error. */
+void writeFile(const std::string &path,
+               const std::vector<std::uint8_t> &bytes);
+
+/** Read all of `path`. @throws SnapshotError on I/O error. */
+std::vector<std::uint8_t> readFile(const std::string &path);
+
+} // namespace dlsim::snapshot
+
+#endif // DLSIM_SNAPSHOT_IO_HH

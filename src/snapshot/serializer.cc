@@ -1,0 +1,468 @@
+#include "snapshot/serializer.hh"
+
+#include <cstring>
+
+namespace dlsim::snapshot
+{
+
+namespace
+{
+
+void
+putU32(std::vector<std::uint8_t> &out, std::size_t at,
+       std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+appendU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+appendU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+readU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+checkTag(const std::string &tag)
+{
+    if (tag.empty() || tag.size() > MaxTagBytes)
+        throw SnapshotError("snapshot: bad tag '" + tag + "'");
+}
+
+} // namespace
+
+// --------------------------------------------------------------
+// Serializer
+// --------------------------------------------------------------
+
+std::vector<std::uint8_t> &
+Serializer::buf()
+{
+    if (!inSection_)
+        throw SnapshotError(
+            "snapshot: write outside any section");
+    return sections_.back().data;
+}
+
+void
+Serializer::beginSection(const std::string &tag)
+{
+    checkTag(tag);
+    if (inSection_)
+        throw SnapshotError(
+            "snapshot: nested section '" + tag + "'");
+    for (const auto &s : sections_)
+        if (s.tag == tag)
+            throw SnapshotError(
+                "snapshot: duplicate section '" + tag + "'");
+    sections_.push_back({tag, {}});
+    inSection_ = true;
+}
+
+void
+Serializer::endSection()
+{
+    if (!inSection_)
+        throw SnapshotError("snapshot: endSection without begin");
+    if (!structStack_.empty())
+        throw SnapshotError(
+            "snapshot: endSection with open struct");
+    inSection_ = false;
+}
+
+void
+Serializer::beginStruct(const std::string &tag)
+{
+    checkTag(tag);
+    auto &out = buf();
+    out.push_back(static_cast<std::uint8_t>(tag.size()));
+    out.insert(out.end(), tag.begin(), tag.end());
+    // Reserve the length and CRC slots; patched in endStruct.
+    const std::size_t slot = out.size();
+    appendU32(out, 0);
+    appendU32(out, 0);
+    structStack_.push_back(slot);
+}
+
+void
+Serializer::endStruct()
+{
+    if (structStack_.empty())
+        throw SnapshotError("snapshot: endStruct without begin");
+    auto &out = buf();
+    const std::size_t slot = structStack_.back();
+    structStack_.pop_back();
+    const std::size_t payload = slot + 8;
+    const std::size_t len = out.size() - payload;
+    putU32(out, slot, static_cast<std::uint32_t>(len));
+    putU32(out, slot + 4, crc32(out.data() + payload, len));
+}
+
+void
+Serializer::u8(std::uint8_t v)
+{
+    buf().push_back(v);
+}
+
+void
+Serializer::u16(std::uint16_t v)
+{
+    auto &out = buf();
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+Serializer::u32(std::uint32_t v)
+{
+    appendU32(buf(), v);
+}
+
+void
+Serializer::u64(std::uint64_t v)
+{
+    appendU64(buf(), v);
+}
+
+void
+Serializer::i64(std::int64_t v)
+{
+    appendU64(buf(), static_cast<std::uint64_t>(v));
+}
+
+void
+Serializer::f64(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    appendU64(buf(), bits);
+}
+
+void
+Serializer::boolean(bool v)
+{
+    buf().push_back(v ? 1 : 0);
+}
+
+void
+Serializer::str(const std::string &v)
+{
+    auto &out = buf();
+    appendU32(out, static_cast<std::uint32_t>(v.size()));
+    out.insert(out.end(), v.begin(), v.end());
+}
+
+void
+Serializer::bytes(const void *data, std::size_t size)
+{
+    auto &out = buf();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    out.insert(out.end(), p, p + size);
+}
+
+std::vector<std::uint8_t>
+Serializer::finish() const
+{
+    if (inSection_)
+        throw SnapshotError("snapshot: finish with open section");
+
+    std::vector<std::uint8_t> table;
+    std::uint64_t offset =
+        HeaderBytes + sections_.size() * TableEntryBytes;
+    for (const auto &s : sections_) {
+        std::uint8_t tag[16] = {};
+        std::memcpy(tag, s.tag.data(), s.tag.size());
+        table.insert(table.end(), tag, tag + 16);
+        appendU64(table, offset);
+        appendU64(table, s.data.size());
+        appendU32(table, crc32(s.data.data(), s.data.size()));
+        appendU32(table, 0);
+        offset += s.data.size();
+    }
+
+    std::vector<std::uint8_t> out;
+    out.reserve(offset);
+    appendU32(out, Magic);
+    appendU32(out, FormatVersion);
+    appendU64(out, fingerprint_);
+    appendU32(out, static_cast<std::uint32_t>(sections_.size()));
+    appendU32(out, crc32(table.data(), table.size()));
+    out.insert(out.end(), table.begin(), table.end());
+    for (const auto &s : sections_)
+        out.insert(out.end(), s.data.begin(), s.data.end());
+    return out;
+}
+
+// --------------------------------------------------------------
+// Deserializer
+// --------------------------------------------------------------
+
+Deserializer::Deserializer(const std::uint8_t *data,
+                           std::size_t size)
+    : data_(data), size_(size)
+{
+    if (size_ < HeaderBytes)
+        throw SnapshotError("snapshot: truncated header");
+    if (readU32(data_) != Magic)
+        throw SnapshotError("snapshot: bad magic (not a dlsim "
+                            "snapshot)");
+    const std::uint32_t version = readU32(data_ + 4);
+    if (version != FormatVersion)
+        throw SnapshotError(
+            "snapshot: unsupported format version " +
+            std::to_string(version) + " (expected " +
+            std::to_string(FormatVersion) + ")");
+    fingerprint_ = readU64(data_ + 8);
+    const std::uint32_t count = readU32(data_ + 16);
+    const std::uint32_t tableCrc = readU32(data_ + 20);
+
+    const std::size_t tableBytes = count * TableEntryBytes;
+    if (size_ < HeaderBytes + tableBytes)
+        throw SnapshotError("snapshot: truncated section table");
+    if (crc32(data_ + HeaderBytes, tableBytes) != tableCrc)
+        throw SnapshotError(
+            "snapshot: section table CRC mismatch");
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint8_t *e =
+            data_ + HeaderBytes + i * TableEntryBytes;
+        Section s;
+        const char *tag = reinterpret_cast<const char *>(e);
+        s.tag.assign(tag, strnlen(tag, 16));
+        s.offset = readU64(e + 16);
+        s.size = readU64(e + 24);
+        s.crc = readU32(e + 32);
+        if (s.offset > size_ || s.size > size_ - s.offset)
+            throw SnapshotError("snapshot: section '" + s.tag +
+                                "' out of bounds");
+        sections_.push_back(std::move(s));
+    }
+}
+
+bool
+Deserializer::hasSection(const std::string &tag) const
+{
+    for (const auto &s : sections_)
+        if (s.tag == tag)
+            return true;
+    return false;
+}
+
+void
+Deserializer::enterSection(const std::string &tag)
+{
+    if (inSection_)
+        throw SnapshotError(
+            "snapshot: enterSection inside section '" +
+            sectionTag_ + "'");
+    for (const auto &s : sections_) {
+        if (s.tag != tag)
+            continue;
+        if (crc32(data_ + s.offset, s.size) != s.crc)
+            throw SnapshotError("snapshot: section '" + tag +
+                                "' CRC mismatch");
+        sectionTag_ = tag;
+        cursor_ = s.offset;
+        sectionEnd_ = s.offset + s.size;
+        inSection_ = true;
+        return;
+    }
+    throw SnapshotError("snapshot: missing section '" + tag + "'");
+}
+
+void
+Deserializer::leaveSection()
+{
+    if (!inSection_)
+        throw SnapshotError(
+            "snapshot: leaveSection without enter");
+    if (!structEnds_.empty())
+        fail("leaveSection with open struct");
+    if (cursor_ != sectionEnd_)
+        fail("trailing bytes in section");
+    inSection_ = false;
+}
+
+void
+Deserializer::enterStruct(const std::string &tag)
+{
+    const std::size_t tagLen = u8();
+    if (tagLen > MaxTagBytes || cursor_ + tagLen > limit())
+        fail("corrupt struct tag");
+    const std::string found(
+        reinterpret_cast<const char *>(data_ + cursor_), tagLen);
+    cursor_ += tagLen;
+    if (found != tag)
+        fail("expected struct '" + tag + "', found '" + found +
+             "'");
+    const std::uint32_t len = u32();
+    const std::uint32_t crc = u32();
+    if (len > limit() - cursor_)
+        fail("struct '" + tag + "' exceeds its container");
+    if (crc32(data_ + cursor_, len) != crc)
+        fail("struct '" + tag + "' CRC mismatch");
+    structEnds_.push_back(cursor_ + len);
+}
+
+void
+Deserializer::leaveStruct()
+{
+    if (structEnds_.empty())
+        throw SnapshotError(
+            "snapshot: leaveStruct without enter");
+    if (cursor_ != structEnds_.back())
+        fail("trailing bytes in struct");
+    structEnds_.pop_back();
+}
+
+std::size_t
+Deserializer::limit() const
+{
+    return structEnds_.empty() ? sectionEnd_ : structEnds_.back();
+}
+
+const std::uint8_t *
+Deserializer::take(std::size_t n)
+{
+    if (!inSection_)
+        throw SnapshotError("snapshot: read outside any section");
+    if (n > limit() - cursor_ || cursor_ > limit())
+        fail("truncated read of " + std::to_string(n) + " bytes");
+    const std::uint8_t *p = data_ + cursor_;
+    cursor_ += n;
+    return p;
+}
+
+std::uint8_t
+Deserializer::u8()
+{
+    return take(1)[0];
+}
+
+std::uint16_t
+Deserializer::u16()
+{
+    const std::uint8_t *p = take(2);
+    return static_cast<std::uint16_t>(
+        p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t
+Deserializer::u32()
+{
+    return readU32(take(4));
+}
+
+std::uint64_t
+Deserializer::u64()
+{
+    return readU64(take(8));
+}
+
+std::int64_t
+Deserializer::i64()
+{
+    return static_cast<std::int64_t>(u64());
+}
+
+double
+Deserializer::f64()
+{
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+bool
+Deserializer::boolean()
+{
+    const std::uint8_t v = u8();
+    if (v > 1)
+        fail("bad boolean value " + std::to_string(v));
+    return v != 0;
+}
+
+std::string
+Deserializer::str()
+{
+    const std::uint32_t len = u32();
+    const std::uint8_t *p = take(len);
+    return std::string(reinterpret_cast<const char *>(p), len);
+}
+
+void
+Deserializer::bytes(void *out, std::size_t size)
+{
+    std::memcpy(out, take(size), size);
+}
+
+void
+Deserializer::checkU32(std::uint32_t expected,
+                       const std::string &what)
+{
+    const std::uint32_t got = u32();
+    if (got != expected)
+        fail(what + " mismatch: snapshot has " +
+             std::to_string(got) + ", machine has " +
+             std::to_string(expected));
+}
+
+void
+Deserializer::checkU64(std::uint64_t expected,
+                       const std::string &what)
+{
+    const std::uint64_t got = u64();
+    if (got != expected)
+        fail(what + " mismatch: snapshot has " +
+             std::to_string(got) + ", machine has " +
+             std::to_string(expected));
+}
+
+void
+Deserializer::checkBool(bool expected, const std::string &what)
+{
+    const bool got = boolean();
+    if (got != expected)
+        fail(what + " mismatch: snapshot has " +
+             std::string(got ? "true" : "false") +
+             ", machine has " +
+             std::string(expected ? "true" : "false"));
+}
+
+void
+Deserializer::fail(const std::string &what) const
+{
+    std::string where = sectionTag_.empty()
+                            ? std::string("header")
+                            : "section '" + sectionTag_ + "'";
+    throw SnapshotError("snapshot: " + where + ": " + what);
+}
+
+} // namespace dlsim::snapshot

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Serializer/Deserializer visitors for the dlsim snapshot format.
+ *
+ * Stateful structures implement
+ *
+ *     void save(snapshot::Serializer &) const;
+ *     void load(snapshot::Deserializer &);
+ *
+ * writing their fields inside one or more struct records
+ * (beginStruct/endStruct). Top-level composers group structures into
+ * named sections; the Deserializer locates sections by tag, so the
+ * file's section order is not part of the contract.
+ *
+ * Everything is little-endian. All readers bounds-check against the
+ * enclosing struct/section and throw SnapshotError on any
+ * inconsistency — a failed load never leaves partial state behind,
+ * because callers load into a freshly built machine and discard it
+ * on error.
+ */
+
+#ifndef DLSIM_SNAPSHOT_SERIALIZER_HH
+#define DLSIM_SNAPSHOT_SERIALIZER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/format.hh"
+
+namespace dlsim::snapshot
+{
+
+/** Builds a snapshot byte stream section by section. */
+class Serializer
+{
+  public:
+    explicit Serializer(std::uint64_t fingerprint = 0)
+        : fingerprint_(fingerprint)
+    {
+    }
+
+    /** Open a top-level section; tags must be unique per file. */
+    void beginSection(const std::string &tag);
+    void endSection();
+
+    /** Open a nested, CRC-framed struct record. */
+    void beginStruct(const std::string &tag);
+    void endStruct();
+
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    void f64(double v);
+    void boolean(bool v);
+    void str(const std::string &v);
+    void bytes(const void *data, std::size_t size);
+
+    /** Assemble header + section table + payloads. */
+    std::vector<std::uint8_t> finish() const;
+
+  private:
+    struct Section
+    {
+        std::string tag;
+        std::vector<std::uint8_t> data;
+    };
+
+    std::vector<std::uint8_t> &buf();
+
+    std::uint64_t fingerprint_;
+    std::vector<Section> sections_;
+    bool inSection_ = false;
+    /** Offsets (into the open section) of unpatched struct
+     *  length/CRC slots, innermost last. */
+    std::vector<std::size_t> structStack_;
+};
+
+/** Reads and validates a snapshot byte stream. */
+class Deserializer
+{
+  public:
+    /**
+     * Parse and validate the header and section table.
+     * The buffer must outlive the Deserializer.
+     * @throws SnapshotError on bad magic/version/CRC/layout.
+     */
+    Deserializer(const std::uint8_t *data, std::size_t size);
+
+    /** Parameter fingerprint recorded at save time. */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    bool hasSection(const std::string &tag) const;
+
+    /** Position the cursor at a section; verifies its CRC. */
+    void enterSection(const std::string &tag);
+
+    /** Close the section; throws if bytes remain unread. */
+    void leaveSection();
+
+    /** Enter a struct record; verifies tag and payload CRC. */
+    void enterStruct(const std::string &tag);
+
+    /** Close the struct; throws if bytes remain unread. */
+    void leaveStruct();
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64();
+    double f64();
+    bool boolean();
+    std::string str();
+    void bytes(void *out, std::size_t size);
+
+    /** Read a u32 and require it to equal `expected`. */
+    void checkU32(std::uint32_t expected, const std::string &what);
+
+    /** Read a u64 and require it to equal `expected`. */
+    void checkU64(std::uint64_t expected, const std::string &what);
+
+    /** Read a bool and require it to equal `expected`. */
+    void checkBool(bool expected, const std::string &what);
+
+    [[noreturn]] void fail(const std::string &what) const;
+
+  private:
+    struct Section
+    {
+        std::string tag;
+        std::size_t offset = 0;
+        std::size_t size = 0;
+        std::uint32_t crc = 0;
+    };
+
+    const std::uint8_t *take(std::size_t n);
+    std::size_t limit() const;
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::uint64_t fingerprint_ = 0;
+    std::vector<Section> sections_;
+    std::string sectionTag_;
+    std::size_t cursor_ = 0;
+    std::size_t sectionEnd_ = 0;
+    bool inSection_ = false;
+    /** End offsets of open struct records, innermost last. */
+    std::vector<std::size_t> structEnds_;
+};
+
+} // namespace dlsim::snapshot
+
+#endif // DLSIM_SNAPSHOT_SERIALIZER_HH

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "snapshot/serializer.hh"
+
 namespace dlsim::stats
 {
 
@@ -154,6 +156,25 @@ DiscreteDistribution::pmf(std::size_t index) const
 {
     assert(index < cdf_.size());
     return index == 0 ? cdf_[0] : cdf_[index] - cdf_[index - 1];
+}
+
+
+void
+Rng::save(snapshot::Serializer &s) const
+{
+    s.beginStruct("rng");
+    for (const std::uint64_t w : s_)
+        s.u64(w);
+    s.endStruct();
+}
+
+void
+Rng::load(snapshot::Deserializer &d)
+{
+    d.enterStruct("rng");
+    for (std::uint64_t &w : s_)
+        w = d.u64();
+    d.leaveStruct();
 }
 
 } // namespace dlsim::stats

@@ -15,6 +15,12 @@
 #include <cstdint>
 #include <vector>
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::stats
 {
 
@@ -52,6 +58,10 @@ class Rng
      * adding a function does not perturb the others.
      */
     Rng fork();
+
+    /** Checkpoint the generator state mid-stream. */
+    void save(snapshot::Serializer &s) const;
+    void load(snapshot::Deserializer &d);
 
   private:
     std::uint64_t s_[4];

@@ -88,19 +88,66 @@ TraceWriter::close()
 TraceReader::TraceReader(const std::string &path)
     : in_(path, std::ios::binary)
 {
-    if (!in_.good())
+    if (!in_.good()) {
+        error_ = TraceError::OpenFailed;
         return;
+    }
+    in_.seekg(0, std::ios::end);
+    const auto end = in_.tellg();
+    in_.seekg(0);
+    if (end < static_cast<std::streamoff>(HeaderBytes)) {
+        error_ = TraceError::Truncated;
+        return;
+    }
     std::uint8_t header[HeaderBytes];
     in_.read(reinterpret_cast<char *>(header), HeaderBytes);
-    if (!in_.good())
+    if (!in_.good()) {
+        error_ = TraceError::Truncated;
         return;
+    }
     const std::uint64_t magic = get64(header);
-    if ((magic & 0xffffffffull) != TraceMagic)
+    if ((magic & 0xffffffffull) != TraceMagic) {
+        error_ = TraceError::BadMagic;
         return;
-    if ((magic >> 32) != TraceVersion)
+    }
+    if ((magic >> 32) != TraceVersion) {
+        error_ = TraceError::BadVersion;
         return;
+    }
     count_ = get64(header + 8);
+    // The record stream must be exactly count_ events long: a
+    // short file would silently truncate a replay, a long one
+    // indicates an interrupted rewrite or foreign data.
+    const std::uint64_t expect =
+        HeaderBytes + count_ * EventBytes;
+    if (static_cast<std::uint64_t>(end) != expect) {
+        error_ = TraceError::BadLength;
+        count_ = 0;
+        return;
+    }
+    error_ = TraceError::None;
     good_ = true;
+}
+
+const char *
+TraceReader::errorString() const
+{
+    switch (error_) {
+    case TraceError::None:
+        return "no error";
+    case TraceError::OpenFailed:
+        return "cannot open trace file";
+    case TraceError::BadMagic:
+        return "bad magic (not a dlsim trace)";
+    case TraceError::BadVersion:
+        return "unsupported trace format version";
+    case TraceError::BadLength:
+        return "file length inconsistent with event count "
+               "(truncated or corrupt trace)";
+    case TraceError::Truncated:
+        return "trace ended mid-record";
+    }
+    return "unknown error";
 }
 
 bool
@@ -110,8 +157,11 @@ TraceReader::next(TraceEvent &event)
         return false;
     std::uint8_t raw[EventBytes];
     in_.read(reinterpret_cast<char *>(raw), EventBytes);
-    if (!in_.good())
+    if (!in_.good()) {
+        good_ = false;
+        error_ = TraceError::Truncated;
         return false;
+    }
     event.kind = static_cast<EventKind>(raw[0]);
     event.op = static_cast<isa::Opcode>(raw[1]);
     event.flags = raw[2];

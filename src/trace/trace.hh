@@ -87,7 +87,26 @@ class TraceWriter
     bool closed_ = false;
 };
 
-/** Streaming trace reader. */
+/** Why a TraceReader is not good(). */
+enum class TraceError : std::uint8_t
+{
+    None = 0,
+    OpenFailed, ///< File missing or unreadable.
+    BadMagic,   ///< Not a dlsim trace file.
+    BadVersion, ///< Trace format version mismatch.
+    BadLength,  ///< File size inconsistent with the header count.
+    Truncated,  ///< Stream ended mid-record.
+};
+
+/**
+ * Streaming trace reader.
+ *
+ * The whole file is validated up front: magic, version, and that
+ * the byte length matches the header's event count exactly. A
+ * corrupt or truncated trace is reported through error() instead of
+ * silently yielding a partial event stream (which would make a
+ * replay experiment quietly measure a shorter run).
+ */
 class TraceReader
 {
   public:
@@ -95,10 +114,17 @@ class TraceReader
 
     bool good() const { return good_; }
 
+    /** Why the reader is bad (None while good()). */
+    TraceError error() const { return error_; }
+
+    /** Human-readable form of error(). */
+    const char *errorString() const;
+
     /** Total events per the header. */
     std::uint64_t count() const { return count_; }
 
-    /** Read the next event. @return False at end of trace. */
+    /** Read the next event. @return False at end of trace (or on
+     *  a mid-record truncation, which also sets error()). */
     bool next(TraceEvent &event);
 
     /** Rewind to the first event. */
@@ -109,6 +135,7 @@ class TraceReader
     std::uint64_t count_ = 0;
     std::uint64_t read_ = 0;
     bool good_ = false;
+    TraceError error_ = TraceError::OpenFailed;
 };
 
 } // namespace dlsim::trace

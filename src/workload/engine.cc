@@ -3,10 +3,172 @@
 #include <cassert>
 
 #include "mem/address_space.hh"
+#include "snapshot/format.hh"
+#include "snapshot/serializer.hh"
 #include "stats/metrics.hh"
 
 namespace dlsim::workload
 {
+
+namespace
+{
+
+void
+mixCache(snapshot::Fingerprint &fp, const mem::CacheParams &p)
+{
+    fp.mix(p.name);
+    fp.mix(p.sizeBytes);
+    fp.mix(p.assoc);
+    fp.mix(p.lineBytes);
+}
+
+void
+mixTlb(snapshot::Fingerprint &fp, const mem::TlbParams &p)
+{
+    fp.mix(p.name);
+    fp.mix(p.entries);
+    fp.mix(p.assoc);
+}
+
+/**
+ * Parameters that determine what simulated state *contains*: image
+ * layout, cache/TLB/predictor geometry, profiling switches. A warm
+ * snapshot is only meaningful on a machine that matches these.
+ */
+void
+mixStructural(snapshot::Fingerprint &fp, const MachineConfig &mc)
+{
+    fp.mix(static_cast<std::uint32_t>(mc.pltStyle));
+    fp.mix(mc.lazyBinding);
+    fp.mix(mc.aslr);
+    fp.mix(mc.nearLibraries);
+    fp.mix(mc.profileTrampolines);
+    fp.mix(mc.collectCallSiteTrace);
+
+    const cpu::CoreParams &c = mc.core;
+    mixCache(fp, c.mem.l1i);
+    mixCache(fp, c.mem.l1d);
+    mixCache(fp, c.mem.l2);
+    mixCache(fp, c.mem.l3);
+    mixTlb(fp, c.mem.itlb);
+    mixTlb(fp, c.mem.dtlb);
+    fp.mix(c.mem.iPrefetchNextLine);
+
+    fp.mix(c.predictor.btb.entries);
+    fp.mix(c.predictor.btb.assoc);
+    fp.mix(c.predictor.direction);
+    fp.mix(static_cast<std::uint64_t>(c.predictor.rasDepth));
+    fp.mix(c.predictor.indirect.enabled);
+    fp.mix(c.predictor.indirect.entries);
+    fp.mix(c.predictor.indirect.assoc);
+    fp.mix(c.predictor.indirect.historyBits);
+
+    fp.mix(c.checkSkips);
+    fp.mix(c.asidTlbRetention);
+    fp.mix(c.tracePath);
+}
+
+/** Timing scalars — overridable post-restore via reconfigure(). */
+void
+mixTiming(snapshot::Fingerprint &fp, const MachineConfig &mc)
+{
+    fp.mix(mc.core.issueWidth);
+    fp.mix(mc.core.mispredictPenalty);
+    fp.mix(mc.core.resolverInsts);
+    fp.mix(mc.core.resolverCycles);
+    fp.mix(mc.core.mem.l2Latency);
+    fp.mix(mc.core.mem.l3Latency);
+    fp.mix(mc.core.mem.memLatency);
+    fp.mix(mc.core.mem.walkLatency);
+}
+
+/** Skip-unit configuration — replaceable via reconfigure(). */
+void
+mixSkip(snapshot::Fingerprint &fp, const MachineConfig &mc)
+{
+    fp.mix(mc.enhanced);
+    fp.mix(mc.abtbEntries);
+    fp.mix(mc.abtbAssoc);
+    fp.mix(mc.bloomBits);
+    fp.mix(mc.bloomHashes);
+    fp.mix(mc.explicitInvalidation);
+    fp.mix(mc.asidRetention);
+    fp.mix(mc.core.skipUnitEnabled);
+    fp.mix(mc.core.skip.abtb.entries);
+    fp.mix(mc.core.skip.abtb.assoc);
+    fp.mix(mc.core.skip.bloomBits);
+    fp.mix(mc.core.skip.bloomHashes);
+    fp.mix(mc.core.skip.explicitInvalidation);
+    fp.mix(mc.core.skip.asidRetention);
+    fp.mix(mc.core.skip.patternWindow);
+}
+
+void
+mixWorkload(snapshot::Fingerprint &fp, const WorkloadParams &wl)
+{
+    fp.mix(wl.name);
+    fp.mix(wl.seed);
+    fp.mix(wl.numLibs);
+    fp.mix(wl.funcsPerLib);
+    fp.mix(wl.libFnInsts);
+    fp.mix(wl.unusedImportsPerModule);
+    fp.mix(static_cast<std::uint64_t>(wl.requests.size()));
+    for (const auto &rc : wl.requests) {
+        fp.mix(rc.name);
+        fp.mix(rc.weight);
+        fp.mix(rc.minWork);
+        fp.mix(rc.maxWork);
+    }
+    fp.mix(wl.stepsPerRequest);
+    fp.mix(wl.appWorkInsts);
+    fp.mix(wl.libCallProbPerStep);
+    fp.mix(wl.calledImports);
+    fp.mix(wl.coverageFraction);
+    fp.mix(static_cast<std::uint32_t>(wl.popularity));
+    fp.mix(wl.zipfS);
+    fp.mix(wl.hotSet);
+    fp.mix(wl.hotFraction);
+    fp.mix(wl.interLibCallProb);
+    fp.mix(wl.maxNestedCallSites);
+    fp.mix(wl.nestedExecProb);
+    fp.mix(wl.loadFrac);
+    fp.mix(wl.storeFrac);
+    fp.mix(wl.condFrac);
+    fp.mix(wl.volatileBranchFrac);
+    fp.mix(wl.libDataBytes);
+    fp.mix(wl.appDataBytes);
+    fp.mix(wl.datasetAccessesPerStep);
+    fp.mix(wl.datasetHotFrac);
+    fp.mix(wl.hotDataFrac);
+    fp.mix(wl.hotDataBytes);
+    fp.mix(wl.kernelFuncs);
+    fp.mix(wl.kernelFnInsts);
+    fp.mix(wl.kernelCallsPerRequest);
+    fp.mix(wl.ifuncSymbols);
+    fp.mix(wl.tailJumpFrac);
+    fp.mix(wl.virtualCallFrac);
+}
+
+} // namespace
+
+std::uint64_t
+configFingerprint(const WorkloadParams &wl, const MachineConfig &mc)
+{
+    snapshot::Fingerprint fp;
+    mixWorkload(fp, wl);
+    mixStructural(fp, mc);
+    mixTiming(fp, mc);
+    mixSkip(fp, mc);
+    return fp.value();
+}
+
+std::uint64_t
+structuralFingerprint(const MachineConfig &mc)
+{
+    snapshot::Fingerprint fp;
+    mixStructural(fp, mc);
+    return fp.value();
+}
 
 cpu::CoreParams
 makeCoreParams(const MachineConfig &mc)
@@ -106,6 +268,125 @@ std::uint64_t
 Workbench::distinctTrampolinesExecuted() const
 {
     return core_->trampolineCounts().size();
+}
+
+void
+Workbench::save(snapshot::Serializer &s) const
+{
+    // The request RNG is the only workbench-owned mutable state;
+    // everything else lives in the image, linker, address space,
+    // and core. The page pool is emitted after the address space
+    // (ids are assigned while the space serializes) but restored
+    // first — the Deserializer finds sections by tag, not order.
+    s.beginSection("workbench");
+    reqRng_.save(s);
+    s.endSection();
+
+    s.beginSection("image");
+    image_->save(s);
+    s.endSection();
+
+    s.beginSection("linker");
+    linker_->save(s);
+    s.endSection();
+
+    mem::PagePoolSaver pool;
+    s.beginSection("memory");
+    image_->addressSpace().save(s, pool);
+    s.endSection();
+
+    s.beginSection("pages");
+    pool.save(s);
+    s.endSection();
+
+    s.beginSection("core");
+    core_->save(s);
+    s.endSection();
+}
+
+void
+Workbench::load(snapshot::Deserializer &d)
+{
+    mem::PagePoolLoader pool;
+    d.enterSection("pages");
+    pool.load(d);
+    d.leaveSection();
+
+    d.enterSection("memory");
+    image_->addressSpace().load(d, pool);
+    d.leaveSection();
+
+    d.enterSection("image");
+    image_->load(d);
+    d.leaveSection();
+
+    d.enterSection("linker");
+    linker_->load(d);
+    d.leaveSection();
+
+    d.enterSection("core");
+    core_->load(d);
+    d.leaveSection();
+
+    d.enterSection("workbench");
+    reqRng_.load(d);
+    d.leaveSection();
+}
+
+void
+Workbench::reconfigure(const MachineConfig &mc)
+{
+    if (structuralFingerprint(mc) != structuralFingerprint(mc_)) {
+        throw snapshot::SnapshotError(
+            "reconfigure: structurally incompatible machine config "
+            "(a snapshot sweep may vary timing scalars and the "
+            "skip unit, not image layout or cache/TLB/predictor "
+            "geometry)");
+    }
+    core_->setTiming(mc.core.issueWidth, mc.core.mispredictPenalty,
+                     mc.core.resolverInsts, mc.core.resolverCycles);
+    core_->hierarchy().setLatencies(
+        mc.core.mem.l2Latency, mc.core.mem.l3Latency,
+        mc.core.mem.memLatency, mc.core.mem.walkLatency);
+    const cpu::CoreParams cp = makeCoreParams(mc);
+    core_->resetSkipUnit(cp.skipUnitEnabled, cp.skip);
+    mc_ = mc;
+}
+
+std::vector<std::uint8_t>
+snapshotWorkbench(const Workbench &wb)
+{
+    snapshot::Serializer s(
+        configFingerprint(wb.params(), wb.machine()));
+    wb.save(s);
+    return s.finish();
+}
+
+void
+restoreWorkbench(Workbench &wb, const std::uint8_t *data,
+                 std::size_t size)
+{
+    snapshot::Deserializer d(data, size);
+    if (d.fingerprint() !=
+        configFingerprint(wb.params(), wb.machine())) {
+        throw snapshot::SnapshotError(
+            "snapshot was taken with different workload/machine "
+            "parameters (fingerprint mismatch)");
+    }
+    wb.load(d);
+}
+
+void
+checkSnapshotCompatible(const std::vector<std::uint8_t> &bytes,
+                        const WorkloadParams &wl,
+                        const MachineConfig &mc)
+{
+    snapshot::Deserializer d(bytes.data(), bytes.size());
+    if (d.fingerprint() != configFingerprint(wl, mc)) {
+        throw snapshot::SnapshotError(
+            "snapshot was taken with different workload/machine "
+            "parameters (fingerprint mismatch)");
+    }
 }
 
 void

@@ -26,6 +26,12 @@
 #include "workload/params.hh"
 #include "workload/program.hh"
 
+namespace dlsim::snapshot
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dlsim::workload
 {
 
@@ -61,6 +67,25 @@ struct MachineConfig
 
 /** Build the CoreParams implied by a MachineConfig. */
 cpu::CoreParams makeCoreParams(const MachineConfig &mc);
+
+/**
+ * FNV-1a fingerprint over every field of (WorkloadParams,
+ * MachineConfig). Stored in a snapshot's header; a snapshot may
+ * only be restored into a Workbench built from parameters with the
+ * identical fingerprint.
+ */
+std::uint64_t configFingerprint(const WorkloadParams &wl,
+                                const MachineConfig &mc);
+
+/**
+ * Fingerprint of only the *structural* machine parameters — the
+ * ones that determine what simulated state contains (image layout,
+ * cache/TLB/predictor geometry, profiling switches). Timing scalars
+ * (issue width, penalties, latencies) and the skip-unit
+ * configuration are excluded: a snapshot-based sweep may change
+ * those per arm via Workbench::reconfigure.
+ */
+std::uint64_t structuralFingerprint(const MachineConfig &mc);
 
 /** One measured request. */
 struct RequestResult
@@ -110,6 +135,27 @@ class Workbench
     void reportMetrics(stats::MetricsRegistry &reg,
                        const std::string &prefix) const;
 
+    /**
+     * Checkpoint the whole arm: request RNG, image (slots + module
+     * state), linker counters, address space + backing pages, and
+     * the core. Use snapshotWorkbench()/restoreWorkbench() for the
+     * framed, fingerprinted byte-buffer form.
+     */
+    void save(snapshot::Serializer &s) const;
+    void load(snapshot::Deserializer &d);
+
+    /**
+     * Re-target this (typically just-restored) arm at a sweep
+     * configuration: timing scalars are overridden and the skip
+     * unit is replaced with a cold one of the arm's geometry (or
+     * removed). Structurally incompatible configs (different image
+     * layout, cache geometry, profiling switches) throw
+     * SnapshotError — a snapshot sweep can vary timing and the
+     * mechanism under test, not the machine the state was warmed
+     * on.
+     */
+    void reconfigure(const MachineConfig &mc);
+
   private:
     void seedDataRegions();
 
@@ -124,6 +170,30 @@ class Workbench
     stats::Rng reqRng_;
     std::unique_ptr<stats::DiscreteDistribution> mix_;
 };
+
+/**
+ * Serialize `wb` into a self-validating snapshot buffer (header,
+ * fingerprint, per-structure CRCs). See docs/snapshots.md.
+ */
+std::vector<std::uint8_t> snapshotWorkbench(const Workbench &wb);
+
+/**
+ * Restore `wb` from a buffer produced by snapshotWorkbench. The
+ * Workbench must have been built from the same (WorkloadParams,
+ * MachineConfig); throws snapshot::SnapshotError on any magic,
+ * version, CRC, fingerprint, or geometry mismatch — never loads
+ * partial state.
+ */
+void restoreWorkbench(Workbench &wb, const std::uint8_t *data,
+                      std::size_t size);
+
+/**
+ * Cheaply validate that `bytes` is a well-formed snapshot whose
+ * fingerprint matches (wl, mc); throws SnapshotError otherwise.
+ */
+void checkSnapshotCompatible(const std::vector<std::uint8_t> &bytes,
+                             const WorkloadParams &wl,
+                             const MachineConfig &mc);
 
 } // namespace dlsim::workload
 

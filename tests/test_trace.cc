@@ -107,6 +107,7 @@ TEST(Trace, ReaderRejectsGarbage)
     }
     TraceReader reader(path);
     EXPECT_FALSE(reader.good());
+    EXPECT_EQ(reader.error(), TraceError::BadMagic);
     std::remove(path.c_str());
 }
 
@@ -114,6 +115,137 @@ TEST(Trace, ReaderRejectsMissingFile)
 {
     TraceReader reader("/nonexistent/definitely/not/here.bin");
     EXPECT_FALSE(reader.good());
+    EXPECT_EQ(reader.error(), TraceError::OpenFailed);
+    EXPECT_STREQ(reader.errorString(), "cannot open trace file");
+}
+
+namespace
+{
+
+/** Write a small, valid two-event trace at `path`. */
+void
+writeValidTrace(const std::string &path)
+{
+    TraceWriter writer(path);
+    TraceEvent e;
+    e.kind = EventKind::Control;
+    e.pc = 0x400000;
+    writer.append(e);
+    e.kind = EventKind::Store;
+    e.addr = 0x500000;
+    writer.append(e);
+    writer.close();
+}
+
+/** Flip one bit of the byte at `offset` in the file at `path`. */
+void
+flipBit(const std::string &path, std::streamoff offset)
+{
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(offset);
+    char c = 0;
+    f.get(c);
+    f.seekp(offset);
+    f.put(static_cast<char>(c ^ 0x01));
+}
+
+} // namespace
+
+TEST(Trace, ReaderRejectsBitFlippedMagic)
+{
+    const auto path = tmpPath("flipmagic");
+    writeValidTrace(path);
+    flipBit(path, 0);
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.good());
+    EXPECT_EQ(reader.error(), TraceError::BadMagic);
+    EXPECT_EQ(reader.count(), 0u);
+    TraceEvent e;
+    EXPECT_FALSE(reader.next(e));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReaderRejectsBitFlippedVersion)
+{
+    const auto path = tmpPath("flipversion");
+    writeValidTrace(path);
+    flipBit(path, 4); // version lives in the high half of word 0
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.good());
+    EXPECT_EQ(reader.error(), TraceError::BadVersion);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReaderRejectsCorruptEventCount)
+{
+    // A bit flip in the header's event count makes the file length
+    // inconsistent; the reader must refuse rather than replay a
+    // shorter (or impossible) stream.
+    const auto path = tmpPath("flipcount");
+    writeValidTrace(path);
+    flipBit(path, 8);
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.good());
+    EXPECT_EQ(reader.error(), TraceError::BadLength);
+    EXPECT_EQ(reader.count(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReaderRejectsTruncatedFile)
+{
+    const auto path = tmpPath("truncated");
+    writeValidTrace(path);
+    {
+        // Chop the last event short: 2 events promised, 1.5 stored.
+        std::ifstream in(path, std::ios::binary);
+        std::vector<char> all(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        all.resize(all.size() - 13);
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(all.data(),
+                  static_cast<std::streamsize>(all.size()));
+    }
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.good());
+    EXPECT_EQ(reader.error(), TraceError::BadLength);
+    TraceEvent e;
+    EXPECT_FALSE(reader.next(e));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReaderRejectsHeaderOnlyTruncation)
+{
+    const auto path = tmpPath("headertrunc");
+    writeValidTrace(path);
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::vector<char> all(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        all.resize(10); // mid-header
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(all.data(),
+                  static_cast<std::streamsize>(all.size()));
+    }
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.good());
+    EXPECT_EQ(reader.error(), TraceError::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ValidTraceReportsNoError)
+{
+    const auto path = tmpPath("valid");
+    writeValidTrace(path);
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.good());
+    EXPECT_EQ(reader.error(), TraceError::None);
+    EXPECT_EQ(reader.count(), 2u);
+    std::remove(path.c_str());
 }
 
 TEST(Trace, CoreRecordsRetireStream)

@@ -6,8 +6,15 @@
  * to be byte-identical, and record both wall-clock times (and the
  * speedup) into BENCH_wallclock.json.
  *
- * The speedup is a property of the host (cores, load); the
- * byte-identical check is a property of dlsim and must hold
+ * Also compares cold vs warm snapshot sweeps: the cold pass
+ * simulates each workload's warm-up and serializes the machine, the
+ * warm pass fans the same grid out from the already-serialized
+ * bytes (what `--from-snapshot` does across process runs). The two
+ * passes must produce byte-identical documents; the warm one skips
+ * every warm-up simulation.
+ *
+ * The speedups are a property of the host (cores, load); the
+ * byte-identical checks are a property of dlsim and must hold
  * everywhere.
  *
  * Usage: bench_wallclock [--jobs N] [--quick] [--json-out FILE]
@@ -24,57 +31,49 @@ using namespace dlsim::bench;
 namespace
 {
 
+const char *Profiles[] = {"apache", "firefox", "memcached"};
+const int Warmups[] = {40, 80, 30};
+const int Requests[] = {40, 30, 40};
+const std::uint32_t Sizes[] = {4u, 16u, 64u, 256u};
+
+struct Cell
+{
+    std::uint32_t entries;
+    int profile;
+};
+
+std::vector<Cell>
+gridCells()
+{
+    std::vector<Cell> cells;
+    for (const std::uint32_t entries : Sizes)
+        for (int i = 0; i < 3; ++i)
+            cells.push_back({entries, i});
+    return cells;
+}
+
 struct GridRun
 {
     std::string json;
     double seconds = 0;
 };
 
-/** Run the whole grid on `jobs` threads; serialise the document. */
 GridRun
-runGrid(const BenchArgs &args, unsigned jobs)
+collectGrid(const char *doc_name,
+            const std::vector<Cell> &cells, unsigned jobs,
+            std::vector<std::function<ArmResult()>> work)
 {
-    const char *profiles[] = {"apache", "firefox", "memcached"};
-    const int warmups[] = {40, 80, 30};
-    const int requests[] = {40, 30, 40};
-    const std::uint32_t sizes[] = {4u, 16u, 64u, 256u};
-
-    struct Cell
-    {
-        std::uint32_t entries;
-        int profile;
-    };
-    std::vector<Cell> cells;
-    for (const std::uint32_t entries : sizes)
-        for (int i = 0; i < 3; ++i)
-            cells.push_back({entries, i});
-
-    std::vector<std::function<ArmResult()>> work;
-    work.reserve(cells.size());
-    for (const Cell &cell : cells) {
-        work.push_back([cell, &args, &profiles, &warmups,
-                        &requests] {
-            auto mc = enhancedMachine();
-            mc.abtbEntries = cell.entries;
-            mc.abtbAssoc = std::min(cell.entries, 4u);
-            return runArm(
-                workload::profileByName(profiles[cell.profile]),
-                mc, args.scaled(warmups[cell.profile]),
-                args.scaled(requests[cell.profile]));
-        });
-    }
-
     const auto start = std::chrono::steady_clock::now();
     sim::JobRunner runner(jobs);
     const auto arms = runner.run(std::move(work));
     const auto stop = std::chrono::steady_clock::now();
 
-    stats::MetricsDocument doc("bench_wallclock grid");
+    stats::MetricsDocument doc(doc_name);
     for (std::size_t c = 0; c < cells.size(); ++c) {
         auto &run = doc.addRun(
-            std::string(profiles[cells[c].profile]) + ".entries" +
+            std::string(Profiles[cells[c].profile]) + ".entries" +
             std::to_string(cells[c].entries));
-        run.with("workload", profiles[cells[c].profile])
+        run.with("workload", Profiles[cells[c].profile])
             .with("machine", "enhanced")
             .with("abtb_entries",
                   std::to_string(cells[c].entries));
@@ -86,6 +85,54 @@ runGrid(const BenchArgs &args, unsigned jobs)
     result.seconds =
         std::chrono::duration<double>(stop - start).count();
     return result;
+}
+
+/** Run the whole grid on `jobs` threads; serialise the document. */
+GridRun
+runGrid(const BenchArgs &args, unsigned jobs)
+{
+    const auto cells = gridCells();
+    std::vector<std::function<ArmResult()>> work;
+    work.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        work.push_back([cell, &args] {
+            auto mc = enhancedMachine();
+            mc.abtbEntries = cell.entries;
+            mc.abtbAssoc = std::min(cell.entries, 4u);
+            auto wl =
+                workload::profileByName(Profiles[cell.profile]);
+            wl.seed = args.seed();
+            return runArm(wl, mc,
+                          args.scaled(Warmups[cell.profile]),
+                          args.scaled(Requests[cell.profile]));
+        });
+    }
+    return collectGrid("bench_wallclock grid", cells, jobs,
+                       std::move(work));
+}
+
+/** The same grid fanned out from shared warm snapshot bytes. */
+GridRun
+runSnapshotGrid(const BenchArgs &args, unsigned jobs,
+                const workload::WorkloadParams (&wls)[3],
+                const workload::MachineConfig &ref_mc,
+                const std::vector<std::uint8_t> (&states)[3])
+{
+    const auto cells = gridCells();
+    std::vector<std::function<ArmResult()>> work;
+    work.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        work.push_back([cell, &args, &wls, &ref_mc, &states] {
+            auto mc = enhancedMachine();
+            mc.abtbEntries = cell.entries;
+            mc.abtbAssoc = std::min(cell.entries, 4u);
+            return runArmFromState(
+                states[cell.profile], wls[cell.profile], ref_mc,
+                mc, args.scaled(Requests[cell.profile]));
+        });
+    }
+    return collectGrid("bench_wallclock snapshot grid", cells,
+                       jobs, std::move(work));
 }
 
 } // namespace
@@ -119,7 +166,49 @@ main(int argc, char **argv)
     const double speedup =
         parallel.seconds > 0 ? serial.seconds / parallel.seconds
                              : 0.0;
-    std::printf("speedup: %.2fx\n", speedup);
+    std::printf("speedup: %.2fx\n\n", speedup);
+
+    // Cold vs warm snapshot sweep. The cold pass pays for the
+    // warm-up simulations (once per workload) plus serialization;
+    // the warm pass starts from the bytes the cold pass produced —
+    // the cross-process --from-snapshot flow, minus the disk.
+    const workload::MachineConfig refMc = enhancedMachine();
+    workload::WorkloadParams wls[3];
+    std::vector<std::uint8_t> states[3];
+    const auto coldStart = std::chrono::steady_clock::now();
+    for (int i = 0; i < 3; ++i) {
+        wls[i] = workload::profileByName(Profiles[i]);
+        wls[i].seed = args.seed();
+        workload::Workbench wb(wls[i], refMc);
+        wb.warmup(
+            static_cast<std::uint32_t>(args.scaled(Warmups[i])));
+        states[i] = workload::snapshotWorkbench(wb);
+    }
+    const auto coldWarmupStop = std::chrono::steady_clock::now();
+    const auto cold =
+        runSnapshotGrid(args, jobs, wls, refMc, states);
+    const double coldSeconds =
+        std::chrono::duration<double>(coldWarmupStop - coldStart)
+            .count() +
+        cold.seconds;
+    std::printf("cold  (warm-up + snapshot + grid): %.3f s\n",
+                coldSeconds);
+    const auto warm =
+        runSnapshotGrid(args, jobs, wls, refMc, states);
+    std::printf("warm  (grid from snapshot bytes):  %.3f s\n",
+                warm.seconds);
+
+    if (cold.json != warm.json) {
+        std::fprintf(stderr,
+                     "FAIL: cold and warm snapshot sweeps "
+                     "produced different metric documents\n");
+        return 1;
+    }
+    std::printf("documents byte-identical: yes (%zu bytes)\n",
+                cold.json.size());
+    const double warmSpeedup =
+        warm.seconds > 0 ? coldSeconds / warm.seconds : 0.0;
+    std::printf("warm speedup: %.2fx\n", warmSpeedup);
 
     stats::MetricsDocument doc("bench_wallclock");
     auto &run = doc.addRun("wallclock");
@@ -131,6 +220,12 @@ main(int argc, char **argv)
     run.registry.gauge("dlsim.wallclock.parallel_seconds",
                        parallel.seconds);
     run.registry.gauge("dlsim.wallclock.speedup", speedup);
+    run.registry.gauge("dlsim.wallclock.cold_seconds",
+                       coldSeconds);
+    run.registry.gauge("dlsim.wallclock.warm_seconds",
+                       warm.seconds);
+    run.registry.gauge("dlsim.wallclock.warm_speedup",
+                       warmSpeedup);
     run.registry.counter("dlsim.wallclock.jobs", jobs);
 
     const std::string path = args.jsonOut().empty()

@@ -9,6 +9,15 @@
  *   dlsim_cli record <workload> <trace-file> [options]
  *   dlsim_cli replay <trace-file> [--abtb-entries N]...
  *   dlsim_cli sweep <trace-file> [--jobs N]
+ *   dlsim_cli snapshot save <workload> <file> [options]
+ *   dlsim_cli snapshot restore <workload> <file> [options]
+ *
+ * `snapshot save` warms a workload up (--warmup requests) and
+ * serializes the complete machine state; `snapshot restore` — given
+ * the same workload/machine options — restores it and runs the
+ * measured phase without re-simulating the warm-up. A snapshot
+ * whose magic, version, CRCs, or parameter fingerprint do not
+ * match is rejected (exit 1), never partially loaded.
  *
  * Options for run/record:
  *   --enhanced            enable the trampoline-skip hardware
@@ -41,6 +50,7 @@
 #include <vector>
 
 #include "sim/job_runner.hh"
+#include "snapshot/io.hh"
 #include "stats/metrics.hh"
 #include "trace/replay.hh"
 #include "workload/engine.hh"
@@ -54,6 +64,7 @@ namespace
 struct Options
 {
     std::string command;
+    std::string subcommand;
     std::string workload;
     std::string tracePath;
     std::string jsonOut;
@@ -73,7 +84,10 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: dlsim_cli run|record|replay|sweep ...\n"
+                 "usage: dlsim_cli run|record|replay|sweep"
+                 "|snapshot ...\n"
+                 "       dlsim_cli snapshot save|restore "
+                 "<workload> <file>\n"
                  "see the file header for options\n");
     return 2;
 }
@@ -128,11 +142,20 @@ parse(int argc, char **argv, Options &opt)
             if (opt.command == "replay" ||
                 opt.command == "sweep") {
                 opt.tracePath = arg;
+            } else if (opt.command == "snapshot") {
+                opt.subcommand = arg;
             } else {
                 opt.workload = arg;
             }
             ++positional;
         } else if (positional == 1) {
+            if (opt.command == "snapshot")
+                opt.workload = arg;
+            else
+                opt.tracePath = arg;
+            ++positional;
+        } else if (positional == 2 &&
+                   opt.command == "snapshot") {
             opt.tracePath = arg;
             ++positional;
         }
@@ -144,6 +167,13 @@ parse(int argc, char **argv, Options &opt)
     if (opt.command == "record" || opt.command == "replay" ||
         opt.command == "sweep") {
         if (opt.tracePath.empty())
+            return false;
+    }
+    if (opt.command == "snapshot") {
+        if (opt.subcommand != "save" &&
+            opt.subcommand != "restore")
+            return false;
+        if (opt.workload.empty() || opt.tracePath.empty())
             return false;
     }
     return true;
@@ -258,8 +288,9 @@ cmdReplay(const Options &opt)
 {
     trace::TraceReader reader(opt.tracePath);
     if (!reader.good()) {
-        std::fprintf(stderr, "cannot read trace %s\n",
-                     opt.tracePath.c_str());
+        std::fprintf(stderr, "cannot read trace %s: %s\n",
+                     opt.tracePath.c_str(),
+                     reader.errorString());
         return 1;
     }
     core::SkipUnitParams params;
@@ -302,8 +333,9 @@ cmdSweep(const Options &opt)
         // any jobs.
         trace::TraceReader probe(opt.tracePath);
         if (!probe.good()) {
-            std::fprintf(stderr, "cannot read trace %s\n",
-                         opt.tracePath.c_str());
+            std::fprintf(stderr, "cannot read trace %s: %s\n",
+                         opt.tracePath.c_str(),
+                         probe.errorString());
             return 1;
         }
     }
@@ -356,6 +388,64 @@ cmdSweep(const Options &opt)
     return writeJson(opt, doc) ? 0 : 1;
 }
 
+/** Build the Workbench both snapshot subcommands agree on. */
+workload::Workbench
+snapshotWorkbenchFor(const Options &opt,
+                     workload::MachineConfig &mc_out)
+{
+    auto mc = machineFor(opt);
+    mc.profileTrampolines = true;
+    mc_out = mc;
+    return workload::Workbench(
+        workload::profileByName(opt.workload, opt.seed), mc);
+}
+
+int
+cmdSnapshotSave(const Options &opt)
+{
+    workload::MachineConfig mc;
+    auto wb = snapshotWorkbenchFor(opt, mc);
+    wb.warmup(static_cast<std::uint32_t>(opt.warmup));
+    const auto bytes = workload::snapshotWorkbench(wb);
+    snapshot::writeFile(opt.tracePath, bytes);
+    std::printf("snapshot: %s (%s machine) after %d warmup "
+                "requests -> %s (%zu bytes)\n",
+                opt.workload.c_str(),
+                opt.enhanced ? "enhanced" : "base", opt.warmup,
+                opt.tracePath.c_str(), bytes.size());
+    return 0;
+}
+
+int
+cmdSnapshotRestore(const Options &opt)
+{
+    workload::MachineConfig mc;
+    auto wb = snapshotWorkbenchFor(opt, mc);
+    const auto bytes = snapshot::readFile(opt.tracePath);
+    workload::restoreWorkbench(wb, bytes.data(), bytes.size());
+    for (int i = 0; i < opt.requests; ++i)
+        wb.runRequest();
+
+    const auto c = wb.core().counters();
+    std::printf("workload %s restored from %s (%s machine)\n",
+                opt.workload.c_str(), opt.tracePath.c_str(),
+                opt.enhanced ? "enhanced" : "base");
+    std::printf("%s", c.toString().c_str());
+    std::printf("distinct trampolines:  %llu\n",
+                (unsigned long long)
+                    wb.distinctTrampolinesExecuted());
+
+    stats::MetricsDocument doc("dlsim_cli snapshot restore");
+    auto &run = doc.addRun(opt.workload);
+    run.with("workload", opt.workload)
+        .with("machine", opt.enhanced ? "enhanced" : "base")
+        .with("requests", std::to_string(opt.requests))
+        .with("seed", std::to_string(opt.seed))
+        .with("snapshot", opt.tracePath);
+    wb.reportMetrics(run.registry, "dlsim");
+    return writeJson(opt, doc) ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -373,6 +463,10 @@ main(int argc, char **argv)
             return cmdReplay(opt);
         if (opt.command == "sweep")
             return cmdSweep(opt);
+        if (opt.command == "snapshot")
+            return opt.subcommand == "save"
+                       ? cmdSnapshotSave(opt)
+                       : cmdSnapshotRestore(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
