@@ -1,0 +1,808 @@
+#include "check/fuzz.hh"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "sim/multicore.hh"
+#include "snapshot/serializer.hh"
+#include "stats/metrics.hh"
+#include "stats/rng.hh"
+#include "workload/engine.hh"
+
+namespace dlsim::check
+{
+
+namespace
+{
+
+using workload::MachineConfig;
+using workload::Workbench;
+using workload::WorkloadParams;
+
+/** One scheduled adversarial event. `a`/`b` are raw random draws
+ *  mapped to operands (slot index, payload) at apply time. */
+struct Event
+{
+    std::uint32_t request = 0;
+    std::uint64_t offset = 0; ///< Retired insts into the request.
+    std::uint32_t kind = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+WorkloadParams
+workloadFor(const FuzzCase &c)
+{
+    WorkloadParams wl;
+    wl.name = "fuzz";
+    wl.seed = c.seed;
+    wl.numLibs = std::max<std::uint32_t>(1, c.numLibs);
+    wl.funcsPerLib = std::max<std::uint32_t>(2, c.funcsPerLib);
+    wl.libFnInsts = 12;
+    wl.unusedImportsPerModule = 4;
+    wl.requests = {{"get", 1.0, 1, 2}, {"set", 0.5, 1, 3}};
+    wl.stepsPerRequest = std::max<std::uint32_t>(1,
+                                                 c.stepsPerRequest);
+    wl.appWorkInsts = 4;
+    wl.calledImports = std::min(
+        std::max<std::uint32_t>(1, c.calledImports),
+        wl.numLibs * wl.funcsPerLib);
+    wl.interLibCallProb = 0.2;
+    wl.libDataBytes = 1 << 12;
+    wl.appDataBytes = 1 << 14;
+    wl.hotDataBytes = 512;
+    return wl;
+}
+
+MachineConfig
+machineFor(const FuzzCase &c)
+{
+    MachineConfig mc;
+    mc.enhanced = true;
+    mc.abtbEntries = c.abtbEntries;
+    mc.abtbAssoc = c.abtbAssoc;
+    mc.bloomBits = c.bloomBits;
+    mc.bloomHashes = c.bloomHashes;
+    mc.explicitInvalidation = c.explicitInvalidation;
+    mc.asidRetention = c.asidRetention;
+    mc.pltStyle = c.armPlt ? linker::PltStyle::Arm
+                           : linker::PltStyle::X86;
+    mc.lazyBinding = c.lazyBinding;
+    mc.aslr = c.aslr;
+    // The oracle is the checker here; the core's built-in skip
+    // assertion would preempt it (and hide the injected bug).
+    mc.core.checkSkips = false;
+    mc.core.skip.buggySuppressStoreFlush = c.injectFlushSuppression;
+    return mc;
+}
+
+std::vector<Event>
+makeSchedule(const FuzzCase &c)
+{
+    std::vector<Event> events;
+    std::uint32_t mask = c.eventsMask;
+    if (c.cores > 1)
+        mask &= ~EvSnapshot; // MultiCoreSystem has no snapshots.
+    if (mask == 0 || c.eventCount == 0 || c.requests == 0)
+        return events;
+
+    std::vector<std::uint32_t> kinds;
+    for (std::uint32_t bit = 0; bit < 6; ++bit) {
+        if (mask & (1u << bit))
+            kinds.push_back(1u << bit);
+    }
+
+    stats::Rng rng(c.seed ^ 0xadc0ffee5eedull);
+    for (std::uint32_t i = 0; i < c.eventCount; ++i) {
+        Event e;
+        e.request =
+            static_cast<std::uint32_t>(rng.nextBelow(c.requests));
+        e.offset = 20 + rng.nextBelow(1500);
+        e.kind = kinds[rng.nextBelow(kinds.size())];
+        e.a = rng.next();
+        e.b = rng.next();
+        events.push_back(e);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &x, const Event &y) {
+                         return x.request != y.request
+                                    ? x.request < y.request
+                                    : x.offset < y.offset;
+                     });
+    return events;
+}
+
+/** (module id, import index) universe for event operands. */
+std::vector<std::pair<std::uint16_t, std::uint32_t>>
+gotSlotUniverse(const linker::Image &image)
+{
+    std::vector<std::pair<std::uint16_t, std::uint32_t>> slots;
+    for (const auto &m : image.modules()) {
+        for (std::uint32_t k = 0;
+             k < static_cast<std::uint32_t>(m.gotSlotAddrs.size());
+             ++k) {
+            slots.emplace_back(m.id, k);
+        }
+    }
+    return slots;
+}
+
+void
+accumulate(LockstepStats &into, const LockstepStats &from)
+{
+    into.checkedRetires += from.checkedRetires;
+    into.verifiedSubstitutions += from.verifiedSubstitutions;
+    into.resolverReplays += from.resolverReplays;
+    into.externalWrites += from.externalWrites;
+    into.walkedInstructions += from.walkedInstructions;
+}
+
+/** The accounting invariant: every observable ABTB flush has
+ *  exactly one cause counter. */
+void
+checkFlushAccounting(const cpu::Core &core, const char *who)
+{
+    const auto *unit = core.skipUnit();
+    if (!unit)
+        return;
+    const auto &st = unit->stats();
+    const std::uint64_t sum = st.storeFlushes + st.coherenceFlushes +
+                              st.contextSwitchFlushes +
+                              st.explicitFlushes;
+    if (unit->abtb().flushes() != sum) {
+        std::ostringstream os;
+        os << "flush accounting violated on " << who
+           << ": abtb.flushes=" << unit->abtb().flushes()
+           << " but cause counters sum to " << sum << "\n"
+           << unit->dumpState();
+        throw LockstepError(os.str());
+    }
+}
+
+struct RunOutput
+{
+    std::string metricsJson;
+    LockstepStats stats;
+    core::SkipUnitStats skip; ///< Summed over cores.
+};
+
+std::string
+metricsJson(const Workbench &wb)
+{
+    stats::MetricsDocument doc("dlsim_fuzz");
+    auto &run = doc.addRun("fuzz");
+    wb.reportMetrics(run.registry, "dlsim");
+    return doc.toJson();
+}
+
+void
+addSkipStats(core::SkipUnitStats &into, const cpu::Core &core)
+{
+    if (const auto *unit = core.skipUnit()) {
+        const auto &st = unit->stats();
+        into.substitutions += st.substitutions;
+        into.populations += st.populations;
+        into.storeFlushes += st.storeFlushes;
+        into.coherenceFlushes += st.coherenceFlushes;
+        into.contextSwitchFlushes += st.contextSwitchFlushes;
+        into.explicitFlushes += st.explicitFlushes;
+        into.falsePositiveFlushes += st.falsePositiveFlushes;
+    }
+}
+
+/**
+ * Single-core driver: requests run incrementally so events (and
+ * snapshot round-trips) land at scheduled retire offsets. Offsets
+ * use >=-semantics against instructionsRetired() — the resolver's
+ * synthetic instruction cost can jump past an offset.
+ */
+RunOutput
+runSingleCore(const FuzzCase &c, const WorkloadParams &wl,
+              const MachineConfig &mc,
+              const std::vector<Event> &schedule,
+              bool apply_snapshots)
+{
+    auto wb = std::make_unique<Workbench>(wl, mc);
+    auto checker = std::make_unique<LockstepChecker>(wb->core());
+    wb->core().setRetireObserver(checker.get());
+
+    const auto slots = gotSlotUniverse(wb->image());
+    std::uint16_t asid_toggle = 0;
+    LockstepStats accum{};
+
+    const auto applyEvent = [&](const Event &e) {
+        switch (e.kind) {
+          case EvGotRewriteSame: {
+            if (slots.empty())
+                break;
+            const auto [mid, imp] = slots[e.a % slots.size()];
+            const isa::Addr slot =
+                wb->image().moduleAt(mid).gotSlotAddrs[imp];
+            auto &as = wb->image().addressSpace();
+            as.poke64(slot, as.peek64(slot));
+            wb->core().onExternalGotWrite(slot);
+            break;
+          }
+          case EvRebind: {
+            if (slots.empty())
+                break;
+            const auto [mid, imp] = slots[e.a % slots.size()];
+            const auto &m = wb->image().moduleAt(mid);
+            const isa::Addr slot = m.gotSlotAddrs[imp];
+            wb->image().addressSpace().poke64(slot,
+                                              m.lazyGotValue(imp));
+            wb->core().onExternalGotWrite(slot);
+            // §3.4 software contract: in the explicit arm a GOT
+            // rewrite must be followed by an architectural flush.
+            if (mc.explicitInvalidation && wb->core().skipUnit())
+                wb->core().skipUnit()->explicitFlush();
+            break;
+          }
+          case EvNoiseStore: {
+            const auto &app = wb->image().moduleAt(0);
+            if (wl.appDataBytes < 8)
+                break;
+            const isa::Addr addr =
+                app.dataBase + (e.a % (wl.appDataBytes / 8)) * 8;
+            wb->image().addressSpace().poke64(addr, e.b);
+            wb->core().onExternalGotWrite(addr);
+            break;
+          }
+          case EvContextSwitch:
+            asid_toggle ^= 1;
+            wb->core().contextSwitch(&wb->image(), &wb->linker(),
+                                     asid_toggle);
+            break;
+          case EvSpuriousFlush:
+            if (wb->core().skipUnit())
+                wb->core().skipUnit()->explicitFlush();
+            break;
+          case EvSnapshot: {
+            if (!apply_snapshots)
+                break;
+            const auto bytes = workload::snapshotWorkbench(*wb);
+            accumulate(accum, checker->stats());
+            auto fresh = std::make_unique<Workbench>(wl, mc);
+            workload::restoreWorkbench(*fresh, bytes.data(),
+                                       bytes.size());
+            wb = std::move(fresh);
+            checker =
+                std::make_unique<LockstepChecker>(wb->core());
+            wb->core().setRetireObserver(checker.get());
+            break;
+          }
+        }
+    };
+
+    std::size_t ev = 0;
+    for (std::uint32_t r = 0; r < c.requests; ++r) {
+        wb->beginRequest();
+        const std::uint64_t base =
+            wb->core().instructionsRetired();
+        bool done = false;
+        while (true) {
+            const std::uint64_t progress =
+                wb->core().instructionsRetired() - base;
+            while (ev < schedule.size() &&
+                   schedule[ev].request == r &&
+                   schedule[ev].offset <= progress) {
+                applyEvent(schedule[ev]);
+                ++ev;
+            }
+            if (done)
+                break;
+            const std::uint64_t next_stop =
+                (ev < schedule.size() && schedule[ev].request == r)
+                    ? schedule[ev].offset
+                    : UINT64_MAX;
+            const std::uint64_t chunk =
+                next_stop == UINT64_MAX
+                    ? 100000
+                    : std::max<std::uint64_t>(1,
+                                              next_stop - progress);
+            done = wb->stepRequest(chunk);
+        }
+        // Events the request finished before: apply between
+        // requests (external agents don't stop when a call does).
+        while (ev < schedule.size() && schedule[ev].request == r) {
+            applyEvent(schedule[ev]);
+            ++ev;
+        }
+    }
+
+    accumulate(accum, checker->stats());
+    checkFlushAccounting(wb->core(), "core0");
+
+    RunOutput out;
+    out.stats = accum;
+    addSkipStats(out.skip, wb->core());
+    out.metricsJson = metricsJson(*wb);
+    return out;
+}
+
+/**
+ * Multicore driver: rounds of runOnAll() (deterministic round-robin
+ * interleaving; cross-core stores reach sibling checkers through
+ * the coherence snoop) with external events applied at round
+ * boundaries and broadcast to every core.
+ */
+RunOutput
+runMultiCore(const FuzzCase &c, const WorkloadParams &wl,
+             const MachineConfig &mc,
+             const std::vector<Event> &schedule)
+{
+    Workbench wb(wl, mc);
+    sim::MultiCoreParams mp;
+    mp.numCores = c.cores;
+    mp.quantum = 100 + c.seed % 151;
+    mp.core = workload::makeCoreParams(mc);
+    sim::MultiCoreSystem sys(mp, wb.image(), wb.linker(),
+                             wb.loader().stackTop());
+
+    // Checkers fork reference memory at attach, so they must be
+    // built after the system maps the per-thread stacks.
+    std::vector<std::unique_ptr<LockstepChecker>> checkers;
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        checkers.push_back(
+            std::make_unique<LockstepChecker>(sys.core(i)));
+        sys.core(i).setRetireObserver(checkers.back().get());
+    }
+
+    const auto slots = gotSlotUniverse(wb.image());
+    std::vector<std::uint16_t> asid_toggle(sys.numCores(), 0);
+
+    const auto applyEvent = [&](const Event &e) {
+        switch (e.kind) {
+          case EvGotRewriteSame: {
+            if (slots.empty())
+                break;
+            const auto [mid, imp] = slots[e.a % slots.size()];
+            const isa::Addr slot =
+                wb.image().moduleAt(mid).gotSlotAddrs[imp];
+            auto &as = wb.image().addressSpace();
+            as.poke64(slot, as.peek64(slot));
+            sys.broadcastGotWrite(slot);
+            break;
+          }
+          case EvRebind: {
+            if (slots.empty())
+                break;
+            const auto [mid, imp] = slots[e.a % slots.size()];
+            const auto &m = wb.image().moduleAt(mid);
+            const isa::Addr slot = m.gotSlotAddrs[imp];
+            wb.image().addressSpace().poke64(slot,
+                                             m.lazyGotValue(imp));
+            sys.broadcastGotWrite(slot);
+            if (mc.explicitInvalidation) {
+                // §3.4 on SMP: software flushes every hart.
+                for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+                    if (auto *unit = sys.core(i).skipUnit())
+                        unit->explicitFlush();
+                }
+            }
+            break;
+          }
+          case EvNoiseStore: {
+            const auto &app = wb.image().moduleAt(0);
+            if (wl.appDataBytes < 8)
+                break;
+            const isa::Addr addr =
+                app.dataBase + (e.a % (wl.appDataBytes / 8)) * 8;
+            wb.image().addressSpace().poke64(addr, e.b);
+            sys.broadcastGotWrite(addr);
+            break;
+          }
+          case EvContextSwitch: {
+            const std::uint32_t i =
+                static_cast<std::uint32_t>(e.a % sys.numCores());
+            asid_toggle[i] ^= 1;
+            sys.core(i).contextSwitch(&wb.image(), &wb.linker(),
+                                      asid_toggle[i]);
+            break;
+          }
+          case EvSpuriousFlush: {
+            const std::uint32_t i =
+                static_cast<std::uint32_t>(e.a % sys.numCores());
+            if (auto *unit = sys.core(i).skipUnit())
+                unit->explicitFlush();
+            break;
+          }
+          default:
+            break;
+        }
+    };
+
+    stats::Rng rng(c.seed ^ 0x9c0fe5ull);
+    std::size_t ev = 0;
+    for (std::uint32_t r = 0; r < c.requests; ++r) {
+        const auto kind = static_cast<std::uint32_t>(
+            rng.nextBelow(wl.requests.size()));
+        const auto &rc = wl.requests[kind];
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> args;
+        for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+            args.emplace_back(rng.nextRange(rc.minWork, rc.maxWork),
+                              rng.next() | 1);
+        }
+        sys.runOnAll(wb.handlerAddress(kind), args);
+        while (ev < schedule.size() && schedule[ev].request == r) {
+            applyEvent(schedule[ev]);
+            ++ev;
+        }
+    }
+
+    RunOutput out;
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        accumulate(out.stats, checkers[i]->stats());
+        const std::string who = "core" + std::to_string(i);
+        checkFlushAccounting(sys.core(i), who.c_str());
+        addSkipStats(out.skip, sys.core(i));
+    }
+    return out;
+}
+
+void
+fold(FuzzResult &res, const RunOutput &out)
+{
+    accumulate(res.stats, out.stats);
+    res.substitutions += out.skip.substitutions;
+    res.storeFlushes += out.skip.storeFlushes;
+    res.coherenceFlushes += out.skip.coherenceFlushes;
+    res.contextSwitchFlushes += out.skip.contextSwitchFlushes;
+    res.explicitFlushes += out.skip.explicitFlushes;
+}
+
+} // namespace
+
+FuzzCase
+caseFromSeed(std::uint64_t seed)
+{
+    stats::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xf022ull);
+    FuzzCase c;
+    c.seed = seed;
+    c.cores = rng.nextBool(0.25)
+                  ? 2 + static_cast<std::uint32_t>(rng.nextBelow(2))
+                  : 1;
+    c.requests =
+        6 + static_cast<std::uint32_t>(rng.nextBelow(10));
+
+    c.eventsMask = 0;
+    if (rng.nextBool(0.5))
+        c.eventsMask |= EvGotRewriteSame;
+    if (rng.nextBool(0.5))
+        c.eventsMask |= EvRebind;
+    if (rng.nextBool(0.3))
+        c.eventsMask |= EvNoiseStore;
+    if (rng.nextBool(0.3))
+        c.eventsMask |= EvContextSwitch;
+    if (rng.nextBool(0.3))
+        c.eventsMask |= EvSpuriousFlush;
+    if (rng.nextBool(0.3))
+        c.eventsMask |= EvSnapshot;
+    c.eventCount =
+        c.eventsMask
+            ? 2 + static_cast<std::uint32_t>(rng.nextBelow(8))
+            : 0;
+
+    c.explicitInvalidation = rng.nextBool(0.25);
+    c.asidRetention = rng.nextBool(0.25);
+    c.armPlt = rng.nextBool(0.35);
+    c.lazyBinding = !rng.nextBool(0.2);
+    c.aslr = rng.nextBool(0.25);
+    c.abtbEntries =
+        1u << (2 + static_cast<std::uint32_t>(rng.nextBelow(7)));
+    c.abtbAssoc = std::min(
+        c.abtbEntries,
+        1u << static_cast<std::uint32_t>(rng.nextBelow(3)));
+    c.bloomBits =
+        1u << (6 + static_cast<std::uint32_t>(rng.nextBelow(7)));
+    c.bloomHashes =
+        1 + static_cast<std::uint32_t>(rng.nextBelow(6));
+
+    c.numLibs = 2 + static_cast<std::uint32_t>(rng.nextBelow(5));
+    c.funcsPerLib =
+        4 + static_cast<std::uint32_t>(rng.nextBelow(24));
+    c.calledImports =
+        4 + static_cast<std::uint32_t>(rng.nextBelow(40));
+    c.calledImports =
+        std::min(c.calledImports, c.numLibs * c.funcsPerLib);
+    c.stepsPerRequest =
+        6 + static_cast<std::uint32_t>(rng.nextBelow(16));
+    return c;
+}
+
+std::string
+reproLine(const FuzzCase &c)
+{
+    std::ostringstream os;
+    os << "dlsim_fuzz --seed " << c.seed << " --cores " << c.cores
+       << " --requests " << c.requests << " --events "
+       << c.eventsMask << " --event-count " << c.eventCount
+       << " --abtb-entries " << c.abtbEntries << " --abtb-assoc "
+       << c.abtbAssoc << " --bloom-bits " << c.bloomBits
+       << " --bloom-hashes " << c.bloomHashes << " --num-libs "
+       << c.numLibs << " --funcs-per-lib " << c.funcsPerLib
+       << " --called-imports " << c.calledImports << " --steps "
+       << c.stepsPerRequest;
+    if (c.explicitInvalidation)
+        os << " --explicit-invalidation";
+    if (c.asidRetention)
+        os << " --asid-retention";
+    if (c.armPlt)
+        os << " --arm-plt";
+    if (!c.lazyBinding)
+        os << " --eager-binding";
+    if (c.aslr)
+        os << " --aslr";
+    if (c.injectFlushSuppression)
+        os << " --inject-bug-config";
+    return os.str();
+}
+
+FuzzResult
+runCase(const FuzzCase &c)
+{
+    FuzzResult res;
+    res.failingCase = c;
+    try {
+        const auto wl = workloadFor(c);
+        const auto mc = machineFor(c);
+        const auto schedule = makeSchedule(c);
+
+        if (c.cores > 1) {
+            fold(res, runMultiCore(c, wl, mc, schedule));
+            return res;
+        }
+
+        const auto with =
+            runSingleCore(c, wl, mc, schedule, true);
+        fold(res, with);
+
+        // Snapshot equivalence: a save/restore round-trip is
+        // architecturally and microarchitecturally invisible, so a
+        // run with the snapshot events skipped must produce a
+        // byte-identical metrics document.
+        const bool snaps =
+            (c.eventsMask & EvSnapshot) && c.eventCount > 0;
+        if (snaps) {
+            const auto without =
+                runSingleCore(c, wl, mc, schedule, false);
+            accumulate(res.stats, without.stats);
+            if (with.metricsJson != without.metricsJson) {
+                res.passed = false;
+                res.failure =
+                    "snapshot equivalence violated: metrics with "
+                    "mid-run save/restore differ from the "
+                    "straight run";
+            }
+        }
+        return res;
+    } catch (const std::exception &e) {
+        res.passed = false;
+        res.failure = e.what();
+        return res;
+    }
+}
+
+FuzzCase
+shrinkCase(const FuzzCase &c, std::uint32_t maxRuns,
+           std::string *failure)
+{
+    FuzzCase best = c;
+    std::uint32_t runs = 0;
+
+    const auto stillFails = [&](const FuzzCase &cand,
+                                std::string *why) {
+        if (runs >= maxRuns)
+            return false;
+        ++runs;
+        const auto r = runCase(cand);
+        if (!r.passed && why)
+            *why = r.failure;
+        return !r.passed;
+    };
+
+    using Mutation = std::function<bool(FuzzCase &)>;
+    const std::vector<Mutation> mutations = {
+        [](FuzzCase &x) {
+            if (x.requests <= 1)
+                return false;
+            x.requests /= 2;
+            return true;
+        },
+        [](FuzzCase &x) {
+            if (x.eventCount == 0)
+                return false;
+            x.eventCount /= 2;
+            if (x.eventCount == 0)
+                x.eventsMask = 0;
+            return true;
+        },
+        [](FuzzCase &x) {
+            if (x.cores <= 1)
+                return false;
+            x.cores = 1;
+            return true;
+        },
+        [](FuzzCase &x) {
+            if (x.numLibs <= 1)
+                return false;
+            x.numLibs /= 2;
+            x.calledImports = std::min(
+                x.calledImports, x.numLibs * x.funcsPerLib);
+            return true;
+        },
+        [](FuzzCase &x) {
+            if (x.calledImports <= 1)
+                return false;
+            x.calledImports /= 2;
+            return true;
+        },
+        [](FuzzCase &x) {
+            if (x.stepsPerRequest <= 1)
+                return false;
+            x.stepsPerRequest /= 2;
+            return true;
+        },
+        [](FuzzCase &x) {
+            if (!x.asidRetention)
+                return false;
+            x.asidRetention = false;
+            return true;
+        },
+        [](FuzzCase &x) {
+            if (!x.aslr)
+                return false;
+            x.aslr = false;
+            return true;
+        },
+        [](FuzzCase &x) {
+            if (!x.armPlt)
+                return false;
+            x.armPlt = false;
+            return true;
+        },
+    };
+
+    bool improved = true;
+    while (improved && runs < maxRuns) {
+        improved = false;
+        for (const auto &mutate : mutations) {
+            FuzzCase cand = best;
+            if (!mutate(cand))
+                continue;
+            std::string why;
+            if (stillFails(cand, &why)) {
+                best = cand;
+                if (failure)
+                    *failure = why;
+                improved = true;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<FuzzCase>
+smokeCases()
+{
+    std::vector<FuzzCase> cases;
+
+    // Hand-picked archetypes: deterministic coverage of both PLT
+    // styles, the §3.4 arm, ASID retention, rebind storms against
+    // tiny geometries, multicore coherence, and snapshot
+    // round-trips.
+    {
+        FuzzCase c; // Plain lazy x86: resolver storm at startup.
+        c.seed = 101;
+        c.requests = 10;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // ARM trampolines: pattern window + scratch regs.
+        c.seed = 102;
+        c.armPlt = true;
+        c.requests = 10;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // §3.4 explicit arm, rebinds force AbtbFlush.
+        c.seed = 103;
+        c.explicitInvalidation = true;
+        c.eventsMask = EvRebind | EvSpuriousFlush;
+        c.eventCount = 8;
+        c.requests = 12;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Rebind + same-value storm on a hot small set.
+        c.seed = 104;
+        c.eventsMask = EvRebind | EvGotRewriteSame;
+        c.eventCount = 12;
+        c.requests = 14;
+        c.calledImports = 6;
+        c.numLibs = 2;
+        c.funcsPerLib = 8;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Undersized bloom: false-positive flush storm.
+        c.seed = 105;
+        c.bloomBits = 64;
+        c.bloomHashes = 2;
+        c.eventsMask = EvNoiseStore | EvGotRewriteSame;
+        c.eventCount = 10;
+        c.requests = 10;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Context-switch storm with ASID retention.
+        c.seed = 106;
+        c.asidRetention = true;
+        c.eventsMask = EvContextSwitch | EvRebind;
+        c.eventCount = 10;
+        c.requests = 12;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Context-switch storm without retention.
+        c.seed = 107;
+        c.eventsMask = EvContextSwitch;
+        c.eventCount = 8;
+        c.requests = 10;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Snapshot round-trips mid-run + equivalence.
+        c.seed = 108;
+        c.eventsMask = EvSnapshot | EvRebind;
+        c.eventCount = 6;
+        c.requests = 10;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Two cores: cross-core resolver coherence.
+        c.seed = 109;
+        c.cores = 2;
+        c.requests = 8;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Three cores + external rebind broadcasts.
+        c.seed = 110;
+        c.cores = 3;
+        c.eventsMask = EvRebind | EvGotRewriteSame;
+        c.eventCount = 8;
+        c.requests = 8;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Multicore + ARM + tiny ABTB (evictions).
+        c.seed = 111;
+        c.cores = 2;
+        c.armPlt = true;
+        c.abtbEntries = 8;
+        c.abtbAssoc = 2;
+        c.requests = 8;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // Eager binding + ASLR: no resolver traps.
+        c.seed = 112;
+        c.lazyBinding = false;
+        c.aslr = true;
+        c.eventsMask = EvRebind; // Re-lazifies eagerly-bound slots.
+        c.eventCount = 4;
+        c.requests = 8;
+        cases.push_back(c);
+    }
+
+    // Seeded frontier on top of the archetypes.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed)
+        cases.push_back(caseFromSeed(seed));
+    return cases;
+}
+
+} // namespace dlsim::check

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Adversarial fuzz harness for the ABTB correctness contract.
+ *
+ * A FuzzCase is a fully self-describing experiment: workload shape,
+ * machine configuration (PLT style, ABTB/bloom geometry, §3.4
+ * explicit-invalidation arm, ASID retention), and a seeded schedule
+ * of adversarial events injected between retired instructions —
+ * same-value GOT rewrites, lazy-rebind storms (GOT slots reset to
+ * their lazy re-entry values mid-run), external noise stores,
+ * context switches, spurious explicit flushes, snapshot
+ * save/restore at random retire points, and cross-core stores via
+ * sim::MultiCoreSystem.
+ *
+ * Every case runs under the LockstepChecker oracle; any divergence,
+ * reference fault, snapshot-equivalence mismatch, or violation of
+ * the flush-accounting invariant
+ *
+ *     Abtb::flushes() == storeFlushes + coherenceFlushes
+ *                        + contextSwitchFlushes + explicitFlushes
+ *
+ * fails the case. Failures are greedily shrunk to a minimal case and
+ * reported as a replayable `dlsim_fuzz` command line.
+ */
+
+#ifndef DLSIM_CHECK_FUZZ_HH
+#define DLSIM_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/lockstep.hh"
+
+namespace dlsim::check
+{
+
+/** Adversarial event kinds (bitmask in FuzzCase::eventsMask). */
+enum FuzzEvent : std::uint32_t
+{
+    /** Rewrite a GOT slot with its current value (no architectural
+     *  change; coherence must still be conservative-safe). */
+    EvGotRewriteSame = 1u << 0,
+    /** Reset a GOT slot to its lazy re-entry value: the next call
+     *  must re-trap to the resolver, and any live ABTB entry backed
+     *  by the slot must die (§3.2 / §3.4). */
+    EvRebind = 1u << 1,
+    /** External store of a random value into application data (must
+     *  be architecturally visible, must not corrupt the oracle). */
+    EvNoiseStore = 1u << 2,
+    /** OS context switch with an alternating ASID (§3.3). */
+    EvContextSwitch = 1u << 3,
+    /** AbtbFlush with no preceding rebind (architectural nop). */
+    EvSpuriousFlush = 1u << 4,
+    /** Serialize the workbench and continue from a restore into a
+     *  fresh one; single-core cases also verify byte-identical
+     *  final metrics against a snapshot-free run. */
+    EvSnapshot = 1u << 5,
+};
+
+/** One self-describing fuzz experiment. */
+struct FuzzCase
+{
+    std::uint64_t seed = 1;
+
+    /** 1 = single-core driver; >1 = sim::MultiCoreSystem. */
+    std::uint32_t cores = 1;
+    std::uint32_t requests = 10;
+
+    /** FuzzEvent bitmask and number of scheduled events. */
+    std::uint32_t eventsMask = 0;
+    std::uint32_t eventCount = 0;
+
+    /** Machine configuration. */
+    bool explicitInvalidation = false;
+    bool asidRetention = false;
+    bool armPlt = false;
+    bool lazyBinding = true;
+    bool aslr = false;
+    std::uint32_t abtbEntries = 256;
+    std::uint32_t abtbAssoc = 4;
+    std::uint32_t bloomBits = 1024;
+    std::uint32_t bloomHashes = 4;
+
+    /** Workload shape. */
+    std::uint32_t numLibs = 4;
+    std::uint32_t funcsPerLib = 16;
+    std::uint32_t calledImports = 24;
+    std::uint32_t stepsPerRequest = 12;
+
+    /** Fault injection: suppress the §3.2 store flush, proving the
+     *  oracle catches a broken invalidation path. */
+    bool injectFlushSuppression = false;
+};
+
+/** Outcome of one case (or one shrunk failure). */
+struct FuzzResult
+{
+    bool passed = true;
+    /** Divergence / invariant report of the first failure. */
+    std::string failure;
+    /** The case that failed (after shrinking, when requested). */
+    FuzzCase failingCase;
+
+    /** Aggregate oracle work (summed over cores and sub-runs). */
+    LockstepStats stats;
+    /** Aggregate mechanism activity (summed over cores). */
+    std::uint64_t substitutions = 0;
+    std::uint64_t storeFlushes = 0;
+    std::uint64_t coherenceFlushes = 0;
+    std::uint64_t contextSwitchFlushes = 0;
+    std::uint64_t explicitFlushes = 0;
+};
+
+/** Derive a randomized case from a seed (the fuzzing frontier). */
+FuzzCase caseFromSeed(std::uint64_t seed);
+
+/** Replayable `dlsim_fuzz` command line reproducing `c`. */
+std::string reproLine(const FuzzCase &c);
+
+/** Run one case under the oracle. Never throws; failures land in
+ *  FuzzResult::failure. */
+FuzzResult runCase(const FuzzCase &c);
+
+/**
+ * Greedily shrink a failing case: repeatedly try halving counts and
+ * clearing flags, keeping any mutation that still fails, within a
+ * budget of `maxRuns` re-executions. @return The smallest failing
+ * case found (at worst `c` itself), with *failure set to its report.
+ */
+FuzzCase shrinkCase(const FuzzCase &c, std::uint32_t maxRuns,
+                    std::string *failure);
+
+/** The deterministic --smoke corpus: hand-picked archetypes (both
+ *  PLT styles, §3.4 arm, ASID retention, rebind storms, multicore,
+ *  snapshot round-trips, undersized bloom) plus seeded cases. */
+std::vector<FuzzCase> smokeCases();
+
+} // namespace dlsim::check
+
+#endif // DLSIM_CHECK_FUZZ_HH

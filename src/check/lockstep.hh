@@ -1,0 +1,115 @@
+/**
+ * @file
+ * LockstepChecker: the architectural oracle for the trampoline-skip
+ * mechanism.
+ *
+ * Attached to a timing cpu::Core via Core::setRetireObserver, it
+ * replays every retired instruction on a functional RefCore and
+ * compares pc, register writebacks, and store values instruction by
+ * instruction. The paper's correctness contract (§3: the enhanced
+ * machine "maintains an architectural state identical to the
+ * unmodified system") becomes a machine-checked invariant:
+ *
+ *  - Every retire must find the reference at the same pc, produce
+ *    the same store (address and value), resolve the same
+ *    architectural next-pc, and leave identical registers.
+ *  - When the core *skips* a trampoline (ABTB substitution), the
+ *    checker walks the reference through the PLT instructions the
+ *    timing core elided; the walk must reach the substituted target
+ *    without leaving PLT code, without storing, and without
+ *    trapping to the resolver — exactly the "trampoline is a pure
+ *    branch" property the hardware relies on. Registers written
+ *    during the walk (the ARM scratch-register prologue) are
+ *    reconciled to the timing core's values, because the ABI makes
+ *    them call-clobbered — the one architecturally sanctioned
+ *    difference.
+ *  - Resolver traps are replayed from the timing core's record:
+ *    same popped module/relocation operands, same GOT store.
+ *
+ * The first divergence raises LockstepError with full context:
+ * cycle, retired-instruction index, pc, disassembly, both machines'
+ * views, and a dump of the ABTB/skip-unit state.
+ */
+
+#ifndef DLSIM_CHECK_LOCKSTEP_HH
+#define DLSIM_CHECK_LOCKSTEP_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "check/ref_core.hh"
+#include "cpu/core.hh"
+#include "cpu/retire_observer.hh"
+
+namespace dlsim::check
+{
+
+/** First divergence between the timing core and the reference. */
+class LockstepError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Checker work counters. */
+struct LockstepStats
+{
+    std::uint64_t checkedRetires = 0;
+    std::uint64_t verifiedSubstitutions = 0;
+    std::uint64_t resolverReplays = 0;
+    std::uint64_t externalWrites = 0;
+    /** Instructions executed inside substitution walks. */
+    std::uint64_t walkedInstructions = 0;
+};
+
+/** The lockstep architectural oracle. */
+class LockstepChecker : public cpu::RetireObserver
+{
+  public:
+    /** Upper bound on a substitution walk (longest legal chain:
+     *  ARM prologue + indirect jump + lazy tail, with slack). */
+    static constexpr int MaxWalkSteps = 12;
+
+    /**
+     * Attach to `core`, forking reference memory from its image's
+     * current address space. The core and the checker must be
+     * architecturally in sync at this point (freshly built, or at
+     * any quiescent point of a run). Call resync() after restoring
+     * the core from a snapshot.
+     */
+    explicit LockstepChecker(cpu::Core &core);
+
+    /** Re-adopt the core's state and re-fork reference memory. */
+    void resync();
+
+    const LockstepStats &stats() const { return stats_; }
+    RefCore &ref() { return ref_; }
+
+    /** @name RetireObserver @{ */
+    void onBeginCall(const cpu::MachineState &state,
+                     isa::Addr ret_slot_addr,
+                     std::uint64_t ret_value) override;
+    void onRetire(const cpu::RetireRecord &rec) override;
+    void onResolver(const cpu::ResolverRecord &rec) override;
+    void onExternalWrite(isa::Addr addr) override;
+    /** @} */
+
+  private:
+    [[noreturn]] void diverge(const std::string &kind,
+                              const std::string &detail,
+                              std::uint64_t cycle,
+                              std::uint64_t retire_index,
+                              isa::Addr pc);
+    void compareRegs(const cpu::MachineState &timing,
+                     std::uint64_t cycle,
+                     std::uint64_t retire_index, isa::Addr pc);
+    void walkSkippedTrampoline(const cpu::RetireRecord &rec);
+
+    cpu::Core &core_;
+    RefCore ref_;
+    LockstepStats stats_;
+};
+
+} // namespace dlsim::check
+
+#endif // DLSIM_CHECK_LOCKSTEP_HH

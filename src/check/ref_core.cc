@@ -1,0 +1,221 @@
+#include "check/ref_core.hh"
+
+#include <sstream>
+
+namespace dlsim::check
+{
+
+namespace
+{
+
+std::string
+hexAddr(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+bool
+condTaken(isa::CondKind cond, std::uint64_t value)
+{
+    switch (cond) {
+      case isa::CondKind::Eq0:
+        return value == 0;
+      case isa::CondKind::Ne0:
+        return value != 0;
+      case isa::CondKind::Lt0:
+        return static_cast<std::int64_t>(value) < 0;
+      case isa::CondKind::Ge0:
+        return static_cast<std::int64_t>(value) >= 0;
+    }
+    return false;
+}
+
+std::uint64_t
+aluEval(isa::AluKind kind, std::uint64_t a, std::uint64_t b)
+{
+    switch (kind) {
+      case isa::AluKind::Add:
+        return a + b;
+      case isa::AluKind::Sub:
+        return a - b;
+      case isa::AluKind::And:
+        return a & b;
+      case isa::AluKind::Or:
+        return a | b;
+      case isa::AluKind::Xor:
+        return a ^ b;
+      case isa::AluKind::Mul:
+        return a * b;
+      case isa::AluKind::Shr:
+        return a >> (b & 63);
+    }
+    return 0;
+}
+
+} // namespace
+
+RefCore::RefCore(const linker::Image *image) : image_(image)
+{
+    mem_ = image_->addressSpace().fork();
+}
+
+void
+RefCore::sync(const cpu::MachineState &state)
+{
+    state_ = state;
+    mem_ = image_->addressSpace().fork();
+}
+
+std::uint64_t
+RefCore::read64(Addr addr)
+{
+    mem::MemFault fault = mem::MemFault::None;
+    const auto value = mem_->read64(addr, fault);
+    if (fault != mem::MemFault::None) {
+        throw RefExecError("reference load fault at " +
+                           hexAddr(addr) + " (pc " +
+                           hexAddr(state_.pc) + ")");
+    }
+    return value;
+}
+
+void
+RefCore::write64(Addr addr, std::uint64_t value)
+{
+    const auto fault = mem_->write64(addr, value);
+    if (fault != mem::MemFault::None) {
+        throw RefExecError("reference store fault at " +
+                           hexAddr(addr) + " (pc " +
+                           hexAddr(state_.pc) + ")");
+    }
+}
+
+RefStep
+RefCore::step()
+{
+    if (state_.pc == linker::ResolverVa) {
+        throw RefExecError(
+            "reference core reached the resolver trap outside a "
+            "resolver replay (stale skip into the lazy path?)");
+    }
+
+    const linker::Slot *slot = image_->decode(state_.pc);
+    if (!slot) {
+        throw RefExecError("reference: undecodable pc " +
+                           hexAddr(state_.pc));
+    }
+
+    const isa::Instruction &inst = slot->inst;
+    const Addr pc = state_.pc;
+    const Addr fallthrough = pc + inst.size;
+    auto &regs = state_.regs;
+
+    const auto effAddr = [&]() -> Addr {
+        return inst.memBase == isa::NoReg
+                   ? static_cast<Addr>(inst.imm)
+                   : regs[inst.memBase] +
+                         static_cast<Addr>(inst.imm);
+    };
+
+    RefStep st;
+    st.pc = pc;
+    st.op = inst.op;
+    st.nextPc = fallthrough;
+
+    switch (inst.op) {
+      case isa::Opcode::Nop:
+        break;
+      case isa::Opcode::IntAlu: {
+        const std::uint64_t b = inst.src2 == isa::NoReg
+                                    ? static_cast<std::uint64_t>(
+                                          inst.imm)
+                                    : regs[inst.src2];
+        regs[inst.dst] = aluEval(inst.alu, regs[inst.src1], b);
+        break;
+      }
+      case isa::Opcode::MovImm:
+        regs[inst.dst] = static_cast<std::uint64_t>(inst.imm);
+        break;
+      case isa::Opcode::Load:
+        regs[inst.dst] = read64(effAddr());
+        break;
+      case isa::Opcode::Store:
+        st.storeAddr = effAddr();
+        st.storeValue = regs[inst.src1];
+        write64(st.storeAddr, st.storeValue);
+        st.didStore = true;
+        break;
+      case isa::Opcode::Push:
+        regs[isa::RegSp] -= 8;
+        st.storeAddr = regs[isa::RegSp];
+        st.storeValue = regs[inst.src1];
+        write64(st.storeAddr, st.storeValue);
+        st.didStore = true;
+        break;
+      case isa::Opcode::PushImm:
+        regs[isa::RegSp] -= 8;
+        st.storeAddr = regs[isa::RegSp];
+        st.storeValue = static_cast<std::uint64_t>(inst.imm);
+        write64(st.storeAddr, st.storeValue);
+        st.didStore = true;
+        break;
+      case isa::Opcode::Pop:
+        regs[inst.dst] = read64(regs[isa::RegSp]);
+        regs[isa::RegSp] += 8;
+        break;
+      case isa::Opcode::CallRel:
+      case isa::Opcode::CallIndReg:
+      case isa::Opcode::CallIndMem: {
+        if (inst.op == isa::Opcode::CallRel) {
+            st.nextPc = fallthrough + static_cast<Addr>(inst.imm);
+        } else if (inst.op == isa::Opcode::CallIndReg) {
+            st.nextPc = regs[inst.src1];
+        } else {
+            st.nextPc = read64(effAddr());
+        }
+        regs[isa::RegSp] -= 8;
+        st.storeAddr = regs[isa::RegSp];
+        st.storeValue = fallthrough;
+        write64(st.storeAddr, st.storeValue);
+        st.didStore = true;
+        st.taken = true;
+        break;
+      }
+      case isa::Opcode::JmpRel:
+        st.nextPc = fallthrough + static_cast<Addr>(inst.imm);
+        st.taken = true;
+        break;
+      case isa::Opcode::JmpIndReg:
+        st.nextPc = regs[inst.src1];
+        st.taken = true;
+        break;
+      case isa::Opcode::JmpIndMem:
+        st.nextPc = read64(effAddr());
+        st.taken = true;
+        break;
+      case isa::Opcode::CondBr:
+        if (condTaken(inst.cond, regs[inst.src1])) {
+            st.nextPc = fallthrough + static_cast<Addr>(inst.imm);
+            st.taken = true;
+        }
+        break;
+      case isa::Opcode::Ret:
+        st.nextPc = read64(regs[isa::RegSp]);
+        regs[isa::RegSp] += 8;
+        st.taken = true;
+        break;
+      case isa::Opcode::Halt:
+        state_.halted = true;
+        break;
+      case isa::Opcode::AbtbFlush:
+        // Architecturally a nop: the flush touches no visible state.
+        break;
+    }
+
+    state_.pc = st.nextPc;
+    return st;
+}
+
+} // namespace dlsim::check

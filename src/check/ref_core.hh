@@ -1,0 +1,99 @@
+/**
+ * @file
+ * RefCore: a minimal in-order *functional* reference core.
+ *
+ * Executes the same `isa::` instruction stream as the timing
+ * `cpu::Core` but models architecturally visible state only —
+ * registers, memory, control flow. No caches, no predictor, no
+ * skip unit, no cycle accounting. Its memory is a copy-on-write
+ * fork of the process image's address space, so the reference and
+ * the timing core start byte-identical and pay pages only where
+ * execution actually writes.
+ *
+ * The LockstepChecker steps a RefCore once per timing-core retire
+ * and compares the two machines; any divergence is, by
+ * construction, a violation of the mechanism's "architecturally
+ * identical to the unmodified system" contract (paper §3).
+ */
+
+#ifndef DLSIM_CHECK_REF_CORE_HH
+#define DLSIM_CHECK_REF_CORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "cpu/core.hh"
+#include "linker/image.hh"
+#include "mem/address_space.hh"
+
+namespace dlsim::check
+{
+
+using isa::Addr;
+
+/** Faults during reference execution (bad memory, undecodable pc).
+ *  In a lockstep run these are themselves divergences: the timing
+ *  core executed the same instruction without faulting. */
+class RefExecError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** What one reference step did (for comparison at retire). */
+struct RefStep
+{
+    Addr pc = 0;
+    isa::Opcode op = isa::Opcode::Nop;
+    /** Pc after the step (architectural next). */
+    Addr nextPc = 0;
+    /** Control transfer redirected away from fall-through. */
+    bool taken = false;
+    bool didStore = false;
+    Addr storeAddr = 0;
+    std::uint64_t storeValue = 0;
+};
+
+/** The functional reference executor. */
+class RefCore
+{
+  public:
+    /** @param image Decode source (shared with the timing core —
+     *        patches and dlopen/dlclose stay visible). */
+    explicit RefCore(const linker::Image *image);
+
+    /**
+     * Adopt `state` and re-fork reference memory from the image's
+     * current address space. Call when the two machines are known
+     * architecturally identical: at attach, and after a snapshot
+     * restore.
+     */
+    void sync(const cpu::MachineState &state);
+
+    cpu::MachineState &state() { return state_; }
+    const cpu::MachineState &state() const { return state_; }
+
+    /** Reference memory (the checker mirrors external writes and
+     *  resolver stores into it). */
+    mem::AddressSpace &memory() { return *mem_; }
+
+    /**
+     * Execute exactly one instruction at state().pc. Never services
+     * the resolver trap — the checker replays resolver effects from
+     * the timing core's ResolverRecord instead. Throws RefExecError
+     * on a memory fault, an undecodable pc, or pc == ResolverVa.
+     */
+    RefStep step();
+
+  private:
+    std::uint64_t read64(Addr addr);
+    void write64(Addr addr, std::uint64_t value);
+
+    const linker::Image *image_;
+    std::unique_ptr<mem::AddressSpace> mem_;
+    cpu::MachineState state_;
+};
+
+} // namespace dlsim::check
+
+#endif // DLSIM_CHECK_REF_CORE_HH

@@ -4,6 +4,7 @@
 
 #include <bit>
 #include <cassert>
+#include <sstream>
 
 #include "stats/metrics.hh"
 
@@ -80,6 +81,7 @@ Abtb::insert(Addr trampoline, Addr function, Addr got_addr,
 void
 Abtb::flushAll()
 {
+    ++flushes_;
     for (auto &way : ways_)
         way.valid = false;
 }
@@ -98,7 +100,30 @@ Abtb::occupancy() const
 void
 Abtb::clearStats()
 {
-    lookups_ = hits_ = inserts_ = evictions_ = 0;
+    lookups_ = hits_ = inserts_ = evictions_ = flushes_ = 0;
+}
+
+std::string
+Abtb::dump() const
+{
+    std::ostringstream os;
+    os << "abtb: " << occupancy() << "/" << params_.entries
+       << " valid, lookups=" << lookups_ << " hits=" << hits_
+       << " inserts=" << inserts_ << " evictions=" << evictions_
+       << " flushes=" << flushes_ << "\n";
+    for (std::size_t set = 0; set < numSets_; ++set) {
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            const Way &way = ways_[set * params_.assoc + w];
+            if (!way.valid)
+                continue;
+            os << "  [" << set << "." << w << "] tramp=0x"
+               << std::hex << way.entry.trampoline << " -> fn=0x"
+               << way.entry.function << " got=0x"
+               << way.entry.gotAddr << std::dec << " asid="
+               << way.entry.asid << "\n";
+        }
+    }
+    return os.str();
 }
 
 void
@@ -110,6 +135,7 @@ Abtb::reportMetrics(stats::MetricsRegistry &reg,
     reg.counter(prefix + ".misses", lookups_ - hits_);
     reg.counter(prefix + ".inserts", inserts_);
     reg.counter(prefix + ".evictions", evictions_);
+    reg.counter(prefix + ".flushes", flushes_);
     reg.gauge(prefix + ".occupancy",
               static_cast<double>(occupancy()));
     reg.gauge(prefix + ".size_bytes",
@@ -128,6 +154,7 @@ Abtb::save(snapshot::Serializer &s) const
     s.u64(hits_);
     s.u64(inserts_);
     s.u64(evictions_);
+    s.u64(flushes_);
     for (const Way &w : ways_) {
         s.u64(w.entry.trampoline);
         s.u64(w.entry.function);
@@ -150,6 +177,7 @@ Abtb::load(snapshot::Deserializer &d)
     hits_ = d.u64();
     inserts_ = d.u64();
     evictions_ = d.u64();
+    flushes_ = d.u64();
     for (Way &w : ways_) {
         w.entry.trampoline = d.u64();
         w.entry.function = d.u64();

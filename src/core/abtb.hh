@@ -89,9 +89,15 @@ class Abtb
     std::uint64_t hits() const { return hits_; }
     std::uint64_t inserts() const { return inserts_; }
     std::uint64_t evictions() const { return evictions_; }
+    /** flushAll() invocations — the observable flush count the
+     *  skip unit's per-cause accounting must add up to. */
+    std::uint64_t flushes() const { return flushes_; }
     std::uint64_t occupancy() const;
 
     void clearStats();
+
+    /** Human-readable dump of every valid entry (diagnostics). */
+    std::string dump() const;
 
     /**
      * Register lookup/hit/insert/eviction counters and the occupancy
@@ -132,6 +138,7 @@ class Abtb
     std::uint64_t hits_ = 0;
     std::uint64_t inserts_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t flushes_ = 0;
 };
 
 } // namespace dlsim::core

@@ -1,6 +1,7 @@
 #include "core/skip_unit.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "snapshot/serializer.hh"
@@ -77,6 +78,8 @@ TrampolineSkipUnit::retireStore(Addr addr)
     // A store between the call and the indirect jump could alias
     // the GOT slot; the pattern must not survive it.
     patternArmed_ = false;
+    if (params_.buggySuppressStoreFlush)
+        return; // Fault injection: drop the §3.2 flush on purpose.
     flushFor(&SkipUnitStats::storeFlushes, addr, true);
 }
 
@@ -112,6 +115,39 @@ void
 TrampolineSkipUnit::explicitFlush()
 {
     flushFor(&SkipUnitStats::explicitFlushes, 0, false);
+}
+
+std::string
+TrampolineSkipUnit::dumpState() const
+{
+    std::ostringstream os;
+    os << "skip: substitutions=" << stats_.substitutions
+       << " populations=" << stats_.populations
+       << " storeFlushes=" << stats_.storeFlushes
+       << " coherenceFlushes=" << stats_.coherenceFlushes
+       << " contextSwitchFlushes=" << stats_.contextSwitchFlushes
+       << " explicitFlushes=" << stats_.explicitFlushes
+       << " falsePositiveFlushes=" << stats_.falsePositiveFlushes
+       << "\n";
+    os << "pattern: armed=" << (patternArmed_ ? 1 : 0)
+       << " lastCallTarget=0x" << std::hex << lastCallTarget_
+       << std::dec << " windowLeft=" << windowLeft_
+       << " asid=" << asid_ << "\n";
+    os << "mode: "
+       << (params_.explicitInvalidation ? "explicit-invalidation"
+                                        : "bloom-guarded")
+       << (params_.asidRetention ? ", asid-retention" : "")
+       << (params_.buggySuppressStoreFlush
+               ? ", INJECTED-BUG(store flush suppressed)"
+               : "")
+       << "\n";
+    if (!params_.explicitInvalidation) {
+        os << "bloom: insertions=" << bloom_.insertions()
+           << " occupancy=" << bloom_.occupancy()
+           << " tracked_slots=" << bloomShadow_.size() << "\n";
+    }
+    os << abtb_.dump();
+    return os.str();
 }
 
 std::uint64_t
@@ -153,6 +189,7 @@ TrampolineSkipUnit::save(snapshot::Serializer &s) const
     s.boolean(params_.explicitInvalidation);
     s.boolean(params_.asidRetention);
     s.u32(params_.patternWindow);
+    s.boolean(params_.buggySuppressStoreFlush);
     s.u64(stats_.substitutions);
     s.u64(stats_.populations);
     s.u64(stats_.storeFlushes);
@@ -186,6 +223,8 @@ TrampolineSkipUnit::load(snapshot::Deserializer &d)
                 "skip explicitInvalidation");
     d.checkBool(params_.asidRetention, "skip asidRetention");
     d.checkU32(params_.patternWindow, "skip patternWindow");
+    d.checkBool(params_.buggySuppressStoreFlush,
+                "skip buggySuppressStoreFlush");
     stats_.substitutions = d.u64();
     stats_.populations = d.u64();
     stats_.storeFlushes = d.u64();

@@ -84,6 +84,15 @@ struct SkipUnitParams
      * are ABI call-clobbered.
      */
     std::uint32_t patternWindow = 0;
+
+    /**
+     * FAULT INJECTION (testing only): suppress the §3.2 bloom-hit
+     * store flush, leaving stale ABTB entries live after a GOT
+     * rewrite. Exists to prove the lockstep oracle catches a
+     * broken invalidation path (tests/test_lockstep.cc,
+     * dlsim_fuzz --inject-bug); never set in real experiments.
+     */
+    bool buggySuppressStoreFlush = false;
 };
 
 /** Mechanism statistics. */
@@ -154,6 +163,10 @@ class TrampolineSkipUnit
     std::uint64_t hardwareBytes() const;
 
     void clearStats() { stats_ = {}; }
+
+    /** Human-readable state dump: stats, pattern detector, bloom
+     *  occupancy, and every valid ABTB entry (divergence reports). */
+    std::string dumpState() const;
 
     /** Register the mechanism's counters under `prefix`:
      *  `<prefix>.abtb.*`, `<prefix>.bloom.*`, `<prefix>.skip.*`. */

@@ -183,6 +183,19 @@ Core::serviceResolver()
 
     state_.pc = result.target;
     curSlot_ = nullptr;
+
+    if (observer_) {
+        ResolverRecord rec;
+        rec.moduleId = module_id;
+        rec.relocIdx = reloc_idx;
+        rec.gotAddr = result.gotAddr;
+        rec.value = result.value;
+        rec.target = result.target;
+        rec.cycle = cycles_;
+        rec.retireIndex = instructions_;
+        rec.state = &state_;
+        observer_->onResolver(rec);
+    }
 }
 
 void
@@ -238,6 +251,7 @@ Core::step()
     Addr load_src = 0;
     bool did_store = false;
     Addr store_addr = 0;
+    std::uint64_t store_value = 0;
 
     switch (inst.op) {
       case isa::Opcode::Nop:
@@ -258,21 +272,23 @@ Core::step()
         break;
       case isa::Opcode::Store: {
         store_addr = effAddr();
-        writeData(store_addr, regs[inst.src1]);
+        store_value = regs[inst.src1];
+        writeData(store_addr, store_value);
         did_store = true;
         break;
       }
       case isa::Opcode::Push:
         regs[isa::RegSp] -= 8;
         store_addr = regs[isa::RegSp];
-        writeData(store_addr, regs[inst.src1]);
+        store_value = regs[inst.src1];
+        writeData(store_addr, store_value);
         did_store = true;
         break;
       case isa::Opcode::PushImm:
         regs[isa::RegSp] -= 8;
         store_addr = regs[isa::RegSp];
-        writeData(store_addr,
-                  static_cast<std::uint64_t>(inst.imm));
+        store_value = static_cast<std::uint64_t>(inst.imm);
+        writeData(store_addr, store_value);
         did_store = true;
         break;
       case isa::Opcode::Pop:
@@ -292,7 +308,8 @@ Core::step()
         }
         regs[isa::RegSp] -= 8;
         store_addr = regs[isa::RegSp];
-        writeData(store_addr, fallthrough);
+        store_value = fallthrough;
+        writeData(store_addr, store_value);
         did_store = true;
         redirected = true;
         break;
@@ -335,6 +352,8 @@ Core::step()
     // Branch resolution, with the ABTB consulted on the
     // architecturally resolved target (§3.2 back end).
     Addr effective = next;
+    bool substituted = false;
+    core::AbtbEntry sub_entry;
     if (is_ctl) {
         if (skipUnit_ && redirected) {
             if (const auto entry =
@@ -351,6 +370,8 @@ Core::step()
                     }
                 }
                 effective = entry->function;
+                substituted = true;
+                sub_entry = *entry;
                 ++skippedTrampolines_;
             }
         }
@@ -435,6 +456,30 @@ Core::step()
         state_.pc = fallthrough;
         curSlot_ = image_->nextSlot(curSlot_);
     }
+
+    if (observer_) {
+        RetireRecord rec;
+        rec.pc = pc;
+        rec.op = inst.op;
+        rec.isControl = is_ctl;
+        rec.taken = redirected;
+        rec.nextPc = is_ctl ? next : fallthrough;
+        rec.effectivePc = is_ctl ? effective : fallthrough;
+        rec.substituted = substituted;
+        if (substituted) {
+            rec.subTrampoline = sub_entry.trampoline;
+            rec.subFunction = sub_entry.function;
+            rec.subGotAddr = sub_entry.gotAddr;
+        }
+        rec.didStore = did_store;
+        rec.storeAddr = store_addr;
+        rec.storeValue = store_value;
+        rec.loadSrc = load_src;
+        rec.cycle = cycles_;
+        rec.retireIndex = instructions_;
+        rec.state = &state_;
+        observer_->onRetire(rec);
+    }
 }
 
 std::uint64_t
@@ -462,6 +507,11 @@ Core::beginCall(Addr function, std::uint64_t arg0,
                                   MagicReturnVa);
     state_.pc = function;
     curSlot_ = nullptr;
+
+    if (observer_) {
+        observer_->onBeginCall(state_, state_.regs[isa::RegSp],
+                               MagicReturnVa);
+    }
 }
 
 bool
@@ -563,6 +613,8 @@ Core::onExternalGotWrite(Addr addr)
     // copy to drop is this ASID's — a targeted invalidation, not a
     // physical snoop.
     hierarchy_.invalidateDataLine(addr, asid_);
+    if (observer_)
+        observer_->onExternalWrite(addr);
 }
 
 void

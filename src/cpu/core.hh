@@ -48,6 +48,7 @@
 #include "linker/dynamic_linker.hh"
 #include "linker/image.hh"
 #include "linker/patcher.hh"
+#include "cpu/retire_observer.hh"
 #include "mem/hierarchy.hh"
 #include "trace/trace.hh"
 
@@ -205,6 +206,25 @@ class Core
         storeSnoopHook_ = std::move(hook);
     }
 
+    /**
+     * Attach an architectural-event observer (the lockstep checker).
+     * Not owned; pass nullptr to detach. Hooks fire synchronously at
+     * retire, resolver service, call setup, and external writes.
+     */
+    void setRetireObserver(RetireObserver *observer)
+    {
+        observer_ = observer;
+    }
+    RetireObserver *observer() const { return observer_; }
+
+    /** @name Cheap counter accessors (harness schedule anchors) @{ */
+    std::uint64_t instructionsRetired() const
+    {
+        return instructions_;
+    }
+    std::uint64_t cycleCount() const { return cycles_; }
+    /** @} */
+
     /** Snapshot of all performance counters. */
     PerfCounters counters() const;
 
@@ -322,6 +342,7 @@ class Core
     MachineState state_;
     const linker::Slot *curSlot_ = nullptr;
     std::function<void(Addr)> storeSnoopHook_;
+    RetireObserver *observer_ = nullptr;
     std::unique_ptr<trace::TraceWriter> traceWriter_;
 
     /** @name Core-owned counters @{ */

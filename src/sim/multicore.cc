@@ -34,7 +34,10 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreParams &params,
     }
 
     // Wire write-invalidate coherence: each core's retired stores
-    // are snooped by every other core's caches and skip unit.
+    // are snooped by every other core's caches and skip unit. Any
+    // attached retire observer (lockstep checker) on a sibling is
+    // told too, so its reference memory sees cross-thread stores at
+    // the same quantum boundary the timing core does.
     for (std::uint32_t i = 0; i < params_.numCores; ++i) {
         cores_[i]->setStoreSnoopHook([this, i](isa::Addr addr) {
             for (std::uint32_t j = 0; j < cores_.size(); ++j) {
@@ -46,6 +49,8 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreParams &params,
                 }
                 if (auto *unit = cores_[j]->skipUnit())
                     unit->coherenceInvalidate(addr);
+                if (auto *obs = cores_[j]->observer())
+                    obs->onExternalWrite(addr);
             }
         });
     }

@@ -101,6 +101,7 @@ mixSkip(snapshot::Fingerprint &fp, const MachineConfig &mc)
     fp.mix(mc.core.skip.explicitInvalidation);
     fp.mix(mc.core.skip.asidRetention);
     fp.mix(mc.core.skip.patternWindow);
+    fp.mix(mc.core.skip.buggySuppressStoreFlush);
 }
 
 void
@@ -262,6 +263,32 @@ Workbench::runRequest(std::uint32_t kind)
     const auto r =
         core_->callFunction(handlerAddrs_[kind], work, seed);
     return RequestResult{kind, r.cycles, r.instructions};
+}
+
+std::uint32_t
+Workbench::beginRequest()
+{
+    const auto kind =
+        static_cast<std::uint32_t>(mix_->sample(reqRng_));
+    beginRequest(kind);
+    return kind;
+}
+
+void
+Workbench::beginRequest(std::uint32_t kind)
+{
+    assert(kind < wl_.requests.size());
+    const auto &rc = wl_.requests[kind];
+    const std::uint64_t work =
+        reqRng_.nextRange(rc.minWork, rc.maxWork);
+    const std::uint64_t seed = reqRng_.next() | 1;
+    core_->beginCall(handlerAddrs_[kind], work, seed);
+}
+
+bool
+Workbench::stepRequest(std::uint64_t max_insts)
+{
+    return core_->runQuantum(max_insts);
 }
 
 std::uint64_t

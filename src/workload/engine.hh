@@ -110,6 +110,26 @@ class Workbench
     /** Run one request of a specific kind. */
     RequestResult runRequest(std::uint32_t kind);
 
+    /** @name Incremental requests (harness / snapshot hooks) @{ */
+    /**
+     * Draw the next request from the mix and set up the handler
+     * call without running it (same RNG stream as runRequest()).
+     * @return The drawn request kind.
+     */
+    std::uint32_t beginRequest();
+
+    /** Set up a request of a specific kind without running it. */
+    void beginRequest(std::uint32_t kind);
+
+    /**
+     * Advance the in-progress request by at most `max_insts`
+     * retired instructions. @return True once it has returned.
+     * Between steps a harness may inject events (external GOT
+     * writes, context switches) or snapshot the workbench.
+     */
+    bool stepRequest(std::uint64_t max_insts);
+    /** @} */
+
     cpu::Core &core() { return *core_; }
     linker::Image &image() { return *image_; }
     linker::DynamicLinker &linker() { return *linker_; }

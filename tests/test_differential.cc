@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include "check/lockstep.hh"
 #include "workload/engine.hh"
+#include "workload/profiles.hh"
 
 using namespace dlsim;
 using namespace dlsim::workload;
@@ -130,3 +132,79 @@ TEST(Differential, RunsAreExactlyReproducible)
     EXPECT_EQ(a.core().counters().mispredicts,
               b.core().counters().mispredicts);
 }
+
+/**
+ * Steady-state invariant (satellite of the lockstep oracle): once
+ * lazy binding has quiesced, every ABTB-predicted target equals the
+ * oracle's resolved target — each substitution's walk reaches the
+ * substituted target — and the only ABTB flushes left are bloom
+ * false positives (no true GOT writes remain).
+ */
+class SteadyState
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::uint64_t>>
+{
+};
+
+TEST_P(SteadyState, PredictedTargetsMatchOracleAfterWarmup)
+{
+    const auto &[profile, seed] = GetParam();
+    SCOPED_TRACE("profile " + profile + " seed " +
+                 std::to_string(seed) +
+                 " (reproduce: dlsim_cli --workload " + profile +
+                 " --seed " + std::to_string(seed) + ")");
+
+    MachineConfig cfg;
+    cfg.enhanced = true;
+    Workbench wb(profileByName(profile, seed), cfg);
+
+    check::LockstepChecker checker(wb.core());
+    wb.core().setRetireObserver(&checker);
+
+    // Warm until lazy resolution quiesces (Workbench::warmup would
+    // clear the skip-unit stats the invariant reads). Best-effort:
+    // profiles with a long rare-path tail (firefox) keep resolving
+    // the odd import forever; the oracle check below holds anyway.
+    std::uint64_t prev = UINT64_MAX;
+    for (int round = 0;
+         round < 40 && wb.linker().resolutionCount() != prev;
+         ++round) {
+        prev = wb.linker().resolutionCount();
+        for (int i = 0; i < 15; ++i)
+            wb.runRequest();
+    }
+
+    const auto s0 = wb.core().skipUnit()->stats();
+    const auto c0 = checker.stats();
+    for (int i = 0; i < 100; ++i)
+        wb.runRequest();
+    const auto s1 = wb.core().skipUnit()->stats();
+    const auto c1 = checker.stats();
+    wb.core().setRetireObserver(nullptr);
+
+    // The mechanism engages in steady state...
+    EXPECT_GT(s1.substitutions, s0.substitutions);
+    // ...and every prediction was verified against the oracle.
+    EXPECT_EQ(s1.substitutions - s0.substitutions,
+              c1.verifiedSubstitutions - c0.verifiedSubstitutions);
+    // Store flushes may persist — the detector also tracks
+    // vtable-hosted indirect jumps, and the app rewrites hot data —
+    // but nothing else flushes on a quiesced single-core machine,
+    // and the accounting invariant holds.
+    EXPECT_EQ(s1.coherenceFlushes, s0.coherenceFlushes);
+    EXPECT_EQ(s1.contextSwitchFlushes, s0.contextSwitchFlushes);
+    EXPECT_EQ(s1.explicitFlushes, s0.explicitFlushes);
+    EXPECT_EQ(wb.core().skipUnit()->abtb().flushes(),
+              s1.storeFlushes + s1.coherenceFlushes +
+                  s1.contextSwitchFlushes + s1.explicitFlushes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndSeeds, SteadyState,
+    ::testing::Combine(::testing::Values("apache", "firefox",
+                                         "memcached", "mysql"),
+                       ::testing::Values(42ull, 1729ull)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });

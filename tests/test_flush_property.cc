@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Property tests for the ABTB flush-accounting contract:
+ *
+ *   Abtb::flushes() == storeFlushes + coherenceFlushes
+ *                      + contextSwitchFlushes + explicitFlushes
+ *
+ * i.e. every observable flush has exactly one attributed cause.
+ * Covers the unit level (every invalidation path of §3.2-§3.4,
+ * including the explicit-AbtbFlush arm), the integrated machine
+ * (profile runs with live resolver traffic), and a seeded fuzz
+ * sweep. Failures print a replayable `dlsim_fuzz` command line.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hh"
+#include "core/skip_unit.hh"
+#include "workload/engine.hh"
+#include "workload/profiles.hh"
+
+using namespace dlsim;
+using namespace dlsim::core;
+using dlsim::isa::Opcode;
+
+namespace
+{
+
+constexpr Addr Tramp = 0x401020;
+constexpr Addr Func = 0x7f0000001000;
+constexpr Addr GotSlot = 0x403010;
+
+SkipUnitParams
+smallParams()
+{
+    SkipUnitParams p;
+    p.abtb.entries = 16;
+    p.abtb.assoc = 4;
+    return p;
+}
+
+void
+populate(TrampolineSkipUnit &unit, Addr tramp = Tramp,
+         Addr func = Func, Addr got = GotSlot)
+{
+    unit.retireControl(Opcode::CallRel, tramp, 0);
+    unit.retireControl(Opcode::JmpIndMem, func, got);
+}
+
+std::uint64_t
+causeSum(const SkipUnitStats &st)
+{
+    return st.storeFlushes + st.coherenceFlushes +
+           st.contextSwitchFlushes + st.explicitFlushes;
+}
+
+/** The invariant under test. */
+void
+expectAccounted(const TrampolineSkipUnit &unit)
+{
+    EXPECT_EQ(unit.abtb().flushes(), causeSum(unit.stats()))
+        << unit.dumpState();
+}
+
+} // namespace
+
+TEST(FlushProperty, BloomHitStoreFlushesAndIsAccounted)
+{
+    TrampolineSkipUnit unit(smallParams());
+    populate(unit);
+    ASSERT_TRUE(unit.substituteTarget(Tramp).has_value());
+
+    unit.retireStore(GotSlot); // §3.2: store to a tracked GOT slot.
+    EXPECT_EQ(unit.stats().storeFlushes, 1u);
+    EXPECT_EQ(unit.abtb().flushes(), 1u);
+    EXPECT_FALSE(unit.substituteTarget(Tramp).has_value())
+        << "entry must die with the flush";
+    expectAccounted(unit);
+}
+
+TEST(FlushProperty, BloomMissStoreDoesNotFlush)
+{
+    TrampolineSkipUnit unit(smallParams());
+    populate(unit);
+    // A store far from any tracked slot: with one inserted address
+    // the (deterministic) bloom lookup misses, so no flush.
+    unit.retireStore(0x500000);
+    EXPECT_EQ(unit.stats().storeFlushes, 0u);
+    EXPECT_EQ(unit.abtb().flushes(), 0u);
+    EXPECT_TRUE(unit.substituteTarget(Tramp).has_value());
+    expectAccounted(unit);
+}
+
+TEST(FlushProperty, CoherenceInvalidationOfGotLineFlushes)
+{
+    TrampolineSkipUnit unit(smallParams());
+    populate(unit);
+    unit.coherenceInvalidate(GotSlot); // Cross-core store snoop.
+    EXPECT_EQ(unit.stats().coherenceFlushes, 1u);
+    EXPECT_EQ(unit.abtb().flushes(), 1u);
+    EXPECT_FALSE(unit.substituteTarget(Tramp).has_value());
+    expectAccounted(unit);
+}
+
+TEST(FlushProperty, ContextSwitchFlushIsAccounted)
+{
+    TrampolineSkipUnit unit(smallParams());
+    populate(unit);
+    unit.contextSwitch();
+    EXPECT_EQ(unit.stats().contextSwitchFlushes, 1u);
+    expectAccounted(unit);
+}
+
+TEST(FlushProperty, ExplicitArmStoresNeverFlush)
+{
+    // §3.4: no bloom filter; only AbtbFlush invalidates.
+    auto p = smallParams();
+    p.explicitInvalidation = true;
+    TrampolineSkipUnit unit(p);
+    populate(unit);
+
+    unit.retireStore(GotSlot);
+    unit.retireStore(GotSlot + 8);
+    EXPECT_EQ(unit.abtb().flushes(), 0u);
+    EXPECT_TRUE(unit.substituteTarget(Tramp).has_value())
+        << "stores must be invisible to the explicit arm";
+
+    unit.explicitFlush();
+    EXPECT_EQ(unit.stats().explicitFlushes, 1u);
+    EXPECT_EQ(unit.abtb().flushes(), 1u);
+    EXPECT_FALSE(unit.substituteTarget(Tramp).has_value());
+    expectAccounted(unit);
+}
+
+TEST(FlushProperty, EveryPathCombinedStaysAccounted)
+{
+    TrampolineSkipUnit unit(smallParams());
+    for (int round = 0; round < 8; ++round) {
+        const Addr got = GotSlot + 16 * round;
+        populate(unit, Tramp + 16 * round, Func + 0x100 * round,
+                 got);
+        switch (round % 4) {
+          case 0:
+            unit.retireStore(got);
+            break;
+          case 1:
+            unit.coherenceInvalidate(got);
+            break;
+          case 2:
+            unit.contextSwitch();
+            break;
+          case 3:
+            unit.explicitFlush();
+            break;
+        }
+        expectAccounted(unit);
+    }
+    EXPECT_EQ(unit.abtb().flushes(), 8u);
+    EXPECT_EQ(unit.stats().storeFlushes, 2u);
+    EXPECT_EQ(unit.stats().coherenceFlushes, 2u);
+    EXPECT_EQ(unit.stats().contextSwitchFlushes, 2u);
+    EXPECT_EQ(unit.stats().explicitFlushes, 2u);
+}
+
+TEST(FlushProperty, ResolverTrafficIsAccountedOnRealMachine)
+{
+    // Integrated: lazy resolution rewrites GOT slots through the
+    // real store path, so bloom-hit store flushes occur and must
+    // each be attributed.
+    workload::MachineConfig cfg;
+    cfg.enhanced = true;
+    workload::Workbench wb(workload::memcachedProfile(42), cfg);
+    for (int i = 0; i < 80; ++i)
+        wb.runRequest();
+
+    const auto *unit = wb.core().skipUnit();
+    ASSERT_NE(unit, nullptr);
+    EXPECT_GT(unit->stats().storeFlushes, 0u);
+    EXPECT_EQ(unit->abtb().flushes(), causeSum(unit->stats()))
+        << unit->dumpState();
+}
+
+TEST(FlushProperty, ExplicitArmAbtbFlushInstructionOnRealMachine)
+{
+    // §3.4 integrated: the patched resolver executes AbtbFlush
+    // after each GOT rewrite; those are the only flushes.
+    workload::MachineConfig cfg;
+    cfg.enhanced = true;
+    cfg.explicitInvalidation = true;
+    workload::Workbench wb(workload::memcachedProfile(43), cfg);
+    for (int i = 0; i < 80; ++i)
+        wb.runRequest();
+
+    const auto *unit = wb.core().skipUnit();
+    ASSERT_NE(unit, nullptr);
+    EXPECT_EQ(unit->stats().storeFlushes, 0u);
+    EXPECT_GT(unit->stats().explicitFlushes, 0u);
+    EXPECT_EQ(unit->abtb().flushes(), causeSum(unit->stats()))
+        << unit->dumpState();
+}
+
+TEST(FlushProperty, SeededFuzzSweepHoldsInvariant)
+{
+    // check::runCase() fails any case whose flush accounting
+    // diverges (and any lockstep divergence). On failure, print the
+    // failing seed and a replayable command line.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const auto c = check::caseFromSeed(seed);
+        const auto r = check::runCase(c);
+        EXPECT_TRUE(r.passed)
+            << "failing seed: " << seed << "\n"
+            << r.failure << "\nreproduce: "
+            << check::reproLine(r.failingCase);
+    }
+}
+
+TEST(FlushProperty, CrossCoreGotStoreFlushesSiblings)
+{
+    // A rebind broadcast in a multicore case must show up as
+    // coherence flushes, each accounted (checked inside runCase).
+    check::FuzzCase c;
+    c.seed = 404;
+    c.cores = 2;
+    c.requests = 8;
+    c.eventsMask = check::EvRebind;
+    c.eventCount = 8;
+    const auto r = check::runCase(c);
+    EXPECT_TRUE(r.passed) << r.failure << "\nreproduce: "
+                          << check::reproLine(r.failingCase);
+    EXPECT_GT(r.coherenceFlushes, 0u);
+}

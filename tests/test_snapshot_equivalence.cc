@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Snapshot-equivalence properties: a serialize/restore round-trip at
+ * any point of a run — request boundary or mid-request — is invisible
+ * to the final metrics document. A straight run and a run that passed
+ * through a snapshot produce byte-identical JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "check/fuzz.hh"
+#include "check/lockstep.hh"
+#include "stats/metrics.hh"
+#include "workload/engine.hh"
+#include "workload/profiles.hh"
+
+using namespace dlsim;
+using namespace dlsim::workload;
+
+namespace
+{
+
+WorkloadParams
+equivWorkload(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = "snap-equiv";
+    p.seed = seed;
+    p.numLibs = 3;
+    p.funcsPerLib = 10;
+    p.requests = {{"A", 0.6, 1, 3}, {"B", 0.4, 1, 2}};
+    p.stepsPerRequest = 10;
+    p.calledImports = 16;
+    return p;
+}
+
+MachineConfig
+enhancedConfig()
+{
+    MachineConfig cfg;
+    cfg.enhanced = true;
+    return cfg;
+}
+
+std::string
+metricsJson(const Workbench &wb)
+{
+    stats::MetricsDocument doc("test_snapshot_equivalence");
+    auto &run = doc.addRun("run");
+    wb.reportMetrics(run.registry, "dlsim");
+    return doc.toJson();
+}
+
+} // namespace
+
+TEST(SnapshotEquivalence, BoundaryRoundTripIsMetricsInvisible)
+{
+    const auto wl = equivWorkload(1);
+    const auto cfg = enhancedConfig();
+
+    // Straight run: 12 requests.
+    Workbench straight(wl, cfg);
+    for (int i = 0; i < 12; ++i)
+        straight.runRequest();
+
+    // Same run, but serialized and restored into a fresh workbench
+    // at the request boundary after 5.
+    Workbench first(wl, cfg);
+    for (int i = 0; i < 5; ++i)
+        first.runRequest();
+    const auto bytes = snapshotWorkbench(first);
+    Workbench resumed(wl, cfg);
+    restoreWorkbench(resumed, bytes.data(), bytes.size());
+    for (int i = 0; i < 7; ++i)
+        resumed.runRequest();
+
+    EXPECT_EQ(metricsJson(straight), metricsJson(resumed));
+}
+
+TEST(SnapshotEquivalence, MidRequestRoundTripIsMetricsInvisible)
+{
+    const auto wl = equivWorkload(2);
+    const auto cfg = enhancedConfig();
+
+    Workbench straight(wl, cfg);
+    for (int i = 0; i < 10; ++i)
+        straight.runRequest();
+
+    Workbench first(wl, cfg);
+    for (int i = 0; i < 4; ++i)
+        first.runRequest();
+    // Stop inside request 5, snapshot there, and finish it on the
+    // restored workbench.
+    first.beginRequest();
+    const bool done = first.stepRequest(37);
+    ASSERT_FALSE(done) << "request finished before the snapshot "
+                          "point; pick a smaller step";
+    const auto bytes = snapshotWorkbench(first);
+
+    Workbench resumed(wl, cfg);
+    restoreWorkbench(resumed, bytes.data(), bytes.size());
+    while (!resumed.stepRequest(64)) {
+    }
+    for (int i = 0; i < 5; ++i)
+        resumed.runRequest();
+
+    EXPECT_EQ(metricsJson(straight), metricsJson(resumed));
+}
+
+TEST(SnapshotEquivalence, CheckerStaysInLockstepAcrossRestore)
+{
+    // The oracle re-forks reference memory at attach, so a restored
+    // workbench plus a fresh checker must stay clean mid-request.
+    const auto wl = equivWorkload(3);
+    const auto cfg = enhancedConfig();
+
+    Workbench first(wl, cfg);
+    for (int i = 0; i < 3; ++i)
+        first.runRequest();
+    first.beginRequest();
+    ASSERT_FALSE(first.stepRequest(29));
+    const auto bytes = snapshotWorkbench(first);
+
+    Workbench resumed(wl, cfg);
+    restoreWorkbench(resumed, bytes.data(), bytes.size());
+    check::LockstepChecker checker(resumed.core());
+    resumed.core().setRetireObserver(&checker);
+    while (!resumed.stepRequest(64)) {
+    }
+    for (int i = 0; i < 20; ++i)
+        resumed.runRequest();
+    resumed.core().setRetireObserver(nullptr);
+
+    EXPECT_GT(checker.stats().checkedRetires, 100u);
+    EXPECT_GT(checker.stats().verifiedSubstitutions, 0u);
+}
+
+TEST(SnapshotEquivalence, FuzzCasesWithRandomSnapshotPoints)
+{
+    // check::runCase() executes each single-core EvSnapshot case
+    // twice — with and without the mid-run save/restore round-trips
+    // — and byte-compares the metrics documents.
+    for (std::uint64_t seed : {501, 502, 503}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        check::FuzzCase c;
+        c.seed = seed;
+        c.requests = 10;
+        c.eventsMask = check::EvSnapshot | check::EvRebind;
+        c.eventCount = 6;
+        const auto r = check::runCase(c);
+        EXPECT_TRUE(r.passed)
+            << r.failure << "\nreproduce: "
+            << check::reproLine(r.failingCase);
+    }
+}
