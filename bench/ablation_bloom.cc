@@ -55,19 +55,24 @@ main(int argc, char **argv)
     // and swaps in a fresh cold skip unit with its own bloom
     // sizing, so measured differences are the filter's alone.
     const workload::MachineConfig refMc = enhancedMachine();
+    const auto prog =
+        std::make_shared<const workload::BuiltProgram>(
+            workload::buildProgram(wl));
     const auto state =
-        warmState(args, "", wl, refMc, args.scaled(150));
+        warmState(args, "", wl, refMc, args.scaled(150), prog);
 
     std::vector<std::function<BloomResult()>> work;
     for (const auto &cfg : configs) {
-        work.push_back([cfg, &wl, &args, &refMc, &state] {
+        work.push_back([cfg, &wl, &args, &refMc, &state, &prog] {
             auto mc = enhancedMachine();
             mc.bloomBits = cfg.bits;
             mc.bloomHashes = cfg.hashes;
 
-            workload::Workbench wb(wl, refMc);
+            workload::Workbench wb(wl, refMc, prog,
+                                   /*for_restore=*/true);
             workload::restoreWorkbench(wb, state.data(),
-                                       state.size());
+                                       state.size(),
+                                       /*trusted=*/true);
             wb.reconfigure(mc);
             for (int i = 0; i < args.scaled(500); ++i)
                 wb.runRequest();

@@ -63,19 +63,23 @@ main(int argc, char **argv)
     // is exactly equivalent to warming each arm separately, minus
     // 17 redundant warm-up simulations.
     const workload::MachineConfig refMc = baseMachine();
+    const auto prog =
+        std::make_shared<const workload::BuiltProgram>(
+            workload::buildProgram(wl));
     const auto state =
-        warmState(args, "", wl, refMc, args.scaled(120));
+        warmState(args, "", wl, refMc, args.scaled(120), prog);
 
     // Two jobs per variant: [v0.base, v0.enh, v1.base, ...].
     std::vector<std::function<ArmResult()>> work;
     for (const Variant &v : variants) {
         for (const bool enhanced : {false, true}) {
             work.push_back([&v, enhanced, &wl, &args, &refMc,
-                            &state] {
+                            &state, &prog] {
                 auto mc = v.mc;
                 mc.enhanced = enhanced;
                 return runArmFromState(state, wl, refMc, mc,
-                                       args.scaled(400));
+                                       args.scaled(400),
+                                       sim::SampleParams{}, prog);
             });
         }
     }

@@ -26,13 +26,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/job_runner.hh"
+#include "sim/sampled.hh"
 #include "snapshot/format.hh"
 #include "snapshot/io.hh"
+#include "snapshot/serializer.hh"
 #include "stats/cdf.hh"
 #include "stats/histogram.hh"
 #include "stats/metrics.hh"
@@ -50,9 +54,12 @@ namespace dlsim::bench
  * arguments and duplicated flags are rejected with exit code 2):
  *
  *   --jobs N         run the measurement grid on N host threads
- *                    (default: hardware concurrency; 1 = serial)
+ *                    (default: affinity-mask CPUs; 1 = serial)
  *   --quick          shrink warmup/request counts ~8x for smoke
  *                    runs and wall-clock comparisons
+ *   --sample W:D:F   sampled execution (default off = exact mode):
+ *                    alternate W detailed warmup + D detailed
+ *                    measured + F functional fast-forward insts
  *   --seed N         workload RNG seed (default 42)
  *   --json-out FILE  write a dlsim-metrics-v1 JSON document
  *   --snapshot-after FILE  snapshot-capable benches: also write the
@@ -70,6 +77,7 @@ class BenchArgs
     {
         bool saw_jobs = false, saw_json = false;
         bool saw_seed = false, saw_snap = false, saw_from = false;
+        bool saw_sample = false;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg == "--help" || arg == "-h") {
@@ -87,6 +95,23 @@ class BenchArgs
                 if (n < 1)
                     die("--jobs requires a count >= 1");
                 jobs_ = static_cast<unsigned>(n);
+            } else if (arg == "--sample" ||
+                       arg.rfind("--sample=", 0) == 0) {
+                if (saw_sample)
+                    die("duplicate --sample");
+                saw_sample = true;
+                std::string spec;
+                if (arg == "--sample") {
+                    if (i + 1 >= argc)
+                        die("--sample requires a W:D:F spec");
+                    spec = argv[++i];
+                } else {
+                    spec = arg.substr(9);
+                }
+                std::string error;
+                if (!sim::SampleParams::parse(spec, sample_,
+                                              &error))
+                    die(("--sample: " + error).c_str());
             } else if (arg == "--seed") {
                 if (saw_seed)
                     die("duplicate --seed");
@@ -126,6 +151,7 @@ class BenchArgs
 
     unsigned jobs() const { return jobs_; }
     bool quick() const { return quick_; }
+    const sim::SampleParams &sample() const { return sample_; }
     std::uint64_t seed() const { return seed_; }
     const std::string &jsonOut() const { return jsonOut_; }
     const std::string &snapshotAfter() const
@@ -151,10 +177,10 @@ class BenchArgs
     {
         std::fprintf(
             to,
-            "usage: %s [--jobs N] [--quick] [--seed N] "
-            "[--json-out FILE]\n"
-            "       [--snapshot-after FILE] [--from-snapshot "
-            "FILE]\n"
+            "usage: %s [--jobs N] [--quick] [--sample W:D:F] "
+            "[--seed N]\n"
+            "       [--json-out FILE] [--snapshot-after FILE]\n"
+            "       [--from-snapshot FILE]\n"
             "\n"
             "  --jobs N         run independent experiment arms "
             "on N host\n"
@@ -166,6 +192,14 @@ class BenchArgs
             "  --quick          shrink warmup/request counts "
             "(~8x) for\n"
             "                   smoke runs\n"
+            "  --sample W:D:F   sampled execution (default off = "
+            "exact):\n"
+            "                   alternate W warmup + D measured "
+            "detailed\n"
+            "                   instructions with F functional "
+            "fast-forward\n"
+            "                   instructions; cycles are CPI "
+            "extrapolations\n"
             "  --seed N         workload RNG seed (default 42)\n"
             "  --json-out FILE  also write a dlsim-metrics-v1 "
             "JSON\n"
@@ -197,6 +231,7 @@ class BenchArgs
     std::string tool_;
     unsigned jobs_ = 0;
     bool quick_ = false;
+    sim::SampleParams sample_;
     std::uint64_t seed_ = 42;
     std::string jsonOut_;
     std::string snapshotAfter_;
@@ -244,14 +279,26 @@ measureArm(workload::Workbench &wb, int requests)
     return result;
 }
 
-/** Run one arm of an experiment. */
+/**
+ * Run one arm of an experiment. With `sp.enabled` the arm runs in
+ * sampled mode (detailed windows + functional fast-forward; see
+ * sim::SampledExecution). A non-null `prog` supplies a pre-built
+ * program shared across arms of the same workload.
+ */
 inline ArmResult
 runArm(const workload::WorkloadParams &wl,
-       const workload::MachineConfig &mc, int warmup, int requests)
+       const workload::MachineConfig &mc, int warmup, int requests,
+       const sim::SampleParams &sp = {},
+       std::shared_ptr<const workload::BuiltProgram> prog = nullptr)
 {
-    workload::Workbench wb(wl, mc);
-    wb.warmup(static_cast<std::uint32_t>(warmup));
-    return measureArm(wb, requests);
+    std::optional<workload::Workbench> wb;
+    if (prog)
+        wb.emplace(wl, mc, std::move(prog));
+    else
+        wb.emplace(wl, mc);
+    wb->setSampling(sp);
+    wb->warmup(static_cast<std::uint32_t>(warmup));
+    return measureArm(*wb, requests);
 }
 
 /**
@@ -264,11 +311,19 @@ runArm(const workload::WorkloadParams &wl,
  * benches. Snapshot failures (bad magic/version/CRC, parameter
  * fingerprint mismatch, I/O errors) are fatal: diagnostic on stderr,
  * exit 1, never partial state.
+ *
+ * Under --sample the warm-up itself runs sampled: linking state
+ * (GOT entries, lazy-binding progress) is architecturally exact
+ * either way, only microarchitectural warmth is approximate — so
+ * the serialized bytes differ from an exact warm-up's, and a
+ * snapshot written with --sample should be restored with --sample.
  */
 inline std::vector<std::uint8_t>
 warmState(const BenchArgs &args, const std::string &key,
           const workload::WorkloadParams &wl,
-          const workload::MachineConfig &ref_mc, int warmup)
+          const workload::MachineConfig &ref_mc, int warmup,
+          std::shared_ptr<const workload::BuiltProgram> prog =
+              nullptr)
 {
     const std::string suffix = key.empty() ? "" : "." + key;
     try {
@@ -276,15 +331,24 @@ warmState(const BenchArgs &args, const std::string &key,
             const std::string path = args.fromSnapshot() + suffix;
             auto bytes = snapshot::readFile(path);
             workload::checkSnapshotCompatible(bytes, wl, ref_mc);
+            // Verify payload checksums once here; the per-arm
+            // restores below then treat the buffer as trusted.
+            snapshot::Deserializer(bytes.data(), bytes.size())
+                .verifyAllSections();
             std::fprintf(stderr,
                          "snapshot: warm state restored from %s "
                          "(%zu bytes)\n",
                          path.c_str(), bytes.size());
             return bytes;
         }
-        workload::Workbench wb(wl, ref_mc);
-        wb.warmup(static_cast<std::uint32_t>(warmup));
-        auto bytes = workload::snapshotWorkbench(wb);
+        std::optional<workload::Workbench> wb;
+        if (prog)
+            wb.emplace(wl, ref_mc, std::move(prog));
+        else
+            wb.emplace(wl, ref_mc);
+        wb->setSampling(args.sample());
+        wb->warmup(static_cast<std::uint32_t>(warmup));
+        auto bytes = workload::snapshotWorkbench(*wb);
         if (!args.snapshotAfter().empty()) {
             const std::string path = args.snapshotAfter() + suffix;
             snapshot::writeFile(path, bytes);
@@ -312,12 +376,25 @@ inline ArmResult
 runArmFromState(const std::vector<std::uint8_t> &state,
                 const workload::WorkloadParams &wl,
                 const workload::MachineConfig &ref_mc,
-                const workload::MachineConfig &arm_mc, int requests)
+                const workload::MachineConfig &arm_mc, int requests,
+                const sim::SampleParams &sp = {},
+                std::shared_ptr<const workload::BuiltProgram> prog =
+                    nullptr)
 {
-    workload::Workbench wb(wl, ref_mc);
-    workload::restoreWorkbench(wb, state.data(), state.size());
-    wb.reconfigure(arm_mc);
-    return measureArm(wb, requests);
+    if (!prog)
+        prog = std::make_shared<const workload::BuiltProgram>(
+            workload::buildProgram(wl));
+    // for_restore: the restore below replaces every address-space
+    // page, so the construction skips seeding them.
+    std::optional<workload::Workbench> wb;
+    wb.emplace(wl, ref_mc, std::move(prog), /*for_restore=*/true);
+    // Trusted: warmState either serialized these bytes in-process
+    // or verified the file's checksums once up front.
+    workload::restoreWorkbench(*wb, state.data(), state.size(),
+                               /*trusted=*/true);
+    wb->reconfigure(arm_mc);
+    wb->setSampling(sp);
+    return measureArm(*wb, requests);
 }
 
 /**
@@ -332,6 +409,24 @@ runJobs(const BenchArgs &args,
 {
     sim::JobRunner runner(args.jobs());
     return runner.run(std::move(work));
+}
+
+/**
+ * Append the sampled-mode provenance tags (`sampled=1` plus the
+ * W:D:F spec) to a run's context when --sample is active, so a
+ * dlsim-metrics-v1 document always distinguishes extrapolated
+ * numbers from exact ones.
+ */
+inline std::vector<std::pair<std::string, std::string>>
+withSampleContext(
+    const BenchArgs &args,
+    std::vector<std::pair<std::string, std::string>> context)
+{
+    if (args.sample().enabled) {
+        context.emplace_back("sampled", "1");
+        context.emplace_back("sample", args.sample().spec());
+    }
+    return context;
 }
 
 /**

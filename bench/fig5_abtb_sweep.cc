@@ -55,12 +55,15 @@ main(int argc, char **argv)
     // (and --from-snapshot skips it entirely).
     const workload::MachineConfig refMc = enhancedMachine();
     workload::WorkloadParams wls[3];
+    std::shared_ptr<const workload::BuiltProgram> progs[3];
     std::vector<std::uint8_t> states[3];
     for (int i = 0; i < 3; ++i) {
         wls[i] = workload::profileByName(profiles[i]);
         wls[i].seed = args.seed();
+        progs[i] = std::make_shared<const workload::BuiltProgram>(
+            workload::buildProgram(wls[i]));
         states[i] = warmState(args, profiles[i], wls[i], refMc,
-                              args.scaled(warmups[i]));
+                              args.scaled(warmups[i]), progs[i]);
     }
 
     // One job per (size, workload) cell; the whole grid runs on
@@ -78,14 +81,15 @@ main(int argc, char **argv)
     std::vector<std::function<ArmResult()>> work;
     work.reserve(cells.size());
     for (const Cell &cell : cells) {
-        work.push_back([cell, &args, &refMc, &wls, &states,
-                        &requests] {
+        work.push_back([cell, &args, &refMc, &wls, &progs,
+                        &states, &requests] {
             workload::MachineConfig mc = enhancedMachine();
             mc.abtbEntries = cell.entries;
             mc.abtbAssoc = std::min(cell.entries, 4u);
             return runArmFromState(
                 states[cell.profile], wls[cell.profile], refMc,
-                mc, args.scaled(requests[cell.profile]));
+                mc, args.scaled(requests[cell.profile]),
+                args.sample(), progs[cell.profile]);
         });
     }
     const auto arms = runJobs(args, std::move(work));
@@ -102,13 +106,16 @@ main(int argc, char **argv)
             json.add(std::string(profiles[i]) + ".entries" +
                          std::to_string(entries),
                      arm,
-                     {{"workload", profiles[i]},
-                      {"machine", "enhanced"},
-                      {"abtb_entries", std::to_string(entries)},
-                      {"seed", std::to_string(args.seed())},
-                      {"requests",
-                       std::to_string(
-                           args.scaled(requests[i]))}});
+                     withSampleContext(
+                         args,
+                         {{"workload", profiles[i]},
+                          {"machine", "enhanced"},
+                          {"abtb_entries",
+                           std::to_string(entries)},
+                          {"seed", std::to_string(args.seed())},
+                          {"requests",
+                           std::to_string(
+                               args.scaled(requests[i]))}}));
             row.push_back(stats::TablePrinter::num(skipRate(arm),
                                                    1) +
                           "%");

@@ -27,10 +27,12 @@ main(int argc, char **argv)
     const int requests = args.scaled(3000);
     std::vector<std::function<ArmResult()>> work;
     work.push_back([&] {
-        return runArm(wl, baseMachine(), warmup, requests);
+        return runArm(wl, baseMachine(), warmup, requests,
+                      args.sample());
     });
     work.push_back([&] {
-        return runArm(wl, enhancedMachine(), warmup, requests);
+        return runArm(wl, enhancedMachine(), warmup, requests,
+                      args.sample());
     });
     auto arms = runJobs(args, std::move(work));
     ArmResult &base = arms[0];
@@ -38,13 +40,15 @@ main(int argc, char **argv)
 
     JsonOut json("fig6_apache_latency_cdf", args);
     json.add("apache.base", base,
-             {{"workload", "apache"},
-              {"machine", "base"},
-              {"requests", std::to_string(requests)}});
+             withSampleContext(
+                 args, {{"workload", "apache"},
+                        {"machine", "base"},
+                        {"requests", std::to_string(requests)}}));
     json.add("apache.enhanced", enh,
-             {{"workload", "apache"},
-              {"machine", "enhanced"},
-              {"requests", std::to_string(requests)}});
+             withSampleContext(
+                 args, {{"workload", "apache"},
+                        {"machine", "enhanced"},
+                        {"requests", std::to_string(requests)}}));
 
     double mean_imp_sum = 0;
     for (std::size_t k = 0; k < wl.requests.size(); ++k) {

@@ -28,10 +28,12 @@ main(int argc, char **argv)
     const int requests = args.scaled(4000);
     std::vector<std::function<ArmResult()>> work;
     work.push_back([&] {
-        return runArm(wl, baseMachine(), warmup, requests);
+        return runArm(wl, baseMachine(), warmup, requests,
+                      args.sample());
     });
     work.push_back([&] {
-        return runArm(wl, enhancedMachine(), warmup, requests);
+        return runArm(wl, enhancedMachine(), warmup, requests,
+                      args.sample());
     });
     auto arms = runJobs(args, std::move(work));
     ArmResult &base = arms[0];
@@ -39,13 +41,15 @@ main(int argc, char **argv)
 
     JsonOut json("fig7_memcached_histogram", args);
     json.add("memcached.base", base,
-             {{"workload", "memcached"},
-              {"machine", "base"},
-              {"requests", std::to_string(requests)}});
+             withSampleContext(
+                 args, {{"workload", "memcached"},
+                        {"machine", "base"},
+                        {"requests", std::to_string(requests)}}));
     json.add("memcached.enhanced", enh,
-             {{"workload", "memcached"},
-              {"machine", "enhanced"},
-              {"requests", std::to_string(requests)}});
+             withSampleContext(
+                 args, {{"workload", "memcached"},
+                        {"machine", "enhanced"},
+                        {"requests", std::to_string(requests)}}));
 
     for (std::size_t k = 0; k < wl.requests.size(); ++k) {
         auto &b = base.latency[k];

@@ -31,10 +31,12 @@ main(int argc, char **argv)
     const int requests = args.scaled(2500);
     std::vector<std::function<ArmResult()>> work;
     work.push_back([&] {
-        return runArm(wl, baseMachine(), warmup, requests);
+        return runArm(wl, baseMachine(), warmup, requests,
+                      args.sample());
     });
     work.push_back([&] {
-        return runArm(wl, enhancedMachine(), warmup, requests);
+        return runArm(wl, enhancedMachine(), warmup, requests,
+                      args.sample());
     });
     auto arms = runJobs(args, std::move(work));
     ArmResult &base = arms[0];
@@ -42,13 +44,15 @@ main(int argc, char **argv)
 
     JsonOut json("fig8_mysql_latency", args);
     json.add("mysql.base", base,
-             {{"workload", "mysql"},
-              {"machine", "base"},
-              {"requests", std::to_string(requests)}});
+             withSampleContext(
+                 args, {{"workload", "mysql"},
+                        {"machine", "base"},
+                        {"requests", std::to_string(requests)}}));
     json.add("mysql.enhanced", enh,
-             {{"workload", "mysql"},
-              {"machine", "enhanced"},
-              {"requests", std::to_string(requests)}});
+             withSampleContext(
+                 args, {{"workload", "mysql"},
+                        {"machine", "enhanced"},
+                        {"requests", std::to_string(requests)}}));
 
     const double paper[2][4][2] = {
         {{43.5, 43.0}, {57.3, 56.9}, {72.8, 72.3}, {87.1, 86.8}},

@@ -60,7 +60,8 @@ main(int argc, char **argv)
                               enhanced ? enhancedMachine()
                                        : baseMachine(),
                               args.scaled(150),
-                              args.scaled(row.requests));
+                              args.scaled(row.requests),
+                              args.sample());
             });
         }
     }
@@ -76,13 +77,15 @@ main(int argc, char **argv)
             std::to_string(args.scaled(row.requests));
 
         json.add(std::string(row.name) + ".base", base,
-                 {{"workload", row.name},
-                  {"machine", "base"},
-                  {"requests", requests}});
+                 withSampleContext(args,
+                                   {{"workload", row.name},
+                                    {"machine", "base"},
+                                    {"requests", requests}}));
         json.add(std::string(row.name) + ".enhanced", enh,
-                 {{"workload", row.name},
-                  {"machine", "enhanced"},
-                  {"requests", requests}});
+                 withSampleContext(args,
+                                   {{"workload", row.name},
+                                    {"machine", "enhanced"},
+                                    {"requests", requests}}));
 
         std::printf("--- %s ---\n", row.name);
         stats::TablePrinter t({"Counter PKI", "Base", "Enhanced",

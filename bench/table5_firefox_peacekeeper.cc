@@ -37,10 +37,12 @@ main(int argc, char **argv)
     const int requests = args.scaled(1200);
     std::vector<std::function<ArmResult()>> work;
     work.push_back([&] {
-        return runArm(wl, baseMachine(), warmup, requests);
+        return runArm(wl, baseMachine(), warmup, requests,
+                      args.sample());
     });
     work.push_back([&] {
-        return runArm(wl, enhancedMachine(), warmup, requests);
+        return runArm(wl, enhancedMachine(), warmup, requests,
+                      args.sample());
     });
     auto arms = runJobs(args, std::move(work));
     const ArmResult &base = arms[0];
@@ -48,13 +50,15 @@ main(int argc, char **argv)
 
     JsonOut json("table5_firefox_peacekeeper", args);
     json.add("firefox.base", base,
-             {{"workload", "firefox"},
-              {"machine", "base"},
-              {"requests", std::to_string(requests)}});
+             withSampleContext(
+                 args, {{"workload", "firefox"},
+                        {"machine", "base"},
+                        {"requests", std::to_string(requests)}}));
     json.add("firefox.enhanced", enh,
-             {{"workload", "firefox"},
-              {"machine", "enhanced"},
-              {"requests", std::to_string(requests)}});
+             withSampleContext(
+                 args, {{"workload", "firefox"},
+                        {"machine", "enhanced"},
+                        {"requests", std::to_string(requests)}}));
 
     struct PaperRow
     {

@@ -129,11 +129,16 @@ Btb::load(snapshot::Deserializer &d)
     lookups_ = d.u64();
     hits_ = d.u64();
     evictions_ = d.u64();
+    // Bulk-unpack (u64 pc, u64 target, bool, u64 lastUse = 25
+    // bytes/entry, matching save()); see Cache::load.
+    constexpr std::size_t EntryWireBytes = 25;
+    const std::uint8_t *p = d.raw(entries_.size() * EntryWireBytes);
     for (Entry &e : entries_) {
-        e.pc = d.u64();
-        e.target = d.u64();
-        e.valid = d.boolean();
-        e.lastUse = d.u64();
+        e.pc = snapshot::le64(p);
+        e.target = snapshot::le64(p + 8);
+        e.valid = p[16] != 0;
+        e.lastUse = snapshot::le64(p + 17);
+        p += EntryWireBytes;
     }
     d.leaveStruct();
 }

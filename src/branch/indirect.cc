@@ -120,11 +120,16 @@ IndirectPredictor::load(snapshot::Deserializer &d)
     d.checkU32(params_.historyBits, "indirect historyBits");
     history_ = d.u64();
     tick_ = d.u64();
+    // Bulk-unpack (u64 tag, u64 target, bool, u64 lastUse = 25
+    // bytes/entry, matching save()); see Cache::load.
+    constexpr std::size_t EntryWireBytes = 25;
+    const std::uint8_t *p = d.raw(entries_.size() * EntryWireBytes);
     for (Entry &e : entries_) {
-        e.tag = d.u64();
-        e.target = d.u64();
-        e.valid = d.boolean();
-        e.lastUse = d.u64();
+        e.tag = snapshot::le64(p);
+        e.target = snapshot::le64(p + 8);
+        e.valid = p[16] != 0;
+        e.lastUse = snapshot::le64(p + 17);
+        p += EntryWireBytes;
     }
     d.leaveStruct();
 }

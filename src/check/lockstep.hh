@@ -60,6 +60,8 @@ struct LockstepStats
     std::uint64_t externalWrites = 0;
     /** Instructions executed inside substitution walks. */
     std::uint64_t walkedInstructions = 0;
+    /** Resyncs at fast-forward/detail boundaries (sampled runs). */
+    std::uint64_t fastForwardSyncs = 0;
 };
 
 /** The lockstep architectural oracle. */
@@ -92,6 +94,16 @@ class LockstepChecker : public cpu::RetireObserver
     void onRetire(const cpu::RetireRecord &rec) override;
     void onResolver(const cpu::ResolverRecord &rec) override;
     void onExternalWrite(isa::Addr addr) override;
+
+    /** Fast-forward handoff: the functional engine already applied
+     *  every architectural effect to the real address space, so the
+     *  checker resyncs exactly as after a snapshot restore. */
+    void onFastForward(const cpu::MachineState &state) override
+    {
+        (void)state;
+        resync();
+        ++stats_.fastForwardSyncs;
+    }
     /** @} */
 
   private:

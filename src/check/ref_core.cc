@@ -61,18 +61,25 @@ RefCore::RefCore(const linker::Image *image) : image_(image)
     mem_ = image_->addressSpace().fork();
 }
 
+RefCore::RefCore(const linker::Image *image,
+                 mem::AddressSpace *direct)
+    : image_(image), direct_(direct)
+{
+}
+
 void
 RefCore::sync(const cpu::MachineState &state)
 {
     state_ = state;
-    mem_ = image_->addressSpace().fork();
+    if (!direct_)
+        mem_ = image_->addressSpace().fork();
 }
 
 std::uint64_t
 RefCore::read64(Addr addr)
 {
     mem::MemFault fault = mem::MemFault::None;
-    const auto value = mem_->read64(addr, fault);
+    const auto value = space().read64(addr, fault);
     if (fault != mem::MemFault::None) {
         throw RefExecError("reference load fault at " +
                            hexAddr(addr) + " (pc " +
@@ -84,7 +91,7 @@ RefCore::read64(Addr addr)
 void
 RefCore::write64(Addr addr, std::uint64_t value)
 {
-    const auto fault = mem_->write64(addr, value);
+    const auto fault = space().write64(addr, value);
     if (fault != mem::MemFault::None) {
         throw RefExecError("reference store fault at " +
                            hexAddr(addr) + " (pc " +
@@ -107,10 +114,82 @@ RefCore::step()
                            hexAddr(state_.pc));
     }
 
-    const isa::Instruction &inst = slot->inst;
-    const Addr pc = state_.pc;
+    RefStep st;
+    exec(*slot, st);
+    return st;
+}
+
+RefCore::FastRun
+RefCore::runFast(std::uint64_t max_steps, Addr stop_pc)
+{
+    FastRun r;
+    while (r.steps < max_steps) {
+        // Chain-entry checks only: the stop sentinels (magic
+        // return, resolver trap) are distinguished addresses
+        // reachable solely via taken transfers, so fall-through
+        // chaining never needs these tests. state_.pc is
+        // authoritative here and re-synced at every chain end (a
+        // RefExecError thrown mid-chain therefore reports the
+        // chain-entry pc; the faulting address is exact).
+        if (state_.halted) {
+            r.stop = FastStop::Halted;
+            return r;
+        }
+        Addr pc = state_.pc;
+        if (pc == stop_pc) {
+            r.stop = FastStop::StopPc;
+            return r;
+        }
+        if (pc == linker::ResolverVa) {
+            r.stop = FastStop::Resolver;
+            return r;
+        }
+        const linker::Slot *cur = image_->decode(pc);
+        if (!cur) {
+            throw RefExecError("reference: undecodable pc " +
+                               hexAddr(pc));
+        }
+        // Chain fall-through slots with pc held in a register;
+        // transfers (and halt) break out to the entry checks.
+        do {
+            ++r.steps;
+            if (execT<false>(*cur, nullptr, pc))
+                break;
+            cur = image_->nextSlot(cur);
+            if (!cur) {
+                state_.pc = pc;
+                throw RefExecError(
+                    "reference: undecodable pc " + hexAddr(pc));
+            }
+        } while (r.steps < max_steps);
+        state_.pc = pc;
+    }
+    if (state_.halted)
+        r.stop = FastStop::Halted;
+    else if (state_.pc == stop_pc)
+        r.stop = FastStop::StopPc;
+    else if (state_.pc == linker::ResolverVa)
+        r.stop = FastStop::Resolver;
+    return r;
+}
+
+void
+RefCore::exec(const linker::Slot &slot, RefStep &st)
+{
+    Addr pc = state_.pc;
+    execT<true>(slot, &st, pc);
+    state_.pc = pc;
+}
+
+template <bool Record>
+bool
+RefCore::execT(const linker::Slot &slot, RefStep *st, Addr &pc)
+{
+    const isa::Instruction &inst = slot.inst;
     const Addr fallthrough = pc + inst.size;
     auto &regs = state_.regs;
+    Addr nextPc = fallthrough;
+    bool taken = false;
 
     const auto effAddr = [&]() -> Addr {
         return inst.memBase == isa::NoReg
@@ -118,11 +197,19 @@ RefCore::step()
                    : regs[inst.memBase] +
                          static_cast<Addr>(inst.imm);
     };
+    const auto store = [&](Addr addr, std::uint64_t value) {
+        if constexpr (Record) {
+            st->storeAddr = addr;
+            st->storeValue = value;
+            st->didStore = true;
+        }
+        write64(addr, value);
+    };
 
-    RefStep st;
-    st.pc = pc;
-    st.op = inst.op;
-    st.nextPc = fallthrough;
+    if constexpr (Record) {
+        st->pc = pc;
+        st->op = inst.op;
+    }
 
     switch (inst.op) {
       case isa::Opcode::Nop:
@@ -142,24 +229,16 @@ RefCore::step()
         regs[inst.dst] = read64(effAddr());
         break;
       case isa::Opcode::Store:
-        st.storeAddr = effAddr();
-        st.storeValue = regs[inst.src1];
-        write64(st.storeAddr, st.storeValue);
-        st.didStore = true;
+        store(effAddr(), regs[inst.src1]);
         break;
       case isa::Opcode::Push:
         regs[isa::RegSp] -= 8;
-        st.storeAddr = regs[isa::RegSp];
-        st.storeValue = regs[inst.src1];
-        write64(st.storeAddr, st.storeValue);
-        st.didStore = true;
+        store(regs[isa::RegSp], regs[inst.src1]);
         break;
       case isa::Opcode::PushImm:
         regs[isa::RegSp] -= 8;
-        st.storeAddr = regs[isa::RegSp];
-        st.storeValue = static_cast<std::uint64_t>(inst.imm);
-        write64(st.storeAddr, st.storeValue);
-        st.didStore = true;
+        store(regs[isa::RegSp],
+              static_cast<std::uint64_t>(inst.imm));
         break;
       case isa::Opcode::Pop:
         regs[inst.dst] = read64(regs[isa::RegSp]);
@@ -169,42 +248,39 @@ RefCore::step()
       case isa::Opcode::CallIndReg:
       case isa::Opcode::CallIndMem: {
         if (inst.op == isa::Opcode::CallRel) {
-            st.nextPc = fallthrough + static_cast<Addr>(inst.imm);
+            nextPc = fallthrough + static_cast<Addr>(inst.imm);
         } else if (inst.op == isa::Opcode::CallIndReg) {
-            st.nextPc = regs[inst.src1];
+            nextPc = regs[inst.src1];
         } else {
-            st.nextPc = read64(effAddr());
+            nextPc = read64(effAddr());
         }
         regs[isa::RegSp] -= 8;
-        st.storeAddr = regs[isa::RegSp];
-        st.storeValue = fallthrough;
-        write64(st.storeAddr, st.storeValue);
-        st.didStore = true;
-        st.taken = true;
+        store(regs[isa::RegSp], fallthrough);
+        taken = true;
         break;
       }
       case isa::Opcode::JmpRel:
-        st.nextPc = fallthrough + static_cast<Addr>(inst.imm);
-        st.taken = true;
+        nextPc = fallthrough + static_cast<Addr>(inst.imm);
+        taken = true;
         break;
       case isa::Opcode::JmpIndReg:
-        st.nextPc = regs[inst.src1];
-        st.taken = true;
+        nextPc = regs[inst.src1];
+        taken = true;
         break;
       case isa::Opcode::JmpIndMem:
-        st.nextPc = read64(effAddr());
-        st.taken = true;
+        nextPc = read64(effAddr());
+        taken = true;
         break;
       case isa::Opcode::CondBr:
         if (condTaken(inst.cond, regs[inst.src1])) {
-            st.nextPc = fallthrough + static_cast<Addr>(inst.imm);
-            st.taken = true;
+            nextPc = fallthrough + static_cast<Addr>(inst.imm);
+            taken = true;
         }
         break;
       case isa::Opcode::Ret:
-        st.nextPc = read64(regs[isa::RegSp]);
+        nextPc = read64(regs[isa::RegSp]);
         regs[isa::RegSp] += 8;
-        st.taken = true;
+        taken = true;
         break;
       case isa::Opcode::Halt:
         state_.halted = true;
@@ -214,8 +290,12 @@ RefCore::step()
         break;
     }
 
-    state_.pc = st.nextPc;
-    return st;
+    if constexpr (Record) {
+        st->nextPc = nextPc;
+        st->taken = taken;
+    }
+    pc = nextPc;
+    return taken || state_.halted;
 }
 
 } // namespace dlsim::check

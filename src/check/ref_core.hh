@@ -14,6 +14,13 @@
  * and compares the two machines; any divergence is, by
  * construction, a violation of the mechanism's "architecturally
  * identical to the unmodified system" contract (paper §3).
+ *
+ * A RefCore can alternatively be bound *directly* to an address
+ * space instead of forking one. sim::SampledExecution uses this to
+ * fast-forward the live machine between detailed-timing sample
+ * windows: functional stores land in the real process image, so
+ * when the timing core resumes, architectural state is exactly what
+ * exact-mode execution would have produced.
  */
 
 #ifndef DLSIM_CHECK_REF_CORE_HH
@@ -54,6 +61,15 @@ struct RefStep
     std::uint64_t storeValue = 0;
 };
 
+/** Why a runFast() batch stopped. */
+enum class FastStop
+{
+    Budget,   ///< max_steps executed.
+    Resolver, ///< pc reached the lazy-resolver trap.
+    StopPc,   ///< pc reached the caller's stop address.
+    Halted,   ///< the machine executed Halt.
+};
+
 /** The functional reference executor. */
 class RefCore
 {
@@ -63,19 +79,28 @@ class RefCore
     explicit RefCore(const linker::Image *image);
 
     /**
-     * Adopt `state` and re-fork reference memory from the image's
-     * current address space. Call when the two machines are known
-     * architecturally identical: at attach, and after a snapshot
-     * restore.
+     * Direct-memory mode: execute against `direct` (typically the
+     * image's own address space) instead of a private fork. Stores
+     * are architecturally real — this is the fast-forward engine,
+     * not a checker. sync() then only adopts register state.
+     */
+    RefCore(const linker::Image *image, mem::AddressSpace *direct);
+
+    /**
+     * Adopt `state` and (fork mode only) re-fork reference memory
+     * from the image's current address space. Call when the two
+     * machines are known architecturally identical: at attach,
+     * after a snapshot restore, and after a fast-forward phase.
      */
     void sync(const cpu::MachineState &state);
 
     cpu::MachineState &state() { return state_; }
     const cpu::MachineState &state() const { return state_; }
 
-    /** Reference memory (the checker mirrors external writes and
-     *  resolver stores into it). */
-    mem::AddressSpace &memory() { return *mem_; }
+    /** Reference memory: the private fork, or the directly bound
+     *  space. (The checker mirrors external writes and resolver
+     *  stores into its fork.) */
+    mem::AddressSpace &memory() { return space(); }
 
     /**
      * Execute exactly one instruction at state().pc. Never services
@@ -85,12 +110,45 @@ class RefCore
      */
     RefStep step();
 
+    /** Result of one runFast() batch. */
+    struct FastRun
+    {
+        std::uint64_t steps = 0;
+        FastStop stop = FastStop::Budget;
+    };
+
+    /**
+     * Execute up to `max_steps` instructions functionally, as fast
+     * as the interpreter can go (slot-chained decode, no per-step
+     * event records). Stops *before* executing anything at
+     * `stop_pc` or the resolver trap — the caller services the trap
+     * (or ends the run) and calls again. Throws RefExecError on a
+     * memory fault or undecodable pc.
+     */
+    FastRun runFast(std::uint64_t max_steps, Addr stop_pc);
+
   private:
+    mem::AddressSpace &space() { return direct_ ? *direct_ : *mem_; }
+    /** Execute `slot` at state().pc, filling `st` and advancing. */
+    void exec(const linker::Slot &slot, RefStep &st);
+    /**
+     * exec() with the per-step record compiled out (Record=false)
+     * and the program counter threaded through `pc` instead of
+     * state_.pc: the fast-forward loop keeps pc in a register
+     * across whole fall-through chains, so the loop-carried
+     * dependency never round-trips through memory. Callers own the
+     * state_.pc sync.
+     * @return True when slot chaining must stop — a taken transfer
+     *         or a halt.
+     */
+    template <bool Record>
+    bool execT(const linker::Slot &slot, RefStep *st, Addr &pc);
     std::uint64_t read64(Addr addr);
     void write64(Addr addr, std::uint64_t value);
 
     const linker::Image *image_;
     std::unique_ptr<mem::AddressSpace> mem_;
+    mem::AddressSpace *direct_ = nullptr;
     cpu::MachineState state_;
 };
 

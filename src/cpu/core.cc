@@ -77,8 +77,8 @@ Core::initStack(Addr stack_top)
 std::uint64_t
 Core::readData(Addr addr)
 {
-    ++loads_;
-    cycles_ += hierarchy_.data(addr, asid_).extraCycles;
+    ++cnt_.loads;
+    cnt_.cycles += hierarchy_.data(addr, asid_).extraCycles;
     mem::MemFault fault = mem::MemFault::None;
     const auto value = image_->addressSpace().read64(addr, fault);
     if (fault != mem::MemFault::None) {
@@ -91,8 +91,8 @@ Core::readData(Addr addr)
 void
 Core::writeData(Addr addr, std::uint64_t value)
 {
-    ++stores_;
-    cycles_ += hierarchy_.data(addr, asid_).extraCycles;
+    ++cnt_.stores;
+    cnt_.cycles += hierarchy_.data(addr, asid_).extraCycles;
     const auto fault = image_->addressSpace().write64(addr, value);
     if (fault != mem::MemFault::None) {
         throw SimError("store fault at " + hexAddr(addr) + " (pc " +
@@ -177,9 +177,9 @@ Core::serviceResolver()
     }
 
     // Synthetic cost of the symbol hash lookup in ld.so.
-    instructions_ += params_.resolverInsts;
-    cycles_ += params_.resolverCycles;
-    ++resolverCalls_;
+    cnt_.instructions += params_.resolverInsts;
+    cnt_.cycles += params_.resolverCycles;
+    ++cnt_.resolverCalls;
 
     state_.pc = result.target;
     curSlot_ = nullptr;
@@ -191,15 +191,16 @@ Core::serviceResolver()
         rec.gotAddr = result.gotAddr;
         rec.value = result.value;
         rec.target = result.target;
-        rec.cycle = cycles_;
-        rec.retireIndex = instructions_;
+        rec.cycle = cnt_.cycles;
+        rec.retireIndex = cnt_.instructions;
         rec.state = &state_;
         observer_->onResolver(rec);
     }
 }
 
+template <bool Observed>
 void
-Core::step()
+Core::stepT()
 {
     if (state_.pc == linker::ResolverVa) {
         serviceResolver();
@@ -218,16 +219,16 @@ Core::step()
 
     // Fetch. Base throughput is issueWidth instructions per
     // cycle; miss penalties serialise on top.
-    cycles_ += hierarchy_.fetch(pc, asid_).extraCycles;
-    if (++issueSlot_ >= params_.issueWidth) {
-        ++cycles_;
-        issueSlot_ = 0;
+    cnt_.cycles += hierarchy_.fetch(pc, asid_).extraCycles;
+    if (++cnt_.issueSlot >= params_.issueWidth) {
+        ++cnt_.cycles;
+        cnt_.issueSlot = 0;
     }
-    ++instructions_;
+    ++cnt_.instructions;
     if (slot.flags & linker::FlagPlt) {
-        ++trampolineInsts_;
+        ++cnt_.trampolineInsts;
         if (slot.flags & linker::FlagPltJmp) {
-            ++trampolineJmps_;
+            ++cnt_.trampolineJmps;
             if (params_.profileTrampolines)
                 ++trampolineCounts_[pc];
         }
@@ -328,7 +329,7 @@ Core::step()
         redirected = true;
         break;
       case isa::Opcode::CondBr: {
-        ++condBranches_;
+        ++cnt_.condBranches;
         if (condTaken(inst.cond, regs[inst.src1])) {
             next = fallthrough + static_cast<Addr>(inst.imm);
             redirected = true;
@@ -372,15 +373,15 @@ Core::step()
                 effective = entry->function;
                 substituted = true;
                 sub_entry = *entry;
-                ++skippedTrampolines_;
+                ++cnt_.skippedTrampolines;
             }
         }
-        ++branches_;
+        ++cnt_.branches;
         if (predicted != effective) {
-            ++mispredicts_;
-            cycles_ += params_.mispredictPenalty;
+            ++cnt_.mispredicts;
+            cnt_.cycles += params_.mispredictPenalty;
             if (inst.op == isa::Opcode::CondBr)
-                ++condMispredicts_;
+                ++cnt_.condMispredicts;
         }
         predictor_.resolve(inst, pc, redirected, effective);
     }
@@ -446,9 +447,9 @@ Core::step()
     // Advance.
     if (is_ctl && (redirected || effective != fallthrough)) {
         // Taken transfer: the fetch group ends here.
-        if (issueSlot_ != 0) {
-            ++cycles_;
-            issueSlot_ = 0;
+        if (cnt_.issueSlot != 0) {
+            ++cnt_.cycles;
+            cnt_.issueSlot = 0;
         }
         state_.pc = effective;
         curSlot_ = nullptr;
@@ -457,7 +458,7 @@ Core::step()
         curSlot_ = image_->nextSlot(curSlot_);
     }
 
-    if (observer_) {
+    if constexpr (Observed) {
         RetireRecord rec;
         rec.pc = pc;
         rec.op = inst.op;
@@ -475,22 +476,30 @@ Core::step()
         rec.storeAddr = store_addr;
         rec.storeValue = store_value;
         rec.loadSrc = load_src;
-        rec.cycle = cycles_;
-        rec.retireIndex = instructions_;
+        rec.cycle = cnt_.cycles;
+        rec.retireIndex = cnt_.instructions;
         rec.state = &state_;
         observer_->onRetire(rec);
     }
 }
 
+template <bool Observed>
+std::uint64_t
+Core::runLoopT(std::uint64_t max_insts)
+{
+    const std::uint64_t start = cnt_.instructions;
+    while (!state_.halted && state_.pc != MagicReturnVa &&
+           cnt_.instructions - start < max_insts) {
+        stepT<Observed>();
+    }
+    return cnt_.instructions - start;
+}
+
 std::uint64_t
 Core::run(std::uint64_t max_insts)
 {
-    const std::uint64_t start = instructions_;
-    while (!state_.halted && state_.pc != MagicReturnVa &&
-           instructions_ - start < max_insts) {
-        step();
-    }
-    return instructions_ - start;
+    return observer_ ? runLoopT<true>(max_insts)
+                     : runLoopT<false>(max_insts);
 }
 
 void
@@ -517,11 +526,7 @@ Core::beginCall(Addr function, std::uint64_t arg0,
 bool
 Core::runQuantum(std::uint64_t max_insts)
 {
-    const std::uint64_t start = instructions_;
-    while (!state_.halted && state_.pc != MagicReturnVa &&
-           instructions_ - start < max_insts) {
-        step();
-    }
+    run(max_insts);
     return state_.halted || state_.pc == MagicReturnVa;
 }
 
@@ -531,14 +536,13 @@ Core::callFunction(Addr function, std::uint64_t arg0,
 {
     beginCall(function, arg0, arg1, arg2);
 
-    const std::uint64_t insts0 = instructions_;
-    const std::uint64_t cycles0 = cycles_;
-    while (!state_.halted && state_.pc != MagicReturnVa)
-        step();
+    const std::uint64_t insts0 = cnt_.instructions;
+    const std::uint64_t cycles0 = cnt_.cycles;
+    run(UINT64_MAX);
 
     CallResult result;
-    result.instructions = instructions_ - insts0;
-    result.cycles = cycles_ - cycles0;
+    result.instructions = cnt_.instructions - insts0;
+    result.cycles = cnt_.cycles - cycles0;
     result.returnValue = state_.regs[isa::RegRet];
     return result;
 }
@@ -547,17 +551,17 @@ PerfCounters
 Core::counters() const
 {
     PerfCounters c;
-    c.instructions = instructions_;
-    c.cycles = cycles_;
-    c.trampolineInsts = trampolineInsts_;
-    c.trampolineJmps = trampolineJmps_;
-    c.skippedTrampolines = skippedTrampolines_;
-    c.loads = loads_;
-    c.stores = stores_;
-    c.branches = branches_;
-    c.mispredicts = mispredicts_;
-    c.condBranches = condBranches_;
-    c.condMispredicts = condMispredicts_;
+    c.instructions = cnt_.instructions;
+    c.cycles = cnt_.cycles;
+    c.trampolineInsts = cnt_.trampolineInsts;
+    c.trampolineJmps = cnt_.trampolineJmps;
+    c.skippedTrampolines = cnt_.skippedTrampolines;
+    c.loads = cnt_.loads;
+    c.stores = cnt_.stores;
+    c.branches = cnt_.branches;
+    c.mispredicts = cnt_.mispredicts;
+    c.condBranches = cnt_.condBranches;
+    c.condMispredicts = cnt_.condMispredicts;
     c.l1iMisses = hierarchy_.l1i().misses();
     c.l1dMisses = hierarchy_.l1d().misses();
     c.l2Misses = hierarchy_.l2().misses();
@@ -566,19 +570,16 @@ Core::counters() const
     c.dtlbMisses = hierarchy_.dtlb().misses();
     c.btbLookups = predictor_.btb().lookups();
     c.btbMisses = predictor_.btb().misses();
-    c.resolverCalls = resolverCalls_;
+    c.resolverCalls = cnt_.resolverCalls;
     return c;
 }
 
 void
 Core::clearStats()
 {
-    instructions_ = cycles_ = 0;
-    trampolineInsts_ = trampolineJmps_ = skippedTrampolines_ = 0;
-    loads_ = stores_ = 0;
-    branches_ = mispredicts_ = 0;
-    condBranches_ = condMispredicts_ = 0;
-    resolverCalls_ = 0;
+    const std::uint32_t slot = cnt_.issueSlot;
+    cnt_ = CoreCounters{};
+    cnt_.issueSlot = slot;
     hierarchy_.clearStats();
     predictor_.clearStats();
     if (skipUnit_)
@@ -633,20 +634,20 @@ Core::save(snapshot::Serializer &s) const
         s.u64(r);
     s.u64(state_.pc);
     s.boolean(state_.halted);
-    s.u32(issueSlot_);
+    s.u32(cnt_.issueSlot);
     s.u16(asid_);
-    s.u64(instructions_);
-    s.u64(cycles_);
-    s.u64(trampolineInsts_);
-    s.u64(trampolineJmps_);
-    s.u64(skippedTrampolines_);
-    s.u64(loads_);
-    s.u64(stores_);
-    s.u64(branches_);
-    s.u64(mispredicts_);
-    s.u64(condBranches_);
-    s.u64(condMispredicts_);
-    s.u64(resolverCalls_);
+    s.u64(cnt_.instructions);
+    s.u64(cnt_.cycles);
+    s.u64(cnt_.trampolineInsts);
+    s.u64(cnt_.trampolineJmps);
+    s.u64(cnt_.skippedTrampolines);
+    s.u64(cnt_.loads);
+    s.u64(cnt_.stores);
+    s.u64(cnt_.branches);
+    s.u64(cnt_.mispredicts);
+    s.u64(cnt_.condBranches);
+    s.u64(cnt_.condMispredicts);
+    s.u64(cnt_.resolverCalls);
     // Profiler maps/sets are unordered; emit sorted for stable
     // bytes.
     std::vector<std::pair<Addr, std::uint64_t>> counts(
@@ -689,20 +690,20 @@ Core::load(snapshot::Deserializer &d)
         r = d.u64();
     state_.pc = d.u64();
     state_.halted = d.boolean();
-    issueSlot_ = d.u32();
+    cnt_.issueSlot = d.u32();
     asid_ = d.u16();
-    instructions_ = d.u64();
-    cycles_ = d.u64();
-    trampolineInsts_ = d.u64();
-    trampolineJmps_ = d.u64();
-    skippedTrampolines_ = d.u64();
-    loads_ = d.u64();
-    stores_ = d.u64();
-    branches_ = d.u64();
-    mispredicts_ = d.u64();
-    condBranches_ = d.u64();
-    condMispredicts_ = d.u64();
-    resolverCalls_ = d.u64();
+    cnt_.instructions = d.u64();
+    cnt_.cycles = d.u64();
+    cnt_.trampolineInsts = d.u64();
+    cnt_.trampolineJmps = d.u64();
+    cnt_.skippedTrampolines = d.u64();
+    cnt_.loads = d.u64();
+    cnt_.stores = d.u64();
+    cnt_.branches = d.u64();
+    cnt_.mispredicts = d.u64();
+    cnt_.condBranches = d.u64();
+    cnt_.condMispredicts = d.u64();
+    cnt_.resolverCalls = d.u64();
     trampolineCounts_.clear();
     const std::uint64_t ncounts = d.u64();
     trampolineCounts_.reserve(ncounts);

@@ -74,6 +74,31 @@ class SimError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * The per-instruction counters, grouped into one cache-line-aligned
+ * block. Each worker thread of a parallel sweep owns one Core;
+ * keeping the hot counters contiguous and line-aligned means the
+ * per-step increments touch a single private line — they can never
+ * false-share with whatever the allocator placed around the Core.
+ */
+struct alignas(64) CoreCounters
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t trampolineInsts = 0;
+    std::uint64_t trampolineJmps = 0;
+    std::uint64_t skippedTrampolines = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t resolverCalls = 0;
+    /** Position within the current issue group. */
+    std::uint32_t issueSlot = 0;
+};
+
 /** Core configuration. */
 struct CoreParams
 {
@@ -220,9 +245,9 @@ class Core
     /** @name Cheap counter accessors (harness schedule anchors) @{ */
     std::uint64_t instructionsRetired() const
     {
-        return instructions_;
+        return cnt_.instructions;
     }
-    std::uint64_t cycleCount() const { return cycles_; }
+    std::uint64_t cycleCount() const { return cnt_.cycles; }
     /** @} */
 
     /** Snapshot of all performance counters. */
@@ -320,7 +345,16 @@ class Core
     void closeTrace();
 
   private:
-    void step();
+    /**
+     * The per-instruction loop is instantiated twice, on whether an
+     * observer is attached. The overwhelmingly common case — no
+     * observer — compiles to a loop with no null-check and no
+     * RetireRecord assembly at all; the run entry points dispatch
+     * once per quantum instead of once per instruction.
+     */
+    template <bool Observed> void stepT();
+    template <bool Observed>
+    std::uint64_t runLoopT(std::uint64_t max_insts);
     void serviceResolver();
 
     std::uint64_t readData(Addr addr);
@@ -345,21 +379,8 @@ class Core
     RetireObserver *observer_ = nullptr;
     std::unique_ptr<trace::TraceWriter> traceWriter_;
 
-    /** @name Core-owned counters @{ */
-    std::uint64_t instructions_ = 0;
-    std::uint64_t cycles_ = 0;
-    std::uint32_t issueSlot_ = 0;
-    std::uint64_t trampolineInsts_ = 0;
-    std::uint64_t trampolineJmps_ = 0;
-    std::uint64_t skippedTrampolines_ = 0;
-    std::uint64_t loads_ = 0;
-    std::uint64_t stores_ = 0;
-    std::uint64_t branches_ = 0;
-    std::uint64_t mispredicts_ = 0;
-    std::uint64_t condBranches_ = 0;
-    std::uint64_t condMispredicts_ = 0;
-    std::uint64_t resolverCalls_ = 0;
-    /** @} */
+    /** Hot per-instruction counters (one aligned block). */
+    CoreCounters cnt_;
 
     /** Profiler state. */
     std::unordered_map<Addr, std::uint64_t> trampolineCounts_;

@@ -105,6 +105,20 @@ class RetireObserver
      * new value is already visible in the shared address space.
      */
     virtual void onExternalWrite(isa::Addr addr) = 0;
+
+    /**
+     * The core's architectural state was replaced wholesale after a
+     * functional fast-forward phase (sim::SampledExecution): the
+     * skipped retires were executed on a functional engine with
+     * stores applied to the real address space, and `state` is the
+     * machine at the point detailed execution resumes. An observer
+     * tracking state (the lockstep checker) must re-adopt it, as it
+     * would after a snapshot restore. Default: ignore.
+     */
+    virtual void onFastForward(const MachineState &state)
+    {
+        (void)state;
+    }
 };
 
 } // namespace dlsim::cpu

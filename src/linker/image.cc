@@ -109,17 +109,6 @@ Image::decodeMutable(Addr va)
     return &slots_[it->second];
 }
 
-const Slot *
-Image::nextSlot(const Slot *slot) const
-{
-    const Slot *next = slot + 1;
-    if (next != slots_.data() + slots_.size() &&
-        next->va == slot->va + slot->inst.size) {
-        return next;
-    }
-    return decode(slot->va + slot->inst.size);
-}
-
 void
 Image::adoptAddressSpace(std::unique_ptr<mem::AddressSpace> as)
 {
@@ -310,20 +299,30 @@ Image::load(snapshot::Deserializer &d)
         m.namespaceId = d.u16();
     }
     d.checkU64(slots_.size(), "image slot count");
+    // Bulk-unpack the slot array. Each slot is a fixed 29-byte
+    // record (the field-by-field layout save() writes: u64 va, u8
+    // flags, u16 moduleId, u16 pltIndex, eight u8 instruction
+    // fields, i64 imm); one raw() view replaces ~13 bounds-checked
+    // reads per slot, which is measurable when a sweep restores a
+    // several-hundred-thousand-slot image into every arm.
+    constexpr std::size_t SlotWireBytes = 29;
+    const std::uint8_t *p = d.raw(slots_.size() * SlotWireBytes);
     for (Slot &slot : slots_) {
-        slot.va = d.u64();
-        slot.flags = d.u8();
-        slot.moduleId = d.u16();
-        slot.pltIndex = d.u16();
-        slot.inst.op = static_cast<isa::Opcode>(d.u8());
-        slot.inst.size = d.u8();
-        slot.inst.alu = static_cast<isa::AluKind>(d.u8());
-        slot.inst.cond = static_cast<isa::CondKind>(d.u8());
-        slot.inst.dst = d.u8();
-        slot.inst.src1 = d.u8();
-        slot.inst.src2 = d.u8();
-        slot.inst.memBase = d.u8();
-        slot.inst.imm = d.i64();
+        slot.va = snapshot::le64(p);
+        slot.flags = p[8];
+        slot.moduleId = snapshot::le16(p + 9);
+        slot.pltIndex = snapshot::le16(p + 11);
+        slot.inst.op = static_cast<isa::Opcode>(p[13]);
+        slot.inst.size = p[14];
+        slot.inst.alu = static_cast<isa::AluKind>(p[15]);
+        slot.inst.cond = static_cast<isa::CondKind>(p[16]);
+        slot.inst.dst = p[17];
+        slot.inst.src1 = p[18];
+        slot.inst.src2 = p[19];
+        slot.inst.memBase = p[20];
+        slot.inst.imm =
+            static_cast<std::int64_t>(snapshot::le64(p + 21));
+        p += SlotWireBytes;
     }
     const std::uint64_t hits = d.u64();
     const std::uint64_t misses = d.u64();

@@ -143,8 +143,21 @@ class Image
      * served from a cached translation (see docs/performance.md).
      */
     Slot *decodeMutable(Addr va);
-    /** Contiguous successor slot (fall-through fast path). */
-    const Slot *nextSlot(const Slot *slot) const;
+    /**
+     * Contiguous successor slot (fall-through fast path). Inline:
+     * the fast-forward interpreter calls this once per non-transfer
+     * instruction, and the common case is a single adjacency check.
+     */
+    const Slot *
+    nextSlot(const Slot *slot) const
+    {
+        const Slot *next = slot + 1;
+        if (next != slots_.data() + slots_.size() &&
+            next->va == slot->va + slot->inst.size) {
+            return next;
+        }
+        return decode(slot->va + slot->inst.size);
+    }
 
     /** Decode-cache observability (tests, docs/performance.md). */
     std::uint64_t decodeCacheHits() const { return decodeHits_; }

@@ -91,15 +91,21 @@ Loader::load(elf::Module exe, std::vector<elf::Module> libs)
                               mem::PermRead | mem::PermWrite,
                               mem::RegionKind::Stack, "stack");
 
-    image->indexSlots();
+    // A restore target skips indexing, relocation, and binding:
+    // Image::load re-runs indexSlots and overwrites every slot
+    // field, and the restored page pool replaces the GOT pages
+    // bindModule would have written.
+    if (!options_.skeletonForRestore) {
+        image->indexSlots();
 
-    relocateModule(*image, exe_id);
-    for (const auto id : lib_ids)
-        relocateModule(*image, id);
+        relocateModule(*image, exe_id);
+        for (const auto id : lib_ids)
+            relocateModule(*image, id);
 
-    bindModule(*image, exe_id);
-    for (const auto id : lib_ids)
-        bindModule(*image, id);
+        bindModule(*image, exe_id);
+        for (const auto id : lib_ids)
+            bindModule(*image, id);
+    }
 
     return image;
 }
@@ -212,10 +218,12 @@ Loader::placeModule(Image &image, std::uint16_t module_id)
                              mod.name() + ".text");
     // Materialise the text pages: code is file-backed and present,
     // so forked processes share (and COW-account) it.
-    for (Addr page = lm.textBase;
-         page < lm.textBase + lm.textSize;
-         page += mem::PageBytes) {
-        image.addressSpace().poke64(page, 0);
+    if (!options_.skeletonForRestore) {
+        for (Addr page = lm.textBase;
+             page < lm.textBase + lm.textSize;
+             page += mem::PageBytes) {
+            image.addressSpace().poke64(page, 0);
+        }
     }
 
     // GOT: [0]=module id, [1]=resolver, [2+k]=import k.

@@ -59,6 +59,19 @@ struct LoaderOptions
 
     /** Trampoline flavour (paper Fig. 2: x86-64 or ARM style). */
     PltStyle pltStyle = PltStyle::X86;
+
+    /**
+     * Build a skeleton for a snapshot restore: skip the load-time
+     * work a restore replaces wholesale — text-page
+     * materialisation, relocation (slot immediates), GOT binding,
+     * and the slot index (all pages come from the snapshot's page
+     * pool, every slot field from its image record, and
+     * Image::load re-runs indexSlots). Layout, module metadata,
+     * and symbol tables — the parts a restore keeps — are built
+     * identically. An image built this way and never restored is
+     * not runnable.
+     */
+    bool skeletonForRestore = false;
 };
 
 /**

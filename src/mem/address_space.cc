@@ -26,6 +26,7 @@ AddressSpace::map(Addr start, Addr size, std::uint8_t perms,
         });
     regions_.insert(it, std::move(region));
     lastRegion_ = 0;
+    flushPageCache();
     return start;
 }
 
@@ -36,6 +37,7 @@ AddressSpace::protect(Addr addr, std::uint8_t perms)
     if (!r)
         return false;
     r->perms = perms;
+    flushPageCache();
     return true;
 }
 
@@ -50,6 +52,7 @@ AddressSpace::unmap(Addr addr)
                 pages_.erase(p);
             regions_.erase(it);
             lastRegion_ = 0;
+            flushPageCache();
             return true;
         }
     }
@@ -113,9 +116,11 @@ AddressSpace::touchPage(Addr page_num, bool for_write)
 }
 
 std::uint64_t
-AddressSpace::read64(Addr addr, MemFault &fault)
+AddressSpace::read64Slow(Addr addr, MemFault &fault)
 {
     assert((addr & 7) == 0);
+    const Addr page_num = addr >> PageShift;
+    CachedPage &e = cache_[page_num & (CacheSlots - 1)];
     const Region *r = findRegion(addr);
     if (!r) {
         fault = MemFault::Unmapped;
@@ -126,20 +131,30 @@ AddressSpace::read64(Addr addr, MemFault &fault)
         return 0;
     }
     fault = MemFault::None;
-    auto &slot = touchPage(addr >> PageShift, false);
+    auto &slot = touchPage(page_num, false);
+    e.tag = page_num;
+    e.page = slot.page.get();
+    e.readOk = true;
+    e.writeOk = (r->perms & PermWrite) && !slot.cow;
     return slot.page->words[(addr & (PageBytes - 1)) >> 3];
 }
 
 MemFault
-AddressSpace::write64(Addr addr, std::uint64_t value)
+AddressSpace::write64Slow(Addr addr, std::uint64_t value)
 {
     assert((addr & 7) == 0);
+    const Addr page_num = addr >> PageShift;
+    CachedPage &e = cache_[page_num & (CacheSlots - 1)];
     const Region *r = findRegion(addr);
     if (!r)
         return MemFault::Unmapped;
     if (!(r->perms & PermWrite))
         return MemFault::Protection;
-    auto &slot = touchPage(addr >> PageShift, true);
+    auto &slot = touchPage(page_num, true);
+    e.tag = page_num;
+    e.page = slot.page.get();
+    e.readOk = (r->perms & PermRead) != 0;
+    e.writeOk = true; // touchPage(for_write) left it non-COW
     slot.page->words[(addr & (PageBytes - 1)) >> 3] = value;
     return MemFault::None;
 }
@@ -148,8 +163,17 @@ void
 AddressSpace::poke64(Addr addr, std::uint64_t value)
 {
     assert((addr & 7) == 0);
-    assert(findRegion(addr) != nullptr);
-    auto &slot = touchPage(addr >> PageShift, true);
+    const Region *r = findRegion(addr);
+    assert(r != nullptr);
+    const Addr page_num = addr >> PageShift;
+    auto &slot = touchPage(page_num, true);
+    // Keep the translation cache coherent: the touch may have
+    // COW-copied the backing page out from under a cached entry.
+    CachedPage &e = cache_[page_num & (CacheSlots - 1)];
+    e.tag = page_num;
+    e.page = slot.page.get();
+    e.readOk = (r->perms & PermRead) != 0;
+    e.writeOk = (r->perms & PermWrite) != 0;
     slot.page->words[(addr & (PageBytes - 1)) >> 3] = value;
 }
 
@@ -168,6 +192,7 @@ AddressSpace::fillRandom(Addr start, std::uint64_t bytes,
                          std::uint64_t seed)
 {
     assert((start & (PageBytes - 1)) == 0);
+    flushPageCache(); // the touches below may COW-copy cached pages
     std::uint64_t x = seed;
     const auto next = [&x] {
         x += 0x9e3779b97f4a7c15ull;
@@ -204,6 +229,8 @@ AddressSpace::fork() const
             const_cast<AddressSpace *>(this)->pages_[page_num];
         mine.cow = true;
     }
+    // Every page just became COW, so cached writeOk bits are stale.
+    flushPageCache();
     return child;
 }
 
@@ -359,6 +386,7 @@ AddressSpace::load(snapshot::Deserializer &d,
         pages_.emplace(num, std::move(slot));
     }
     d.leaveStruct();
+    flushPageCache();
 }
 
 } // namespace dlsim::mem

@@ -160,11 +160,35 @@ class AddressSpace
     /**
      * Aligned 64-bit load. @param fault receives the fault kind
      * (None on success); the returned value is 0 on fault.
+     *
+     * Defined inline so the translation-cache hit — the common case
+     * in both the timing core and the fast-forward interpreter —
+     * compiles to a handful of instructions at the call site.
      */
-    std::uint64_t read64(Addr addr, MemFault &fault);
+    std::uint64_t
+    read64(Addr addr, MemFault &fault)
+    {
+        const Addr page_num = addr >> PageShift;
+        const CachedPage &e = cache_[page_num & (CacheSlots - 1)];
+        if (e.tag == page_num && e.readOk) {
+            fault = MemFault::None;
+            return e.page->words[(addr & (PageBytes - 1)) >> 3];
+        }
+        return read64Slow(addr, fault);
+    }
 
     /** Aligned 64-bit store. @return Fault kind (None on success). */
-    MemFault write64(Addr addr, std::uint64_t value);
+    MemFault
+    write64(Addr addr, std::uint64_t value)
+    {
+        const Addr page_num = addr >> PageShift;
+        const CachedPage &e = cache_[page_num & (CacheSlots - 1)];
+        if (e.tag == page_num && e.writeOk) {
+            e.page->words[(addr & (PageBytes - 1)) >> 3] = value;
+            return MemFault::None;
+        }
+        return write64Slow(addr, value);
+    }
 
     /**
      * Store that bypasses permission checks (used by the loader to
@@ -221,6 +245,44 @@ class AddressSpace
         bool cow = false;
     };
 
+    /**
+     * Direct-mapped page-translation cache over the region +
+     * page-table lookup — the hot-loop cost of every simulated
+     * memory access (both the timing core and the fast-forward
+     * interpreter). Purely an accelerator: hits reproduce exactly
+     * what the slow path would do, so no architectural state or
+     * counter can differ.
+     *
+     * Invariants: an entry is filled only from the slow path;
+     * `writeOk` implies the backing page was non-COW at fill time
+     * (a hit can therefore store without the COW check or copy
+     * accounting — the slow path would not have copied either).
+     * Every operation that can change a translation — map, protect,
+     * unmap, fork (pages become COW), snapshot load, fillRandom
+     * (may COW-copy) — flushes the cache. A COW copy in the write
+     * slow path refills the entry, replacing the stale pointer.
+     */
+    struct CachedPage
+    {
+        Addr tag = ~Addr{0};
+        PhysPage *page = nullptr;
+        bool readOk = false;
+        bool writeOk = false;
+    };
+    static constexpr std::size_t CacheSlots = 512;
+
+    void
+    flushPageCache() const
+    {
+        for (CachedPage &e : cache_)
+            e = CachedPage{};
+    }
+
+    /** Cache-miss paths: region/permission checks, page touch
+     *  (allocation, COW copy), then refill of the cache entry. */
+    std::uint64_t read64Slow(Addr addr, MemFault &fault);
+    MemFault write64Slow(Addr addr, std::uint64_t value);
+
     PageSlot &touchPage(Addr page_num, bool for_write);
     RegionKind kindOf(Addr addr) const;
 
@@ -230,6 +292,7 @@ class AddressSpace
     mutable std::size_t lastRegion_ = 0;
     std::unordered_map<Addr, PageSlot> pages_;
     std::array<std::uint64_t, 4> cowCopies_{};
+    mutable std::array<CachedPage, CacheSlots> cache_{};
 };
 
 } // namespace dlsim::mem

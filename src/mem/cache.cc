@@ -223,11 +223,18 @@ Cache::load(snapshot::Deserializer &d)
     misses_ = d.u64();
     prefetches_ = d.u64();
     evictions_ = d.u64();
+    // Bulk-unpack the way array (u64 tag, u16 asid, bool valid,
+    // u64 lastUse = 19 bytes/way, the layout save() writes): a
+    // sweep restores tens of thousands of ways per arm, so the
+    // per-field bounds-checked reads are measurable restore cost.
+    constexpr std::size_t WayWireBytes = 19;
+    const std::uint8_t *p = d.raw(ways_.size() * WayWireBytes);
     for (Way &w : ways_) {
-        w.tag = d.u64();
-        w.asid = d.u16();
-        w.valid = d.boolean();
-        w.lastUse = d.u64();
+        w.tag = snapshot::le64(p);
+        w.asid = snapshot::le16(p + 8);
+        w.valid = p[10] != 0;
+        w.lastUse = snapshot::le64(p + 11);
+        p += WayWireBytes;
     }
     for (std::uint32_t &m : mruWay_)
         m = d.u32();

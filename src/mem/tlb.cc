@@ -124,11 +124,16 @@ Tlb::load(snapshot::Deserializer &d)
     hits_ = d.u64();
     misses_ = d.u64();
     evictions_ = d.u64();
+    // Bulk-unpack (u64 vpn, u16 asid, bool, u64 lastUse = 19
+    // bytes/entry, matching save()); see Cache::load.
+    constexpr std::size_t EntryWireBytes = 19;
+    const std::uint8_t *p = d.raw(entries_.size() * EntryWireBytes);
     for (Entry &e : entries_) {
-        e.vpn = d.u64();
-        e.asid = d.u16();
-        e.valid = d.boolean();
-        e.lastUse = d.u64();
+        e.vpn = snapshot::le64(p);
+        e.asid = snapshot::le16(p + 8);
+        e.valid = p[10] != 0;
+        e.lastUse = snapshot::le64(p + 11);
+        p += EntryWireBytes;
     }
     d.leaveStruct();
 }

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 namespace dlsim::sim
 {
@@ -13,8 +19,29 @@ JobRunner::JobRunner(unsigned jobs)
 }
 
 unsigned
+JobRunner::affinityJobs()
+{
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const int n = CPU_COUNT(&set);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+#endif
+    return 0;
+}
+
+unsigned
 JobRunner::defaultJobs()
 {
+    // hardware_concurrency() reports the machine, not the process:
+    // under a cgroup cpuset or taskset it oversubscribes, and the
+    // surplus workers just contend. The affinity mask is what the
+    // scheduler will actually give us.
+    if (const unsigned affinity = affinityJobs())
+        return affinity;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
 }
@@ -57,10 +84,38 @@ JobRunner::runAll(std::vector<std::function<void()>> tasks)
             th.join();
     }
 
-    for (auto &error : errors) {
-        if (error)
-            std::rethrow_exception(error);
+    std::size_t failed = 0;
+    std::size_t first = n;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (errors[i]) {
+            ++failed;
+            if (first == n)
+                first = i;
+        }
     }
+    if (failed == 0)
+        return;
+    if (failed == 1)
+        std::rethrow_exception(errors[first]);
+
+    // Several independent jobs failed: surface every diagnostic.
+    // The aggregate necessarily loses the original exception types;
+    // a single failure (the common case) keeps its type above.
+    std::string msg = std::to_string(failed) + " of " +
+                      std::to_string(n) + " jobs failed:";
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!errors[i])
+            continue;
+        msg += "\n  task " + std::to_string(i) + ": ";
+        try {
+            std::rethrow_exception(errors[i]);
+        } catch (const std::exception &e) {
+            msg += e.what();
+        } catch (...) {
+            msg += "unknown exception";
+        }
+    }
+    throw std::runtime_error(msg);
 }
 
 } // namespace dlsim::sim

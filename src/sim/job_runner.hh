@@ -38,8 +38,11 @@ namespace dlsim::sim
  * on the calling thread — exactly the historical serial path.
  * Failure semantics are identical in both modes: every job runs to
  * completion (jobs are independent, a failure cannot poison its
- * siblings), then the exception of the earliest-submitted failed
- * job is rethrown.
+ * siblings), then failures are reported. A single failed job has
+ * its original exception rethrown (type preserved); when several
+ * jobs fail, every failure is aggregated — task index plus what() —
+ * into one std::runtime_error, so no diagnostic is silently
+ * dropped.
  */
 class JobRunner
 {
@@ -47,14 +50,26 @@ class JobRunner
     /** @param jobs Worker count; 0 selects defaultJobs(). */
     explicit JobRunner(unsigned jobs = 0);
 
-    /** std::thread::hardware_concurrency, clamped to >= 1. */
+    /**
+     * CPUs this process may actually run on: the scheduler affinity
+     * mask (which is how cgroup cpusets and `taskset` limits show
+     * up inside CI containers), falling back to
+     * std::thread::hardware_concurrency when the mask is
+     * unavailable. Always >= 1.
+     */
     static unsigned defaultJobs();
+
+    /** The affinity-mask CPU count alone; 0 when unavailable
+     *  (non-Linux, or sched_getaffinity failed). */
+    static unsigned affinityJobs();
 
     unsigned jobs() const { return jobs_; }
 
     /**
-     * Execute every task, blocking until all have finished.
-     * Rethrows the earliest-submitted task's exception, if any.
+     * Execute every task, blocking until all have finished. If
+     * exactly one task failed, its exception is rethrown; if
+     * several failed, throws a std::runtime_error aggregating every
+     * task index and message.
      */
     void runAll(std::vector<std::function<void()>> tasks);
 
@@ -62,7 +77,7 @@ class JobRunner
      * Execute every task and return their results indexed by
      * submission order. R must be default-constructible and
      * movable; a failed task leaves a default-constructed R and
-     * its exception is rethrown after the batch drains.
+     * failures propagate after the batch drains (see runAll).
      */
     template <typename R>
     std::vector<R>

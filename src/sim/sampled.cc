@@ -1,0 +1,264 @@
+#include "sim/sampled.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "stats/metrics.hh"
+
+namespace dlsim::sim
+{
+
+namespace
+{
+
+std::string
+hexAddr(isa::Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+bool
+SampleParams::parse(const std::string &spec, SampleParams &out,
+                    std::string *error)
+{
+    const auto fail = [&](const char *msg) {
+        if (error)
+            *error = std::string(msg) + " (got '" + spec +
+                     "', expected W:D:F decimal instruction "
+                     "counts, e.g. 2000:10000:100000)";
+        return false;
+    };
+
+    std::uint64_t vals[3] = {0, 0, 0};
+    std::size_t pos = 0;
+    for (int f = 0; f < 3; ++f) {
+        if (pos >= spec.size() ||
+            !std::isdigit(static_cast<unsigned char>(spec[pos])))
+            return fail("malformed sample spec");
+        while (pos < spec.size() &&
+               std::isdigit(static_cast<unsigned char>(spec[pos]))) {
+            vals[f] = vals[f] * 10 +
+                      static_cast<std::uint64_t>(spec[pos] - '0');
+            ++pos;
+        }
+        if (f < 2) {
+            if (pos >= spec.size() || spec[pos] != ':')
+                return fail("malformed sample spec");
+            ++pos;
+        }
+    }
+    if (pos != spec.size())
+        return fail("trailing characters in sample spec");
+    if (vals[1] == 0)
+        return fail("detail window D must be >= 1");
+    if (vals[2] == 0)
+        return fail("fast-forward length F must be >= 1");
+
+    out.enabled = true;
+    out.warmup = vals[0];
+    out.detail = vals[1];
+    out.fastforward = vals[2];
+    return true;
+}
+
+std::string
+SampleParams::spec() const
+{
+    return std::to_string(warmup) + ":" + std::to_string(detail) +
+           ":" + std::to_string(fastforward);
+}
+
+SampledExecution::SampledExecution(cpu::Core &core,
+                                   linker::Image &image,
+                                   linker::DynamicLinker &linker,
+                                   const SampleParams &params)
+    : core_(core), image_(image), linker_(linker),
+      ref_(&image, &image.addressSpace()), params_(params)
+{
+    phase_ = params_.warmup > 0 ? Phase::Warmup : Phase::Detail;
+    phaseLeft_ =
+        params_.warmup > 0 ? params_.warmup : params_.detail;
+}
+
+SampledExecution::CallEstimate
+SampledExecution::runToReturn()
+{
+    std::uint64_t det_insts = 0;
+    std::uint64_t det_cycles = 0;
+    std::uint64_t ff_insts = 0;
+    bool done = false;
+    while (!done) {
+        if (phase_ == Phase::FastForward)
+            done = runFastForward(ff_insts);
+        else
+            done = runDetailedPhase(det_insts, det_cycles);
+    }
+
+    CallEstimate est;
+    est.instructions = det_insts + ff_insts;
+    est.cycles =
+        det_cycles +
+        static_cast<std::uint64_t>(
+            static_cast<double>(ff_insts) * stats_.cpi() + 0.5);
+    return est;
+}
+
+bool
+SampledExecution::runDetailedPhase(std::uint64_t &det_insts,
+                                   std::uint64_t &det_cycles)
+{
+    const auto insts0 = core_.instructionsRetired();
+    const auto cycles0 = core_.cycleCount();
+    const bool done = core_.runQuantum(phaseLeft_);
+    const auto ran = core_.instructionsRetired() - insts0;
+    const auto cyc = core_.cycleCount() - cycles0;
+
+    det_insts += ran;
+    det_cycles += cyc;
+    if (phase_ == Phase::Detail) {
+        stats_.detailInsts += ran;
+        stats_.detailCycles += cyc;
+    } else {
+        stats_.warmupInsts += ran;
+        stats_.warmupCycles += cyc;
+    }
+
+    // The quantum can overshoot by a synthetic resolver bulk-add;
+    // clamp. Phase transitions happen only when the budget is spent
+    // — a call returning mid-phase resumes the same phase on the
+    // next call, so the sample grid spans the whole run.
+    phaseLeft_ = ran >= phaseLeft_ ? 0 : phaseLeft_ - ran;
+    if (phaseLeft_ == 0) {
+        if (phase_ == Phase::Warmup) {
+            phase_ = Phase::Detail;
+            phaseLeft_ = params_.detail;
+        } else {
+            ++stats_.windows;
+            phase_ = Phase::FastForward;
+            phaseLeft_ = params_.fastforward;
+        }
+    }
+    return done;
+}
+
+bool
+SampledExecution::runFastForward(std::uint64_t &ff_insts)
+{
+    // Hand off: copy register state onto the functional engine. Its
+    // memory *is* the live address space, so no state is copied
+    // back for stores.
+    ref_.sync(core_.state());
+
+    bool done = false;
+    std::uint64_t executed = 0;
+    while (phaseLeft_ > 0) {
+        const auto r =
+            ref_.runFast(phaseLeft_, cpu::MagicReturnVa);
+        executed += r.steps;
+        phaseLeft_ -= r.steps;
+        if (r.stop == check::FastStop::Resolver) {
+            const auto cost = serviceResolverFunctional();
+            executed += cost;
+            phaseLeft_ =
+                cost >= phaseLeft_ ? 0 : phaseLeft_ - cost;
+            continue;
+        }
+        if (r.stop == check::FastStop::StopPc ||
+            r.stop == check::FastStop::Halted) {
+            done = true;
+        }
+        break;
+    }
+
+    stats_.ffInsts += executed;
+    ff_insts += executed;
+
+    // Hand back: the timing core adopts the functional state and
+    // resumes detailed execution. An attached observer (lockstep
+    // checker) resyncs as it would after a snapshot restore.
+    core_.setState(ref_.state());
+    if (auto *obs = core_.observer())
+        obs->onFastForward(core_.state());
+
+    if (phaseLeft_ == 0) {
+        phase_ =
+            params_.warmup > 0 ? Phase::Warmup : Phase::Detail;
+        phaseLeft_ =
+            params_.warmup > 0 ? params_.warmup : params_.detail;
+    }
+    return done;
+}
+
+std::uint64_t
+SampledExecution::serviceResolverFunctional()
+{
+    // The functional mirror of Core::serviceResolver, minus all
+    // timing: pop the PLT0 operands, run the linker, store the GOT
+    // entry architecturally. The skip unit still snoops the store
+    // (and performs the explicit-invalidation flush when that
+    // variant is configured) so ABTB entries can never go stale
+    // across a fast-forward phase — the checkSkips invariant holds
+    // in sampled runs too.
+    auto &st = ref_.state();
+    auto &as = ref_.memory();
+    auto &regs = st.regs;
+
+    const auto pop = [&]() -> std::uint64_t {
+        mem::MemFault fault = mem::MemFault::None;
+        const auto value = as.read64(regs[isa::RegSp], fault);
+        if (fault != mem::MemFault::None) {
+            throw cpu::SimError(
+                "sampled resolver: stack read fault at " +
+                hexAddr(regs[isa::RegSp]));
+        }
+        regs[isa::RegSp] += 8;
+        return value;
+    };
+
+    const auto module_id = static_cast<std::uint32_t>(pop());
+    const auto reloc_idx = static_cast<std::uint32_t>(pop());
+    const auto result = linker_.resolve(module_id, reloc_idx);
+
+    if (as.write64(result.gotAddr, result.value) !=
+        mem::MemFault::None) {
+        throw cpu::SimError("sampled resolver: GOT store fault at " +
+                            hexAddr(result.gotAddr));
+    }
+    if (auto *su = core_.skipUnit()) {
+        su->retireStore(result.gotAddr);
+        if (core_.params().skip.explicitInvalidation)
+            su->explicitFlush();
+    }
+
+    ++stats_.ffResolverTraps;
+    st.pc = result.target;
+    return core_.params().resolverInsts;
+}
+
+void
+SampledExecution::reportMetrics(stats::MetricsRegistry &reg,
+                                const std::string &prefix) const
+{
+    const std::string p = prefix + ".sampled.";
+    reg.counter(p + "windows", stats_.windows);
+    reg.counter(p + "detail_instructions", stats_.detailInsts);
+    reg.counter(p + "warmup_instructions", stats_.warmupInsts);
+    reg.counter(p + "ff_instructions", stats_.ffInsts);
+    reg.counter(p + "resolver_traps", stats_.ffResolverTraps);
+    reg.counter(p + "total_instructions", stats_.totalInsts());
+    reg.gauge(p + "coverage", stats_.coverage());
+    reg.gauge(p + "cpi", stats_.cpi());
+    reg.gauge(p + "extrapolated_cycles",
+              stats_.extrapolatedCycles());
+    reg.gauge(p + "extrapolated_ipc",
+              stats_.extrapolatedCycles() > 0
+                  ? static_cast<double>(stats_.totalInsts()) /
+                        stats_.extrapolatedCycles()
+                  : 0.0);
+}
+
+} // namespace dlsim::sim

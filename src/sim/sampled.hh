@@ -1,0 +1,204 @@
+/**
+ * @file
+ * SampledExecution: SMARTS-style sampled simulation for one core.
+ *
+ * Detailed timing simulation (cpu::Core::step) costs an order of
+ * magnitude more host time per instruction than functional
+ * execution. The paper's results only need detailed timing in
+ * short, periodic windows, so a sampled run alternates three
+ * phases over the retired-instruction stream:
+ *
+ *   warmup (W insts)   detailed execution, *not* counted into the
+ *                      CPI estimate — it re-warms caches, TLBs and
+ *                      predictors after a functional gap;
+ *   detail (D insts)   detailed execution, measured — these windows
+ *                      produce the CPI used for extrapolation;
+ *   fast-forward (F)   functional execution on a check::RefCore
+ *                      bound directly to the process image: no
+ *                      timing, no cache/BTB/ABTB probes, but every
+ *                      architectural effect is real — GOT writes,
+ *                      resolver traps (serviced functionally, with
+ *                      the skip unit snooping the GOT store exactly
+ *                      as the architectural data path would), and
+ *                      stores all land in the live address space.
+ *
+ * The phase machine persists across requests, so the sample grid is
+ * laid over the whole run rather than per request. Cycle counts for
+ * fast-forwarded instructions are extrapolated from the measured
+ * CPI of completed detail windows; instruction counts are exact up
+ * to trampoline elision (the functional engine executes the PLT
+ * jumps the enhanced machine's ABTB would skip).
+ *
+ * Exact mode is untouched: sampling only exists on a Workbench that
+ * explicitly attached a SampledExecution (BenchArgs --sample=W:D:F,
+ * default off), and every golden/determinism contract is stated for
+ * exact mode.
+ */
+
+#ifndef DLSIM_SIM_SAMPLED_HH
+#define DLSIM_SIM_SAMPLED_HH
+
+#include <cstdint>
+#include <string>
+
+#include "check/ref_core.hh"
+#include "cpu/core.hh"
+#include "linker/dynamic_linker.hh"
+#include "linker/image.hh"
+
+namespace dlsim::stats
+{
+class MetricsRegistry;
+}
+
+namespace dlsim::sim
+{
+
+/** Sample-grid geometry, in retired instructions. */
+struct SampleParams
+{
+    bool enabled = false;
+    /** Detailed, unmeasured re-warm phase (may be 0). */
+    std::uint64_t warmup = 2000;
+    /** Detailed, measured window (>= 1). */
+    std::uint64_t detail = 10000;
+    /** Functional fast-forward phase (>= 1). */
+    std::uint64_t fastforward = 100000;
+
+    /**
+     * Parse a "W:D:F" spec (decimal instruction counts; D and F
+     * must be >= 1). On success fills `out` with enabled=true and
+     * returns true; on failure returns false with a diagnostic in
+     * `*error` (if non-null) and leaves `out` untouched.
+     */
+    static bool parse(const std::string &spec, SampleParams &out,
+                      std::string *error = nullptr);
+
+    /** The "W:D:F" form of this geometry. */
+    std::string spec() const;
+};
+
+/** Work accounting of one sampled run (since the last clear). */
+struct SampledStats
+{
+    /** Completed detail windows. */
+    std::uint64_t windows = 0;
+    /** Instructions retired in detail windows. */
+    std::uint64_t detailInsts = 0;
+    /** Cycles accumulated in detail windows. */
+    std::uint64_t detailCycles = 0;
+    /** Instructions retired in warmup phases (detailed, unmeasured). */
+    std::uint64_t warmupInsts = 0;
+    /** Cycles accumulated in warmup phases. */
+    std::uint64_t warmupCycles = 0;
+    /** Instructions executed functionally (incl. the synthetic
+     *  resolver cost, mirroring exact mode's accounting). */
+    std::uint64_t ffInsts = 0;
+    /** Resolver traps serviced functionally. */
+    std::uint64_t ffResolverTraps = 0;
+
+    /** Measured CPI of the detail windows (1.0 until one exists). */
+    double cpi() const
+    {
+        return detailInsts == 0
+                   ? 1.0
+                   : static_cast<double>(detailCycles) /
+                         static_cast<double>(detailInsts);
+    }
+
+    std::uint64_t totalInsts() const
+    {
+        return detailInsts + warmupInsts + ffInsts;
+    }
+
+    /** Fraction of instructions executed with detailed timing. */
+    double coverage() const
+    {
+        const auto total = totalInsts();
+        return total == 0 ? 1.0
+                          : static_cast<double>(detailInsts +
+                                                warmupInsts) /
+                                static_cast<double>(total);
+    }
+
+    /** Measured cycles plus CPI-extrapolated fast-forward cycles. */
+    double extrapolatedCycles() const
+    {
+        return static_cast<double>(detailCycles + warmupCycles) +
+               static_cast<double>(ffInsts) * cpi();
+    }
+};
+
+/**
+ * Drives one core's in-progress call (Core::beginCall) to
+ * completion, alternating detailed sample windows and functional
+ * fast-forward. One instance per Workbench; the phase machine and
+ * stats persist across calls.
+ */
+class SampledExecution
+{
+  public:
+    /** Estimated cost of one driven call. */
+    struct CallEstimate
+    {
+        /** Exact count of instructions the call retired (detailed
+         *  plus functional plus synthetic resolver cost). */
+        std::uint64_t instructions = 0;
+        /** Detailed cycles plus CPI-extrapolated ff cycles. */
+        std::uint64_t cycles = 0;
+    };
+
+    SampledExecution(cpu::Core &core, linker::Image &image,
+                     linker::DynamicLinker &linker,
+                     const SampleParams &params);
+
+    /** Run the call set up by Core::beginCall until it returns
+     *  (pc == MagicReturnVa) or the machine halts. */
+    CallEstimate runToReturn();
+
+    const SampleParams &params() const { return params_; }
+    const SampledStats &stats() const { return stats_; }
+
+    /** Zero the stats (phase machine keeps its position). */
+    void clearStats() { stats_ = SampledStats{}; }
+
+    /**
+     * Register `<prefix>.sampled.*`: the sample-grid work split,
+     * measured CPI, coverage, and the extrapolated totals. Only
+     * sampled runs carry these keys — exact-mode documents (and the
+     * metrics golden) are unchanged.
+     */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
+  private:
+    /** Run one detailed (warmup or detail) quantum.
+     *  @return True once the call has returned/halted. */
+    bool runDetailedPhase(std::uint64_t &det_insts,
+                          std::uint64_t &det_cycles);
+    /** Run one functional phase. @return True once done. */
+    bool runFastForward(std::uint64_t &ff_insts);
+    /** Service a resolver trap functionally; returns the synthetic
+     *  instruction cost (CoreParams::resolverInsts). */
+    std::uint64_t serviceResolverFunctional();
+
+    enum class Phase
+    {
+        Warmup,
+        Detail,
+        FastForward
+    };
+
+    cpu::Core &core_;
+    linker::Image &image_;
+    linker::DynamicLinker &linker_;
+    check::RefCore ref_;
+    SampleParams params_;
+    SampledStats stats_;
+    Phase phase_ = Phase::Warmup;
+    std::uint64_t phaseLeft_ = 0;
+};
+
+} // namespace dlsim::sim
+
+#endif // DLSIM_SIM_SAMPLED_HH

@@ -224,8 +224,9 @@ Serializer::finish() const
 // --------------------------------------------------------------
 
 Deserializer::Deserializer(const std::uint8_t *data,
-                           std::size_t size)
-    : data_(data), size_(size)
+                           std::size_t size,
+                           bool verify_sections)
+    : data_(data), size_(size), verifySections_(verify_sections)
 {
     if (size_ < HeaderBytes)
         throw SnapshotError("snapshot: truncated header");
@@ -265,6 +266,16 @@ Deserializer::Deserializer(const std::uint8_t *data,
     }
 }
 
+void
+Deserializer::verifyAllSections() const
+{
+    for (const auto &s : sections_) {
+        if (crc32(data_ + s.offset, s.size) != s.crc)
+            throw SnapshotError("snapshot: section '" + s.tag +
+                                "' CRC mismatch");
+    }
+}
+
 bool
 Deserializer::hasSection(const std::string &tag) const
 {
@@ -284,7 +295,8 @@ Deserializer::enterSection(const std::string &tag)
     for (const auto &s : sections_) {
         if (s.tag != tag)
             continue;
-        if (crc32(data_ + s.offset, s.size) != s.crc)
+        if (verifySections_ &&
+            crc32(data_ + s.offset, s.size) != s.crc)
             throw SnapshotError("snapshot: section '" + tag +
                                 "' CRC mismatch");
         sectionTag_ = tag;
@@ -323,10 +335,15 @@ Deserializer::enterStruct(const std::string &tag)
              "'");
     const std::uint32_t len = u32();
     const std::uint32_t crc = u32();
+    (void)crc;
     if (len > limit() - cursor_)
         fail("struct '" + tag + "' exceeds its container");
-    if (crc32(data_ + cursor_, len) != crc)
-        fail("struct '" + tag + "' CRC mismatch");
+    // The struct payload (and the stored CRC field itself) is
+    // already covered by the section CRC verified in enterSection,
+    // so recomputing per struct would checksum every restored byte
+    // twice — on multi-megabyte warm states that doubles restore
+    // cost. The field stays in the format for tooling and for
+    // localizing corruption when a section check fails.
     structEnds_.push_back(cursor_ + len);
 }
 

@@ -32,6 +32,24 @@
 namespace dlsim::snapshot
 {
 
+/** @name Little-endian readers for Deserializer::raw() views @{ */
+inline std::uint16_t
+le16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] |
+                                      (std::uint16_t{p[1]} << 8));
+}
+
+inline std::uint64_t
+le64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+/** @} */
+
 /** Builds a snapshot byte stream section by section. */
 class Serializer
 {
@@ -86,9 +104,20 @@ class Deserializer
     /**
      * Parse and validate the header and section table.
      * The buffer must outlive the Deserializer.
+     *
+     * @param verify_sections When false, enterSection skips the
+     *        per-section payload CRC. For repeated restores of one
+     *        already-verified (or just-serialized) in-memory buffer
+     *        the checksum pass dominates restore cost; callers that
+     *        own the buffer's integrity opt out and verify once via
+     *        verifyAllSections() when the bytes came from disk.
      * @throws SnapshotError on bad magic/version/CRC/layout.
      */
-    Deserializer(const std::uint8_t *data, std::size_t size);
+    Deserializer(const std::uint8_t *data, std::size_t size,
+                 bool verify_sections = true);
+
+    /** Checksum every section payload; throws on any mismatch. */
+    void verifyAllSections() const;
 
     /** Parameter fingerprint recorded at save time. */
     std::uint64_t fingerprint() const { return fingerprint_; }
@@ -116,6 +145,14 @@ class Deserializer
     bool boolean();
     std::string str();
     void bytes(void *out, std::size_t size);
+
+    /**
+     * Zero-copy view of the next `n` payload bytes; advances the
+     * cursor. For bulk fixed-layout records (e.g. the image's slot
+     * array) where a per-field read loop is measurable restore
+     * cost. The pointer is valid for the buffer's lifetime.
+     */
+    const std::uint8_t *raw(std::size_t n) { return take(n); }
 
     /** Read a u32 and require it to equal `expected`. */
     void checkU32(std::uint32_t expected, const std::string &what);
@@ -148,6 +185,7 @@ class Deserializer
     std::size_t cursor_ = 0;
     std::size_t sectionEnd_ = 0;
     bool inSection_ = false;
+    bool verifySections_ = true;
     /** End offsets of open struct records, innermost last. */
     std::vector<std::size_t> structEnds_;
 };

@@ -191,27 +191,40 @@ makeCoreParams(const MachineConfig &mc)
 
 Workbench::Workbench(const WorkloadParams &wl,
                      const MachineConfig &mc)
-    : wl_(wl), mc_(mc), program_(buildProgram(wl)),
+    : Workbench(wl, mc,
+                std::make_shared<const BuiltProgram>(
+                    buildProgram(wl)))
+{
+}
+
+Workbench::Workbench(const WorkloadParams &wl,
+                     const MachineConfig &mc,
+                     std::shared_ptr<const BuiltProgram> program,
+                     bool for_restore)
+    : wl_(wl), mc_(mc), program_(std::move(program)),
       reqRng_(wl.seed ^ 0x5eedull)
 {
+    assert(program_ != nullptr);
     linker::LoaderOptions opts;
     opts.lazyBinding = mc.lazyBinding;
     opts.aslr = mc.aslr;
     opts.aslrSeed = wl.seed + 1;
     opts.nearLibraries = mc.nearLibraries;
     opts.pltStyle = mc.pltStyle;
+    opts.skeletonForRestore = for_restore;
     loader_ = std::make_unique<linker::Loader>(opts);
 
-    image_ = loader_->load(program_.exe, program_.libs);
+    image_ = loader_->load(program_->exe, program_->libs);
     linker_ = std::make_unique<linker::DynamicLinker>(*image_);
     core_ = std::make_unique<cpu::Core>(makeCoreParams(mc));
     core_->attachProcess(image_.get(), linker_.get(), /*asid=*/0);
     core_->initStack(loader_->stackTop());
 
-    seedDataRegions();
+    if (!for_restore)
+        seedDataRegions();
 
-    handlerAddrs_.reserve(program_.handlers.size());
-    for (const auto &name : program_.handlers)
+    handlerAddrs_.reserve(program_->handlers.size());
+    for (const auto &name : program_->handlers)
         handlerAddrs_.push_back(image_->symbolAddress(name));
 
     std::vector<double> weights;
@@ -236,12 +249,27 @@ Workbench::seedDataRegions()
     }
 }
 
+Workbench::~Workbench() = default;
+
+void
+Workbench::setSampling(const sim::SampleParams &params)
+{
+    if (!params.enabled) {
+        sampler_.reset();
+        return;
+    }
+    sampler_ = std::make_unique<sim::SampledExecution>(
+        *core_, *image_, *linker_, params);
+}
+
 void
 Workbench::warmup(std::uint32_t requests)
 {
     for (std::uint32_t n = 0; n < requests; ++n)
         runRequest();
     core_->clearStats();
+    if (sampler_)
+        sampler_->clearStats();
 }
 
 RequestResult
@@ -259,6 +287,14 @@ Workbench::runRequest(std::uint32_t kind)
     const std::uint64_t work =
         reqRng_.nextRange(rc.minWork, rc.maxWork);
     const std::uint64_t seed = reqRng_.next() | 1;
+
+    if (sampler_) {
+        // Identical RNG draws, identical request: only the
+        // execution engine differs.
+        core_->beginCall(handlerAddrs_[kind], work, seed);
+        const auto est = sampler_->runToReturn();
+        return RequestResult{kind, est.cycles, est.instructions};
+    }
 
     const auto r =
         core_->callFunction(handlerAddrs_[kind], work, seed);
@@ -391,9 +427,9 @@ snapshotWorkbench(const Workbench &wb)
 
 void
 restoreWorkbench(Workbench &wb, const std::uint8_t *data,
-                 std::size_t size)
+                 std::size_t size, bool trusted)
 {
-    snapshot::Deserializer d(data, size);
+    snapshot::Deserializer d(data, size, !trusted);
     if (d.fingerprint() !=
         configFingerprint(wb.params(), wb.machine())) {
         throw snapshot::SnapshotError(
@@ -421,6 +457,8 @@ Workbench::reportMetrics(stats::MetricsRegistry &reg,
                          const std::string &prefix) const
 {
     core_->reportMetrics(reg, prefix);
+    if (sampler_)
+        sampler_->reportMetrics(reg, prefix);
     if (mc_.profileTrampolines) {
         reg.counter(prefix + ".workload.distinct_trampolines",
                     distinctTrampolinesExecuted());

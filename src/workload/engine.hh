@@ -22,6 +22,7 @@
 #include "cpu/core.hh"
 #include "linker/dynamic_linker.hh"
 #include "linker/loader.hh"
+#include "sim/sampled.hh"
 #include "stats/rng.hh"
 #include "workload/params.hh"
 #include "workload/program.hh"
@@ -101,6 +102,28 @@ class Workbench
   public:
     Workbench(const WorkloadParams &wl, const MachineConfig &mc);
 
+    /**
+     * Build around an already-generated program. buildProgram() is
+     * deterministic in the WorkloadParams, so sweep arms over the
+     * same workload can share one immutable BuiltProgram instead of
+     * regenerating it per task — the dominant constant cost of a
+     * parallel grid cell. `program` must be non-null and built from
+     * `wl`.
+     *
+     * @param for_restore The machine is about to be overwritten by
+     *        restoreWorkbench: skip address-space content that the
+     *        restore replaces wholesale (text-page materialisation,
+     *        data-region seeding). Layout, slots, symbols, and the
+     *        module table — the parts a restore keeps — are built
+     *        identically. A for_restore Workbench that is never
+     *        restored must not be run.
+     */
+    Workbench(const WorkloadParams &wl, const MachineConfig &mc,
+              std::shared_ptr<const BuiltProgram> program,
+              bool for_restore = false);
+
+    ~Workbench();
+
     /** Run `requests` requests and discard results; clears stats. */
     void warmup(std::uint32_t requests);
 
@@ -130,13 +153,28 @@ class Workbench
     bool stepRequest(std::uint64_t max_insts);
     /** @} */
 
+    /**
+     * Attach (or detach) sampled execution. When attached,
+     * runRequest()/warmup() alternate detailed sample windows and
+     * functional fast-forward instead of timing every instruction;
+     * request cycles become CPI extrapolations. The request stream
+     * (RNG draws, kinds, work items) is identical to exact mode.
+     * Passing params with enabled == false detaches.
+     */
+    void setSampling(const sim::SampleParams &params);
+    bool sampling() const { return sampler_ != nullptr; }
+    const sim::SampledExecution *sampler() const
+    {
+        return sampler_.get();
+    }
+
     cpu::Core &core() { return *core_; }
     linker::Image &image() { return *image_; }
     linker::DynamicLinker &linker() { return *linker_; }
     linker::Loader &loader() { return *loader_; }
     const WorkloadParams &params() const { return wl_; }
     const MachineConfig &machine() const { return mc_; }
-    const BuiltProgram &program() const { return program_; }
+    const BuiltProgram &program() const { return *program_; }
 
     /** Handler entry address for a request kind. */
     isa::Addr handlerAddress(std::uint32_t kind) const
@@ -181,11 +219,12 @@ class Workbench
 
     WorkloadParams wl_;
     MachineConfig mc_;
-    BuiltProgram program_;
+    std::shared_ptr<const BuiltProgram> program_;
     std::unique_ptr<linker::Loader> loader_;
     std::unique_ptr<linker::Image> image_;
     std::unique_ptr<linker::DynamicLinker> linker_;
     std::unique_ptr<cpu::Core> core_;
+    std::unique_ptr<sim::SampledExecution> sampler_;
     std::vector<isa::Addr> handlerAddrs_;
     stats::Rng reqRng_;
     std::unique_ptr<stats::DiscreteDistribution> mix_;
@@ -203,9 +242,16 @@ std::vector<std::uint8_t> snapshotWorkbench(const Workbench &wb);
  * MachineConfig); throws snapshot::SnapshotError on any magic,
  * version, CRC, fingerprint, or geometry mismatch — never loads
  * partial state.
+ *
+ * @param trusted Skip the per-section payload checksums. Only for
+ *        buffers whose integrity the caller already owns: bytes
+ *        serialized in-process this run, or a file verified once
+ *        with Deserializer::verifyAllSections(). Sweep drivers
+ *        restoring one warm state into every arm use this — the
+ *        checksum pass otherwise dominates fan-out cost.
  */
 void restoreWorkbench(Workbench &wb, const std::uint8_t *data,
-                      std::size_t size);
+                      std::size_t size, bool trusted = false);
 
 /**
  * Cheaply validate that `bytes` is a well-formed snapshot whose

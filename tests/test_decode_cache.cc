@@ -2,8 +2,9 @@
  * @file
  * Tests for the Image decode cache: first decode misses and
  * populates, repeat decodes hit, the software patcher's
- * decodeMutable invalidates the patched va, and dlopen/dlclose
- * rebuild the cache wholesale.
+ * decodeMutable invalidates the patched va, dlopen/dlclose rebuild
+ * the cache wholesale, and a snapshot restore never serves slots
+ * cached before the restore.
  */
 
 #include <vector>
@@ -12,6 +13,7 @@
 
 #include "elf/builder.hh"
 #include "linker/loader.hh"
+#include "snapshot/serializer.hh"
 
 using namespace dlsim;
 using namespace dlsim::linker;
@@ -137,6 +139,56 @@ TEST(DecodeCache, DlcloseDropsCachedModuleSlots)
     ASSERT_NE(still, nullptr);
     const auto hits0 = image->decodeCacheHits();
     EXPECT_EQ(image->decode(f), still);
+    EXPECT_EQ(image->decodeCacheHits(), hits0 + 1);
+}
+
+TEST(DecodeCache, SnapshotRestoreDropsStaleCachedSlots)
+{
+    Loader loader;
+    auto image = makeImage(loader);
+    const Addr f = image->symbolAddress("f");
+    const Addr g = image->symbolAddress("g");
+
+    // Populate the cache, then checkpoint the image.
+    const Slot *before = image->decode(f);
+    ASSERT_NE(before, nullptr);
+    const auto original_op = before->inst.op;
+    ASSERT_NE(image->decode(g), nullptr);
+
+    snapshot::Serializer s;
+    s.beginSection("image");
+    image->save(s);
+    s.endSection();
+    const auto bytes = s.finish();
+
+    // Mutate past the checkpoint: patch f's first instruction and
+    // unload the library. Both paths invalidate their cache
+    // entries, so the cache now reflects the *mutated* image.
+    Slot *patched = image->decodeMutable(f);
+    ASSERT_NE(patched, nullptr);
+    patched->inst.op = isa::Opcode::MovImm;
+    loader.dlclose(*image, "lib");
+    ASSERT_EQ(image->decode(f)->inst.op, isa::Opcode::MovImm);
+    ASSERT_EQ(image->decode(g), nullptr);
+
+    // Restore. Every translation cached against the mutated image
+    // must be gone: f decodes to the snapshotted opcode, g is
+    // decodable again.
+    snapshot::Deserializer d(bytes.data(), bytes.size());
+    d.enterSection("image");
+    image->load(d);
+    d.leaveSection();
+
+    const Slot *restored = image->decode(f);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->inst.op, original_op);
+    const Slot *g_restored = image->decode(g);
+    ASSERT_NE(g_restored, nullptr);
+    EXPECT_EQ(g_restored->inst.op, isa::Opcode::Ret);
+
+    // And the cache re-populates normally after the restore.
+    const auto hits0 = image->decodeCacheHits();
+    EXPECT_EQ(image->decode(f), restored);
     EXPECT_EQ(image->decodeCacheHits(), hits0 + 1);
 }
 

@@ -1,18 +1,25 @@
 /**
  * @file
  * Tests for sim::JobRunner: submission-order results, the inline
- * serial path, exception propagation (earliest-submitted failure
- * wins), and the every-job-still-runs guarantee.
+ * serial path, exception propagation (single failure keeps its
+ * type, multiple failures are aggregated with task indices), the
+ * every-job-still-runs guarantee, and the affinity-mask default
+ * job count.
  */
 
 #include <atomic>
 #include <chrono>
 #include <functional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "sim/job_runner.hh"
 
@@ -66,7 +73,24 @@ TEST(JobRunner, EmptyBatchIsANoop)
         runner.run(std::vector<std::function<int()>>{}).empty());
 }
 
-TEST(JobRunner, EarliestSubmittedExceptionWins)
+TEST(JobRunner, SingleFailurePreservesExceptionType)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        std::vector<std::function<void()>> work;
+        work.push_back([] {});
+        work.push_back(
+            [] { throw std::invalid_argument("job 1 failed"); });
+        work.push_back([] {});
+        try {
+            sim::JobRunner(jobs).runAll(std::move(work));
+            FAIL() << "expected a rethrow (jobs=" << jobs << ")";
+        } catch (const std::invalid_argument &e) {
+            EXPECT_STREQ(e.what(), "job 1 failed");
+        }
+    }
+}
+
+TEST(JobRunner, MultipleFailuresAggregateEveryDiagnostic)
 {
     for (const unsigned jobs : {1u, 4u}) {
         std::vector<std::function<void()>> work;
@@ -78,12 +102,21 @@ TEST(JobRunner, EarliestSubmittedExceptionWins)
                 std::chrono::milliseconds(1));
         });
         work.push_back(
-            [] { throw std::runtime_error("job 3 failed"); });
+            [] { throw std::logic_error("job 3 failed"); });
         try {
             sim::JobRunner(jobs).runAll(std::move(work));
             FAIL() << "expected a rethrow (jobs=" << jobs << ")";
         } catch (const std::runtime_error &e) {
-            EXPECT_STREQ(e.what(), "job 1 failed");
+            const std::string what = e.what();
+            EXPECT_NE(what.find("2 of 4 jobs failed"),
+                      std::string::npos)
+                << what;
+            EXPECT_NE(what.find("task 1: job 1 failed"),
+                      std::string::npos)
+                << what;
+            EXPECT_NE(what.find("task 3: job 3 failed"),
+                      std::string::npos)
+                << what;
         }
     }
 }
@@ -113,3 +146,35 @@ TEST(JobRunner, MoreWorkersThanTasks)
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0], 7);
 }
+
+#ifdef __linux__
+TEST(JobRunner, DefaultJobsClampsToAffinityMask)
+{
+    cpu_set_t saved;
+    CPU_ZERO(&saved);
+    if (sched_getaffinity(0, sizeof(saved), &saved) != 0)
+        GTEST_SKIP() << "sched_getaffinity unavailable";
+
+    // Pin to the lowest CPU in the current mask and confirm the
+    // default job count follows the mask, not the machine.
+    int lowest = -1;
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (CPU_ISSET(c, &saved)) {
+            lowest = c;
+            break;
+        }
+    }
+    ASSERT_GE(lowest, 0);
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(lowest, &one);
+    ASSERT_EQ(sched_setaffinity(0, sizeof(one), &one), 0);
+
+    EXPECT_EQ(sim::JobRunner::affinityJobs(), 1u);
+    EXPECT_EQ(sim::JobRunner::defaultJobs(), 1u);
+
+    ASSERT_EQ(sched_setaffinity(0, sizeof(saved), &saved), 0);
+    EXPECT_EQ(sim::JobRunner::affinityJobs(),
+              static_cast<unsigned>(CPU_COUNT(&saved)));
+}
+#endif

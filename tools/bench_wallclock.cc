@@ -1,27 +1,36 @@
 /**
  * @file
- * Wall-clock comparison of the serial and parallel experiment
- * runners: run the same Figure-5-style measurement grid with
- * `--jobs 1` and with `--jobs N`, require the two metric documents
- * to be byte-identical, and record both wall-clock times (and the
- * speedup) into BENCH_wallclock.json.
+ * Wall-clock comparison of the simulator's execution strategies on
+ * the same Figure-5-style measurement grid:
  *
- * Also compares cold vs warm snapshot sweeps: the cold pass
- * simulates each workload's warm-up and serializes the machine, the
- * warm pass fans the same grid out from the already-serialized
- * bytes (what `--from-snapshot` does across process runs). The two
- * passes must produce byte-identical documents; the warm one skips
- * every warm-up simulation.
+ *   serial    --jobs 1, exact simulation
+ *   parallel  --jobs N, exact simulation (byte-identical to serial)
+ *   cold      snapshot sweep paying warm-up + serialization
+ *   warm      the same sweep fanned out from the serialized bytes
+ *   sampled   --jobs N with sampled execution (detailed windows +
+ *             functional fast-forward; see docs/performance.md)
+ *
+ * Every row records its wall-clock seconds and the job count it
+ * actually ran with. Exact rows must be byte-identical across job
+ * counts; cold and warm must be byte-identical to each other. The
+ * sampled row is an estimator, so instead of byte-identity it
+ * reports measured-vs-extrapolated error against the exact grid
+ * (per-cell IPC relative error and ABTB skip-rate absolute error,
+ * mean and max).
  *
  * The speedups are a property of the host (cores, load); the
- * byte-identical checks are a property of dlsim and must hold
- * everywhere.
+ * byte-identical checks and the error bands are properties of dlsim
+ * and must hold everywhere.
  *
- * Usage: bench_wallclock [--jobs N] [--quick] [--json-out FILE]
+ * Usage: bench_wallclock [--jobs N] [--quick] [--sample W:D:F]
+ *                        [--json-out FILE]
  * FILE defaults to BENCH_wallclock.json in the working directory.
+ * Without --sample the sampled row uses a default spec chosen for
+ * this grid's request sizes.
  */
 
 #include <chrono>
+#include <cmath>
 
 #include "common.hh"
 
@@ -56,6 +65,7 @@ struct GridRun
 {
     std::string json;
     double seconds = 0;
+    std::vector<ArmResult> arms;
 };
 
 GridRun
@@ -65,7 +75,7 @@ collectGrid(const char *doc_name,
 {
     const auto start = std::chrono::steady_clock::now();
     sim::JobRunner runner(jobs);
-    const auto arms = runner.run(std::move(work));
+    auto arms = runner.run(std::move(work));
     const auto stop = std::chrono::steady_clock::now();
 
     stats::MetricsDocument doc(doc_name);
@@ -84,37 +94,65 @@ collectGrid(const char *doc_name,
     result.json = doc.toJson();
     result.seconds =
         std::chrono::duration<double>(stop - start).count();
+    result.arms = std::move(arms);
     return result;
 }
 
-/** Run the whole grid on `jobs` threads; serialise the document. */
+/** One pre-built program per profile, shared by every grid cell of
+ *  that profile (program generation is deterministic in the
+ *  WorkloadParams, so arms differing only in machine config can
+ *  reuse it instead of regenerating it per task). */
+struct SharedPrograms
+{
+    workload::WorkloadParams wls[3];
+    std::shared_ptr<const workload::BuiltProgram> programs[3];
+};
+
+SharedPrograms
+buildShared(const BenchArgs &args)
+{
+    SharedPrograms sp;
+    for (int i = 0; i < 3; ++i) {
+        sp.wls[i] = workload::profileByName(Profiles[i]);
+        sp.wls[i].seed = args.seed();
+        sp.programs[i] =
+            std::make_shared<const workload::BuiltProgram>(
+                workload::buildProgram(sp.wls[i]));
+    }
+    return sp;
+}
+
+/** Run the whole grid on `jobs` threads; serialise the document.
+ *  `sample` enables sampled execution for every cell. */
 GridRun
-runGrid(const BenchArgs &args, unsigned jobs)
+runGrid(const BenchArgs &args, unsigned jobs,
+        const SharedPrograms &shared,
+        const sim::SampleParams &sample = {})
 {
     const auto cells = gridCells();
     std::vector<std::function<ArmResult()>> work;
     work.reserve(cells.size());
     for (const Cell &cell : cells) {
-        work.push_back([cell, &args] {
+        work.push_back([cell, &args, &shared, &sample] {
             auto mc = enhancedMachine();
             mc.abtbEntries = cell.entries;
             mc.abtbAssoc = std::min(cell.entries, 4u);
-            auto wl =
-                workload::profileByName(Profiles[cell.profile]);
-            wl.seed = args.seed();
-            return runArm(wl, mc,
+            return runArm(shared.wls[cell.profile], mc,
                           args.scaled(Warmups[cell.profile]),
-                          args.scaled(Requests[cell.profile]));
+                          args.scaled(Requests[cell.profile]),
+                          sample, shared.programs[cell.profile]);
         });
     }
-    return collectGrid("bench_wallclock grid", cells, jobs,
-                       std::move(work));
+    return collectGrid(sample.enabled
+                           ? "bench_wallclock sampled grid"
+                           : "bench_wallclock grid",
+                       cells, jobs, std::move(work));
 }
 
 /** The same grid fanned out from shared warm snapshot bytes. */
 GridRun
 runSnapshotGrid(const BenchArgs &args, unsigned jobs,
-                const workload::WorkloadParams (&wls)[3],
+                const SharedPrograms &shared,
                 const workload::MachineConfig &ref_mc,
                 const std::vector<std::uint8_t> (&states)[3])
 {
@@ -122,17 +160,64 @@ runSnapshotGrid(const BenchArgs &args, unsigned jobs,
     std::vector<std::function<ArmResult()>> work;
     work.reserve(cells.size());
     for (const Cell &cell : cells) {
-        work.push_back([cell, &args, &wls, &ref_mc, &states] {
+        work.push_back([cell, &args, &shared, &ref_mc, &states] {
             auto mc = enhancedMachine();
             mc.abtbEntries = cell.entries;
             mc.abtbAssoc = std::min(cell.entries, 4u);
             return runArmFromState(
-                states[cell.profile], wls[cell.profile], ref_mc,
-                mc, args.scaled(Requests[cell.profile]));
+                states[cell.profile], shared.wls[cell.profile],
+                ref_mc, mc,
+                args.scaled(Requests[cell.profile]),
+                sim::SampleParams{},
+                shared.programs[cell.profile]);
         });
     }
     return collectGrid("bench_wallclock snapshot grid", cells,
                        jobs, std::move(work));
+}
+
+double
+skipRate(const cpu::PerfCounters &c)
+{
+    const double den = static_cast<double>(c.trampolineJmps +
+                                           c.skippedTrampolines);
+    return den == 0.0 ? 0.0 : c.skippedTrampolines / den;
+}
+
+/** Per-cell sampled-vs-exact error summary. */
+struct ErrorReport
+{
+    double ipcErrMean = 0, ipcErrMax = 0;
+    double skipErrMean = 0, skipErrMax = 0;
+};
+
+ErrorReport
+compareGrids(const GridRun &exact, const GridRun &sampled)
+{
+    ErrorReport rep;
+    const std::size_t n = exact.arms.size();
+    for (std::size_t c = 0; c < n; ++c) {
+        const double exact_ipc = exact.arms[c].counters.ipc();
+        const auto *g = sampled.arms[c].registry.find(
+            "dlsim.sampled.extrapolated_ipc");
+        const double sampled_ipc = g ? g->gauge : 0.0;
+        const double ipc_err =
+            exact_ipc > 0
+                ? std::abs(sampled_ipc - exact_ipc) / exact_ipc
+                : 0.0;
+        const double skip_err =
+            std::abs(skipRate(sampled.arms[c].counters) -
+                     skipRate(exact.arms[c].counters));
+        rep.ipcErrMean += ipc_err;
+        rep.skipErrMean += skip_err;
+        rep.ipcErrMax = std::max(rep.ipcErrMax, ipc_err);
+        rep.skipErrMax = std::max(rep.skipErrMax, skip_err);
+    }
+    if (n > 0) {
+        rep.ipcErrMean /= static_cast<double>(n);
+        rep.skipErrMean /= static_cast<double>(n);
+    }
+    return rep;
 }
 
 } // namespace
@@ -141,7 +226,7 @@ int
 main(int argc, char **argv)
 {
     BenchArgs args("bench_wallclock", argc, argv);
-    banner("Runner wall-clock — serial vs --jobs N",
+    banner("Runner wall-clock — serial vs --jobs N vs sampled",
            "dlsim infrastructure (docs/performance.md)");
 
     const unsigned jobs = args.jobs();
@@ -149,9 +234,11 @@ main(int argc, char **argv)
                 "%u\n\n",
                 jobs);
 
-    const auto serial = runGrid(args, 1);
+    const SharedPrograms shared = buildShared(args);
+
+    const auto serial = runGrid(args, 1, shared);
     std::printf("serial   (--jobs 1): %.3f s\n", serial.seconds);
-    const auto parallel = runGrid(args, jobs);
+    const auto parallel = runGrid(args, jobs, shared);
     std::printf("parallel (--jobs %u): %.3f s\n", jobs,
                 parallel.seconds);
 
@@ -173,20 +260,18 @@ main(int argc, char **argv)
     // the warm pass starts from the bytes the cold pass produced —
     // the cross-process --from-snapshot flow, minus the disk.
     const workload::MachineConfig refMc = enhancedMachine();
-    workload::WorkloadParams wls[3];
     std::vector<std::uint8_t> states[3];
     const auto coldStart = std::chrono::steady_clock::now();
     for (int i = 0; i < 3; ++i) {
-        wls[i] = workload::profileByName(Profiles[i]);
-        wls[i].seed = args.seed();
-        workload::Workbench wb(wls[i], refMc);
+        workload::Workbench wb(shared.wls[i], refMc,
+                               shared.programs[i]);
         wb.warmup(
             static_cast<std::uint32_t>(args.scaled(Warmups[i])));
         states[i] = workload::snapshotWorkbench(wb);
     }
     const auto coldWarmupStop = std::chrono::steady_clock::now();
     const auto cold =
-        runSnapshotGrid(args, jobs, wls, refMc, states);
+        runSnapshotGrid(args, jobs, shared, refMc, states);
     const double coldSeconds =
         std::chrono::duration<double>(coldWarmupStop - coldStart)
             .count() +
@@ -194,7 +279,7 @@ main(int argc, char **argv)
     std::printf("cold  (warm-up + snapshot + grid): %.3f s\n",
                 coldSeconds);
     const auto warm =
-        runSnapshotGrid(args, jobs, wls, refMc, states);
+        runSnapshotGrid(args, jobs, shared, refMc, states);
     std::printf("warm  (grid from snapshot bytes):  %.3f s\n",
                 warm.seconds);
 
@@ -208,25 +293,80 @@ main(int argc, char **argv)
                 cold.json.size());
     const double warmSpeedup =
         warm.seconds > 0 ? coldSeconds / warm.seconds : 0.0;
-    std::printf("warm speedup: %.2fx\n", warmSpeedup);
+    std::printf("warm speedup: %.2fx\n\n", warmSpeedup);
+
+    // Sampled grid: same cells, sampled execution. Default spec
+    // sized for this grid's request lengths; --sample overrides.
+    sim::SampleParams sample = args.sample();
+    if (!sample.enabled) {
+        // Per-window warmup (W) dominates the accuracy of this
+        // grid's short arms: it retrains caches and the ABTB after
+        // each fast-forward gap before CPI is measured. This spec
+        // measured ~2.5x over serial exact with ~0.1 mean IPC
+        // error on the reference host; docs/performance.md tables
+        // the trade-off.
+        sim::SampleParams::parse("20000:20000:300000", sample);
+    }
+    const auto sampled = runGrid(args, jobs, shared, sample);
+    std::printf("sampled  (--jobs %u, %s): %.3f s\n", jobs,
+                sample.spec().c_str(), sampled.seconds);
+    const double sampledSpeedup =
+        sampled.seconds > 0 ? serial.seconds / sampled.seconds
+                            : 0.0;
+    std::printf("sampled speedup vs serial exact: %.2fx\n",
+                sampledSpeedup);
+    const ErrorReport err = compareGrids(serial, sampled);
+    std::printf("sampled ipc error:  mean %.3f  max %.3f\n",
+                err.ipcErrMean, err.ipcErrMax);
+    std::printf("sampled skip error: mean %.3f  max %.3f\n",
+                err.skipErrMean, err.skipErrMax);
 
     stats::MetricsDocument doc("bench_wallclock");
-    auto &run = doc.addRun("wallclock");
-    run.with("grid", "fig5-style, 12 arms")
+    const char *grid_desc = "fig5-style, 12 arms";
+
+    auto &serialRun = doc.addRun("serial");
+    serialRun.with("grid", grid_desc).with("jobs", "1");
+    serialRun.registry.gauge("dlsim.wallclock.seconds",
+                             serial.seconds);
+
+    auto &parallelRun = doc.addRun("parallel");
+    parallelRun.with("grid", grid_desc)
         .with("jobs", std::to_string(jobs))
         .with("byte_identical", "1");
-    run.registry.gauge("dlsim.wallclock.serial_seconds",
-                       serial.seconds);
-    run.registry.gauge("dlsim.wallclock.parallel_seconds",
-                       parallel.seconds);
-    run.registry.gauge("dlsim.wallclock.speedup", speedup);
-    run.registry.gauge("dlsim.wallclock.cold_seconds",
-                       coldSeconds);
-    run.registry.gauge("dlsim.wallclock.warm_seconds",
-                       warm.seconds);
-    run.registry.gauge("dlsim.wallclock.warm_speedup",
-                       warmSpeedup);
-    run.registry.counter("dlsim.wallclock.jobs", jobs);
+    parallelRun.registry.gauge("dlsim.wallclock.seconds",
+                               parallel.seconds);
+    parallelRun.registry.gauge("dlsim.wallclock.speedup", speedup);
+
+    auto &coldRun = doc.addRun("snapshot.cold");
+    coldRun.with("grid", grid_desc)
+        .with("jobs", std::to_string(jobs));
+    coldRun.registry.gauge("dlsim.wallclock.seconds", coldSeconds);
+
+    auto &warmRun = doc.addRun("snapshot.warm");
+    warmRun.with("grid", grid_desc)
+        .with("jobs", std::to_string(jobs))
+        .with("byte_identical", "1");
+    warmRun.registry.gauge("dlsim.wallclock.seconds",
+                           warm.seconds);
+    warmRun.registry.gauge("dlsim.wallclock.speedup", warmSpeedup);
+
+    auto &sampledRun = doc.addRun("sampled");
+    sampledRun.with("grid", grid_desc)
+        .with("jobs", std::to_string(jobs))
+        .with("sampled", "1")
+        .with("sample", sample.spec());
+    sampledRun.registry.gauge("dlsim.wallclock.seconds",
+                              sampled.seconds);
+    sampledRun.registry.gauge("dlsim.wallclock.speedup",
+                              sampledSpeedup);
+    sampledRun.registry.gauge("dlsim.sampled.ipc_err_mean",
+                              err.ipcErrMean);
+    sampledRun.registry.gauge("dlsim.sampled.ipc_err_max",
+                              err.ipcErrMax);
+    sampledRun.registry.gauge("dlsim.sampled.skip_err_mean",
+                              err.skipErrMean);
+    sampledRun.registry.gauge("dlsim.sampled.skip_err_max",
+                              err.skipErrMax);
 
     const std::string path = args.jsonOut().empty()
                                  ? "BENCH_wallclock.json"
