@@ -61,6 +61,9 @@ namespace dlsim::bench
  *                    alternate W detailed warmup + D detailed
  *                    measured + F functional fast-forward insts
  *   --seed N         workload RNG seed (default 42)
+ *   --blocks 0|1     disable/enable basic-block dispatch in both
+ *                    executors (default 1; purely a simulator-speed
+ *                    knob, metrics are byte-identical either way)
  *   --json-out FILE  write a dlsim-metrics-v1 JSON document
  *   --snapshot-after FILE  snapshot-capable benches: also write the
  *                    post-warm-up machine state to FILE
@@ -77,7 +80,7 @@ class BenchArgs
     {
         bool saw_jobs = false, saw_json = false;
         bool saw_seed = false, saw_snap = false, saw_from = false;
-        bool saw_sample = false;
+        bool saw_sample = false, saw_blocks = false;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg == "--help" || arg == "-h") {
@@ -120,6 +123,16 @@ class BenchArgs
                     die("--seed requires a value");
                 seed_ = static_cast<std::uint64_t>(
                     std::atoll(argv[++i]));
+            } else if (arg == "--blocks") {
+                if (saw_blocks)
+                    die("duplicate --blocks");
+                saw_blocks = true;
+                if (i + 1 >= argc)
+                    die("--blocks requires 0 or 1");
+                const std::string v = argv[++i];
+                if (v != "0" && v != "1")
+                    die("--blocks requires 0 or 1");
+                blocks_ = v == "1";
             } else if (arg == "--json-out") {
                 if (saw_json)
                     die("duplicate --json-out");
@@ -151,6 +164,7 @@ class BenchArgs
 
     unsigned jobs() const { return jobs_; }
     bool quick() const { return quick_; }
+    bool blocks() const { return blocks_; }
     const sim::SampleParams &sample() const { return sample_; }
     std::uint64_t seed() const { return seed_; }
     const std::string &jsonOut() const { return jsonOut_; }
@@ -201,6 +215,11 @@ class BenchArgs
             "                   instructions; cycles are CPI "
             "extrapolations\n"
             "  --seed N         workload RNG seed (default 42)\n"
+            "  --blocks 0|1     disable/enable basic-block "
+            "dispatch in\n"
+            "                   both executors (default 1; "
+            "metrics are\n"
+            "                   byte-identical either way)\n"
             "  --json-out FILE  also write a dlsim-metrics-v1 "
             "JSON\n"
             "                   document to FILE\n"
@@ -231,6 +250,7 @@ class BenchArgs
     std::string tool_;
     unsigned jobs_ = 0;
     bool quick_ = false;
+    bool blocks_ = true;
     sim::SampleParams sample_;
     std::uint64_t seed_ = 42;
     std::string jsonOut_;
@@ -248,6 +268,16 @@ struct ArmResult
     std::uint64_t distinctTrampolines = 0;
     /** Skip-unit stats (enhanced arms only). */
     core::SkipUnitStats skipStats;
+    /**
+     * Block-translation-cache statistics from the image, for
+     * wall-clock reporting. Deliberately NOT part of `registry`:
+     * they describe the simulator process (and are zero with
+     * --blocks 0), while the registry must stay byte-identical
+     * whichever dispatch engine ran.
+     */
+    std::uint64_t blockHits = 0;
+    std::uint64_t blockBuilds = 0;
+    std::uint64_t blockFlushes = 0;
     /** Full metrics snapshot (dlsim.* namespace), including
      *  per-request-kind latency histograms. */
     stats::MetricsRegistry registry;
@@ -265,6 +295,9 @@ measureArm(workload::Workbench &wb, int requests)
         result.latency[r.kind].add(static_cast<double>(r.cycles));
     }
     result.counters = wb.core().counters();
+    result.blockHits = wb.image().blockCacheHits();
+    result.blockBuilds = wb.image().blockCacheBuilds();
+    result.blockFlushes = wb.image().blockCacheFlushes();
     if (wb.machine().profileTrampolines)
         result.distinctTrampolines =
             wb.distinctTrampolinesExecuted();

@@ -122,6 +122,13 @@ RefCore::step()
 RefCore::FastRun
 RefCore::runFast(std::uint64_t max_steps, Addr stop_pc)
 {
+    return blocks_ ? runFastBlocks(max_steps, stop_pc)
+                   : runFastInstr(max_steps, stop_pc);
+}
+
+RefCore::FastRun
+RefCore::runFastInstr(std::uint64_t max_steps, Addr stop_pc)
+{
     FastRun r;
     while (r.steps < max_steps) {
         // Chain-entry checks only: the stop sentinels (magic
@@ -153,7 +160,7 @@ RefCore::runFast(std::uint64_t max_steps, Addr stop_pc)
         // transfers (and halt) break out to the entry checks.
         do {
             ++r.steps;
-            if (execT<false>(*cur, nullptr, pc))
+            if (execT<false>(cur->inst, nullptr, pc))
                 break;
             cur = image_->nextSlot(cur);
             if (!cur) {
@@ -173,19 +180,154 @@ RefCore::runFast(std::uint64_t max_steps, Addr stop_pc)
     return r;
 }
 
+RefCore::FastRun
+RefCore::runFastBlocks(std::uint64_t max_steps, Addr stop_pc)
+{
+    FastRun r;
+    while (r.steps < max_steps) {
+        // Chain-entry checks, as in runFastInstr: the sentinels are
+        // reachable solely via taken transfers, so block chaining
+        // re-tests them only when it follows a taken edge.
+        if (state_.halted) {
+            r.stop = FastStop::Halted;
+            return r;
+        }
+        Addr pc = state_.pc;
+        if (pc == stop_pc) {
+            r.stop = FastStop::StopPc;
+            return r;
+        }
+        if (pc == linker::ResolverVa) {
+            r.stop = FastStop::Resolver;
+            return r;
+        }
+        std::int32_t bi = image_->blockIndex(pc);
+        if (bi < 0) {
+            throw RefExecError("reference: undecodable pc " +
+                               hexAddr(pc));
+        }
+        // Chain blocks with pc held in a register. Blocks are
+        // copied by value and op pointers re-derived per iteration:
+        // building a successor can reallocate the arena.
+        while (true) {
+            const linker::Image::Block b = image_->block(bi);
+            const linker::Image::BlockOp *ops = image_->blockOps(b);
+            const std::uint64_t remaining = max_steps - r.steps;
+            const std::uint32_t body = b.bodyOps;
+            if (remaining < body) {
+                // Budget lapses mid-body: stop where the
+                // per-instruction loop would.
+                const auto n = static_cast<std::uint32_t>(remaining);
+                for (std::uint32_t i = 0; i < n; ++i) {
+                    ++r.steps;
+                    execT<false>(ops[i].inst, nullptr, pc);
+                }
+                state_.pc = pc;
+                break; // outer condition fails -> tail classifies
+            }
+            for (std::uint32_t i = 0; i < body; ++i) {
+                ++r.steps;
+                execT<false>(ops[i].inst, nullptr, pc);
+            }
+            if (!b.hasTerm) {
+                // Capped block or decoded-code edge: mid-chain
+                // fall-through, no sentinel checks (runFastInstr
+                // would be mid-chain here too).
+                state_.pc = pc;
+                if (r.steps >= max_steps)
+                    break;
+                std::int32_t succ = b.succFall;
+                if (succ < 0) {
+                    succ = image_->blockIndex(pc);
+                    if (succ < 0) {
+                        throw RefExecError(
+                            "reference: undecodable pc " +
+                            hexAddr(pc));
+                    }
+                    image_->memoSuccFall(bi, succ);
+                }
+                bi = succ;
+                continue;
+            }
+            if (remaining == body) {
+                // Budget lapses right before the terminator.
+                state_.pc = pc;
+                break;
+            }
+            ++r.steps;
+            const isa::Opcode term_op = ops[body].inst.op;
+            const bool tk = execT<false>(ops[body].inst, nullptr, pc);
+            state_.pc = pc;
+            if (state_.halted)
+                break; // outer loop / tail classifies Halted
+            if (term_op == isa::Opcode::CondBr && !tk) {
+                // Not-taken CondBr falls through mid-chain: budget
+                // check only, like runFastInstr's inner loop.
+                if (r.steps >= max_steps)
+                    break;
+                std::int32_t succ = b.succFall;
+                if (succ < 0) {
+                    succ = image_->blockIndex(pc);
+                    if (succ < 0) {
+                        throw RefExecError(
+                            "reference: undecodable pc " +
+                            hexAddr(pc));
+                    }
+                    image_->memoSuccFall(bi, succ);
+                }
+                bi = succ;
+                continue;
+            }
+            if (term_op == isa::Opcode::JmpRel ||
+                term_op == isa::Opcode::CallRel ||
+                term_op == isa::Opcode::CondBr) {
+                // Taken edge with a static target: re-run the
+                // chain-entry checks inline, then follow the
+                // memoized successor.
+                if (r.steps >= max_steps || pc == stop_pc ||
+                    pc == linker::ResolverVa) {
+                    break; // outer loop / tail classifies
+                }
+                std::int32_t succ = b.succTaken;
+                if (succ < 0) {
+                    succ = image_->blockIndex(pc);
+                    if (succ < 0) {
+                        throw RefExecError(
+                            "reference: undecodable pc " +
+                            hexAddr(pc));
+                    }
+                    image_->memoSuccTaken(bi, succ);
+                }
+                bi = succ;
+                continue;
+            }
+            // Indirect transfer (register/memory jump or call,
+            // Ret): the target varies, so return to the outer loop
+            // and look it up afresh.
+            break;
+        }
+    }
+    if (state_.halted)
+        r.stop = FastStop::Halted;
+    else if (state_.pc == stop_pc)
+        r.stop = FastStop::StopPc;
+    else if (state_.pc == linker::ResolverVa)
+        r.stop = FastStop::Resolver;
+    return r;
+}
+
 void
 RefCore::exec(const linker::Slot &slot, RefStep &st)
 {
     Addr pc = state_.pc;
-    execT<true>(slot, &st, pc);
+    execT<true>(slot.inst, &st, pc);
     state_.pc = pc;
 }
 
 template <bool Record>
 bool
-RefCore::execT(const linker::Slot &slot, RefStep *st, Addr &pc)
+RefCore::execT(const isa::Instruction &inst, RefStep *st, Addr &pc)
 {
-    const isa::Instruction &inst = slot.inst;
     const Addr fallthrough = pc + inst.size;
     auto &regs = state_.regs;
     Addr nextPc = fallthrough;

@@ -127,6 +127,15 @@ class RefCore
      */
     FastRun runFast(std::uint64_t max_steps, Addr stop_pc);
 
+    /**
+     * Select the fast-forward engine: block-chained (default) or
+     * per-instruction. The two produce identical step counts, stop
+     * classifications, and architectural state; sim::Sampled-
+     * Execution ties this to the timing core's blockDispatch so one
+     * knob flips both executors.
+     */
+    void setBlockDispatch(bool on) { blocks_ = on; }
+
   private:
     mem::AddressSpace &space() { return direct_ ? *direct_ : *mem_; }
     /** Execute `slot` at state().pc, filling `st` and advancing. */
@@ -142,7 +151,20 @@ class RefCore
      *         or a halt.
      */
     template <bool Record>
-    bool execT(const linker::Slot &slot, RefStep *st, Addr &pc);
+    bool execT(const isa::Instruction &inst, RefStep *st, Addr &pc);
+
+    /** runFast per-instruction engine (the original loop). */
+    FastRun runFastInstr(std::uint64_t max_steps, Addr stop_pc);
+    /**
+     * runFast block engine: dispatch whole blocks from the image's
+     * block cache and chain static control edges (direct jumps and
+     * calls, both CondBr arms, block fall-through) through
+     * successor indices memoized on first traversal. Indirect
+     * transfers return to the sentinel-checked outer loop, exactly
+     * where runFastInstr re-enters its own.
+     */
+    FastRun runFastBlocks(std::uint64_t max_steps, Addr stop_pc);
+
     std::uint64_t read64(Addr addr);
     void write64(Addr addr, std::uint64_t value);
 
@@ -150,6 +172,7 @@ class RefCore
     std::unique_ptr<mem::AddressSpace> mem_;
     mem::AddressSpace *direct_ = nullptr;
     cpu::MachineState state_;
+    bool blocks_ = true;
 };
 
 } // namespace dlsim::check

@@ -84,19 +84,6 @@ TrampolineSkipUnit::retireStore(Addr addr)
 }
 
 void
-TrampolineSkipUnit::retireOther()
-{
-    // Simple instructions consume the pattern window (the ARM
-    // trampoline's address-materialising prologue).
-    if (patternArmed_) {
-        if (windowLeft_ == 0)
-            patternArmed_ = false;
-        else
-            --windowLeft_;
-    }
-}
-
-void
 TrampolineSkipUnit::coherenceInvalidate(Addr addr)
 {
     flushFor(&SkipUnitStats::coherenceFlushes, addr, true);

@@ -135,8 +135,20 @@ class TrampolineSkipUnit
     /** Retire a store; a bloom hit clears the ABTB (§3.2). */
     void retireStore(Addr addr);
 
-    /** Retire any other instruction (breaks the call pattern). */
-    void retireOther();
+    /** Retire any other instruction. Inline: this is the hook on
+     *  the block dispatcher's per-body-op path, and it only touches
+     *  the pattern-window state. */
+    void retireOther()
+    {
+        // Simple instructions consume the pattern window (the ARM
+        // trampoline's address-materialising prologue).
+        if (patternArmed_) {
+            if (windowLeft_ == 0)
+                patternArmed_ = false;
+            else
+                --windowLeft_;
+        }
+    }
 
     /** Coherence invalidation received from the memory system. */
     void coherenceInvalidate(Addr addr);

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 #include <vector>
 
 #include "snapshot/serializer.hh"
@@ -27,6 +29,13 @@ Core::Core(const CoreParams &params)
     : params_(params), hierarchy_(params.mem),
       predictor_(params.predictor)
 {
+    dataLineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(params_.mem.l1d.lineBytes));
+    dataFastOk_ = params_.mem.l1d.lineBytes <= mem::PageBytes;
+    fetchLineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(params_.mem.l1i.lineBytes));
+    fetchFastOk_ = !params_.mem.iPrefetchNextLine &&
+                   params_.mem.l1i.lineBytes <= mem::PageBytes;
     if (params_.skipUnitEnabled) {
         skipUnit_ =
             std::make_unique<core::TrampolineSkipUnit>(params_.skip);
@@ -74,11 +83,34 @@ Core::initStack(Addr stack_top)
     state_.regs[isa::RegSp] = stack_top - 64;
 }
 
-std::uint64_t
+// The three leaf functions of the block dispatcher's body loop are
+// called half a billion times on the fig5 grid; the call overhead
+// alone is measurable, and -O2 declines to inline them on size
+// grounds. Force the issue — they only have two call sites each.
+#if defined(__GNUC__)
+#define DLSIM_HOT_INLINE __attribute__((always_inline)) inline
+#else
+#define DLSIM_HOT_INLINE inline
+#endif
+
+DLSIM_HOT_INLINE std::uint64_t
 Core::readData(Addr addr)
 {
     ++cnt_.loads;
-    cnt_.cycles += hierarchy_.data(addr, asid_).extraCycles;
+    // Verified-touch memo probe (see the member doc): a hit is
+    // re-proven by key compare inside dataRepeatAt() before
+    // anything is touched, so the fast path is exact with no
+    // invalidation protocol, and a miss costs one failed compare
+    // before the full walk refills the slot.
+    const Addr line = addr >> dataLineShift_;
+    auto &memo = dataMemo_[line & (RepeatMemoSlots - 1)];
+    if (dataFastOk_ && memo.line == line &&
+        hierarchy_.dataRepeatAt(memo.ref, addr, asid_)) {
+        // Verified dtlb+l1d hit: no extra cycles.
+    } else {
+        cnt_.cycles += hierarchy_.data(addr, asid_).extraCycles;
+        memo = {line, hierarchy_.dataRef()};
+    }
     mem::MemFault fault = mem::MemFault::None;
     const auto value = image_->addressSpace().read64(addr, fault);
     if (fault != mem::MemFault::None) {
@@ -88,11 +120,20 @@ Core::readData(Addr addr)
     return value;
 }
 
-void
+DLSIM_HOT_INLINE void
 Core::writeData(Addr addr, std::uint64_t value)
 {
     ++cnt_.stores;
-    cnt_.cycles += hierarchy_.data(addr, asid_).extraCycles;
+    // Verified-touch memo probe; see readData for the argument.
+    const Addr line = addr >> dataLineShift_;
+    auto &memo = dataMemo_[line & (RepeatMemoSlots - 1)];
+    if (dataFastOk_ && memo.line == line &&
+        hierarchy_.dataRepeatAt(memo.ref, addr, asid_)) {
+        // Verified dtlb+l1d hit: no extra cycles.
+    } else {
+        cnt_.cycles += hierarchy_.data(addr, asid_).extraCycles;
+        memo = {line, hierarchy_.dataRef()};
+    }
     const auto fault = image_->addressSpace().write64(addr, value);
     if (fault != mem::MemFault::None) {
         throw SimError("store fault at " + hexAddr(addr) + " (pc " +
@@ -102,7 +143,7 @@ Core::writeData(Addr addr, std::uint64_t value)
         storeSnoopHook_(addr);
 }
 
-bool
+DLSIM_HOT_INLINE bool
 Core::condTaken(isa::CondKind cond, std::uint64_t value)
 {
     switch (cond) {
@@ -118,7 +159,7 @@ Core::condTaken(isa::CondKind cond, std::uint64_t value)
     return false;
 }
 
-std::uint64_t
+DLSIM_HOT_INLINE std::uint64_t
 Core::aluEval(isa::AluKind kind, std::uint64_t a, std::uint64_t b)
 {
     switch (kind) {
@@ -219,7 +260,28 @@ Core::stepT()
 
     // Fetch. Base throughput is issueWidth instructions per
     // cycle; miss penalties serialise on top.
-    cnt_.cycles += hierarchy_.fetch(pc, asid_).extraCycles;
+    if (fetchRepeatHint_) {
+        // The block dispatcher proved this fetch repeats the line
+        // of the immediately preceding one (see the terminator
+        // hand-off in runBlockLoopT): guaranteed itlb+l1i hit,
+        // byte-identical counters to the full fetch() at a fraction
+        // of the cost.
+        fetchRepeatHint_ = false;
+        hierarchy_.fetchRepeat();
+    } else {
+        // Otherwise probe the I-side verified-touch memo (exact for
+        // the same reason as in readData — fetchRepeatAt re-proves
+        // the hit by key compare before touching anything).
+        const Addr fline = pc >> fetchLineShift_;
+        auto &memo = fetchMemo_[fline & (RepeatMemoSlots - 1)];
+        if (fetchFastOk_ && memo.line == fline &&
+            hierarchy_.fetchRepeatAt(memo.ref, pc, asid_)) {
+            // Verified itlb+l1i hit: no extra cycles.
+        } else {
+            cnt_.cycles += hierarchy_.fetch(pc, asid_).extraCycles;
+            memo = {fline, hierarchy_.fetchRef()};
+        }
+    }
     if (++cnt_.issueSlot >= params_.issueWidth) {
         ++cnt_.cycles;
         cnt_.issueSlot = 0;
@@ -484,6 +546,206 @@ Core::stepT()
 }
 
 template <bool Observed>
+void
+Core::execBodyOpT(const linker::Image::BlockOp &op, bool repeat_line)
+{
+    const isa::Instruction &inst = op.inst;
+    const Addr pc = op.va;
+    state_.pc = pc; // faults and observers see the op's pc
+    const Addr fallthrough = pc + inst.size;
+
+    // Fetch: the repeat-line case is a guaranteed itlb+l1i hit (see
+    // Hierarchy::fetchRepeat), which costs zero extra cycles — the
+    // same zero a full fetch() would return for it.
+    if (repeat_line)
+        hierarchy_.fetchRepeat();
+    else
+        cnt_.cycles += hierarchy_.fetch(pc, asid_).extraCycles;
+    if (++cnt_.issueSlot >= params_.issueWidth) {
+        ++cnt_.cycles;
+        cnt_.issueSlot = 0;
+    }
+    ++cnt_.instructions;
+    // Body ops can carry FlagPlt (the ARM prologue ALU ops and the
+    // x86 lazy-path pushes) but never FlagPltJmp: the PLT jump is a
+    // control transfer, i.e. a block terminator.
+    if (op.flags & linker::FlagPlt)
+        ++cnt_.trampolineInsts;
+
+    auto &regs = state_.regs;
+    const auto effAddr = [&]() -> Addr {
+        return inst.memBase == isa::NoReg
+                   ? static_cast<Addr>(inst.imm)
+                   : regs[inst.memBase] +
+                         static_cast<Addr>(inst.imm);
+    };
+
+    bool did_store = false;
+    Addr store_addr = 0;
+    std::uint64_t store_value = 0;
+
+    switch (inst.op) {
+      case isa::Opcode::Nop:
+        break;
+      case isa::Opcode::IntAlu: {
+        const std::uint64_t b = inst.src2 == isa::NoReg
+                                    ? static_cast<std::uint64_t>(
+                                          inst.imm)
+                                    : regs[inst.src2];
+        regs[inst.dst] = aluEval(inst.alu, regs[inst.src1], b);
+        break;
+      }
+      case isa::Opcode::MovImm:
+        regs[inst.dst] = static_cast<std::uint64_t>(inst.imm);
+        break;
+      case isa::Opcode::Load:
+        regs[inst.dst] = readData(effAddr());
+        break;
+      case isa::Opcode::Store: {
+        store_addr = effAddr();
+        store_value = regs[inst.src1];
+        writeData(store_addr, store_value);
+        did_store = true;
+        break;
+      }
+      case isa::Opcode::Push:
+        regs[isa::RegSp] -= 8;
+        store_addr = regs[isa::RegSp];
+        store_value = regs[inst.src1];
+        writeData(store_addr, store_value);
+        did_store = true;
+        break;
+      case isa::Opcode::PushImm:
+        regs[isa::RegSp] -= 8;
+        store_addr = regs[isa::RegSp];
+        store_value = static_cast<std::uint64_t>(inst.imm);
+        writeData(store_addr, store_value);
+        did_store = true;
+        break;
+      case isa::Opcode::Pop:
+        regs[inst.dst] = readData(regs[isa::RegSp]);
+        regs[isa::RegSp] += 8;
+        break;
+      case isa::Opcode::AbtbFlush:
+        if (skipUnit_)
+            skipUnit_->explicitFlush();
+        break;
+      default:
+        // Control transfers and Halt end blocks; the builder never
+        // places them in a body.
+        break;
+    }
+
+    // Retire hooks — the non-control subset of stepT's ordering.
+    if (skipUnit_) {
+        if (did_store)
+            skipUnit_->retireStore(store_addr);
+        else
+            skipUnit_->retireOther();
+    }
+
+    state_.pc = fallthrough;
+
+    if constexpr (Observed) {
+        RetireRecord rec;
+        rec.pc = pc;
+        rec.op = inst.op;
+        rec.isControl = false;
+        rec.taken = false;
+        rec.nextPc = fallthrough;
+        rec.effectivePc = fallthrough;
+        rec.substituted = false;
+        rec.didStore = did_store;
+        rec.storeAddr = store_addr;
+        rec.storeValue = store_value;
+        rec.loadSrc = 0;
+        rec.cycle = cnt_.cycles;
+        rec.retireIndex = cnt_.instructions;
+        rec.state = &state_;
+        observer_->onRetire(rec);
+    }
+}
+
+DLSIM_HOT_INLINE void
+Core::execBodyOpFast(const linker::Image::BlockOp &op)
+{
+    const isa::Instruction &inst = op.inst;
+    auto &regs = state_.regs;
+    const auto effAddr = [&]() -> Addr {
+        return inst.memBase == isa::NoReg
+                   ? static_cast<Addr>(inst.imm)
+                   : regs[inst.memBase] +
+                         static_cast<Addr>(inst.imm);
+    };
+
+    bool did_store = false;
+    Addr store_addr = 0;
+
+    // Memory ops set state_.pc first so a fault's diagnostic names
+    // the faulting op, exactly as the per-op path would.
+    switch (inst.op) {
+      case isa::Opcode::Nop:
+        break;
+      case isa::Opcode::IntAlu: {
+        const std::uint64_t b = inst.src2 == isa::NoReg
+                                    ? static_cast<std::uint64_t>(
+                                          inst.imm)
+                                    : regs[inst.src2];
+        regs[inst.dst] = aluEval(inst.alu, regs[inst.src1], b);
+        break;
+      }
+      case isa::Opcode::MovImm:
+        regs[inst.dst] = static_cast<std::uint64_t>(inst.imm);
+        break;
+      case isa::Opcode::Load:
+        state_.pc = op.va;
+        regs[inst.dst] = readData(effAddr());
+        break;
+      case isa::Opcode::Store:
+        state_.pc = op.va;
+        store_addr = effAddr();
+        writeData(store_addr, regs[inst.src1]);
+        did_store = true;
+        break;
+      case isa::Opcode::Push:
+        state_.pc = op.va;
+        regs[isa::RegSp] -= 8;
+        store_addr = regs[isa::RegSp];
+        writeData(store_addr, regs[inst.src1]);
+        did_store = true;
+        break;
+      case isa::Opcode::PushImm:
+        state_.pc = op.va;
+        regs[isa::RegSp] -= 8;
+        store_addr = regs[isa::RegSp];
+        writeData(store_addr,
+                  static_cast<std::uint64_t>(inst.imm));
+        did_store = true;
+        break;
+      case isa::Opcode::Pop:
+        state_.pc = op.va;
+        regs[inst.dst] = readData(regs[isa::RegSp]);
+        regs[isa::RegSp] += 8;
+        break;
+      case isa::Opcode::AbtbFlush:
+        if (skipUnit_)
+            skipUnit_->explicitFlush();
+        break;
+      default:
+        break;
+    }
+
+    // Retire hooks stay per-op: the bloom filter and the ABTB's
+    // store snooping are order-sensitive.
+    if (skipUnit_) {
+        if (did_store)
+            skipUnit_->retireStore(store_addr);
+        else
+            skipUnit_->retireOther();
+    }
+}
+
+template <bool Observed>
 std::uint64_t
 Core::runLoopT(std::uint64_t max_insts)
 {
@@ -495,9 +757,248 @@ Core::runLoopT(std::uint64_t max_insts)
     return cnt_.instructions - start;
 }
 
+template <bool Observed>
+std::uint64_t
+Core::runBlockLoopT(std::uint64_t max_insts)
+{
+    const std::uint64_t start = cnt_.instructions;
+
+    // Same-line repeat fetches can skip the full hierarchy walk:
+    // lines are aligned power-of-two runs, so with lineBytes <=
+    // PageBytes a same-line pc is also same-page, and nothing
+    // between two body-op fetches touches the I-side structures —
+    // body ops access only the D side. The next-line prefetcher
+    // would break that guarantee (it fills L1I between fetches), so
+    // it disables the fast path.
+    const mem::HierarchyParams &mp = hierarchy_.params();
+    const bool fast_fetch =
+        !mp.iPrefetchNextLine && mp.l1i.lineBytes <= mem::PageBytes;
+    const std::uint32_t line_shift = static_cast<std::uint32_t>(
+        std::countr_zero(mp.l1i.lineBytes));
+
+    // L1I line of the most recent instruction fetch, carried across
+    // block boundaries by the unobserved fast path: a body op on the
+    // same line as the previous fetch — even the previous block's
+    // terminator — is a guaranteed repeat hit. Reset to the no-line
+    // sentinel whenever anything other than a plain fetch may have
+    // touched the I side.
+    Addr last_line = ~Addr{0};
+
+    // Carried block index: deterministic control edges (fall-through
+    // and static branch targets) memoize their successor block in
+    // the Block itself, so steady-state dispatch follows an index
+    // instead of re-probing the hash table. Negative means "probe by
+    // pc". Memos are stored in blocks_ and die with it on any flush;
+    // block indices are stable otherwise (the cache only appends).
+    std::int32_t bi = -1;
+
+    while (!state_.halted && state_.pc != MagicReturnVa &&
+           cnt_.instructions - start < max_insts) {
+        if (state_.pc == linker::ResolverVa) {
+            // May patch code and flush the block cache; never hold
+            // block pointers or indices across it.
+            serviceResolver();
+            last_line = ~Addr{0};
+            bi = -1;
+            continue;
+        }
+        if (bi < 0)
+            bi = image_->blockIndex(state_.pc);
+        if (bi < 0) {
+            // Not decodable: take the per-instruction step so the
+            // "undecodable pc" error path is byte-identical.
+            curSlot_ = nullptr;
+            stepT<Observed>();
+            last_line = ~Addr{0};
+            continue;
+        }
+        const linker::Image::Block &b = image_->block(bi);
+        const linker::Image::BlockOp *ops = image_->blockOps(b);
+        const std::uint64_t remaining =
+            max_insts - (cnt_.instructions - start);
+        const std::uint32_t body = b.bodyOps;
+        const std::uint32_t n =
+            remaining < body ? static_cast<std::uint32_t>(remaining)
+                             : body;
+        if constexpr (Observed) {
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const bool repeat =
+                    fast_fetch && i != 0 &&
+                    ((ops[i].va ^ ops[i - 1].va) >> line_shift) == 0;
+                execBodyOpT<Observed>(ops[i], repeat);
+            }
+        } else {
+            // Bulk bookkeeping for the whole straight-line run. Each
+            // op does `if (++issueSlot >= W) { ++cycles; slot = 0; }`,
+            // so n ops from slot s wrap floor((s+n)/W) times and land
+            // on (s+n) mod W; cycle additions commute, and nothing
+            // unobserved reads the counters mid-block, so the block-
+            // end totals are byte-identical to the per-op sequence.
+            const std::uint64_t slots = cnt_.issueSlot + n;
+            cnt_.cycles += slots / params_.issueWidth;
+            cnt_.issueSlot = static_cast<std::uint32_t>(
+                slots % params_.issueWidth);
+            cnt_.instructions += n;
+            if (n == body) {
+                cnt_.trampolineInsts += b.pltBodyOps;
+            } else {
+                for (std::uint32_t i = 0; i < n; ++i) {
+                    if (ops[i].flags & linker::FlagPlt)
+                        ++cnt_.trampolineInsts;
+                }
+            }
+            if (!fast_fetch) {
+                for (std::uint32_t i = 0; i < n; ++i) {
+                    cnt_.cycles +=
+                        hierarchy_.fetch(ops[i].va, asid_)
+                            .extraCycles;
+                    execBodyOpFast(ops[i]);
+                }
+            } else {
+                // Body VAs are sequential, so same-line ops form
+                // runs: one full fetch per new line, then a single
+                // batched repeat for the rest of the run.
+                std::uint32_t i = 0;
+                while (i < n) {
+                    const Addr line = ops[i].va >> line_shift;
+                    if (line != last_line) {
+                        // Line transition: probe the I-side
+                        // verified-touch memo first — loop bodies
+                        // re-walk the same short cycle of lines, so
+                        // the full walk is usually provably a hit.
+                        auto &memo =
+                            fetchMemo_[line &
+                                       (RepeatMemoSlots - 1)];
+                        if (memo.line == line &&
+                            hierarchy_.fetchRepeatAt(
+                                memo.ref, ops[i].va, asid_)) {
+                            // Verified itlb+l1i hit: no cycles.
+                        } else {
+                            cnt_.cycles +=
+                                hierarchy_.fetch(ops[i].va, asid_)
+                                    .extraCycles;
+                            memo = {line, hierarchy_.fetchRef()};
+                        }
+                        last_line = line;
+                        execBodyOpFast(ops[i]);
+                        ++i;
+                    } else {
+                        std::uint32_t j = i + 1;
+                        while (j < n &&
+                               (ops[j].va >> line_shift) == line)
+                            ++j;
+                        hierarchy_.fetchRepeatN(j - i);
+                        for (; i < j; ++i)
+                            execBodyOpFast(ops[i]);
+                    }
+                }
+            }
+        }
+        if (n < body) {
+            // Quantum boundary mid-body: resume at the next op,
+            // exactly where the per-instruction loop would stop.
+            state_.pc = ops[n].va;
+            curSlot_ = nullptr;
+            break;
+        }
+        if (!b.hasTerm) {
+            // Capped block or run off decoded code: fall through.
+            state_.pc = b.endVa;
+            curSlot_ = nullptr;
+            std::int32_t succ = b.succFall;
+            if (succ < 0) {
+                succ = image_->blockIndex(b.endVa);
+                if (succ >= 0)
+                    image_->memoSuccFall(bi, succ);
+            }
+            bi = succ;
+            continue;
+        }
+        if (remaining == body) {
+            // Quantum boundary right before the terminator.
+            state_.pc = b.endVa;
+            curSlot_ = nullptr;
+            break;
+        }
+        // Terminator: delegate to stepT with the cursor preset so
+        // prediction, ABTB substitution, skip checking, and
+        // mispredict accounting run unchanged. Copy what we need
+        // first — stepT may observe/throw, and block storage must
+        // not be assumed stable past this dispatch.
+        const Addr term_va = b.endVa;
+        const std::uint32_t term_slot = b.termSlot;
+        // Classify the terminator's deterministic edges up front so
+        // the landing pc can be matched against them after the step
+        // (an ABTB substitution or resolver redirect lands anywhere
+        // else and simply falls back to a probe). Copy before stepT:
+        // block storage must not be assumed stable across it.
+        const isa::Instruction &term = ops[body].inst;
+        const isa::Opcode term_op = term.op;
+        const Addr term_fall = term_va + term.size;
+        const Addr term_target =
+            term_fall + static_cast<Addr>(term.imm);
+        const bool term_static = term_op == isa::Opcode::JmpRel ||
+                                 term_op == isa::Opcode::CallRel ||
+                                 term_op == isa::Opcode::CondBr;
+        const std::int32_t memo_fall = b.succFall;
+        const std::int32_t memo_taken = b.succTaken;
+        state_.pc = term_va;
+        curSlot_ = image_->slotAt(term_slot);
+        // When the terminator shares an L1I line with the last body
+        // op — the previous instruction fetched, in both the
+        // observed and unobserved body paths — its fetch is a
+        // guaranteed repeat: body ops touch only the D side, so the
+        // I-side repeat pointers still name that line (ready() turns
+        // false if anything unusual intervened). Hand stepT the
+        // proof; it takes fetchRepeat() instead of the full walk.
+        fetchRepeatHint_ =
+            fast_fetch && body != 0 &&
+            ((ops[body - 1].va ^ term_va) >> line_shift) == 0 &&
+            hierarchy_.fetchRepeatReady();
+        stepT<Observed>();
+        // stepT's last I-side operation is its fetch of term_va (an
+        // ABTB substitution adds no fetch), so the repeat memo stays
+        // valid across the block boundary.
+        last_line = term_va >> line_shift;
+        if (term_op == isa::Opcode::CondBr &&
+            state_.pc == term_fall) {
+            std::int32_t succ = memo_fall;
+            if (succ < 0) {
+                succ = image_->blockIndex(state_.pc);
+                if (succ >= 0)
+                    image_->memoSuccFall(bi, succ);
+            }
+            bi = succ;
+        } else if (term_static && state_.pc == term_target) {
+            std::int32_t succ = memo_taken;
+            if (succ < 0) {
+                succ = image_->blockIndex(state_.pc);
+                if (succ >= 0)
+                    image_->memoSuccTaken(bi, succ);
+            }
+            bi = succ;
+        } else {
+            bi = -1;
+        }
+    }
+    return cnt_.instructions - start;
+}
+
 std::uint64_t
 Core::run(std::uint64_t max_insts)
 {
+    // The D-side memo deliberately survives run() boundaries:
+    // every hit is re-verified by key compare against the current
+    // ASID and cache/TLB contents, so context switches, snapshot
+    // restores, and cross-quantum invalidations are all caught by
+    // the verification itself (see DataMemo).
+    // Trace recording logs an event per retired op, so it keeps the
+    // per-instruction loop; otherwise block dispatch is a pure
+    // speed-up with identical observables.
+    if (params_.blockDispatch && !traceWriter_) {
+        return observer_ ? runBlockLoopT<true>(max_insts)
+                         : runBlockLoopT<false>(max_insts);
+    }
     return observer_ ? runLoopT<true>(max_insts)
                      : runLoopT<false>(max_insts);
 }

@@ -155,6 +155,17 @@ struct CoreParams
 
     /** Retain TLB entries across context switches (ASIDs). */
     bool asidTlbRetention = false;
+
+    /**
+     * Dispatch whole basic blocks per run-loop iteration from the
+     * image's block translation cache instead of one instruction at
+     * a time. Purely a simulator-speed knob: counters, timing, and
+     * every architectural observable are byte-identical either way
+     * (tests/test_block_dispatch.cc), so it is excluded from the
+     * snapshot configuration fingerprints. Trace recording
+     * (tracePath) forces the per-instruction loop regardless.
+     */
+    bool blockDispatch = true;
 };
 
 /** The simulated core. */
@@ -278,6 +289,11 @@ class Core
     const CoreParams &params() const { return params_; }
     linker::Image *image() { return image_; }
 
+    /** Toggle block dispatch (reconfigure/bench --blocks). Takes
+     *  effect at the next run() call; safe at any quantum boundary
+     *  since the two loops are observably identical. */
+    void setBlockDispatch(bool on) { params_.blockDispatch = on; }
+
     /** @name Profiler output (Pin-tool stand-in) @{ */
     const linker::CallSiteTrace &callSiteTrace() const
     {
@@ -355,6 +371,32 @@ class Core
     template <bool Observed> void stepT();
     template <bool Observed>
     std::uint64_t runLoopT(std::uint64_t max_insts);
+
+    /**
+     * Block dispatcher: one block-cache lookup per straight-line
+     * run, body ops executed by the lean execBodyOpT, the
+     * terminator delegated to stepT (which keeps prediction, ABTB
+     * substitution, and mispredict accounting in one place).
+     * Byte-identical observables to runLoopT.
+     */
+    template <bool Observed>
+    std::uint64_t runBlockLoopT(std::uint64_t max_insts);
+
+    /** Execute one non-control block-body op; exact replica of the
+     *  stepT path for the non-control opcode subset. `repeat_line`
+     *  selects the hierarchy's repeat-fetch fast path. */
+    template <bool Observed>
+    void execBodyOpT(const linker::Image::BlockOp &op,
+                     bool repeat_line);
+
+    /**
+     * Leaner still: the unobserved block loop hoists the fetch,
+     * issue-slot, instruction-count, and pc bookkeeping out of the
+     * per-op body (batched per straight-line run), leaving only the
+     * architectural side effects. Counters and state after a block
+     * are byte-identical to the execBodyOpT sequence.
+     */
+    void execBodyOpFast(const linker::Image::BlockOp &op);
     void serviceResolver();
 
     std::uint64_t readData(Addr addr);
@@ -375,6 +417,55 @@ class Core
 
     MachineState state_;
     const linker::Slot *curSlot_ = nullptr;
+
+    /**
+     * @name Verified-touch memos
+     * Direct-mapped (by L1-line low bits) tables of the D-TLB/L1D
+     * and I-TLB/L1I slots past walks resolved to
+     * (Hierarchy::dataRef / fetchRef). A later access probing the
+     * same table slot is settled by dataRepeatAt()/fetchRepeatAt(),
+     * which re-verify both pointers by key compare — the key
+     * embeds line, ASID, and validity — before touching anything.
+     * The memos therefore need NO invalidation protocol at all:
+     * ASID switches, snapshot restores, coherence snoops, and
+     * evictions all change or clear the keys, and a failed compare
+     * simply falls back to the full walk. Direct mapping keeps the
+     * probe to a single compare while covering the few lines hot
+     * code alternates between (stack + source + destination on the
+     * D side, a loop body's line cycle on the I side). Gated off
+     * entirely when an L1 line spans pages (one TLB entry vouches
+     * for one page); the I memo additionally requires the next-line
+     * prefetcher off (callers gate on their fast-fetch flag).
+     * @{ */
+    struct RepeatMemo
+    {
+        /** Line tag: fail fast on a plain compare before the
+         *  verify derefs the (possibly cold) TLB/cache slots. */
+        Addr line = ~Addr{0};
+        mem::Hierarchy::RepeatRef ref{};
+    };
+    /** 32 slots × 24 bytes × two memos stays comfortably host-L1-
+     *  resident while covering a ~2KB loop body's line cycle (I
+     *  side) and the handful of stack/source/destination/GOT lines
+     *  hot code alternates between (D side). */
+    static constexpr std::size_t RepeatMemoSlots = 32;
+    RepeatMemo dataMemo_[RepeatMemoSlots];
+    RepeatMemo fetchMemo_[RepeatMemoSlots];
+    std::uint32_t dataLineShift_ = 0;
+    std::uint32_t fetchLineShift_ = 0;
+    bool dataFastOk_ = false;
+    /** True when the I-side memo may be probed at all: next-line
+     *  prefetcher off (fetchRepeatAt cannot reproduce its fill) and
+     *  L1I lines within one page. */
+    bool fetchFastOk_ = false;
+    /**
+     * Set by the block dispatcher immediately before a terminator
+     * stepT() it has proven to be a same-L1I-line repeat fetch;
+     * consumed (and cleared) by stepT's fetch stage, which then
+     * takes the fetchRepeat() fast path instead of the full walk.
+     */
+    bool fetchRepeatHint_ = false;
+    /** @} */
     std::function<void(Addr)> storeSnoopHook_;
     RetireObserver *observer_ = nullptr;
     std::unique_ptr<trace::TraceWriter> traceWriter_;

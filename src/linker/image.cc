@@ -1,5 +1,6 @@
 #include "linker/image.hh"
 
+#include "isa/opcode.hh"
 #include "snapshot/serializer.hh"
 
 #include <bit>
@@ -15,6 +16,19 @@ namespace
 /** Empty/tombstone sentinels for the decode cache's value array. */
 constexpr std::uint32_t FastEmpty = 0xffffffffu;
 constexpr std::uint32_t FastTombstone = 0xfffffffeu;
+
+/** Empty sentinel for the block table's value array (no tombstones:
+ *  the block cache is only ever flushed wholesale). */
+constexpr std::int32_t BlockEmpty = -1;
+
+/** A block terminator: any control transfer, or Halt. Everything
+ *  else (including AbtbFlush, which is a hint, not a transfer) is
+ *  straight-line body. */
+inline bool
+endsBlock(isa::Opcode op)
+{
+    return isa::isControl(op) || op == isa::Opcode::Halt;
+}
 
 /** Mix a va into a well-distributed hash (vas are structured). */
 inline std::uint64_t
@@ -104,9 +118,122 @@ Image::decodeMutable(Addr va)
         return nullptr;
     // The caller is about to rewrite this slot (software call-site
     // patching); drop the cached translation so the next fetch
-    // re-resolves it.
+    // re-resolves it, and flush the block cache — any cached block
+    // may hold a pre-decoded copy of this slot in its body.
     fastErase(va);
+    invalidateBlocks();
     return &slots_[it->second];
+}
+
+std::int32_t
+Image::blockIndex(Addr head) const
+{
+    if (blockMask_ != 0) {
+        std::uint64_t i = fastHash(head) & blockMask_;
+        while (blockVals_[i] != BlockEmpty) {
+            if (blockKeys_[i] == head) {
+                ++blockHits_;
+                return blockVals_[i];
+            }
+            i = (i + 1) & blockMask_;
+        }
+    }
+    return buildBlock(head);
+}
+
+std::int32_t
+Image::buildBlock(Addr head) const
+{
+    // Head lookup goes straight to slotIndex_, not decode(): block
+    // building must not perturb the decode-cache hit/miss counters
+    // relative to per-instruction dispatch.
+    auto it = slotIndex_.find(head);
+    if (it == slotIndex_.end())
+        return BlockEmpty;
+
+    Block b;
+    b.headVa = head;
+    b.firstOp = static_cast<std::uint32_t>(blockOps_.size());
+    std::uint32_t cur = it->second;
+    Addr va = head;
+    while (true) {
+        const Slot &s = slots_[cur];
+        if (endsBlock(s.inst.op)) {
+            b.hasTerm = true;
+            b.termSlot = cur;
+            b.endVa = va;
+            blockOps_.push_back({s.inst, s.va, s.flags});
+            break;
+        }
+        if (b.bodyOps == MaxBlockOps) {
+            b.endVa = va; // capped: resume here, no terminator
+            break;
+        }
+        blockOps_.push_back({s.inst, s.va, s.flags});
+        ++b.bodyOps;
+        if (s.flags & FlagPlt)
+            ++b.pltBodyOps;
+        va += s.inst.size;
+        // Mirror nextSlot(): adjacency first, then the index.
+        const std::uint32_t next = cur + 1;
+        if (next < slots_.size() && slots_[next].va == va) {
+            cur = next;
+            continue;
+        }
+        const auto nit = slotIndex_.find(va);
+        if (nit == slotIndex_.end()) {
+            b.endVa = va; // runs off decoded code; resume at va
+            break;
+        }
+        cur = nit->second;
+    }
+
+    const auto index = static_cast<std::int32_t>(blocks_.size());
+    blocks_.push_back(b);
+    ++blockBuilds_;
+    if (blockMask_ == 0 || 2 * blocks_.size() > blockMask_ + 1)
+        blockTableGrow();
+    else
+        blockTableInsert(head, index);
+    return index;
+}
+
+void
+Image::blockTableInsert(Addr va, std::int32_t index) const
+{
+    std::uint64_t i = fastHash(va) & blockMask_;
+    while (blockVals_[i] != BlockEmpty)
+        i = (i + 1) & blockMask_;
+    blockKeys_[i] = va;
+    blockVals_[i] = index;
+}
+
+void
+Image::blockTableGrow() const
+{
+    const std::uint64_t capacity = std::bit_ceil(
+        std::max<std::uint64_t>(1024, 4 * blocks_.size()));
+    blockMask_ = capacity - 1;
+    blockKeys_.assign(capacity, 0);
+    blockVals_.assign(capacity, BlockEmpty);
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        blockTableInsert(blocks_[i].headVa,
+                         static_cast<std::int32_t>(i));
+    }
+}
+
+void
+Image::invalidateBlocks()
+{
+    if (blocks_.empty())
+        return;
+    blocks_.clear();
+    blockOps_.clear();
+    blockKeys_.clear();
+    blockVals_.clear();
+    blockMask_ = 0;
+    ++blockGen_;
+    ++blockFlushes_;
 }
 
 void
@@ -229,6 +356,9 @@ Image::addSlot(Slot slot)
 void
 Image::indexSlots()
 {
+    // Re-indexing means the decodable-code set changed (dlopen,
+    // dlclose, snapshot restore): every cached block is suspect.
+    invalidateBlocks();
     slotIndex_.clear();
     pltJmpInfo_.clear();
     fastReset();

@@ -167,6 +167,104 @@ class Image
     }
     /** @} */
 
+    /** @name Basic-block translation cache @{
+     *
+     * A block is a maximal straight-line run of non-control
+     * instructions starting at a head va, optionally ending in one
+     * control transfer or Halt (the terminator). Blocks are packed
+     * into a flat arena of pre-decoded ops and found through an
+     * open-addressed head-va table, so the executors pay one lookup
+     * per block instead of one per instruction. The cache holds
+     * decoded code only — no GOT values, no predictor or skip-unit
+     * state — so GOT rebinds need no flush; anything that changes
+     * decoded code (patcher writes, dlopen/dlclose re-indexing,
+     * snapshot restore) must call invalidateBlocks().
+     */
+
+    /** One pre-decoded instruction of a cached block. */
+    struct BlockOp
+    {
+        isa::Instruction inst;
+        Addr va = 0;
+        std::uint8_t flags = FlagNone;
+    };
+
+    /** Block descriptor. Ops live at blockOps(b)[0 .. bodyOps-1];
+     *  when hasTerm the terminator op follows at [bodyOps]. */
+    struct Block
+    {
+        Addr headVa = 0;
+        /** First va past the body: the terminator's va when
+         *  hasTerm, else the resume pc after the last body op. */
+        Addr endVa = 0;
+        std::uint32_t firstOp = 0;
+        std::uint32_t termSlot = 0; ///< slots_ index (hasTerm only).
+        std::uint16_t bodyOps = 0;
+        /** Body ops carrying FlagPlt, so full-block dispatch can
+         *  bump the trampoline-instruction counter in one add. */
+        std::uint16_t pltBodyOps = 0;
+        bool hasTerm = false;
+        /** Memoized successor block indices (fast-forward
+         *  chaining); -1 until first execution. Indices stay valid
+         *  until the next invalidateBlocks(): the arena is
+         *  append-only between flushes. */
+        std::int32_t succTaken = -1;
+        std::int32_t succFall = -1;
+    };
+
+    /** Longest body a cached block may carry. */
+    static constexpr std::uint16_t MaxBlockOps = 64;
+
+    /**
+     * Arena index of the block headed at va, building and caching
+     * it on first use; -1 when va is not decodable. The returned
+     * index (not a Block pointer) is stable until the next
+     * invalidateBlocks(); pointers into blocks_/blockOps_ are not —
+     * building a successor block may reallocate both vectors.
+     */
+    std::int32_t blockIndex(Addr head) const;
+
+    const Block &block(std::int32_t index) const
+    {
+        return blocks_[static_cast<std::uint32_t>(index)];
+    }
+    const BlockOp *blockOps(const Block &b) const
+    {
+        return blockOps_.data() + b.firstOp;
+    }
+    /** Decoded slot by slots_ index (terminator dispatch). */
+    const Slot *slotAt(std::uint32_t index) const
+    {
+        return &slots_[index];
+    }
+
+    /** Memoize a successor edge (const for the same single-owner
+     *  reason the decode cache is mutable). */
+    void memoSuccTaken(std::int32_t index, std::int32_t succ) const
+    {
+        blocks_[static_cast<std::uint32_t>(index)].succTaken = succ;
+    }
+    void memoSuccFall(std::int32_t index, std::int32_t succ) const
+    {
+        blocks_[static_cast<std::uint32_t>(index)].succFall = succ;
+    }
+
+    /**
+     * Drop every cached block and bump the generation. Wired into
+     * decodeMutable() (software patcher) and indexSlots()
+     * (dlopen/dlclose/snapshot restore); see the class comment for
+     * why GOT rebinds are exempt.
+     */
+    void invalidateBlocks();
+
+    /** Block-cache observability (bench_wallclock gauges). */
+    std::uint64_t blockCacheHits() const { return blockHits_; }
+    std::uint64_t blockCacheBuilds() const { return blockBuilds_; }
+    std::uint64_t blockCacheFlushes() const { return blockFlushes_; }
+    std::uint64_t blockGeneration() const { return blockGen_; }
+    std::size_t liveBlocks() const { return blocks_.size(); }
+    /** @} */
+
     mem::AddressSpace &addressSpace() { return *as_; }
     const mem::AddressSpace &addressSpace() const { return *as_; }
 
@@ -258,6 +356,13 @@ class Image
     /** Clear and re-size the decode cache for slots_.size(). */
     void fastReset();
 
+    /** Walk slots from `head`, append a new block; -1 when `head`
+     *  is not in the decode index. */
+    std::int32_t buildBlock(Addr head) const;
+    void blockTableInsert(Addr va, std::int32_t index) const;
+    /** Re-size the head-va table and re-insert every live block. */
+    void blockTableGrow() const;
+
     std::unique_ptr<mem::AddressSpace> as_;
     std::vector<LoadedModule> modules_;
     std::vector<Slot> slots_;
@@ -279,6 +384,21 @@ class Image
     mutable std::uint64_t fastMask_ = 0;
     mutable std::uint64_t decodeHits_ = 0;
     mutable std::uint64_t decodeMisses_ = 0;
+
+    /**
+     * Block cache (see the public section). Never serialized: like
+     * the decode cache it is derived state, rebuilt on demand after
+     * a restore. Mutable for the same single-owner reason.
+     */
+    mutable std::vector<BlockOp> blockOps_;
+    mutable std::vector<Block> blocks_;
+    mutable std::vector<Addr> blockKeys_;
+    mutable std::vector<std::int32_t> blockVals_;
+    mutable std::uint64_t blockMask_ = 0;
+    mutable std::uint64_t blockGen_ = 0;
+    mutable std::uint64_t blockHits_ = 0;
+    mutable std::uint64_t blockBuilds_ = 0;
+    mutable std::uint64_t blockFlushes_ = 0;
     std::unordered_map<Addr, std::pair<std::uint16_t, std::uint32_t>>
         pltJmpInfo_; ///< trampoline va -> (module, import index).
     std::uint32_t hwCapLevel_ = 0;

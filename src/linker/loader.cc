@@ -113,10 +113,32 @@ Loader::load(elf::Module exe, std::vector<elf::Module> libs)
 std::uint16_t
 Loader::dlopen(Image &image, elf::Module lib)
 {
+    // First-fit reuse of dlclose'd regions (see the header): the
+    // span check runs against the module before it is moved into
+    // the image. Skipped under ASLR, which wants fresh placement.
+    Addr reuse_base = 0;
+    if (!options_.aslr) {
+        const Addr need = moduleSpan(lib);
+        for (auto it = freed_.begin(); it != freed_.end(); ++it) {
+            if (need <= it->span) {
+                reuse_base = it->base;
+                freed_.erase(it);
+                break;
+            }
+        }
+    }
+
     const auto id = image.addModule(std::move(lib));
-    if (options_.aslr)
-        libCursor_ += rng_.nextBelow(64) * mem::PageBytes;
-    placeModule(image, id);
+    if (reuse_base != 0) {
+        const Addr saved = libCursor_;
+        libCursor_ = reuse_base;
+        placeModule(image, id);
+        libCursor_ = saved;
+    } else {
+        if (options_.aslr)
+            libCursor_ += rng_.nextBelow(64) * mem::PageBytes;
+        placeModule(image, id);
+    }
     image.indexSlots();
     relocateModule(image, id);
     bindModule(image, id);
@@ -180,6 +202,36 @@ Loader::dlclose(Image &image, const std::string &module_name,
     if (closing.module.dataSize() > 0)
         image.addressSpace().unmap(closing.dataBase);
     image.removeModuleSlots(closing.id);
+
+    // The whole span placeModule consumed (text+PLT, GOT, data,
+    // guard page) becomes reusable by a later dlopen.
+    const Addr end = closing.dataBase +
+                     alignUp(closing.module.dataSize(),
+                             mem::PageBytes) +
+                     mem::PageBytes;
+    freed_.push_back({closing.textBase, end - closing.textBase});
+}
+
+Addr
+Loader::moduleSpan(const elf::Module &mod) const
+{
+    // Must mirror placeModule's layout arithmetic exactly.
+    Addr off = 0;
+    for (const auto &fn : mod.functions()) {
+        off = alignUp(off, 16);
+        off += fn.sizeBytes;
+    }
+    const bool arm = options_.pltStyle == PltStyle::Arm;
+    const Addr stride = arm ? ArmPltEntryBytes : PltEntryBytes;
+    const auto num_imports = static_cast<Addr>(mod.imports().size());
+    const Addr plt_bytes = PltEntryBytes + num_imports * stride;
+    const Addr text_size =
+        alignUp(alignUp(off, 16) + plt_bytes, mem::PageBytes);
+    const Addr got_bytes =
+        alignUp((num_imports + 2) * 8, mem::PageBytes);
+    const Addr data_bytes = alignUp(mod.dataSize(), mem::PageBytes);
+    return text_size + got_bytes + data_bytes +
+           mem::PageBytes; // guard page
 }
 
 void

@@ -95,7 +95,12 @@ class Loader
                                 std::vector<elf::Module> libs);
 
     /**
-     * Load an additional library into a live image (dlopen).
+     * Load an additional library into a live image (dlopen). Like
+     * mmap, the loader reuses address space a prior dlclose
+     * released when the incoming module fits (first fit; disabled
+     * under ASLR) — so a close/reload cycle lands the new module at
+     * the old virtual addresses, the scenario every stale-code
+     * cache (decode index, basic-block cache) must survive.
      * @return The new module's id.
      */
     std::uint16_t dlopen(Image &image, elf::Module lib);
@@ -133,14 +138,26 @@ class Loader
     /** Map one module at the cursor and emit its slots. */
     void placeModule(Image &image, std::uint16_t module_id);
 
+    /** Address-space span placeModule would consume for `mod`
+     *  (text+PLT, GOT, data, guard page), without side effects. */
+    Addr moduleSpan(const elf::Module &mod) const;
+
     /** Apply a module's relocations (after placement). */
     void relocateModule(Image &image, std::uint16_t module_id);
 
     /** Populate a module's GOT (lazy or eager). */
     void bindModule(Image &image, std::uint16_t module_id);
 
+    /** A region dlclose released, available for dlopen reuse. */
+    struct FreeRegion
+    {
+        Addr base = 0;
+        Addr span = 0;
+    };
+
     LoaderOptions options_;
     stats::Rng rng_;
+    std::vector<FreeRegion> freed_;
     Addr libCursor_ = 0;
     Addr stackTop_ = 0;
     Addr heapBase_ = 0;

@@ -119,6 +119,7 @@ std::uint64_t
 AddressSpace::read64Slow(Addr addr, MemFault &fault)
 {
     assert((addr & 7) == 0);
+    ++ptcMisses_;
     const Addr page_num = addr >> PageShift;
     CachedPage &e = cache_[page_num & (CacheSlots - 1)];
     const Region *r = findRegion(addr);
@@ -143,6 +144,7 @@ MemFault
 AddressSpace::write64Slow(Addr addr, std::uint64_t value)
 {
     assert((addr & 7) == 0);
+    ++ptcMisses_;
     const Addr page_num = addr >> PageShift;
     CachedPage &e = cache_[page_num & (CacheSlots - 1)];
     const Region *r = findRegion(addr);

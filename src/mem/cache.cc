@@ -20,6 +20,10 @@ Cache::Cache(const CacheParams &params) : params_(params)
     assert(lines >= params_.assoc);
     numSets_ = lines / params_.assoc;
     setsArePow2_ = std::has_single_bit(numSets_);
+    assocPow2_ = std::has_single_bit(params_.assoc);
+    if (assocPow2_)
+        assocShift_ = static_cast<std::uint32_t>(
+            std::countr_zero(params_.assoc));
     ways_.resize(numSets_ * params_.assoc);
     mruWay_.assign(numSets_, 0);
 }
@@ -31,9 +35,10 @@ Cache::findWay(std::uint64_t line, std::size_t set,
     Way *base = &ways_[set * params_.assoc];
     // Branchless select over the set: fixed trip count, no
     // data-dependent early exit (at most one way can match).
+    const std::uint64_t want = wayKey(line, asid);
     std::uint32_t hit = params_.assoc;
     for (std::uint32_t w = 0; w < params_.assoc; ++w)
-        hit = wayMatches(base[w], line, asid) ? w : hit;
+        hit = base[w].key == want ? w : hit;
     if (hit == params_.assoc)
         return nullptr;
     mruWay_[set] = hit;
@@ -47,7 +52,7 @@ Cache::findVictim(std::size_t set)
     Way *victim = base;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
         Way &way = base[w];
-        if (!way.valid)
+        if (!(way.key & 1))
             return &way; // first invalid way, deterministically
         if (way.lastUse < victim->lastUse)
             victim = &way;
@@ -58,11 +63,9 @@ Cache::findVictim(std::size_t set)
 void
 Cache::fill(Way *victim, std::uint64_t line, std::uint16_t asid)
 {
-    if (victim->valid)
+    if (victim->key & 1)
         ++evictions_;
-    victim->valid = true;
-    victim->tag = line;
-    victim->asid = asid;
+    victim->key = wayKey(line, asid);
     victim->lastUse = tick_;
     // The filled line is the set's next likely hit.
     const std::size_t slot = static_cast<std::size_t>(
@@ -72,33 +75,22 @@ Cache::fill(Way *victim, std::uint64_t line, std::uint16_t asid)
 }
 
 bool
-Cache::access(Addr addr, std::uint16_t asid)
+Cache::accessMiss(std::uint64_t line, std::size_t set,
+                  std::uint16_t asid)
 {
-    ++tick_;
-    const std::uint64_t line = lineOf(addr);
-    const std::size_t set = setOf(line);
-    // Fast path: the fetch/data stream revisits the same line back
-    // to back, so one compare against the set's MRU way settles
-    // most L1 hits before the full scan.
-    Way &mru = ways_[set * params_.assoc + mruWay_[set]];
-    if (wayMatches(mru, line, asid)) {
-        mru.lastUse = tick_;
-        ++hits_;
-        return true;
-    }
-    if (Way *way = findWay(line, set, asid)) {
-        way->lastUse = tick_;
-        ++hits_;
-        return true;
-    }
     ++misses_;
-    fill(findVictim(set), line, asid);
+    Way *victim = findVictim(set);
+    fill(victim, line, asid);
+    lastWay_ = victim;
     return false;
 }
 
 void
 Cache::prefetch(Addr addr, std::uint16_t asid)
 {
+    // A prefetch fill can move the MRU hand, so a touchRepeat()
+    // after it would no longer mirror a real access().
+    lastWay_ = nullptr;
     ++tick_;
     const std::uint64_t line = lineOf(addr);
     const std::size_t set = setOf(line);
@@ -115,10 +107,10 @@ Cache::contains(Addr addr, std::uint16_t asid) const
 {
     const std::uint64_t line = lineOf(addr);
     const std::size_t set = setOf(line);
+    const std::uint64_t want = wayKey(line, asid);
     const Way *base = &ways_[set * params_.assoc];
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        const Way &way = base[w];
-        if (way.valid && way.tag == line && way.asid == asid)
+        if (base[w].key == want)
             return true;
     }
     return false;
@@ -127,33 +119,36 @@ Cache::contains(Addr addr, std::uint16_t asid) const
 void
 Cache::invalidateLine(Addr addr, std::uint16_t asid)
 {
+    lastWay_ = nullptr; // the repeat precondition no longer holds
     const std::uint64_t line = lineOf(addr);
     const std::size_t set = setOf(line);
+    const std::uint64_t want = wayKey(line, asid);
     Way *base = &ways_[set * params_.assoc];
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == line &&
-            base[w].asid == asid)
-            base[w].valid = false;
+        if (base[w].key == want)
+            base[w].key &= ~std::uint64_t{1};
     }
 }
 
 void
 Cache::invalidateLineAllAsids(Addr addr)
 {
+    lastWay_ = nullptr; // the repeat precondition no longer holds
     const std::uint64_t line = lineOf(addr);
     const std::size_t set = setOf(line);
     Way *base = &ways_[set * params_.assoc];
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            base[w].valid = false;
+        if ((base[w].key & 1) && (base[w].key >> 17) == line)
+            base[w].key &= ~std::uint64_t{1};
     }
 }
 
 void
 Cache::invalidateAll()
 {
+    lastWay_ = nullptr;
     for (auto &way : ways_)
-        way.valid = false;
+        way.key &= ~std::uint64_t{1};
 }
 
 double
@@ -197,9 +192,10 @@ Cache::save(snapshot::Serializer &s) const
     s.u64(prefetches_);
     s.u64(evictions_);
     for (const Way &w : ways_) {
-        s.u64(w.tag);
-        s.u16(w.asid);
-        s.boolean(w.valid);
+        // Decompose the packed key into the original wire fields.
+        s.u64(w.key >> 17);
+        s.u16(static_cast<std::uint16_t>((w.key >> 1) & 0xffff));
+        s.boolean((w.key & 1) != 0);
         s.u64(w.lastUse);
     }
     for (const std::uint32_t m : mruWay_)
@@ -230,14 +226,16 @@ Cache::load(snapshot::Deserializer &d)
     constexpr std::size_t WayWireBytes = 19;
     const std::uint8_t *p = d.raw(ways_.size() * WayWireBytes);
     for (Way &w : ways_) {
-        w.tag = snapshot::le64(p);
-        w.asid = snapshot::le16(p + 8);
-        w.valid = p[10] != 0;
+        w.key = (snapshot::le64(p) << 17) |
+                (static_cast<std::uint64_t>(snapshot::le16(p + 8))
+                 << 1) |
+                (p[10] != 0 ? 1 : 0);
         w.lastUse = snapshot::le64(p + 11);
         p += WayWireBytes;
     }
     for (std::uint32_t &m : mruWay_)
         m = d.u32();
+    lastWay_ = nullptr; // transient; never valid across a restore
     d.leaveStruct();
 }
 

@@ -56,12 +56,67 @@ class Cache
     explicit Cache(const CacheParams &params);
 
     /**
+     * One way, packed to 16 bytes so an 8-way set scan touches two
+     * host cache lines instead of three and the tag compare is a
+     * single 64-bit equality. Layout of `key`:
+     * tag[63:17] | asid[16:1] | valid[0]. Simulated addresses stay
+     * far below 2^53 (47 tag bits + 6 line-offset bits), so the tag
+     * never truncates. The snapshot wire format is unchanged — the
+     * serializer decomposes the key into the original fields.
+     * Public only as an opaque handle for the verified-touch API;
+     * the storage itself stays private.
+     */
+    struct Way
+    {
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /**
      * Look up (and on miss, allocate) the line containing addr.
+     * Inline so the MRU-compare hit — the overwhelming majority of
+     * L1 traffic — resolves at the call site; set scan, victim
+     * selection, and fill live in accessSlow().
      * @param addr Virtual address of the access.
      * @param asid Address-space id of the accessor.
      * @return True on hit.
      */
-    bool access(Addr addr, std::uint16_t asid);
+    bool
+    access(Addr addr, std::uint16_t asid)
+    {
+        ++tick_;
+        const std::uint64_t line = lineOf(addr);
+        const std::size_t set = setOf(line);
+        const std::uint64_t want = wayKey(line, asid);
+        // Fast path: the fetch/data stream revisits the same line
+        // back to back, so one compare against the set's MRU way
+        // settles back-to-back L1 hits before the full scan.
+        Way *base = &ways_[set * params_.assoc];
+        Way &mru = base[mruWay_[set]];
+        if (mru.key == want) {
+            mru.lastUse = tick_;
+            ++hits_;
+            lastWay_ = &mru;
+            return true;
+        }
+        // Full branchless scan inline: sequential code streams
+        // through lines, so a hit in a *non*-MRU way (the previous
+        // loop iteration's fill) is the second-most-common outcome
+        // and is worth settling without a function call. Identical
+        // updates to the old findWay() hit path, mruWay_ included.
+        std::uint32_t hit = params_.assoc;
+        for (std::uint32_t w = 0; w < params_.assoc; ++w)
+            hit = base[w].key == want ? w : hit;
+        if (hit != params_.assoc) {
+            mruWay_[set] = hit;
+            Way &way = base[hit];
+            way.lastUse = tick_;
+            ++hits_;
+            lastWay_ = &way;
+            return true;
+        }
+        return accessMiss(line, set, asid);
+    }
 
     /** Probe without updating LRU or allocating. */
     bool contains(Addr addr, std::uint16_t asid) const;
@@ -91,6 +146,87 @@ class Cache
     /** Invalidate everything. */
     void invalidateAll();
 
+    /**
+     * Repeat-access fast path: re-touch the way the immediately
+     * preceding access() resolved to, skipping indexing and tag
+     * compare. Precondition: the previous operation on this cache
+     * was an access() to the same (line, asid) and nothing has
+     * invalidated or refilled that way since (no prefetch, flush,
+     * or invalidate in between). Under that precondition the effect
+     * on every observable — tick, lastUse, hit count, MRU state,
+     * contents — is byte-identical to calling access() again: a
+     * repeat access() always takes the MRU-compare hit path, which
+     * performs exactly these three updates.
+     */
+    void touchRepeat()
+    {
+        ++tick_;
+        lastWay_->lastUse = tick_;
+        ++hits_;
+    }
+
+    /**
+     * `n` consecutive touchRepeat()s in one step. Byte-identical to
+     * calling touchRepeat() n times (tick advances by n, lastUse
+     * lands on the final tick, hits grow by n) under the same
+     * precondition, since no other operation on this structure
+     * observes the intermediate ticks.
+     */
+    void touchRepeatN(std::uint64_t n)
+    {
+        tick_ += n;
+        lastWay_->lastUse = tick_;
+        hits_ += n;
+    }
+
+    /** True when touchRepeat()'s way pointer is usable (the last
+     *  access() hasn't been followed by an invalidate/flush/load). */
+    bool canRepeat() const { return lastWay_ != nullptr; }
+
+    /** @name Verified-touch memoisation
+     *
+     * Unlike touchRepeat(), no recency precondition: the caller
+     * holds a Way pointer captured from an arbitrarily old access
+     * (lastWayPtr()), and wayHolds() re-verifies it by key compare
+     * before any state is touched. The pointer can never dangle —
+     * ways_ is sized once and never reallocates — so staleness just
+     * fails the compare. When it succeeds, the way genuinely holds
+     * (line, asid) right now: a real access() would hit exactly
+     * this way (a key is held by at most one way, since fills only
+     * happen after a scan found no match) and perform exactly
+     * touchAt()'s updates — including leaving mruWay_ pointing at
+     * it, which both the inline MRU-hit and the scan-hit paths do.
+     * Gated on power-of-two associativity so the way→set division
+     * is a shift; every shipped geometry qualifies.
+     * @{ */
+
+    /** Way the most recent demand access() resolved to. */
+    Way *lastWayPtr() { return lastWay_; }
+
+    /** True when `w` holds the line of addr in `asid`. */
+    bool
+    wayHolds(const Way *w, Addr addr, std::uint16_t asid) const
+    {
+        return assocPow2_ && w != nullptr &&
+               w->key == wayKey(lineOf(addr), asid);
+    }
+
+    /** The hit that wayHolds() proved: identical updates to an
+     *  access() hit. @pre wayHolds(w, ...) just held. */
+    void
+    touchAt(Way *w)
+    {
+        ++tick_;
+        w->lastUse = tick_;
+        ++hits_;
+        lastWay_ = w;
+        const std::size_t slot =
+            static_cast<std::size_t>(w - ways_.data());
+        mruWay_[slot >> assocShift_] =
+            static_cast<std::uint32_t>(slot & (params_.assoc - 1));
+    }
+    /** @} */
+
     const CacheParams &params() const { return params_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -114,27 +250,27 @@ class Cache
     void load(snapshot::Deserializer &d);
 
   private:
-    struct Way
+    /** Key a valid (line, asid) pairing would carry. */
+    static constexpr std::uint64_t
+    wayKey(std::uint64_t line, std::uint16_t asid)
     {
-        std::uint64_t tag = 0;
-        std::uint16_t asid = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
+        return (line << 17) |
+               (static_cast<std::uint64_t>(asid) << 1) | 1;
+    }
 
     /** Hit scan: the way holding (line, asid), or null. */
     Way *findWay(std::uint64_t line, std::size_t set,
                  std::uint16_t asid);
 
-    /** True when `way` holds (line, asid). Computed with integer
-     *  arithmetic (no short-circuit) so the full-set scan compiles
-     *  to conditional moves instead of per-way branches. */
+    /** access() miss tail: count, select a victim, fill. */
+    bool accessMiss(std::uint64_t line, std::size_t set,
+                    std::uint16_t asid);
+
+    /** True when `way` holds (line, asid): one packed compare. */
     static bool wayMatches(const Way &way, std::uint64_t line,
                            std::uint16_t asid)
     {
-        return (static_cast<unsigned>(way.valid) &
-                static_cast<unsigned>(way.tag == line) &
-                static_cast<unsigned>(way.asid == asid)) != 0;
+        return way.key == wayKey(line, asid);
     }
 
     /**
@@ -162,6 +298,11 @@ class Cache
     std::uint32_t lineShift_;
     std::uint64_t numSets_;
     bool setsArePow2_;
+    /** touchAt()'s way→set conversion: log2(assoc) when assoc is a
+     *  power of two (assocPow2_), which gates the verified-touch
+     *  API on. */
+    std::uint32_t assocShift_ = 0;
+    bool assocPow2_ = false;
     std::vector<Way> ways_; // numSets * assoc, set-major.
     /**
      * Most-recently-used way per set: the fetch stream touches the
@@ -172,6 +313,13 @@ class Cache
      * every counter) is identical with or without it.
      */
     std::vector<std::uint32_t> mruWay_;
+    /**
+     * Way the last demand access() resolved to (hit or fill), for
+     * touchRepeat(). Transient lookup state like mruWay_, but not
+     * serialized: it is only meaningful between back-to-back
+     * accesses within one run loop, never across a snapshot.
+     */
+    Way *lastWay_ = nullptr;
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

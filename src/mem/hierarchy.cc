@@ -12,44 +12,6 @@ Hierarchy::Hierarchy(const HierarchyParams &params)
 {
 }
 
-AccessResult
-Hierarchy::accessThrough(Tlb &tlb, Cache &l1, Addr addr,
-                         std::uint16_t asid)
-{
-    AccessResult res;
-    res.tlbHit = tlb.access(addr, asid);
-    if (!res.tlbHit)
-        res.extraCycles += params_.walkLatency;
-    res.l1Hit = l1.access(addr, asid);
-    if (res.l1Hit)
-        return res;
-    res.l2Hit = l2_.access(addr, asid);
-    if (!res.l2Hit) {
-        res.l3Hit = l3_.access(addr, asid);
-        res.extraCycles += params_.l3Latency;
-        if (!res.l3Hit)
-            res.extraCycles += params_.memLatency;
-    } else {
-        res.extraCycles += params_.l2Latency;
-    }
-    return res;
-}
-
-AccessResult
-Hierarchy::fetch(Addr addr, std::uint16_t asid)
-{
-    const auto res = accessThrough(itlb_, l1i_, addr, asid);
-    if (params_.iPrefetchNextLine)
-        l1i_.prefetch(addr + params_.l1i.lineBytes, asid);
-    return res;
-}
-
-AccessResult
-Hierarchy::data(Addr addr, std::uint16_t asid)
-{
-    return accessThrough(dtlb_, l1d_, addr, asid);
-}
-
 void
 Hierarchy::flushTlbs()
 {

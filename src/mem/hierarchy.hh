@@ -65,10 +65,129 @@ class Hierarchy
     explicit Hierarchy(const HierarchyParams &params = {});
 
     /** Fetch of the instruction at addr. */
-    AccessResult fetch(Addr addr, std::uint16_t asid);
+    AccessResult
+    fetch(Addr addr, std::uint16_t asid)
+    {
+        const auto res = accessThrough(itlb_, l1i_, addr, asid);
+        if (params_.iPrefetchNextLine)
+            l1i_.prefetch(addr + params_.l1i.lineBytes, asid);
+        return res;
+    }
+
+    /**
+     * Repeat-fetch fast path for the block dispatcher: the previous
+     * hierarchy operation was an I-side fetch() of an address on the
+     * same L1I line (same-line implies same-page whenever lineBytes
+     * <= PageBytes, since lines are aligned power-of-two runs), and
+     * no prefetch ran (caller must gate on !iPrefetchNextLine). A
+     * repeat fetch() is then a guaranteed full hit — the line was
+     * just filled or touched, and nothing between two fetches of one
+     * basic block touches the I-side structures — costing exactly
+     * one itlb and one l1i hit and zero extra cycles, which is
+     * precisely what this performs. Byte-identical counters/LRU to
+     * calling fetch() again, at a fraction of the cost.
+     */
+    void fetchRepeat()
+    {
+        itlb_.touchRepeat();
+        l1i_.touchRepeat();
+    }
+
+    /** `n` repeat fetches batched; equivalent to n fetchRepeat()s
+     *  (the I-side structures are untouched in between, so the
+     *  intermediate ticks are unobservable). */
+    void fetchRepeatN(std::uint64_t n)
+    {
+        itlb_.touchRepeatN(n);
+        l1i_.touchRepeatN(n);
+    }
+
+    /** True when the I-side repeat pointers are usable (nothing
+     *  invalidated or flushed the I structures since the last
+     *  fetch). Guards the block dispatcher's terminator-fetch
+     *  repeat hint. */
+    bool
+    fetchRepeatReady() const
+    {
+        return itlb_.canRepeat() && l1i_.canRepeat();
+    }
 
     /** Data access at addr. */
-    AccessResult data(Addr addr, std::uint16_t asid);
+    AccessResult
+    data(Addr addr, std::uint16_t asid)
+    {
+        return accessThrough(dtlb_, l1d_, addr, asid);
+    }
+
+    /** TLB entry + L1 way a past walk resolved to; capture after a
+     *  full access, re-verify later with dataRepeatAt() or
+     *  fetchRepeatAt(). A default-constructed ref never verifies. */
+    struct RepeatRef
+    {
+        Tlb::Entry *tlbEntry = nullptr;
+        Cache::Way *l1Way = nullptr;
+    };
+
+    /** The slots the most recent data() resolved to. */
+    RepeatRef
+    dataRef()
+    {
+        return {dtlb_.lastEntryPtr(), l1d_.lastWayPtr()};
+    }
+
+    /** The slots the most recent fetch() resolved to. */
+    RepeatRef
+    fetchRef()
+    {
+        return {itlb_.lastEntryPtr(), l1i_.lastWayPtr()};
+    }
+
+    /**
+     * Verified-touch data access, the D-side fast path: `ref` was
+     * captured by dataRef() after some earlier data() walk — there
+     * is NO recency precondition, unlike the fetchRepeat() family.
+     * Both slots are re-verified by key compare (see
+     * Tlb::entryHolds / Cache::wayHolds for why a successful
+     * compare proves a real data() would be a dtlb+l1d hit landing
+     * on exactly these slots); only then are both touched, in the
+     * same dtlb-then-l1d order as accessThrough(). The caller must
+     * additionally guarantee addr's line lies within one page
+     * (lineBytes <= PageBytes — line-aligned runs can't straddle a
+     * page then), since one TLB entry vouches for one page.
+     * @return False — with no state touched at all — when either
+     *         verification fails; the caller takes the full data()
+     *         path, which is exact by definition. Either way every
+     *         counter is byte-identical to always calling data().
+     */
+    bool
+    dataRepeatAt(const RepeatRef &ref, Addr addr, std::uint16_t asid)
+    {
+        if (!dtlb_.entryHolds(ref.tlbEntry, addr, asid) ||
+            !l1d_.wayHolds(ref.l1Way, addr, asid))
+            return false;
+        dtlb_.touchAt(ref.tlbEntry);
+        l1d_.touchAt(ref.l1Way);
+        return true;
+    }
+
+    /**
+     * I-side twin of dataRepeatAt(), with one extra caller
+     * obligation: fetch() also runs the next-line prefetcher when
+     * enabled, which this fast path cannot reproduce, so callers
+     * must gate on !iPrefetchNextLine (in addition to lineBytes <=
+     * PageBytes). Same verify-both-then-touch-both structure, same
+     * byte-identity argument.
+     */
+    bool
+    fetchRepeatAt(const RepeatRef &ref, Addr addr, std::uint16_t asid)
+    {
+        if (!itlb_.entryHolds(ref.tlbEntry, addr, asid) ||
+            !l1i_.wayHolds(ref.l1Way, addr, asid))
+            return false;
+        itlb_.touchAt(ref.tlbEntry);
+        l1i_.touchAt(ref.l1Way);
+        return true;
+    }
 
     /** Context-switch without ASID support: flush both TLBs. */
     void flushTlbs();
@@ -118,8 +237,29 @@ class Hierarchy
                        const std::string &prefix) const;
 
   private:
-    AccessResult accessThrough(Tlb &tlb, Cache &l1, Addr addr,
-                               std::uint16_t asid);
+    /** Inline: this is the body of every fetch and data access. */
+    AccessResult
+    accessThrough(Tlb &tlb, Cache &l1, Addr addr,
+                  std::uint16_t asid)
+    {
+        AccessResult res;
+        res.tlbHit = tlb.access(addr, asid);
+        if (!res.tlbHit)
+            res.extraCycles += params_.walkLatency;
+        res.l1Hit = l1.access(addr, asid);
+        if (res.l1Hit)
+            return res;
+        res.l2Hit = l2_.access(addr, asid);
+        if (!res.l2Hit) {
+            res.l3Hit = l3_.access(addr, asid);
+            res.extraCycles += params_.l3Latency;
+            if (!res.l3Hit)
+                res.extraCycles += params_.memLatency;
+        } else {
+            res.extraCycles += params_.l2Latency;
+        }
+        return res;
+    }
 
     HierarchyParams params_;
     Cache l1i_;

@@ -24,7 +24,7 @@ Tlb::findVictim(std::size_t set)
     Entry *victim = base;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
         Entry &e = base[w];
-        if (!e.valid)
+        if (!(e.key & 1))
             return &e; // first invalid entry, deterministically
         if (e.lastUse < victim->lastUse)
             victim = &e;
@@ -33,45 +33,34 @@ Tlb::findVictim(std::size_t set)
 }
 
 bool
-Tlb::access(Addr addr, std::uint16_t asid)
+Tlb::accessMiss(std::uint64_t vpn, std::size_t set,
+                std::uint16_t asid)
 {
-    ++tick_;
-    const std::uint64_t vpn = addr >> PageShift;
-    const std::size_t set =
-        static_cast<std::size_t>(vpn & (numSets_ - 1));
-    Entry *base = &entries_[set * params_.assoc];
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.vpn == vpn && e.asid == asid) {
-            e.lastUse = tick_;
-            ++hits_;
-            return true;
-        }
-    }
     ++misses_;
     Entry *victim = findVictim(set);
-    if (victim->valid)
+    if (victim->key & 1)
         ++evictions_;
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->asid = asid;
+    victim->key = entryKey(vpn, asid);
     victim->lastUse = tick_;
+    lastEntry_ = victim;
     return false;
 }
 
 void
 Tlb::flushAll()
 {
+    lastEntry_ = nullptr; // the repeat precondition no longer holds
     for (auto &e : entries_)
-        e.valid = false;
+        e.key &= ~std::uint64_t{1};
 }
 
 void
 Tlb::flushAsid(std::uint16_t asid)
 {
+    lastEntry_ = nullptr; // the repeat precondition no longer holds
     for (auto &e : entries_) {
-        if (e.asid == asid)
-            e.valid = false;
+        if (((e.key >> 1) & 0xffff) == asid)
+            e.key &= ~std::uint64_t{1};
     }
 }
 
@@ -102,9 +91,10 @@ Tlb::save(snapshot::Serializer &s) const
     s.u64(misses_);
     s.u64(evictions_);
     for (const Entry &e : entries_) {
-        s.u64(e.vpn);
-        s.u16(e.asid);
-        s.boolean(e.valid);
+        // Decompose the packed key into the original wire fields.
+        s.u64(e.key >> 17);
+        s.u16(static_cast<std::uint16_t>((e.key >> 1) & 0xffff));
+        s.boolean((e.key & 1) != 0);
         s.u64(e.lastUse);
     }
     s.endStruct();
@@ -129,12 +119,14 @@ Tlb::load(snapshot::Deserializer &d)
     constexpr std::size_t EntryWireBytes = 19;
     const std::uint8_t *p = d.raw(entries_.size() * EntryWireBytes);
     for (Entry &e : entries_) {
-        e.vpn = snapshot::le64(p);
-        e.asid = snapshot::le16(p + 8);
-        e.valid = p[10] != 0;
+        e.key = (snapshot::le64(p) << 17) |
+                (static_cast<std::uint64_t>(snapshot::le16(p + 8))
+                 << 1) |
+                (p[10] != 0 ? 1 : 0);
         e.lastUse = snapshot::le64(p + 11);
         p += EntryWireBytes;
     }
+    lastEntry_ = nullptr; // transient; never valid across a restore
     d.leaveStruct();
 }
 

@@ -52,16 +52,122 @@ class Tlb
     explicit Tlb(const TlbParams &params);
 
     /**
+     * One entry, packed to 16 bytes so a 4-way set scan touches a
+     * single host cache line and the tag compare is one 64-bit
+     * equality. Layout of `key`: vpn[63:17] | asid[16:1] | valid[0]
+     * (simulated addresses stay far below 2^59, so the vpn never
+     * truncates). The snapshot wire format is unchanged — the
+     * serializer decomposes the key into the original fields.
+     * Public only as an opaque handle for the verified-touch API;
+     * the storage itself stays private.
+     */
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /**
      * Translate the page containing addr (allocating on miss).
+     * Inline: the hit scan is a 4-entry compare loop on the hot
+     * path of every fetch and data access; the miss fill lives in
+     * accessMiss().
      * @return True on hit.
      */
-    bool access(Addr addr, std::uint16_t asid);
+    bool
+    access(Addr addr, std::uint16_t asid)
+    {
+        ++tick_;
+        const std::uint64_t vpn = addr >> PageShift;
+        const std::size_t set =
+            static_cast<std::size_t>(vpn & (numSets_ - 1));
+        const std::uint64_t want = entryKey(vpn, asid);
+        Entry *base = &entries_[set * params_.assoc];
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            Entry &e = base[w];
+            if (e.key == want) {
+                e.lastUse = tick_;
+                ++hits_;
+                lastEntry_ = &e;
+                return true;
+            }
+        }
+        return accessMiss(vpn, set, asid);
+    }
 
     /** Invalidate all entries (ASID-less context switch). */
     void flushAll();
 
     /** Invalidate entries of one address space. */
     void flushAsid(std::uint16_t asid);
+
+    /**
+     * Repeat-access fast path; the TLB twin of
+     * Cache::touchRepeat(). Precondition: the previous operation on
+     * this TLB was an access() for the same (page, asid) and no
+     * flush happened since. Effect is byte-identical to calling
+     * access() again (which would hit and perform exactly these
+     * three updates).
+     */
+    void touchRepeat()
+    {
+        ++tick_;
+        lastEntry_->lastUse = tick_;
+        ++hits_;
+    }
+
+    /** `n` consecutive touchRepeat()s in one step; see
+     *  Cache::touchRepeatN for the equivalence argument. */
+    void touchRepeatN(std::uint64_t n)
+    {
+        tick_ += n;
+        lastEntry_->lastUse = tick_;
+        hits_ += n;
+    }
+
+    /** True when touchRepeat()'s entry pointer is usable. */
+    bool canRepeat() const { return lastEntry_ != nullptr; }
+
+    /** @name Verified-touch memoisation
+     *
+     * Unlike the touchRepeat() family, these carry NO recency
+     * precondition: the caller holds an Entry pointer captured from
+     * an arbitrarily old access (lastEntryPtr()), and entryHolds()
+     * re-verifies it by key compare before any state is touched.
+     * The pointer itself can never dangle — entries_ is sized once
+     * in the constructor and never reallocates — so a stale pointer
+     * simply fails the compare. When the compare succeeds the entry
+     * genuinely holds (vpn, asid) right now: a real access() would
+     * scan, hit exactly this entry (fills only happen when the scan
+     * found no match, so a key is held by at most one entry), and
+     * perform exactly touchAt()'s updates. Verification either
+     * proves the hit or the caller falls back to access(); the
+     * counters are byte-identical either way.
+     * @{ */
+
+    /** Entry the most recent access() resolved to (hit or fill). */
+    Entry *lastEntryPtr() { return lastEntry_; }
+
+    /** True when `e` holds a valid translation for addr's page in
+     *  `asid` — one packed compare, no state change. */
+    bool
+    entryHolds(const Entry *e, Addr addr, std::uint16_t asid) const
+    {
+        return e != nullptr &&
+               e->key == entryKey(addr >> PageShift, asid);
+    }
+
+    /** The hit that entryHolds() proved: identical updates to the
+     *  access() scan-hit path. @pre entryHolds(e, ...) just held. */
+    void
+    touchAt(Entry *e)
+    {
+        ++tick_;
+        e->lastUse = tick_;
+        ++hits_;
+        lastEntry_ = e;
+    }
+    /** @} */
 
     const TlbParams &params() const { return params_; }
     std::uint64_t hits() const { return hits_; }
@@ -80,20 +186,27 @@ class Tlb
     void load(snapshot::Deserializer &d);
 
   private:
-    struct Entry
+    /** Key a valid (vpn, asid) pairing would carry. */
+    static constexpr std::uint64_t
+    entryKey(std::uint64_t vpn, std::uint16_t asid)
     {
-        std::uint64_t vpn = 0;
-        std::uint16_t asid = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
+        return (vpn << 17) |
+               (static_cast<std::uint64_t>(asid) << 1) | 1;
+    }
 
     /** First invalid entry in the set, else first LRU-minimal one. */
     Entry *findVictim(std::size_t set);
 
+    /** access() miss tail: count, evict, fill. */
+    bool accessMiss(std::uint64_t vpn, std::size_t set,
+                    std::uint16_t asid);
+
     TlbParams params_;
     std::uint64_t numSets_;
     std::vector<Entry> entries_;
+    /** Entry the last access() resolved to (hit or fill), for
+     *  touchRepeat(). Transient; not serialized. */
+    Entry *lastEntry_ = nullptr;
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -79,6 +79,9 @@ SampledExecution::SampledExecution(cpu::Core &core,
     : core_(core), image_(image), linker_(linker),
       ref_(&image, &image.addressSpace()), params_(params)
 {
+    // One knob drives both executors: a --blocks 0 run must be
+    // block-free in the fast-forward phases too.
+    ref_.setBlockDispatch(core.params().blockDispatch);
     phase_ = params_.warmup > 0 ? Phase::Warmup : Phase::Detail;
     phaseLeft_ =
         params_.warmup > 0 ? params_.warmup : params_.detail;

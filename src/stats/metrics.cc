@@ -50,6 +50,21 @@ MetricsRegistry::histogram(const std::string &name,
     metrics_[name] = m;
 }
 
+std::size_t
+MetricsRegistry::erasePrefix(const std::string &prefix)
+{
+    assertOwned();
+    const auto first = metrics_.lower_bound(prefix);
+    auto last = first;
+    while (last != metrics_.end() &&
+           last->first.compare(0, prefix.size(), prefix) == 0)
+        ++last;
+    const auto n =
+        static_cast<std::size_t>(std::distance(first, last));
+    metrics_.erase(first, last);
+    return n;
+}
+
 bool
 MetricsRegistry::has(const std::string &name) const
 {

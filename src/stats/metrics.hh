@@ -118,6 +118,15 @@ class MetricsRegistry
                    const SampleSet &samples,
                    std::size_t cdfPoints = 16);
 
+    /**
+     * Drop every metric whose name starts with `prefix`. Used to
+     * strip process-local accelerator statistics (e.g. the page-
+     * translation-cache counters, which restart cold after a
+     * snapshot restore) before byte-comparing two registries.
+     * @return Number of metrics removed.
+     */
+    std::size_t erasePrefix(const std::string &prefix);
+
     bool has(const std::string &name) const;
     /** Null when `name` is not registered. */
     const Metric *find(const std::string &name) const;

@@ -268,6 +268,7 @@ Workbench::warmup(std::uint32_t requests)
     for (std::uint32_t n = 0; n < requests; ++n)
         runRequest();
     core_->clearStats();
+    image_->addressSpace().clearPtcStats();
     if (sampler_)
         sampler_->clearStats();
 }
@@ -413,6 +414,7 @@ Workbench::reconfigure(const MachineConfig &mc)
         mc.core.mem.memLatency, mc.core.mem.walkLatency);
     const cpu::CoreParams cp = makeCoreParams(mc);
     core_->resetSkipUnit(cp.skipUnitEnabled, cp.skip);
+    core_->setBlockDispatch(mc.core.blockDispatch);
     mc_ = mc;
 }
 
@@ -463,6 +465,10 @@ Workbench::reportMetrics(stats::MetricsRegistry &reg,
         reg.counter(prefix + ".workload.distinct_trampolines",
                     distinctTrampolinesExecuted());
     }
+    const auto &as = image_->addressSpace();
+    reg.counter(prefix + ".mem.ptc.hits", as.ptcHits());
+    reg.counter(prefix + ".mem.ptc.misses", as.ptcMisses());
+    reg.counter(prefix + ".mem.ptc.flushes", as.ptcFlushes());
     reg.gauge(prefix + ".workload.library_count",
               static_cast<double>(wl_.numLibs));
 }

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Regression tests for the basic-block translation cache's
+ * invalidation contract: every path that changes decoded code —
+ * a software patcher write, a dlclose+reload landing at the same
+ * virtual addresses, a snapshot restore — must flush the cache, and
+ * a same-value GOT rewrite (which changes no code) must not. Each
+ * mutation lands in the middle of code whose blocks are already
+ * cached and hot, and every run executes under the LockstepChecker
+ * oracle, so a stale block being dispatched is caught as an
+ * architectural divergence at the first wrong retire — the test
+ * does not rely on the mutation happening to change a return value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/lockstep.hh"
+#include "linker/patcher.hh"
+#include "sim_fixture.hh"
+#include "workload/engine.hh"
+
+using namespace dlsim;
+using namespace dlsim::workload;
+using namespace dlsim::check;
+
+namespace
+{
+
+WorkloadParams
+smallWorkload(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = "blockinv";
+    p.seed = seed;
+    p.numLibs = 3;
+    p.funcsPerLib = 10;
+    p.requests = {{"A", 0.6, 1, 3}, {"B", 0.4, 1, 2}};
+    p.stepsPerRequest = 12;
+    p.calledImports = 16;
+    return p;
+}
+
+MachineConfig
+blockMachine()
+{
+    MachineConfig mc;
+    mc.enhanced = true;
+    mc.core.blockDispatch = true;
+    return mc;
+}
+
+/** Run `n` lockstep-checked requests (divergence throws). */
+void
+runChecked(Workbench &wb, int n)
+{
+    for (int i = 0; i < n; ++i)
+        wb.runRequest();
+}
+
+} // namespace
+
+TEST(BlockInvalidation, PatcherWriteMidRequestFlushesBlocks)
+{
+    auto mc = blockMachine();
+    mc.nearLibraries = true; // call sites within rel32 reach
+    mc.collectCallSiteTrace = true;
+    Workbench wb(smallWorkload(11), mc);
+    LockstepChecker checker(wb.core());
+    wb.core().setRetireObserver(&checker);
+
+    // Warm: resolve imports, collect the call-site trace, and let
+    // the dispatcher cache blocks spanning the call sites.
+    runChecked(wb, 40);
+    ASSERT_GT(wb.image().liveBlocks(), 0u);
+    ASSERT_FALSE(wb.core().callSiteTrace().empty());
+
+    const auto flushes0 = wb.image().blockCacheFlushes();
+    const auto gen0 = wb.image().blockGeneration();
+
+    // Pause mid-request, with the core stopped inside hot cached
+    // blocks, and patch every profiled call site from
+    // `call trampoline` to `call function`.
+    wb.beginRequest();
+    bool done = wb.stepRequest(40);
+    linker::Patcher patcher;
+    const auto ps =
+        patcher.apply(wb.image(), wb.core().callSiteTrace());
+    EXPECT_GT(ps.sitesPatched, 0u);
+
+    // The patched sites sit mid-block in cached blocks; if any of
+    // those blocks survived, the core would retire the stale
+    // `call trampoline` while the oracle decodes the patched slot
+    // — an immediate divergence.
+    EXPECT_GT(wb.image().blockCacheFlushes(), flushes0);
+    EXPECT_GT(wb.image().blockGeneration(), gen0);
+
+    while (!done)
+        done = wb.stepRequest(100000);
+    runChecked(wb, 40);
+    EXPECT_GT(checker.stats().checkedRetires, 1000u);
+    wb.core().setRetireObserver(nullptr);
+}
+
+TEST(BlockInvalidation, SameValueGotRewriteNeedsNoFlush)
+{
+    Workbench wb(smallWorkload(12), blockMachine());
+    LockstepChecker checker(wb.core());
+    wb.core().setRetireObserver(&checker);
+
+    runChecked(wb, 30);
+    ASSERT_GT(wb.image().liveBlocks(), 0u);
+
+    const auto flushes0 = wb.image().blockCacheFlushes();
+    const auto gen0 = wb.image().blockGeneration();
+
+    // Mid-request, rewrite every GOT slot with its current value.
+    // The block cache holds decoded code only — no GOT values — so
+    // this must not flush anything (the ABTB-side conservative
+    // coherence handling is exercised separately).
+    wb.beginRequest();
+    bool done = wb.stepRequest(40);
+    auto &as = wb.image().addressSpace();
+    for (const auto &m : wb.image().modules()) {
+        for (const isa::Addr slot : m.gotSlotAddrs) {
+            as.poke64(slot, as.peek64(slot));
+            wb.core().onExternalGotWrite(slot);
+            checker.onExternalWrite(slot);
+        }
+    }
+    EXPECT_EQ(wb.image().blockCacheFlushes(), flushes0);
+    EXPECT_EQ(wb.image().blockGeneration(), gen0);
+
+    while (!done)
+        done = wb.stepRequest(100000);
+    runChecked(wb, 30);
+    EXPECT_EQ(wb.image().blockCacheFlushes(), flushes0);
+    EXPECT_GT(checker.stats().externalWrites, 0u);
+    wb.core().setRetireObserver(nullptr);
+}
+
+TEST(BlockInvalidation, DlcloseReloadAtSameVaFlushesBlocks)
+{
+    // app calls libfn repeatedly; v1 returns 1, v2 returns 2. The
+    // loader reuses the dlclose'd region, so v2's different code
+    // lands at exactly v1's virtual addresses — the same-VA reload
+    // hazard: a stale cached block at those addresses would retire
+    // v1's instructions against v2's slots.
+    elf::ModuleBuilder app("app");
+    app.setDataSize(4096);
+    auto &f = app.function("f");
+    f.callExternal("libfn");
+    f.callExternal("libfn");
+    f.ret();
+
+    auto lib = [](const std::string &name, std::int64_t value) {
+        elf::ModuleBuilder mb(name);
+        auto &fn = mb.function("libfn");
+        fn.movImm(isa::RegRet, value);
+        fn.ret();
+        return mb.build();
+    };
+
+    cpu::CoreParams params = test::enhancedParams();
+    params.blockDispatch = true;
+    test::Sim sim(app.build(), {lib("libv1", 1)}, params);
+    LockstepChecker checker(*sim.core);
+    sim.core->setRetireObserver(&checker);
+
+    EXPECT_EQ(sim.call("f").returnValue, 1u);
+    EXPECT_EQ(sim.call("f").returnValue, 1u); // blocks now hot
+    ASSERT_GT(sim.image->liveBlocks(), 0u);
+    const isa::Addr v1_fn = sim.image->symbolAddress("libfn");
+    const auto flushes0 = sim.image->blockCacheFlushes();
+
+    sim.loader.dlclose(*sim.image, "libv1", [&](isa::Addr a) {
+        sim.core->onExternalGotWrite(a);
+        checker.onExternalWrite(a);
+    });
+    sim.loader.dlopen(*sim.image, lib("libv2", 2));
+    // The reload really did land at the same addresses.
+    ASSERT_EQ(sim.image->symbolAddress("libfn"), v1_fn);
+    EXPECT_GT(sim.image->blockCacheFlushes(), flushes0);
+
+    // The fork-based reference cannot see pages mapped after it was
+    // forked; a dlopen between calls is a quiescent point, so
+    // resyncing is the checker's documented contract. The block
+    // cache is shared, not forked — a stale block would still
+    // diverge on its first retire.
+    checker.resync();
+    EXPECT_EQ(sim.call("f").returnValue, 2u);
+    EXPECT_EQ(sim.call("f").returnValue, 2u);
+    EXPECT_GT(sim.image->liveBlocks(), 0u);
+    sim.core->setRetireObserver(nullptr);
+}
+
+TEST(BlockInvalidation, SnapshotRestoreDropsBlocksOfPatchedCode)
+{
+    auto mc = blockMachine();
+    mc.nearLibraries = true;
+    mc.collectCallSiteTrace = true;
+    const auto wl = smallWorkload(13);
+    Workbench wb(wl, mc);
+    LockstepChecker checker(wb.core());
+    wb.core().setRetireObserver(&checker);
+
+    // Warm, then checkpoint the unpatched machine.
+    runChecked(wb, 30);
+    const auto bytes = snapshotWorkbench(wb);
+
+    // Diverge from the checkpoint: patch every profiled call site
+    // and keep running, so the cache fills with blocks of the
+    // *patched* code.
+    linker::Patcher patcher;
+    const auto ps =
+        patcher.apply(wb.image(), wb.core().callSiteTrace());
+    ASSERT_GT(ps.sitesPatched, 0u);
+    runChecked(wb, 30);
+    ASSERT_GT(wb.image().liveBlocks(), 0u);
+    const auto flushes0 = wb.image().blockCacheFlushes();
+
+    // Restore the unpatched snapshot into the same workbench. The
+    // cached blocks still describe patched code; serving any of
+    // them after the restore would retire a direct call where the
+    // restored slots hold `call trampoline` — the oracle, resynced
+    // per its snapshot contract, would diverge instantly.
+    restoreWorkbench(wb, bytes.data(), bytes.size());
+    EXPECT_GT(wb.image().blockCacheFlushes(), flushes0);
+    EXPECT_EQ(wb.image().liveBlocks(), 0u);
+    checker.resync();
+
+    runChecked(wb, 30);
+    EXPECT_GT(wb.image().liveBlocks(), 0u);
+    EXPECT_GT(checker.stats().checkedRetires, 1000u);
+    wb.core().setRetireObserver(nullptr);
+}

@@ -3,7 +3,10 @@
  * Wall-clock comparison of the simulator's execution strategies on
  * the same Figure-5-style measurement grid:
  *
- *   serial    --jobs 1, exact simulation
+ *   serial    --jobs 1, exact simulation, block dispatch on
+ *   noblocks  --jobs 1, exact simulation, block dispatch off
+ *             (byte-identical to serial: blocks are a pure
+ *             execution-strategy change, not a model change)
  *   parallel  --jobs N, exact simulation (byte-identical to serial)
  *   cold      snapshot sweep paying warm-up + serialization
  *   warm      the same sweep fanned out from the serialized bytes
@@ -20,7 +23,10 @@
  *
  * The speedups are a property of the host (cores, load); the
  * byte-identical checks and the error bands are properties of dlsim
- * and must hold everywhere.
+ * and must hold everywhere. The serial-vs-noblocks pair makes the
+ * block-dispatch speedup claim reproducible from the JSON alone,
+ * alongside the block-cache hit/build/flush gauges
+ * (dlsim.linker.blockcache.*) aggregated over the serial grid.
  *
  * Usage: bench_wallclock [--jobs N] [--quick] [--sample W:D:F]
  *                        [--json-out FILE]
@@ -123,18 +129,21 @@ buildShared(const BenchArgs &args)
 }
 
 /** Run the whole grid on `jobs` threads; serialise the document.
- *  `sample` enables sampled execution for every cell. */
+ *  `sample` enables sampled execution for every cell; `blocks`
+ *  selects the dispatch engine (block-level vs per-instruction),
+ *  which must not change any metric byte. */
 GridRun
 runGrid(const BenchArgs &args, unsigned jobs,
         const SharedPrograms &shared,
-        const sim::SampleParams &sample = {})
+        const sim::SampleParams &sample = {}, bool blocks = true)
 {
     const auto cells = gridCells();
     std::vector<std::function<ArmResult()>> work;
     work.reserve(cells.size());
     for (const Cell &cell : cells) {
-        work.push_back([cell, &args, &shared, &sample] {
+        work.push_back([cell, &args, &shared, &sample, blocks] {
             auto mc = enhancedMachine();
+            mc.core.blockDispatch = blocks;
             mc.abtbEntries = cell.entries;
             mc.abtbAssoc = std::min(cell.entries, 4u);
             return runArm(shared.wls[cell.profile], mc,
@@ -236,9 +245,10 @@ main(int argc, char **argv)
 
     const SharedPrograms shared = buildShared(args);
 
-    const auto serial = runGrid(args, 1, shared);
+    const auto serial = runGrid(args, 1, shared, {}, args.blocks());
     std::printf("serial   (--jobs 1): %.3f s\n", serial.seconds);
-    const auto parallel = runGrid(args, jobs, shared);
+    const auto parallel =
+        runGrid(args, jobs, shared, {}, args.blocks());
     std::printf("parallel (--jobs %u): %.3f s\n", jobs,
                 parallel.seconds);
 
@@ -254,6 +264,46 @@ main(int argc, char **argv)
         parallel.seconds > 0 ? serial.seconds / parallel.seconds
                              : 0.0;
     std::printf("speedup: %.2fx\n\n", speedup);
+
+    // Block dispatch off, same grid, one thread: the dispatch
+    // engine is a pure execution strategy, so the document must be
+    // byte-identical to the serial (blocks-on) run; the seconds
+    // ratio is the block-dispatch speedup this JSON records.
+    const auto noblocks = runGrid(args, 1, shared, {}, false);
+    std::printf("noblocks (--jobs 1, per-instruction dispatch): "
+                "%.3f s\n",
+                noblocks.seconds);
+    if (serial.json != noblocks.json) {
+        std::fprintf(stderr,
+                     "FAIL: block and per-instruction dispatch "
+                     "produced different metric documents\n");
+        return 1;
+    }
+    std::printf("documents byte-identical: yes (%zu bytes)\n",
+                noblocks.json.size());
+    const double blockSpeedup =
+        serial.seconds > 0 ? noblocks.seconds / serial.seconds
+                           : 0.0;
+    std::printf("block dispatch speedup: %.2fx\n", blockSpeedup);
+
+    // Block-cache effectiveness over the serial (blocks-on) grid.
+    std::uint64_t blockHits = 0, blockBuilds = 0, blockFlushes = 0;
+    for (const ArmResult &arm : serial.arms) {
+        blockHits += arm.blockHits;
+        blockBuilds += arm.blockBuilds;
+        blockFlushes += arm.blockFlushes;
+    }
+    const double blockHitRate =
+        blockHits + blockBuilds > 0
+            ? static_cast<double>(blockHits) /
+                  static_cast<double>(blockHits + blockBuilds)
+            : 0.0;
+    std::printf("block cache: %llu hits, %llu builds, %llu "
+                "flushes (hit rate %.4f)\n\n",
+                static_cast<unsigned long long>(blockHits),
+                static_cast<unsigned long long>(blockBuilds),
+                static_cast<unsigned long long>(blockFlushes),
+                blockHitRate);
 
     // Cold vs warm snapshot sweep. The cold pass pays for the
     // warm-up simulations (once per workload) plus serialization;
@@ -307,7 +357,8 @@ main(int argc, char **argv)
         // the trade-off.
         sim::SampleParams::parse("20000:20000:300000", sample);
     }
-    const auto sampled = runGrid(args, jobs, shared, sample);
+    const auto sampled =
+        runGrid(args, jobs, shared, sample, args.blocks());
     std::printf("sampled  (--jobs %u, %s): %.3f s\n", jobs,
                 sample.spec().c_str(), sampled.seconds);
     const double sampledSpeedup =
@@ -325,9 +376,29 @@ main(int argc, char **argv)
     const char *grid_desc = "fig5-style, 12 arms";
 
     auto &serialRun = doc.addRun("serial");
-    serialRun.with("grid", grid_desc).with("jobs", "1");
+    serialRun.with("grid", grid_desc)
+        .with("jobs", "1")
+        .with("blocks", args.blocks() ? "1" : "0");
     serialRun.registry.gauge("dlsim.wallclock.seconds",
                              serial.seconds);
+    serialRun.registry.counter("dlsim.linker.blockcache.hits",
+                               blockHits);
+    serialRun.registry.counter("dlsim.linker.blockcache.builds",
+                               blockBuilds);
+    serialRun.registry.counter("dlsim.linker.blockcache.flushes",
+                               blockFlushes);
+    serialRun.registry.gauge("dlsim.linker.blockcache.hit_rate",
+                             blockHitRate);
+
+    auto &noblocksRun = doc.addRun("serial.noblocks");
+    noblocksRun.with("grid", grid_desc)
+        .with("jobs", "1")
+        .with("blocks", "0")
+        .with("byte_identical", "1");
+    noblocksRun.registry.gauge("dlsim.wallclock.seconds",
+                               noblocks.seconds);
+    noblocksRun.registry.gauge("dlsim.wallclock.block_speedup",
+                               blockSpeedup);
 
     auto &parallelRun = doc.addRun("parallel");
     parallelRun.with("grid", grid_desc)
