@@ -75,9 +75,29 @@ namespace dlsim::bench
 class BenchArgs
 {
   public:
-    BenchArgs(const char *tool, int argc, char **argv)
-        : tool_(tool)
+    /**
+     * A benchmark-specific integer flag (e.g. server_traffic's
+     * --requests). Parsed with the same strictness as the shared
+     * flags: duplicates and missing values die with exit 2, and the
+     * flag appears in --help.
+     */
+    struct ExtraFlag
     {
+        const char *name; ///< Without the leading "--".
+        const char *help; ///< One-line description.
+        long long value;  ///< Default in, parsed value out.
+    };
+
+    BenchArgs(const char *tool, int argc, char **argv)
+        : BenchArgs(tool, argc, argv, {})
+    {
+    }
+
+    BenchArgs(const char *tool, int argc, char **argv,
+              std::vector<ExtraFlag> extras)
+        : tool_(tool), extras_(std::move(extras))
+    {
+        std::vector<bool> saw_extra(extras_.size(), false);
         bool saw_jobs = false, saw_json = false;
         bool saw_seed = false, saw_snap = false, saw_from = false;
         bool saw_sample = false, saw_blocks = false;
@@ -155,7 +175,19 @@ class BenchArgs
                     die("--from-snapshot requires a path");
                 fromSnapshot_ = argv[++i];
             } else {
-                die(("unknown argument '" + arg + "'").c_str());
+                std::size_t e = 0;
+                for (; e < extras_.size(); ++e)
+                    if (arg == "--" + std::string(extras_[e].name))
+                        break;
+                if (e == extras_.size())
+                    die(("unknown argument '" + arg + "'")
+                            .c_str());
+                if (saw_extra[e])
+                    die(("duplicate " + arg).c_str());
+                saw_extra[e] = true;
+                if (i + 1 >= argc)
+                    die((arg + " requires a value").c_str());
+                extras_[e].value = std::atoll(argv[++i]);
             }
         }
         if (jobs_ == 0)
@@ -183,6 +215,16 @@ class BenchArgs
     scaled(int n) const
     {
         return quick_ ? std::max(1, n / 8) : n;
+    }
+
+    /** Value of a registered ExtraFlag (default or parsed). */
+    long long
+    extra(const char *name) const
+    {
+        for (const ExtraFlag &e : extras_)
+            if (std::string(e.name) == name)
+                return e.value;
+        std::abort(); // Flag was never registered: caller bug.
     }
 
   private:
@@ -237,6 +279,9 @@ class BenchArgs
             "byte-identical\n"
             "  --help           show this text\n",
             tool_.c_str());
+        for (const ExtraFlag &e : extras_)
+            std::fprintf(to, "  --%-14s %s (default %lld)\n",
+                         e.name, e.help, e.value);
     }
 
     [[noreturn]] void
@@ -256,6 +301,7 @@ class BenchArgs
     std::string jsonOut_;
     std::string snapshotAfter_;
     std::string fromSnapshot_;
+    std::vector<ExtraFlag> extras_;
 };
 
 /** Result of one measured arm. */

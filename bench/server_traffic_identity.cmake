@@ -1,0 +1,38 @@
+# Determinism contract of bench/server_traffic: --quick runs with
+# different host parallelism (--jobs) and block-dispatch settings
+# (--blocks) must produce byte-identical stdout and byte-identical
+# --json-out documents. Invoked by ctest as
+#   cmake -DSERVER_TRAFFIC=<binary> -DOUT=<dir> -P <this file>
+
+file(MAKE_DIRECTORY "${OUT}")
+
+set(variants
+    "jobs1_blocks1;--jobs;1;--blocks;1"
+    "jobs4_blocks1;--jobs;4;--blocks;1"
+    "jobs2_blocks0;--jobs;2;--blocks;0")
+
+foreach(variant IN LISTS variants)
+    list(POP_FRONT variant tag)
+    execute_process(
+        COMMAND "${SERVER_TRAFFIC}" --quick ${variant}
+                --json-out "${OUT}/${tag}.json"
+        OUTPUT_FILE "${OUT}/${tag}.txt"
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "server_traffic --quick (${tag}) exited with ${rc}")
+    endif()
+endforeach()
+
+foreach(ext txt json)
+    file(READ "${OUT}/jobs1_blocks1.${ext}" reference)
+    foreach(tag jobs4_blocks1 jobs2_blocks0)
+        file(READ "${OUT}/${tag}.${ext}" candidate)
+        if(NOT candidate STREQUAL reference)
+            message(FATAL_ERROR
+                "server_traffic ${ext} output differs between "
+                "jobs1_blocks1 and ${tag} — the determinism "
+                "contract is broken")
+        endif()
+    endforeach()
+endforeach()

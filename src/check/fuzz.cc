@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "os/server.hh"
 #include "sim/multicore.hh"
 #include "snapshot/serializer.hh"
 #include "stats/metrics.hh"
@@ -86,11 +87,20 @@ makeSchedule(const FuzzCase &c)
     std::uint32_t mask = c.eventsMask;
     if (c.cores > 1)
         mask &= ~EvSnapshot; // MultiCoreSystem has no snapshots.
+    if (c.server) {
+        // The kernel owns context switches and snapshots don't
+        // compose with live kernel threads; churn, GOT traffic,
+        // and spurious flushes are the external agents.
+        mask &= EvTenantChurn | EvRebind | EvGotRewriteSame |
+                EvNoiseStore | EvSpuriousFlush;
+    } else {
+        mask &= ~EvTenantChurn; // Needs tenant plugins.
+    }
     if (mask == 0 || c.eventCount == 0 || c.requests == 0)
         return events;
 
     std::vector<std::uint32_t> kinds;
-    for (std::uint32_t bit = 0; bit < 6; ++bit) {
+    for (std::uint32_t bit = 0; bit < 7; ++bit) {
         if (mask & (1u << bit))
             kinds.push_back(1u << bit);
     }
@@ -448,6 +458,130 @@ runMultiCore(const FuzzCase &c, const WorkloadParams &wl,
     return out;
 }
 
+/**
+ * Server driver: an os::Server (kernel scheduler, sockets, tenant
+ * plugins) runs the request traffic while scheduled events inject
+ * tenant dlclose churn, GOT rewrites, noise stores, and spurious
+ * flushes between scheduler rounds. The kernel itself supplies the
+ * rest of the adversarial surface — quantum-expiry context switches
+ * in the middle of trampoline sequences, ASID switches per tenant,
+ * and pipe-blocked thread wakeups (the pipe capacity is sized so
+ * 32-byte request records need partial writes). Every core runs
+ * under the lockstep oracle for the whole serve.
+ */
+RunOutput
+runServer(const FuzzCase &c, const WorkloadParams &wl,
+          const MachineConfig &mc,
+          const std::vector<Event> &schedule)
+{
+    Workbench wb(wl, mc);
+    sim::MultiCoreParams mp;
+    mp.numCores = std::max<std::uint32_t>(1, c.cores);
+    mp.core = workload::makeCoreParams(mc);
+
+    // Base-workload GOT universe only: tenant modules come and go
+    // with churn, so their slots are not stable event operands.
+    const auto slots = gotSlotUniverse(wb.image());
+
+    os::ServerParams sp;
+    sp.workers = 2;
+    sp.clients = 3;
+    sp.tenants = std::max<std::uint32_t>(1, c.tenants);
+    sp.requests = std::uint64_t{4} * std::max<std::uint32_t>(
+                                         1, c.requests);
+    sp.churnPeriod = 0; // Churn arrives as events, not a period.
+    sp.backlog = 2;
+    sp.seed = c.seed;
+    sp.kernel.quantum = 100 + c.seed % 151;
+    sp.kernel.pipeCapacity = 48 + c.seed % 64;
+    os::Server server(wb, mp, sp);
+    auto &sys = server.system();
+
+    // After construction: the server mapped the worker stacks and
+    // loaded the tenant + dispatch modules, so the checkers' forked
+    // reference memory is complete. Churn-time remaps resync them
+    // through the server's observer fast-forward.
+    std::vector<std::unique_ptr<LockstepChecker>> checkers;
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        checkers.push_back(
+            std::make_unique<LockstepChecker>(sys.core(i)));
+        sys.core(i).setRetireObserver(checkers.back().get());
+    }
+
+    const auto applyEvent = [&](const Event &e) {
+        switch (e.kind) {
+          case EvTenantChurn:
+            server.requestChurn(static_cast<std::uint32_t>(
+                e.a % sp.tenants));
+            break;
+          case EvGotRewriteSame: {
+            if (slots.empty())
+                break;
+            const auto [mid, imp] = slots[e.a % slots.size()];
+            const isa::Addr slot =
+                wb.image().moduleAt(mid).gotSlotAddrs[imp];
+            auto &as = wb.image().addressSpace();
+            as.poke64(slot, as.peek64(slot));
+            sys.broadcastGotWrite(slot);
+            break;
+          }
+          case EvRebind: {
+            if (slots.empty())
+                break;
+            const auto [mid, imp] = slots[e.a % slots.size()];
+            const auto &m = wb.image().moduleAt(mid);
+            const isa::Addr slot = m.gotSlotAddrs[imp];
+            wb.image().addressSpace().poke64(slot,
+                                             m.lazyGotValue(imp));
+            sys.broadcastGotWrite(slot);
+            if (mc.explicitInvalidation) {
+                for (std::uint32_t i = 0; i < sys.numCores();
+                     ++i) {
+                    if (auto *unit = sys.core(i).skipUnit())
+                        unit->explicitFlush();
+                }
+            }
+            break;
+          }
+          case EvNoiseStore: {
+            const auto &app = wb.image().moduleAt(0);
+            if (wl.appDataBytes < 8)
+                break;
+            const isa::Addr addr =
+                app.dataBase + (e.a % (wl.appDataBytes / 8)) * 8;
+            wb.image().addressSpace().poke64(addr, e.b);
+            sys.broadcastGotWrite(addr);
+            break;
+          }
+          case EvSpuriousFlush: {
+            const std::uint32_t i =
+                static_cast<std::uint32_t>(e.a % sys.numCores());
+            if (auto *unit = sys.core(i).skipUnit())
+                unit->explicitFlush();
+            break;
+          }
+          default:
+            break;
+        }
+    };
+
+    // Interleave scheduler rounds with events, then drain.
+    for (const auto &e : schedule) {
+        if (!server.runRounds(1 + e.offset % 9))
+            applyEvent(e);
+    }
+    server.run();
+
+    RunOutput out;
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        accumulate(out.stats, checkers[i]->stats());
+        const std::string who = "core" + std::to_string(i);
+        checkFlushAccounting(sys.core(i), who.c_str());
+        addSkipStats(out.skip, sys.core(i));
+    }
+    return out;
+}
+
 void
 fold(FuzzResult &res, const RunOutput &out)
 {
@@ -515,6 +649,20 @@ caseFromSeed(std::uint64_t seed)
         std::min(c.calledImports, c.numLibs * c.funcsPerLib);
     c.stepsPerRequest =
         6 + static_cast<std::uint32_t>(rng.nextBelow(16));
+
+    // Server mode (drawn last so non-server cases keep the shapes
+    // earlier corpora had): OS scheduler + sockets + tenant churn.
+    c.server = rng.nextBool(0.2);
+    if (c.server) {
+        c.tenants =
+            2 + static_cast<std::uint32_t>(rng.nextBelow(2));
+        c.requests = std::min<std::uint32_t>(c.requests, 10);
+        if (rng.nextBool(0.8))
+            c.eventsMask |= EvTenantChurn;
+        if (c.eventsMask && c.eventCount == 0)
+            c.eventCount = 2 + static_cast<std::uint32_t>(
+                                   rng.nextBelow(6));
+    }
     return c;
 }
 
@@ -531,6 +679,8 @@ reproLine(const FuzzCase &c)
        << c.numLibs << " --funcs-per-lib " << c.funcsPerLib
        << " --called-imports " << c.calledImports << " --steps "
        << c.stepsPerRequest;
+    if (c.server)
+        os << " --server --tenants " << c.tenants;
     if (c.explicitInvalidation)
         os << " --explicit-invalidation";
     if (c.asidRetention)
@@ -556,6 +706,10 @@ runCase(const FuzzCase &c)
         const auto mc = machineFor(c);
         const auto schedule = makeSchedule(c);
 
+        if (c.server) {
+            fold(res, runServer(c, wl, mc, schedule));
+            return res;
+        }
         if (c.cores > 1) {
             fold(res, runMultiCore(c, wl, mc, schedule));
             return res;
@@ -800,6 +954,30 @@ smokeCases()
         c.aslr = true;
         c.eventsMask = EvRebind; // Re-lazifies eagerly-bound slots.
         c.eventCount = 4;
+        c.requests = 8;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // OS server: churn storm, ASID-tagged ABTB.
+        c.seed = 113;
+        c.server = true;
+        c.cores = 2;
+        c.tenants = 2;
+        c.asidRetention = true;
+        c.eventsMask = EvTenantChurn | EvRebind;
+        c.eventCount = 8;
+        c.requests = 8;
+        cases.push_back(c);
+    }
+    {
+        FuzzCase c; // OS server, no retention: every ASID switch
+        c.seed = 114; // flushes mid-trampoline state (§3.3).
+        c.server = true;
+        c.cores = 3;
+        c.tenants = 3;
+        c.eventsMask = EvTenantChurn | EvGotRewriteSame |
+                       EvNoiseStore | EvSpuriousFlush;
+        c.eventCount = 10;
         c.requests = 8;
         cases.push_back(c);
     }

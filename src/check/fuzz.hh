@@ -56,6 +56,10 @@ enum FuzzEvent : std::uint32_t
      *  fresh one; single-core cases also verify byte-identical
      *  final metrics against a snapshot-free run. */
     EvSnapshot = 1u << 5,
+    /** Server mode only: dlclose/dlopen a tenant plugin mid-run
+     *  (deferred until quiescent when requests are in flight); the
+     *  GOT resets are broadcast as §3.2 coherence traffic. */
+    EvTenantChurn = 1u << 6,
 };
 
 /** One self-describing fuzz experiment. */
@@ -66,6 +70,15 @@ struct FuzzCase
     /** 1 = single-core driver; >1 = sim::MultiCoreSystem. */
     std::uint32_t cores = 1;
     std::uint32_t requests = 10;
+
+    /** Drive an os::Server (kernel scheduler + sockets + tenant
+     *  plugins) instead of direct request calls: quantum-expiry
+     *  context switches inside trampoline sequences, pipe-blocked
+     *  thread wakeups, and EvTenantChurn dlclose storms, all under
+     *  the per-core lockstep oracle. */
+    bool server = false;
+    /** Tenant plugin count (server mode). */
+    std::uint32_t tenants = 2;
 
     /** FuzzEvent bitmask and number of scheduled events. */
     std::uint32_t eventsMask = 0;
@@ -133,7 +146,8 @@ FuzzCase shrinkCase(const FuzzCase &c, std::uint32_t maxRuns,
 
 /** The deterministic --smoke corpus: hand-picked archetypes (both
  *  PLT styles, §3.4 arm, ASID retention, rebind storms, multicore,
- *  snapshot round-trips, undersized bloom) plus seeded cases. */
+ *  snapshot round-trips, undersized bloom, OS-server tenant churn)
+ *  plus seeded cases. */
 std::vector<FuzzCase> smokeCases();
 
 } // namespace dlsim::check

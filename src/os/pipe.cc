@@ -1,0 +1,43 @@
+#include "os/pipe.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlsim::os
+{
+
+Pipe::Pipe(std::size_t capacity) : buf_(capacity)
+{
+    assert(capacity > 0);
+}
+
+std::size_t
+Pipe::read(std::uint8_t *dst, std::size_t n)
+{
+    const std::size_t take = std::min(n, count_);
+    for (std::size_t i = 0; i < take; ++i) {
+        dst[i] = buf_[head_];
+        head_ = (head_ + 1) % buf_.size();
+    }
+    count_ -= take;
+    stats_.bytesRead += take;
+    return take;
+}
+
+std::size_t
+Pipe::write(const std::uint8_t *src, std::size_t n)
+{
+    if (closed_)
+        return 0;
+    const std::size_t put = std::min(n, freeSpace());
+    std::size_t tail = (head_ + count_) % buf_.size();
+    for (std::size_t i = 0; i < put; ++i) {
+        buf_[tail] = src[i];
+        tail = (tail + 1) % buf_.size();
+    }
+    count_ += put;
+    stats_.bytesWritten += put;
+    return put;
+}
+
+} // namespace dlsim::os

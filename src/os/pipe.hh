@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Pipe: a fixed-capacity byte ring buffer, the kernel-side data
+ * plane of the OS layer's pipes and socket connections.
+ *
+ * The ring itself is non-blocking — read()/write() move as many
+ * bytes as fit and return the count. Blocking semantics (a reader
+ * waiting on an empty pipe, a writer on a full one) live in
+ * os::Kernel, which parks the calling thread and records it in the
+ * waiter lists kept here.
+ */
+
+#ifndef DLSIM_OS_PIPE_HH
+#define DLSIM_OS_PIPE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlsim::os
+{
+
+/** Per-pipe traffic counters. */
+struct PipeStats
+{
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t bytesRead = 0;
+};
+
+/** Fixed-capacity byte ring buffer with waiter bookkeeping. */
+class Pipe
+{
+  public:
+    explicit Pipe(std::size_t capacity);
+
+    std::size_t capacity() const { return buf_.size(); }
+    std::size_t size() const { return count_; }
+    std::size_t freeSpace() const { return buf_.size() - count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == buf_.size(); }
+
+    /**
+     * Copy up to `n` bytes out of the ring (FIFO order, wrapping).
+     * @return Bytes actually read (0 when empty).
+     */
+    std::size_t read(std::uint8_t *dst, std::size_t n);
+
+    /**
+     * Copy up to `n` bytes into the ring (partial writes allowed).
+     * @return Bytes actually written (0 when full or closed).
+     */
+    std::size_t write(const std::uint8_t *src, std::size_t n);
+
+    /** Close the write end: readers drain the remaining bytes and
+     *  then see end-of-stream; writes are discarded. */
+    void close() { closed_ = true; }
+    bool closed() const { return closed_; }
+
+    /** End-of-stream: closed and fully drained. */
+    bool atEof() const { return closed_ && count_ == 0; }
+
+    const PipeStats &stats() const { return stats_; }
+
+    /** @name Waiter lists (managed by os::Kernel) @{ */
+    std::vector<std::uint32_t> &readWaiters()
+    {
+        return readWaiters_;
+    }
+    std::vector<std::uint32_t> &writeWaiters()
+    {
+        return writeWaiters_;
+    }
+    /** @} */
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t head_ = 0; ///< Next byte to read.
+    std::size_t count_ = 0;
+    bool closed_ = false;
+    PipeStats stats_;
+    std::vector<std::uint32_t> readWaiters_;
+    std::vector<std::uint32_t> writeWaiters_;
+};
+
+} // namespace dlsim::os
+
+#endif // DLSIM_OS_PIPE_HH

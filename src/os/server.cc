@@ -1,0 +1,454 @@
+#include "os/server.hh"
+
+#include <cassert>
+#include <cstring>
+
+#include "stats/rng.hh"
+#include "workload/program.hh"
+
+namespace dlsim::os
+{
+
+namespace
+{
+
+void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    std::memcpy(p, &v, sizeof v);
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+} // namespace
+
+/**
+ * One client: open a persistent connection, then for each of its
+ * requests send a 32-byte record (tenant, work, seed, reqid), read
+ * the 32-byte response, and record the round-trip latency.
+ */
+class ServerClient : public Thread
+{
+  public:
+    ServerClient(Server &srv, std::uint32_t index,
+                 std::uint64_t requests)
+        : srv_(srv),
+          rng_(srv.params().seed * 0x9e3779b9u + index),
+          index_(index), remaining_(requests)
+    {
+    }
+
+    void step(Kernel &k) override
+    {
+        for (;;) {
+            switch (st_) {
+              case St::Connect: {
+                if (remaining_ == 0) {
+                    st_ = St::Done;
+                    continue;
+                }
+                const long r = k.connect(Server::Port);
+                if (r == Kernel::WouldBlock)
+                    return;
+                assert(r >= 0);
+                conn_ = static_cast<std::int32_t>(r);
+                prepareRequest(k);
+                st_ = St::Send;
+                continue;
+              }
+              case St::Send: {
+                while (pos_ < Server::RecordBytes) {
+                    const long w = k.connWrite(
+                        conn_, ConnSide::Client, buf_ + pos_,
+                        Server::RecordBytes - pos_);
+                    if (w == Kernel::WouldBlock)
+                        return;
+                    assert(w > 0);
+                    pos_ += static_cast<std::size_t>(w);
+                }
+                pos_ = 0;
+                st_ = St::Recv;
+                continue;
+              }
+              case St::Recv: {
+                while (pos_ < Server::RecordBytes) {
+                    const long r = k.connRead(
+                        conn_, ConnSide::Client, buf_ + pos_,
+                        Server::RecordBytes - pos_);
+                    if (r == Kernel::WouldBlock)
+                        return;
+                    if (r == 0) { // Server hung up on us.
+                        st_ = St::Done;
+                        break;
+                    }
+                    pos_ += static_cast<std::size_t>(r);
+                }
+                if (st_ == St::Done)
+                    continue;
+                srv_.latency_.add(static_cast<double>(
+                    k.now() - sendStamp_));
+                --remaining_;
+                if (remaining_ == 0) {
+                    st_ = St::Done;
+                } else {
+                    prepareRequest(k);
+                    st_ = St::Send;
+                }
+                continue;
+              }
+              case St::Done: {
+                if (conn_ >= 0)
+                    k.connShutdown(conn_, ConnSide::Client);
+                srv_.noteClientDone(k);
+                k.exitThread();
+                return;
+              }
+            }
+        }
+    }
+
+  private:
+    enum class St
+    {
+        Connect,
+        Send,
+        Recv,
+        Done,
+    };
+
+    void prepareRequest(Kernel &k)
+    {
+        const std::uint64_t tenant =
+            rng_.nextBelow(srv_.params().tenants);
+        putU64(buf_ + 0, tenant);
+        putU64(buf_ + 8, srv_.params().workPerRequest);
+        putU64(buf_ + 16, rng_.next() | 1);
+        putU64(buf_ + 24,
+               (static_cast<std::uint64_t>(index_) << 32) | seq_++);
+        pos_ = 0;
+        sendStamp_ = k.now();
+    }
+
+    Server &srv_;
+    stats::Rng rng_;
+    std::uint32_t index_;
+    std::uint64_t remaining_;
+    St st_ = St::Connect;
+    std::int32_t conn_ = -1;
+    std::uint8_t buf_[Server::RecordBytes] = {};
+    std::size_t pos_ = 0;
+    std::uint64_t sendStamp_ = 0;
+    std::uint32_t seq_ = 0;
+};
+
+/**
+ * One worker: accept a connection, then loop read-request →
+ * ASID-switch to the tenant → call its handler through the dispatch
+ * PLT → write-response, until the client hangs up; then accept the
+ * next connection. Exits once the server is draining.
+ */
+class ServerWorker : public Thread
+{
+  public:
+    explicit ServerWorker(Server &srv) : srv_(srv) {}
+
+    void step(Kernel &k) override
+    {
+        for (;;) {
+            switch (st_) {
+              case St::Accept: {
+                if (srv_.draining()) {
+                    k.exitThread();
+                    return;
+                }
+                const long r = k.accept(Server::Port);
+                if (r == Kernel::WouldBlock)
+                    return;
+                conn_ = static_cast<std::int32_t>(r);
+                pos_ = 0;
+                st_ = St::Read;
+                continue;
+              }
+              case St::Read: {
+                while (pos_ < Server::RecordBytes) {
+                    const long r = k.connRead(
+                        conn_, ConnSide::Server, buf_ + pos_,
+                        Server::RecordBytes - pos_);
+                    if (r == Kernel::WouldBlock)
+                        return;
+                    if (r == 0) { // Client done with this conn.
+                        k.connShutdown(conn_, ConnSide::Server);
+                        conn_ = -1;
+                        st_ = St::Accept;
+                        break;
+                    }
+                    pos_ += static_cast<std::size_t>(r);
+                }
+                if (st_ == St::Accept)
+                    continue;
+                tenant_ = static_cast<std::uint32_t>(
+                    getU64(buf_ + 0));
+                reqId_ = getU64(buf_ + 24);
+                srv_.beginDispatch(k, tenant_);
+                k.call(srv_.dispatchAddress(tenant_),
+                       getU64(buf_ + 8), getU64(buf_ + 16));
+                st_ = St::InCall;
+                return;
+              }
+              case St::InCall:
+                // Waiting for onCallDone; nothing to step.
+                return;
+              case St::Write: {
+                while (pos_ < Server::RecordBytes) {
+                    const long w = k.connWrite(
+                        conn_, ConnSide::Server, buf_ + pos_,
+                        Server::RecordBytes - pos_);
+                    if (w == Kernel::WouldBlock)
+                        return;
+                    assert(w > 0);
+                    pos_ += static_cast<std::size_t>(w);
+                }
+                pos_ = 0;
+                st_ = St::Read;
+                continue;
+              }
+            }
+        }
+    }
+
+    void onCallDone(Kernel &k, std::uint64_t retval) override
+    {
+        assert(st_ == St::InCall);
+        putU64(buf_ + 0, retval);
+        putU64(buf_ + 8, tenant_);
+        putU64(buf_ + 16, 0x52455350ull); // "RESP"
+        putU64(buf_ + 24, reqId_);
+        pos_ = 0;
+        st_ = St::Write;
+        srv_.endDispatch(k, tenant_);
+    }
+
+  private:
+    enum class St
+    {
+        Accept,
+        Read,
+        InCall,
+        Write,
+    };
+
+    Server &srv_;
+    St st_ = St::Accept;
+    std::int32_t conn_ = -1;
+    std::uint8_t buf_[Server::RecordBytes] = {};
+    std::size_t pos_ = 0;
+    std::uint32_t tenant_ = 0;
+    std::uint64_t reqId_ = 0;
+};
+
+Server::Server(workload::Workbench &wb,
+               const sim::MultiCoreParams &mc_params,
+               const ServerParams &params)
+    : wb_(wb), params_(params),
+      sys_(mc_params, wb.image(), wb.linker(),
+           wb.loader().stackTop()),
+      kernel_(params.kernel, sys_, wb.image(), wb.linker())
+{
+    assert(params_.workers >= 1 && params_.clients >= 1 &&
+           params_.tenants >= 1);
+
+    gen_.assign(params_.tenants, 0);
+    inFlight_.assign(params_.tenants, 0);
+    churnPending_.assign(params_.tenants, false);
+
+    // Load generation 0 of every tenant, then the dispatch veneer
+    // whose PLT imports bind lazily into whichever generation is
+    // current at call time.
+    std::vector<std::string> handler_syms;
+    for (std::uint32_t t = 0; t < params_.tenants; ++t) {
+        wb_.loader().dlopen(
+            wb_.image(),
+            workload::buildTenantModule(tenantSpec(t, 0)));
+        handler_syms.push_back("t" + std::to_string(t) +
+                               "_handle");
+    }
+    wb_.loader().dlopen(wb_.image(),
+                        workload::buildDispatchModule(
+                            "dispatch_mod", handler_syms));
+    for (std::uint32_t t = 0; t < params_.tenants; ++t)
+        dispatchAddrs_.push_back(wb_.image().symbolAddress(
+            "dispatch" + std::to_string(t)));
+
+    kernel_.listen(Port, params_.backlog);
+
+    // Workers first (lower tids drain the accept queue eagerly).
+    // Worker stacks are mapped eagerly so a lockstep checker
+    // attached after construction sees every mapping when it forks
+    // its reference memory.
+    for (std::uint32_t w = 0; w < params_.workers; ++w)
+        kernel_.spawn(std::make_unique<ServerWorker>(*this),
+                      "worker" + std::to_string(w), 0,
+                      /*eager_stack=*/true);
+    const std::uint64_t per = params_.requests / params_.clients;
+    const std::uint64_t extra = params_.requests % params_.clients;
+    for (std::uint32_t c = 0; c < params_.clients; ++c)
+        kernel_.spawn(std::make_unique<ServerClient>(
+                          *this, c, per + (c < extra ? 1 : 0)),
+                      "client" + std::to_string(c));
+}
+
+Server::~Server() = default;
+
+std::string
+Server::tenantModuleName(std::uint32_t t, std::uint32_t gen) const
+{
+    return "tenant" + std::to_string(t) + "_g" +
+           std::to_string(gen);
+}
+
+workload::TenantSpec
+Server::tenantSpec(std::uint32_t t, std::uint32_t gen) const
+{
+    workload::TenantSpec spec;
+    spec.moduleName = tenantModuleName(t, gen);
+    spec.handlerSym = "t" + std::to_string(t) + "_handle";
+    spec.seed = params_.seed * 1000003u + t * 257u + gen;
+    // Each generation calls a different pair of base-library
+    // symbols, so churn also reshuffles cross-library binding.
+    const auto &syms = wb_.program().calledSymbols;
+    if (!syms.empty()) {
+        spec.externCalls.push_back(
+            syms[(t * 7u + gen * 13u) % syms.size()]);
+        spec.externCalls.push_back(
+            syms[(t * 11u + gen * 17u + 3u) % syms.size()]);
+    }
+    return spec;
+}
+
+void
+Server::beginDispatch(Kernel &k, std::uint32_t tenant)
+{
+    if (tenant >= params_.tenants)
+        throw OsError("request names unknown tenant " +
+                      std::to_string(tenant));
+    k.setAsid(static_cast<std::uint16_t>(1 + tenant));
+    ++inFlight_[tenant];
+}
+
+void
+Server::endDispatch(Kernel &k, std::uint32_t tenant)
+{
+    assert(inFlight_[tenant] > 0);
+    --inFlight_[tenant];
+    ++stats_.requestsServed;
+
+    if (params_.churnPeriod != 0 &&
+        stats_.requestsServed % params_.churnPeriod == 0) {
+        requestChurn(nextChurnTenant_);
+        nextChurnTenant_ =
+            (nextChurnTenant_ + 1) % params_.tenants;
+    }
+    // A churn deferred while this tenant was busy can fire as soon
+    // as its last in-flight call retires.
+    if (churnPending_[tenant] && inFlight_[tenant] == 0) {
+        churnPending_[tenant] = false;
+        churnTenant(tenant);
+    }
+    (void)k;
+}
+
+void
+Server::requestChurn(std::uint32_t tenant)
+{
+    assert(tenant < params_.tenants);
+    if (inFlight_[tenant] == 0) {
+        churnTenant(tenant);
+    } else if (!churnPending_[tenant]) {
+        churnPending_[tenant] = true;
+        ++stats_.deferredChurns;
+    }
+}
+
+void
+Server::churnTenant(std::uint32_t t)
+{
+    const std::string old_name = tenantModuleName(t, gen_[t]);
+    ++gen_[t];
+    // Every GOT entry the unload resets is coherence traffic all
+    // skip units must observe (paper §3.2).
+    wb_.loader().dlclose(wb_.image(), old_name,
+                         [this](isa::Addr addr) {
+                             sys_.broadcastGotWrite(addr);
+                             ++stats_.gotResets;
+                         });
+    wb_.loader().dlopen(
+        wb_.image(),
+        workload::buildTenantModule(tenantSpec(t, gen_[t])));
+    ++stats_.tenantChurns;
+    resyncObservers();
+}
+
+void
+Server::resyncObservers()
+{
+    // The reference machines fork memory lazily; a churn remapped
+    // module pages and rewrote GOT slots behind their backs.
+    for (std::uint32_t i = 0; i < sys_.numCores(); ++i) {
+        cpu::Core &c = sys_.core(i);
+        if (c.observer() != nullptr)
+            c.observer()->onFastForward(c.state());
+    }
+}
+
+void
+Server::noteClientDone(Kernel &k)
+{
+    ++clientsDone_;
+    if (draining())
+        k.wakeAcceptors(Port);
+}
+
+void
+Server::run()
+{
+    kernel_.run();
+    assert(stats_.requestsServed == params_.requests);
+}
+
+bool
+Server::runRounds(std::uint64_t rounds)
+{
+    return kernel_.runRounds(rounds);
+}
+
+void
+Server::reportMetrics(stats::MetricsRegistry &reg,
+                      const std::string &prefix) const
+{
+    kernel_.reportMetrics(reg, prefix);
+    reg.counter(prefix + ".server.requests_served",
+                stats_.requestsServed);
+    reg.counter(prefix + ".server.tenant_churns",
+                stats_.tenantChurns);
+    reg.counter(prefix + ".server.got_resets", stats_.gotResets);
+    reg.counter(prefix + ".server.deferred_churns",
+                stats_.deferredChurns);
+    reg.gauge(prefix + ".server.tenants", params_.tenants);
+    reg.gauge(prefix + ".server.workers", params_.workers);
+    reg.gauge(prefix + ".server.clients", params_.clients);
+    // Always emitted (0 when idle) so the metric key set is
+    // independent of traffic — the golden key test relies on that.
+    const bool have = latency_.count() > 0;
+    reg.gauge(prefix + ".server.latency_p50_cycles",
+              have ? latency_.percentile(0.50) : 0.0);
+    reg.gauge(prefix + ".server.latency_p99_cycles",
+              have ? latency_.percentile(0.99) : 0.0);
+}
+
+} // namespace dlsim::os

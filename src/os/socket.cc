@@ -1,0 +1,20 @@
+#include "os/socket.hh"
+
+namespace dlsim::os
+{
+
+void
+Connection::shutdownWrite(ConnSide side)
+{
+    Pipe &tx = txPipe(side);
+    if (tx.closed())
+        return;
+    tx.close();
+    if (state == ConnState::Established)
+        state = ConnState::HalfClosed;
+    else if (state == ConnState::HalfClosed &&
+             toServer.closed() && toClient.closed())
+        state = ConnState::Closed;
+}
+
+} // namespace dlsim::os

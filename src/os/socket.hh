@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Listener and connection state machines — the control plane of the
+ * OS layer's sockets.
+ *
+ * A Listener owns an accept backlog (SYN queue): connect() enqueues
+ * a half-open connection, accept() pops it and establishes it. When
+ * the backlog is full, further connectors block (the kernel parks
+ * them in connectWaiters); when it is empty, acceptors block.
+ *
+ * A Connection is a bidirectional byte stream built from two pipes
+ * (client-to-server and server-to-client). Each side can close its
+ * write direction independently (half-close, like shutdown(WR));
+ * the connection is Closed once both directions are.
+ */
+
+#ifndef DLSIM_OS_SOCKET_HH
+#define DLSIM_OS_SOCKET_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "os/pipe.hh"
+
+namespace dlsim::os
+{
+
+/** Which end of a connection a thread holds. */
+enum class ConnSide : std::uint8_t
+{
+    Client,
+    Server,
+};
+
+/** Connection lifecycle (paper-agnostic TCP-ish reduction). */
+enum class ConnState : std::uint8_t
+{
+    /** connect() done, sitting in the listener's backlog. */
+    SynQueued,
+    /** accept() done; both directions open. */
+    Established,
+    /** One direction closed. */
+    HalfClosed,
+    /** Both directions closed. */
+    Closed,
+};
+
+/** One bidirectional connection. */
+struct Connection
+{
+    Connection(std::int32_t id, std::size_t pipe_capacity)
+        : id(id), toServer(pipe_capacity), toClient(pipe_capacity)
+    {
+    }
+
+    std::int32_t id;
+    ConnState state = ConnState::SynQueued;
+    Pipe toServer; ///< Client writes, server reads.
+    Pipe toClient; ///< Server writes, client reads.
+
+    Pipe &txPipe(ConnSide side)
+    {
+        return side == ConnSide::Client ? toServer : toClient;
+    }
+    Pipe &rxPipe(ConnSide side)
+    {
+        return side == ConnSide::Client ? toClient : toServer;
+    }
+
+    /** Close `side`'s write direction; advances the state machine
+     *  Established -> HalfClosed -> Closed. */
+    void shutdownWrite(ConnSide side);
+};
+
+/** One listening socket. */
+struct Listener
+{
+    std::int32_t port = 0;
+    std::uint32_t backlogMax = 1;
+    /** Half-open connections awaiting accept (SYN queue). */
+    std::deque<std::int32_t> backlog;
+    /** Threads blocked in accept() (backlog empty). */
+    std::vector<std::uint32_t> acceptWaiters;
+    /** Threads blocked in connect() (backlog full). */
+    std::vector<std::uint32_t> connectWaiters;
+};
+
+} // namespace dlsim::os
+
+#endif // DLSIM_OS_SOCKET_HH

@@ -29,9 +29,11 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreParams &params,
         core->attachProcess(&image_, &linker, /*asid=*/0);
         core->initStack(stack_top);
         cores_.push_back(std::move(core));
+        coreStackTops_.push_back(stack_top);
 
         stack_top -= params_.stackBytes + mem::PageBytes;
     }
+    nextStackTop_ = stack_top;
 
     // Wire write-invalidate coherence: each core's retired stores
     // are snooped by every other core's caches and skip unit. Any
@@ -40,6 +42,7 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreParams &params,
     // the same quantum boundary the timing core does.
     for (std::uint32_t i = 0; i < params_.numCores; ++i) {
         cores_[i]->setStoreSnoopHook([this, i](isa::Addr addr) {
+            ++snoopedStores_;
             for (std::uint32_t j = 0; j < cores_.size(); ++j) {
                 if (j == i)
                     continue;
@@ -56,49 +59,89 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreParams &params,
     }
 }
 
+isa::Addr
+MultiCoreSystem::allocThreadStack()
+{
+    const isa::Addr top = nextStackTop_;
+    image_.addressSpace().map(
+        top - params_.stackBytes, params_.stackBytes,
+        mem::PermRead | mem::PermWrite, mem::RegionKind::Stack,
+        "tstack" +
+            std::to_string(params_.numCores + extraStacks_));
+    ++extraStacks_;
+    nextStackTop_ = top - params_.stackBytes - mem::PageBytes;
+    return top;
+}
+
 std::vector<ThreadResult>
 MultiCoreSystem::runOnAll(
     isa::Addr fn,
     const std::vector<std::pair<std::uint64_t, std::uint64_t>>
         &args)
 {
-    assert(args.size() == cores_.size());
+    assert(!args.empty());
+    const std::size_t threads = args.size();
 
-    struct Progress
+    // Run-to-completion queue: core i's current thread, and the
+    // next queued thread index. Each core runs one thread at a time
+    // and a finished call leaves the stack balanced, so a queued
+    // thread reuses the stack of whatever core frees up first —
+    // with M == N this degenerates to the original one-thread-per-
+    // core behaviour, byte for byte (no redundant stack resets, no
+    // extra mappings).
+    constexpr std::size_t None = SIZE_MAX;
+    struct Slot
     {
-        bool done = false;
+        std::size_t thread = None;
         std::uint64_t insts0 = 0;
         std::uint64_t cycles0 = 0;
     };
-    std::vector<Progress> progress(cores_.size());
+    std::vector<Slot> slot(cores_.size());
+    std::vector<ThreadResult> results(threads);
+    std::size_t next = 0;
+    std::size_t live = 0;
 
-    for (std::size_t i = 0; i < cores_.size(); ++i) {
-        progress[i].insts0 = cores_[i]->counters().instructions;
-        progress[i].cycles0 = cores_[i]->counters().cycles;
-        cores_[i]->beginCall(fn, args[i].first, args[i].second,
-                             static_cast<std::uint64_t>(i));
-    }
+    const auto dispatch = [&](std::size_t i) {
+        if (next >= threads)
+            return;
+        const std::size_t t = next++;
+        // Queued threads (beyond the initial N) inherit a stack a
+        // previous call may have touched; reset sp to the core's
+        // stack top so every thread starts from a clean frame.
+        if (t >= cores_.size())
+            cores_[i]->initStack(coreStackTops_[i]);
+        slot[i].thread = t;
+        slot[i].insts0 = cores_[i]->counters().instructions;
+        slot[i].cycles0 = cores_[i]->counters().cycles;
+        cores_[i]->beginCall(fn, args[t].first, args[t].second,
+                             static_cast<std::uint64_t>(t));
+        ++live;
+    };
 
-    bool all_done = false;
-    while (!all_done) {
-        all_done = true;
+    for (std::size_t i = 0; i < cores_.size() && next < threads;
+         ++i)
+        dispatch(i);
+
+    while (live > 0) {
         for (std::size_t i = 0; i < cores_.size(); ++i) {
-            if (progress[i].done)
+            if (slot[i].thread == None)
                 continue;
-            progress[i].done =
-                cores_[i]->runQuantum(params_.quantum);
-            all_done &= progress[i].done;
+            if (!cores_[i]->runQuantum(params_.quantum))
+                continue;
+            const std::size_t t = slot[i].thread;
+            const auto c = cores_[i]->counters();
+            results[t].instructions =
+                c.instructions - slot[i].insts0;
+            results[t].cycles = c.cycles - slot[i].cycles0;
+            results[t].returnValue =
+                cores_[i]->state().regs[isa::RegRet];
+            slot[i].thread = None;
+            --live;
+            // The freed core picks up the next queued thread; its
+            // first quantum runs in the next round, preserving the
+            // fixed round-robin interleaving.
+            dispatch(i);
         }
-    }
-
-    std::vector<ThreadResult> results(cores_.size());
-    for (std::size_t i = 0; i < cores_.size(); ++i) {
-        const auto c = cores_[i]->counters();
-        results[i].instructions =
-            c.instructions - progress[i].insts0;
-        results[i].cycles = c.cycles - progress[i].cycles0;
-        results[i].returnValue =
-            cores_[i]->state().regs[isa::RegRet];
     }
     return results;
 }
@@ -119,6 +162,42 @@ MultiCoreSystem::totalCoherenceFlushes() const
             total += unit->stats().coherenceFlushes;
     }
     return total;
+}
+
+void
+MultiCoreSystem::reportMetrics(stats::MetricsRegistry &reg,
+                               const std::string &prefix) const
+{
+    const std::string p = prefix + ".multicore.";
+    core::SkipUnitStats sum;
+    for (const auto &core : cores_) {
+        if (const auto *unit = core->skipUnit()) {
+            const auto &st = unit->stats();
+            sum.substitutions += st.substitutions;
+            sum.storeFlushes += st.storeFlushes;
+            sum.coherenceFlushes += st.coherenceFlushes;
+            sum.contextSwitchFlushes += st.contextSwitchFlushes;
+            sum.explicitFlushes += st.explicitFlushes;
+            sum.falsePositiveFlushes += st.falsePositiveFlushes;
+        }
+    }
+    reg.gauge(p + "cores", static_cast<double>(cores_.size()));
+    reg.gauge(p + "quantum",
+              static_cast<double>(params_.quantum));
+    reg.gauge(p + "snooped_stores",
+              static_cast<double>(snoopedStores_));
+    reg.gauge(p + "substitutions",
+              static_cast<double>(sum.substitutions));
+    reg.gauge(p + "store_flushes",
+              static_cast<double>(sum.storeFlushes));
+    reg.gauge(p + "coherence_flushes",
+              static_cast<double>(sum.coherenceFlushes));
+    reg.gauge(p + "context_switch_flushes",
+              static_cast<double>(sum.contextSwitchFlushes));
+    reg.gauge(p + "explicit_flushes",
+              static_cast<double>(sum.explicitFlushes));
+    reg.gauge(p + "false_positive_flushes",
+              static_cast<double>(sum.falsePositiveFlushes));
 }
 
 } // namespace dlsim::sim

@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/core.hh"
 #include "linker/dynamic_linker.hh"
 #include "linker/image.hh"
+#include "stats/metrics.hh"
 
 namespace dlsim::sim
 {
@@ -74,14 +76,36 @@ class MultiCoreSystem
         return static_cast<std::uint32_t>(cores_.size());
     }
     cpu::Core &core(std::uint32_t i) { return *cores_[i]; }
+    const cpu::Core &core(std::uint32_t i) const
+    {
+        return *cores_[i];
+    }
+
+    /** Top of core `i`'s built-in thread stack. */
+    isa::Addr coreStackTop(std::uint32_t i) const
+    {
+        return coreStackTops_[i];
+    }
 
     /**
-     * Run one function call on every core concurrently
-     * (deterministic round-robin interleaving) and return each
-     * thread's result.
+     * Map one more thread stack (with a guard page) below the ones
+     * already carved and return its top. An OS-like layer running
+     * M > numCores() blocking threads calls this once per thread;
+     * runOnAll() does not need it (its threads run to completion,
+     * so a queued thread reuses the stack of the core it lands on).
+     */
+    isa::Addr allocThreadStack();
+
+    /**
+     * Run M = args.size() function-call threads over the N cores as
+     * a run-to-completion queue (deterministic round-robin
+     * interleaving) and return each thread's result in args order.
+     * Threads 0..N-1 start immediately on cores 0..N-1; each time a
+     * thread finishes, the next queued one is dispatched on the
+     * freed core. The M == N case is byte-identical to the original
+     * one-thread-per-core semantics.
      * @param fn   Entry address, shared by all threads.
-     * @param args Per-thread (arg0, arg1) pairs; size must equal
-     *             numCores().
+     * @param args Per-thread (arg0, arg1) pairs; any size >= 1.
      */
     std::vector<ThreadResult> runOnAll(
         isa::Addr fn,
@@ -95,10 +119,29 @@ class MultiCoreSystem
     /** Total coherence flushes across all cores' skip units. */
     std::uint64_t totalCoherenceFlushes() const;
 
+    /** Stores snooped onto sibling cores (coherence traffic). */
+    std::uint64_t snoopedStores() const { return snoopedStores_; }
+
+    /**
+     * Register the system-level view under `<prefix>.multicore.*`:
+     * core count, quantum, snooped stores, and the skip-unit flush
+     * causes summed across cores (paper §3.2/§3.3 accounting).
+     * Gauges, so documents distinguish them from per-core counters.
+     */
+    void reportMetrics(stats::MetricsRegistry &reg,
+                       const std::string &prefix) const;
+
+    const MultiCoreParams &params() const { return params_; }
+
   private:
     MultiCoreParams params_;
     linker::Image &image_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<isa::Addr> coreStackTops_;
+    /** Top of the next stack allocThreadStack() will carve. */
+    isa::Addr nextStackTop_ = 0;
+    std::uint32_t extraStacks_ = 0;
+    std::uint64_t snoopedStores_ = 0;
 };
 
 } // namespace dlsim::sim

@@ -1,0 +1,147 @@
+#include "workload/tenant.hh"
+
+#include <cassert>
+
+#include "elf/builder.hh"
+#include "isa/registers.hh"
+#include "stats/rng.hh"
+
+namespace dlsim::workload
+{
+
+using elf::FunctionBuilder;
+using elf::ModuleBuilder;
+using isa::AluKind;
+using isa::CondKind;
+
+namespace
+{
+
+// Program-generator register convention (see program.hh).
+constexpr isa::Reg RegWork = 1;  // arg0: loop count / helper seed
+constexpr isa::Reg RegSeed2 = 2; // arg1: data seed
+constexpr isa::Reg RegBase = 4;  // module data base
+constexpr isa::Reg RegA = 5;
+constexpr isa::Reg RegB = 6;
+constexpr isa::Reg RegC = 7;
+constexpr isa::Reg RegLoop = 10; // handler-owned
+constexpr isa::Reg RegSeed = 11; // handler-owned
+
+/** Word-aligned index mask for a data section of `bytes`. */
+std::int64_t
+dataMask(std::uint64_t bytes)
+{
+    assert(bytes >= 16 && (bytes & (bytes - 1)) == 0);
+    return static_cast<std::int64_t>(bytes - 8) & ~7ll;
+}
+
+/** Emit an LCG step plus a data-dependent load-modify-store. */
+void
+emitDataTouch(FunctionBuilder &fb, isa::Reg seed_reg,
+              std::uint64_t mul, std::uint64_t add,
+              std::int64_t mask)
+{
+    fb.aluImm(AluKind::Mul, seed_reg, seed_reg,
+              static_cast<std::int64_t>(mul));
+    fb.aluImm(AluKind::Add, seed_reg, seed_reg,
+              static_cast<std::int64_t>(add));
+    fb.aluImm(AluKind::Shr, RegA, seed_reg, 7);
+    fb.aluImm(AluKind::And, RegA, RegA, mask);
+    fb.alu(AluKind::Add, RegB, RegBase, RegA);
+    fb.load(RegC, RegB, 0);
+    fb.alu(AluKind::Xor, RegC, RegC, seed_reg);
+    fb.store(RegC, RegB, 0);
+}
+
+} // namespace
+
+elf::Module
+buildTenantModule(const TenantSpec &spec)
+{
+    assert(spec.helperFuncs >= 1);
+    stats::Rng rng(spec.seed ^ 0x7e4a47u);
+    const std::int64_t mask = dataMask(spec.dataBytes);
+
+    ModuleBuilder mb(spec.moduleName);
+    mb.setDataSize(spec.dataBytes);
+
+    // Helper chain: w<i> scrambles its r1 argument against the
+    // tenant's data section, then calls w<i+1> (library register
+    // discipline: r1, r4-r9, r12 only).
+    std::vector<std::string> helpers;
+    for (std::uint32_t i = 0; i < spec.helperFuncs; ++i)
+        helpers.push_back(spec.moduleName + "_w" +
+                          std::to_string(i));
+    for (std::uint32_t i = 0; i < spec.helperFuncs; ++i) {
+        FunctionBuilder &fb = mb.function(helpers[i]);
+        fb.movDataAddr(RegBase, 0);
+        emitDataTouch(fb, RegWork, rng.next() | 1,
+                      rng.next() | 1, mask);
+        if (i + 1 < spec.helperFuncs)
+            fb.callLocal(helpers[i + 1]);
+        fb.aluImm(AluKind::Add, isa::RegRet, RegWork, 0);
+        fb.ret();
+    }
+
+    // The exported handler: r1 = iterations, r2 = seed.
+    FunctionBuilder &fb = mb.function(spec.handlerSym);
+    fb.aluImm(AluKind::Add, RegLoop, RegWork, 0);
+    fb.aluImm(AluKind::Add, RegSeed, RegSeed2, 0);
+    fb.movDataAddr(RegBase, 0);
+    elf::Label top = fb.newLabel();
+    fb.bind(top);
+    emitDataTouch(fb, RegSeed, rng.next() | 1, rng.next() | 1,
+                  mask);
+    fb.aluImm(AluKind::Add, RegWork, RegSeed, 0);
+    fb.callLocal(helpers[0]);
+    fb.movDataAddr(RegBase, 0); // Callee clobbered the base.
+    if (!spec.externCalls.empty()) {
+        // Call into the shared base libraries on roughly half the
+        // iterations (seed-bit gated), alternating between two
+        // imports when available.
+        const std::string &sym0 = spec.externCalls[0];
+        const std::string &sym1 =
+            spec.externCalls[spec.externCalls.size() > 1 ? 1 : 0];
+        elf::Label skip = fb.newLabel();
+        fb.aluImm(AluKind::Shr, RegA, RegSeed, 13);
+        fb.aluImm(AluKind::And, RegA, RegA, 1);
+        fb.condBr(CondKind::Ne0, RegA, skip);
+        fb.aluImm(AluKind::Add, RegWork, RegSeed, 0);
+        fb.callExternal(sym0);
+        fb.movDataAddr(RegBase, 0);
+        fb.bind(skip);
+        elf::Label skip2 = fb.newLabel();
+        fb.aluImm(AluKind::Shr, RegA, RegSeed, 21);
+        fb.aluImm(AluKind::And, RegA, RegA, 1);
+        fb.condBr(CondKind::Ne0, RegA, skip2);
+        fb.aluImm(AluKind::Add, RegWork, RegSeed, 0);
+        fb.callExternal(sym1);
+        fb.movDataAddr(RegBase, 0);
+        fb.bind(skip2);
+    }
+    fb.aluImm(AluKind::Sub, RegLoop, RegLoop, 1);
+    fb.condBr(CondKind::Ne0, RegLoop, top);
+    fb.aluImm(AluKind::Add, isa::RegRet, RegSeed, 0);
+    fb.ret();
+
+    return mb.build();
+}
+
+elf::Module
+buildDispatchModule(const std::string &module_name,
+                    const std::vector<std::string> &handler_syms)
+{
+    ModuleBuilder mb(module_name);
+    mb.setDataSize(64);
+    for (std::size_t k = 0; k < handler_syms.size(); ++k) {
+        FunctionBuilder &fb =
+            mb.function("dispatch" + std::to_string(k));
+        // Arguments (r1 = work, r2 = seed) pass straight through;
+        // the forwarding call is the churn-sensitive PLT/GOT site.
+        fb.callExternal(handler_syms[k]);
+        fb.ret();
+    }
+    return mb.build();
+}
+
+} // namespace dlsim::workload

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tenant plugin generator for the multi-tenant server layer.
+ *
+ * A tenant is a small shared library exporting one request handler,
+ * `t<k>_handle`. The module *name* carries a generation number
+ * (`tenant<k>_g<gen>`) but the handler symbol does not: when a
+ * tenant is churned (dlclose of generation g, dlopen of g+1), every
+ * GOT entry that resolved into the old module is reset by the
+ * loader, and the next call through the dispatch module's PLT
+ * lazily re-binds the same symbol to the new generation — the
+ * plugin-reload pattern of the paper's motivation (§1, §2.3.1).
+ *
+ * The dispatch module is a thin stable veneer the server calls into:
+ * one `dispatch<k>` export per tenant slot that forwards through its
+ * own PLT to `t<k>_handle`. It is loaded once; churn invalidates
+ * only its GOT entries (via the dlclose hook, which the server
+ * broadcasts as coherence traffic to every core, §3.2).
+ *
+ * Generated code follows the program-generator register discipline:
+ * r1/r2 carry (work, seed) arguments, r0 the result; handlers own
+ * r10 (loop) and r11 (seed) which library code never touches;
+ * r4 is the module data base, reloaded after every call.
+ */
+
+#ifndef DLSIM_WORKLOAD_TENANT_HH
+#define DLSIM_WORKLOAD_TENANT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elf/module.hh"
+
+namespace dlsim::workload
+{
+
+/** Recipe for one tenant library generation. */
+struct TenantSpec
+{
+    /** Module name; must be unique per generation. */
+    std::string moduleName;
+    /** Exported handler symbol; stable across generations. */
+    std::string handlerSym;
+    std::uint64_t seed = 1;
+    /** Internal helper functions (called from the handler). */
+    std::uint32_t helperFuncs = 4;
+    /** Data section size. */
+    std::uint64_t dataBytes = 4096;
+    /**
+     * Symbols of the shared base libraries this tenant calls
+     * through its own PLT (drawn per loop iteration). May be empty.
+     */
+    std::vector<std::string> externCalls;
+};
+
+/** Build one tenant library (deterministic in the spec). */
+elf::Module buildTenantModule(const TenantSpec &spec);
+
+/**
+ * Build the dispatch veneer: exports `dispatch<k>` forwarding to
+ * `handler_syms[k]` through the PLT, for each k.
+ */
+elf::Module buildDispatchModule(
+    const std::string &module_name,
+    const std::vector<std::string> &handler_syms);
+
+} // namespace dlsim::workload
+
+#endif // DLSIM_WORKLOAD_TENANT_HH

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "common.hh"
+#include "os/server.hh"
 #include "stats/json_writer.hh"
 #include "stats/metrics.hh"
 
@@ -191,7 +192,11 @@ TEST(MetricsDocument, WriteFileRoundTrip)
 namespace
 {
 
-/** Keys of a full enhanced-machine runArm() snapshot. */
+/**
+ * Keys of a full enhanced-machine runArm() snapshot, followed by
+ * the OS-layer key families (`dlsim.multicore.*`, `dlsim.os.*`) a
+ * server_traffic arm emits. Each section is sorted internally.
+ */
 std::vector<std::string>
 snapshotKeys()
 {
@@ -201,6 +206,46 @@ snapshotKeys()
         workload::profileByName("memcached"), mc, 20, 30);
     std::vector<std::string> keys;
     for (const auto &[name, metric] : arm.registry.metrics())
+        keys.push_back(name);
+
+    // OS layer: a tiny multi-tenant server run contributes the
+    // scheduler/pipe/socket/server counters and the multicore
+    // flush-accounting gauges.
+    auto smc = bench::enhancedMachine();
+    smc.asidRetention = true;
+    workload::WorkloadParams wl;
+    wl.name = "server-golden";
+    wl.seed = 7;
+    wl.numLibs = 2;
+    wl.funcsPerLib = 3;
+    wl.libFnInsts = 12;
+    wl.unusedImportsPerModule = 4;
+    wl.requests = {{"get", 1.0, 1, 2}};
+    wl.stepsPerRequest = 2;
+    wl.appWorkInsts = 4;
+    wl.calledImports = 4;
+    wl.libDataBytes = 1 << 12;
+    wl.appDataBytes = 1 << 14;
+    wl.hotDataBytes = 512;
+    workload::Workbench wb(wl, smc);
+
+    sim::MultiCoreParams mp;
+    mp.numCores = 2;
+    mp.core = workload::makeCoreParams(smc);
+    os::ServerParams sp;
+    sp.workers = 2;
+    sp.clients = 2;
+    sp.tenants = 2;
+    sp.requests = 16;
+    sp.churnPeriod = 8;
+    os::Server server(wb, mp, sp);
+    server.run();
+
+    MetricsRegistry reg;
+    server.reportMetrics(reg, "dlsim.os");
+    server.system().reportMetrics(reg, "dlsim");
+    reg.histogram("dlsim.os.server.latency", server.latency());
+    for (const auto &[name, metric] : reg.metrics())
         keys.push_back(name);
     return keys;
 }

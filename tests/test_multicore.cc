@@ -266,6 +266,81 @@ TEST(MultiCore, StoreInvalidatesSiblingCaches)
                                                        0));
 }
 
+TEST(MultiCore, RunQueueHandlesMoreThreadsThanCores)
+{
+    // M = 7 threads over N = 2 cores: a run-to-completion queue.
+    MultiCoreParams params;
+    params.numCores = 2;
+    Rig rig(params);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> args;
+    for (std::uint64_t i = 0; i < 7; ++i)
+        args.push_back({2, 10 * (i + 1)});
+    const auto results = rig.system->runOnAll(
+        rig.image->symbolAddress("worker"), args);
+    ASSERT_EQ(results.size(), 7u);
+    for (std::size_t i = 0; i < 7; ++i) {
+        // libfn returns the thread index (arg2) + 100; worker adds
+        // arg1 — queued threads keep their args-order identity.
+        EXPECT_EQ(results[i].returnValue,
+                  100 + i + 10 * (i + 1))
+            << "thread " << i;
+        EXPECT_GT(results[i].instructions, 0u) << "thread " << i;
+    }
+}
+
+TEST(MultiCore, RunQueueDeterministicAndQuantumInvariant)
+{
+    auto run = [](std::uint64_t quantum) {
+        MultiCoreParams p;
+        p.numCores = 2;
+        p.quantum = quantum;
+        Rig rig(p);
+        return rig.system->runOnAll(
+            rig.image->symbolAddress("worker"),
+            {{3, 1}, {4, 2}, {5, 3}, {2, 4}, {3, 5}});
+    };
+    const auto a = run(200);
+    const auto b = run(200);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << i;
+        EXPECT_EQ(a[i].instructions, b[i].instructions) << i;
+        EXPECT_EQ(a[i].returnValue, b[i].returnValue) << i;
+    }
+    // Architectural results are also quantum-invariant.
+    const auto coarse = run(10000);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].returnValue, coarse[i].returnValue) << i;
+}
+
+TEST(MultiCore, RunQueueSharesOneLazyResolution)
+{
+    // All 6 queued threads call libfn through the single shared
+    // GOT: exactly one resolver trip, like the M == N case.
+    MultiCoreParams params;
+    params.numCores = 2;
+    Rig rig(params);
+    rig.system->runOnAll(
+        rig.image->symbolAddress("worker"),
+        {{2, 0}, {2, 0}, {2, 0}, {2, 0}, {2, 0}, {2, 0}});
+    EXPECT_EQ(rig.linker->resolutionCount(), 1u);
+}
+
+TEST(MultiCore, RunQueueSkipUnitWorksForQueuedThreads)
+{
+    // Queued threads (index >= numCores) reuse warmed cores, so
+    // the ABTB keeps skipping across the whole queue.
+    Rig rig(enhancedParams(2));
+    rig.system->runOnAll(
+        rig.image->symbolAddress("worker"),
+        {{4, 0}, {4, 0}, {4, 0}, {4, 0}, {4, 0}, {4, 0}});
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        EXPECT_GT(
+            rig.system->core(i).counters().skippedTrampolines,
+            0u)
+            << "core " << i;
+    }
+}
+
 TEST(MultiCore, CoherenceDisableKeepsStaleLines)
 {
     MultiCoreParams p;

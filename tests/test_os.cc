@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Unit tests for the OS layer's building blocks: the pipe ring
+ * buffer (wrap-around, partial transfers, close/EOF), the
+ * connection state machine, and the kernel scheduler's blocking
+ * semantics — parked readers/writers, accept-backlog pressure,
+ * quantum-expiry preemption of simulated calls, and deadlock
+ * detection.
+ */
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.hh"
+#include "linker/loader.hh"
+#include "os/sched.hh"
+
+using namespace dlsim;
+using namespace dlsim::isa;
+using dlsim::sim::MultiCoreParams;
+using dlsim::sim::MultiCoreSystem;
+
+namespace
+{
+
+/* ------------------------------------------------------------- */
+/* Pipe ring buffer                                              */
+/* ------------------------------------------------------------- */
+
+std::vector<std::uint8_t>
+bytes(std::initializer_list<int> vals)
+{
+    std::vector<std::uint8_t> v;
+    for (int x : vals)
+        v.push_back(static_cast<std::uint8_t>(x));
+    return v;
+}
+
+TEST(Pipe, RingBufferWrapsAround)
+{
+    os::Pipe p(8);
+    const auto a = bytes({1, 2, 3, 4, 5, 6});
+    ASSERT_EQ(p.write(a.data(), a.size()), 6u);
+
+    std::uint8_t out[8] = {};
+    ASSERT_EQ(p.read(out, 4), 4u);
+    EXPECT_EQ(0, std::memcmp(out, a.data(), 4));
+
+    // head is now at 4 with 2 bytes in flight; this write wraps
+    // around the end of the 8-byte ring.
+    const auto b = bytes({7, 8, 9, 10, 11, 12});
+    ASSERT_EQ(p.write(b.data(), b.size()), 6u);
+    EXPECT_TRUE(p.full());
+
+    std::uint8_t all[8] = {};
+    ASSERT_EQ(p.read(all, 8), 8u);
+    const auto expect = bytes({5, 6, 7, 8, 9, 10, 11, 12});
+    EXPECT_EQ(0, std::memcmp(all, expect.data(), 8));
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.stats().bytesWritten, 12u);
+    EXPECT_EQ(p.stats().bytesRead, 12u);
+}
+
+TEST(Pipe, PartialWritesWhenNearlyFull)
+{
+    os::Pipe p(4);
+    const auto six = bytes({1, 2, 3, 4, 5, 6});
+    EXPECT_EQ(p.write(six.data(), six.size()), 4u); // Truncated.
+    EXPECT_TRUE(p.full());
+    EXPECT_EQ(p.write(six.data(), six.size()), 0u);
+    EXPECT_EQ(p.freeSpace(), 0u);
+
+    std::uint8_t out[4] = {};
+    EXPECT_EQ(p.read(out, 4), 4u);
+    EXPECT_EQ(0, std::memcmp(out, six.data(), 4));
+}
+
+TEST(Pipe, CloseDrainsThenEof)
+{
+    os::Pipe p(16);
+    const auto a = bytes({9, 8, 7});
+    ASSERT_EQ(p.write(a.data(), a.size()), 3u);
+    p.close();
+    EXPECT_FALSE(p.atEof()); // Still bytes to drain.
+    EXPECT_EQ(p.write(a.data(), a.size()), 0u); // Discarded.
+
+    std::uint8_t out[16] = {};
+    EXPECT_EQ(p.read(out, 16), 3u);
+    EXPECT_TRUE(p.atEof());
+    EXPECT_EQ(p.read(out, 16), 0u);
+}
+
+TEST(Connection, ShutdownAdvancesStateMachine)
+{
+    os::Connection c(0, 16);
+    EXPECT_EQ(c.state, os::ConnState::SynQueued);
+    c.state = os::ConnState::Established;
+
+    c.shutdownWrite(os::ConnSide::Client);
+    EXPECT_EQ(c.state, os::ConnState::HalfClosed);
+    EXPECT_TRUE(c.toServer.closed());
+    EXPECT_FALSE(c.toClient.closed());
+
+    c.shutdownWrite(os::ConnSide::Server);
+    EXPECT_EQ(c.state, os::ConnState::Closed);
+    EXPECT_TRUE(c.toClient.closed());
+}
+
+/* ------------------------------------------------------------- */
+/* Kernel scheduler                                              */
+/* ------------------------------------------------------------- */
+
+/** worker(arg0, arg1, arg2): loop arg0 times calling libfn, then
+ *  return libfn's result (arg2 + 100) plus arg1. */
+elf::Module
+makeExe()
+{
+    elf::ModuleBuilder mb("app");
+    mb.setDataSize(4096);
+    auto &w = mb.function("worker");
+    auto top = w.newLabel();
+    w.aluImm(AluKind::Add, 10, RegArg0, 0);
+    w.bind(top);
+    w.callExternal("libfn");
+    w.aluImm(AluKind::Sub, 10, 10, 1);
+    w.condBr(CondKind::Ne0, 10, top);
+    w.alu(AluKind::Add, RegRet, RegRet, RegArg1);
+    w.ret();
+    return mb.build();
+}
+
+elf::Module
+makeLib()
+{
+    elf::ModuleBuilder mb("lib");
+    auto &f = mb.function("libfn");
+    f.aluImm(AluKind::Add, RegRet, RegArg2, 100);
+    f.ret();
+    return mb.build();
+}
+
+struct Rig
+{
+    linker::Loader loader;
+    std::unique_ptr<linker::Image> image;
+    std::unique_ptr<linker::DynamicLinker> linker;
+    std::unique_ptr<MultiCoreSystem> system;
+
+    explicit Rig(std::uint32_t cores)
+    {
+        MultiCoreParams params;
+        params.numCores = cores;
+        image = loader.load(makeExe(), {makeLib()});
+        linker = std::make_unique<linker::DynamicLinker>(*image);
+        system = std::make_unique<MultiCoreSystem>(
+            params, *image, *linker, loader.stackTop());
+    }
+};
+
+/** A kernel thread driven by a lambda-based resumable state
+ *  machine: `fn` is step(), `done` is onCallDone(). */
+struct FuncThread : os::Thread
+{
+    std::function<void(os::Kernel &, FuncThread &)> fn;
+    std::function<void(os::Kernel &, std::uint64_t, FuncThread &)>
+        done;
+    int state = 0;
+    std::uint64_t retval = 0;
+
+    void step(os::Kernel &k) override { fn(k, *this); }
+    void onCallDone(os::Kernel &k, std::uint64_t r) override
+    {
+        retval = r;
+        if (done)
+            done(k, r, *this);
+    }
+};
+
+std::unique_ptr<FuncThread>
+thread(std::function<void(os::Kernel &, FuncThread &)> fn,
+       std::function<void(os::Kernel &, std::uint64_t,
+                          FuncThread &)>
+           done = {})
+{
+    auto t = std::make_unique<FuncThread>();
+    t->fn = std::move(fn);
+    t->done = std::move(done);
+    return t;
+}
+
+TEST(Kernel, BlockedReaderWokenByWriter)
+{
+    Rig rig(1);
+    os::Kernel k(os::KernelParams{}, *rig.system, *rig.image,
+                 *rig.linker);
+    const std::int32_t pipe = k.pipeCreate(16);
+
+    std::vector<std::uint8_t> got;
+    // Reader first: it must park on the empty pipe before the
+    // writer ever runs.
+    k.spawn(thread([&, pipe](os::Kernel &kk, FuncThread &) {
+        std::uint8_t buf[16];
+        const long r = kk.pipeRead(pipe, buf, sizeof buf);
+        if (r == os::Kernel::WouldBlock)
+            return;
+        if (r > 0) {
+            got.insert(got.end(), buf, buf + r);
+            return;
+        }
+        kk.exitThread(); // EOF.
+    }),
+            "reader");
+
+    k.spawn(thread([&, pipe](os::Kernel &kk, FuncThread &t) {
+        if (t.state == 0) {
+            const auto msg = bytes({42, 43, 44});
+            EXPECT_EQ(kk.pipeWrite(pipe, msg.data(), msg.size()),
+                      3);
+            t.state = 1;
+            return;
+        }
+        kk.pipeCloseWrite(pipe);
+        kk.exitThread();
+    }),
+            "writer");
+
+    k.run();
+    EXPECT_TRUE(k.allDone());
+    EXPECT_EQ(got, bytes({42, 43, 44}));
+    EXPECT_GE(k.stats().pipeBlockedReads, 1u);
+    EXPECT_GE(k.stats().wakeups, 1u);
+    EXPECT_EQ(k.stats().pipeBytesRead, 3u);
+    EXPECT_EQ(k.stats().pipeBytesWritten, 3u);
+}
+
+TEST(Kernel, BlockedWriterWokenByReader)
+{
+    Rig rig(1);
+    os::Kernel k(os::KernelParams{}, *rig.system, *rig.image,
+                 *rig.linker);
+    const std::int32_t pipe = k.pipeCreate(4); // Tiny ring.
+    constexpr std::size_t Total = 12;
+
+    std::size_t written = 0, read = 0;
+    // Writer first so it fills the ring and parks before the
+    // reader drains it.
+    k.spawn(thread([&, pipe](os::Kernel &kk, FuncThread &) {
+        if (written >= Total) {
+            kk.pipeCloseWrite(pipe);
+            kk.exitThread();
+            return;
+        }
+        std::uint8_t buf[Total];
+        for (std::size_t i = 0; i < Total - written; ++i)
+            buf[i] = static_cast<std::uint8_t>(written + i);
+        const long r =
+            kk.pipeWrite(pipe, buf, Total - written);
+        if (r > 0)
+            written += static_cast<std::size_t>(r);
+    }),
+            "writer");
+
+    k.spawn(thread([&, pipe](os::Kernel &kk, FuncThread &) {
+        std::uint8_t buf[4];
+        const long r = kk.pipeRead(pipe, buf, sizeof buf);
+        if (r > 0) {
+            for (long i = 0; i < r; ++i)
+                EXPECT_EQ(buf[i], read + static_cast<size_t>(i));
+            read += static_cast<std::size_t>(r);
+            return;
+        }
+        if (r == 0)
+            kk.exitThread(); // EOF after writer closed.
+    }),
+            "reader");
+
+    k.run();
+    EXPECT_EQ(written, Total);
+    EXPECT_EQ(read, Total);
+    EXPECT_GE(k.stats().pipeBlockedWrites, 1u);
+    EXPECT_EQ(k.stats().pipeBytesWritten, Total);
+}
+
+TEST(Kernel, AcceptBacklogBlocksConnectors)
+{
+    Rig rig(1);
+    os::Kernel k(os::KernelParams{}, *rig.system, *rig.image,
+                 *rig.linker);
+    constexpr std::int32_t Port = 5;
+    k.listen(Port, /*backlog=*/1);
+
+    auto connector = [&] {
+        return thread([&](os::Kernel &kk, FuncThread &t) {
+            if (t.state == 0) {
+                const long r = kk.connect(Port);
+                if (r == os::Kernel::WouldBlock)
+                    return; // Backlog full: parked, retry.
+                ASSERT_GE(r, 0);
+                t.state = 1;
+            }
+            kk.exitThread();
+        });
+    };
+    // Two connectors against a one-deep backlog; the acceptor is
+    // spawned last so the second connect sees the queue full.
+    k.spawn(connector(), "client0");
+    k.spawn(connector(), "client1");
+
+    int accepted = 0;
+    k.spawn(thread([&](os::Kernel &kk, FuncThread &) {
+        const long r = kk.accept(Port);
+        if (r == os::Kernel::WouldBlock)
+            return;
+        ASSERT_GE(r, 0);
+        EXPECT_EQ(kk.connection(static_cast<std::int32_t>(r))
+                      .state,
+                  os::ConnState::Established);
+        if (++accepted == 2)
+            kk.exitThread();
+    }),
+            "acceptor");
+
+    k.run();
+    EXPECT_EQ(accepted, 2);
+    EXPECT_EQ(k.stats().connects, 2u);
+    EXPECT_EQ(k.stats().accepts, 2u);
+    EXPECT_GE(k.stats().backlogBlocks, 1u);
+}
+
+TEST(Kernel, SimCallsPreemptedAcrossThreads)
+{
+    // Three call() threads multiplex one core with a quantum far
+    // shorter than a call, so every thread is preempted mid-call
+    // and resumed with its saved register file.
+    Rig rig(1);
+    os::KernelParams kp;
+    kp.quantum = 60;
+    os::Kernel k(kp, *rig.system, *rig.image, *rig.linker);
+
+    const isa::Addr worker = rig.image->symbolAddress("worker");
+    std::vector<std::uint64_t> results(3, 0);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        k.spawn(thread(
+                    [&, i, worker](os::Kernel &kk, FuncThread &t) {
+                        if (t.state == 0) {
+                            t.state = 1;
+                            kk.call(worker, /*loops=*/20,
+                                    /*arg1=*/10 * (i + 1),
+                                    /*arg2=*/i);
+                            return;
+                        }
+                        kk.exitThread();
+                    },
+                    [&, i](os::Kernel &, std::uint64_t r,
+                           FuncThread &) { results[i] = r; }),
+                "caller" + std::to_string(i));
+    }
+
+    k.run();
+    for (std::uint64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(results[i], 100 + i + 10 * (i + 1)) << i;
+    EXPECT_GE(k.stats().preemptions, 1u);
+    EXPECT_GE(k.stats().threadSwitches, 3u);
+    EXPECT_EQ(k.stats().simCalls, 3u);
+}
+
+TEST(Kernel, SchedulingIsDeterministic)
+{
+    auto run = [] {
+        Rig rig(2);
+        os::KernelParams kp;
+        kp.quantum = 50;
+        os::Kernel k(kp, *rig.system, *rig.image, *rig.linker);
+        const isa::Addr worker =
+            rig.image->symbolAddress("worker");
+        for (std::uint64_t i = 0; i < 5; ++i) {
+            k.spawn(thread([&, i, worker](os::Kernel &kk,
+                                          FuncThread &t) {
+                if (t.state == 0) {
+                    t.state = 1;
+                    kk.call(worker, 8, i, i);
+                    return;
+                }
+                kk.exitThread();
+            }),
+                    "t" + std::to_string(i));
+        }
+        k.run();
+        return std::tuple(k.now(), k.stats().rounds,
+                          k.stats().dispatches,
+                          k.stats().preemptions);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Kernel, DeadlockThrowsOsError)
+{
+    Rig rig(1);
+    os::Kernel k(os::KernelParams{}, *rig.system, *rig.image,
+                 *rig.linker);
+    const std::int32_t pipe = k.pipeCreate(8);
+    k.spawn(thread([&, pipe](os::Kernel &kk, FuncThread &) {
+        std::uint8_t b;
+        (void)kk.pipeRead(pipe, &b, 1); // Nobody will ever write.
+    }),
+            "starved");
+    EXPECT_THROW(k.run(), os::OsError);
+}
+
+} // namespace

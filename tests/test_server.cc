@@ -1,0 +1,238 @@
+/**
+ * @file
+ * End-to-end tests for the OS-layer multi-tenant server: request
+ * accounting and tenant churn through dlclose/dlopen, the run
+ * checked instruction-by-instruction by the lockstep architectural
+ * oracle, and cross-jobs / cross-block-dispatch determinism of the
+ * metrics documents (the contract bench/server_traffic relies on).
+ */
+
+#include <functional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/lockstep.hh"
+#include "common.hh"
+#include "os/server.hh"
+#include "sim/job_runner.hh"
+
+using namespace dlsim;
+using namespace dlsim::bench;
+
+namespace
+{
+
+/** A small, fast workload in the fuzz-harness mould. */
+workload::WorkloadParams
+smallWorkload(std::uint64_t seed)
+{
+    workload::WorkloadParams wl;
+    wl.name = "server-test";
+    wl.seed = seed;
+    wl.numLibs = 2;
+    wl.funcsPerLib = 3;
+    wl.libFnInsts = 12;
+    wl.unusedImportsPerModule = 4;
+    wl.requests = {{"get", 1.0, 1, 2}, {"set", 0.5, 1, 3}};
+    wl.stepsPerRequest = 2;
+    wl.appWorkInsts = 4;
+    wl.calledImports = 4;
+    wl.interLibCallProb = 0.2;
+    wl.libDataBytes = 1 << 12;
+    wl.appDataBytes = 1 << 14;
+    wl.hotDataBytes = 512;
+    return wl;
+}
+
+workload::MachineConfig
+serverMachine(bool enhanced, bool blocks)
+{
+    auto mc = enhanced ? enhancedMachine() : baseMachine();
+    // Match bench/server_traffic: the enhanced server retains the
+    // ABTB across ASID switches (§3.3), leaving churn correctness
+    // to the coherence path (§3.2).
+    if (enhanced)
+        mc.asidRetention = true;
+    mc.core.blockDispatch = blocks;
+    return mc;
+}
+
+os::ServerParams
+smallServer(std::uint64_t requests, std::uint64_t churn,
+            std::uint32_t tenants)
+{
+    os::ServerParams sp;
+    sp.workers = 2;
+    sp.clients = 3;
+    sp.tenants = tenants;
+    sp.requests = requests;
+    sp.churnPeriod = churn;
+    sp.backlog = 2;
+    sp.seed = 9;
+    return sp;
+}
+
+/** Everything an arm of the determinism grid needs to compare. */
+struct ServerRun
+{
+    os::ServerStats server;
+    os::KernelStats kernel;
+    std::uint64_t latencyCount = 0;
+    std::uint64_t coherenceFlushes = 0;
+    std::vector<std::uint32_t> generations;
+    stats::MetricsRegistry registry;
+};
+
+ServerRun
+runServer(bool enhanced, bool blocks, std::uint64_t requests,
+          std::uint64_t churn, std::uint32_t tenants)
+{
+    const auto mc = serverMachine(enhanced, blocks);
+    auto wl = smallWorkload(7);
+    workload::Workbench wb(wl, mc);
+
+    sim::MultiCoreParams mp;
+    mp.numCores = 2;
+    mp.core = workload::makeCoreParams(mc);
+    os::Server server(wb, mp,
+                      smallServer(requests, churn, tenants));
+    server.run();
+
+    ServerRun run;
+    run.server = server.stats();
+    run.kernel = server.kernel().stats();
+    run.latencyCount = server.latency().count();
+    run.coherenceFlushes = server.system().totalCoherenceFlushes();
+    for (std::uint32_t t = 0; t < tenants; ++t)
+        run.generations.push_back(server.tenantGeneration(t));
+    server.reportMetrics(run.registry, "dlsim.os");
+    server.system().reportMetrics(run.registry, "dlsim");
+    run.registry.histogram("dlsim.os.server.latency",
+                           server.latency());
+    return run;
+}
+
+std::string
+renderJson(const std::vector<ServerRun> &arms)
+{
+    stats::MetricsDocument doc("test_server");
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        auto &r = doc.addRun("arm" + std::to_string(i));
+        r.registry = arms[i].registry;
+    }
+    return doc.toJson();
+}
+
+} // namespace
+
+TEST(Server, ServesEveryRequestAndClosesEveryConnection)
+{
+    const auto run = runServer(/*enhanced=*/false,
+                               /*blocks=*/false, 48, 0, 2);
+    EXPECT_EQ(run.server.requestsServed, 48u);
+    EXPECT_EQ(run.latencyCount, 48u);
+    EXPECT_EQ(run.server.tenantChurns, 0u);
+    // One socket per client, fully closed at drain.
+    EXPECT_EQ(run.kernel.connects, 3u);
+    EXPECT_EQ(run.kernel.accepts, 3u);
+    EXPECT_EQ(run.kernel.connsClosed, 3u);
+    EXPECT_EQ(run.kernel.threadsSpawned,
+              run.kernel.threadsExited);
+    // 32 bytes each way per request, plus nothing else.
+    EXPECT_EQ(run.kernel.pipeBytesWritten, 48u * 2 * 32);
+    EXPECT_EQ(run.kernel.pipeBytesRead, 48u * 2 * 32);
+}
+
+TEST(Server, ChurnReloadsTenantsAndBroadcastsGotResets)
+{
+    const auto run = runServer(/*enhanced=*/true,
+                               /*blocks=*/false, 48, 12, 2);
+    EXPECT_EQ(run.server.requestsServed, 48u);
+    // 48 requests / churn period 12 = 3 reload opportunities.
+    EXPECT_GE(run.server.tenantChurns, 2u);
+    EXPECT_GE(run.server.gotResets, run.server.tenantChurns);
+    // Round-robin churn advances tenant generations.
+    std::uint32_t total_gens = 0;
+    for (const auto g : run.generations)
+        total_gens += g;
+    EXPECT_EQ(total_gens, run.server.tenantChurns);
+    // With ASID retention the ABTB survives tenant switches, so
+    // the dlclose GOT resets must arrive as coherence flushes
+    // (§3.2) — and the skip unit must actually be doing work.
+    EXPECT_GT(run.coherenceFlushes, 0u);
+    EXPECT_GT(run.registry.counterValue(
+                  "dlsim.os.sched.asid_switches"),
+              0u);
+}
+
+TEST(Server, TenantChurnRunsCleanUnderLockstepChecker)
+{
+    const auto mc = serverMachine(/*enhanced=*/true,
+                                  /*blocks=*/false);
+    auto wl = smallWorkload(7);
+    workload::Workbench wb(wl, mc);
+
+    sim::MultiCoreParams mp;
+    mp.numCores = 2;
+    mp.core = workload::makeCoreParams(mc);
+    os::Server server(wb, mp, smallServer(36, 9, 2));
+
+    // Attach after construction: worker stacks are mapped eagerly
+    // at spawn, so the checkers' forked reference memory is
+    // complete; churn-time remaps resync them via onFastForward.
+    std::vector<std::unique_ptr<check::LockstepChecker>> checkers;
+    for (std::uint32_t i = 0; i < server.system().numCores();
+         ++i) {
+        checkers.push_back(
+            std::make_unique<check::LockstepChecker>(
+                server.system().core(i)));
+        server.system().core(i).setRetireObserver(
+            checkers.back().get());
+    }
+
+    ASSERT_NO_THROW(server.run()); // LockstepError on divergence.
+    EXPECT_EQ(server.stats().requestsServed, 36u);
+    EXPECT_GE(server.stats().tenantChurns, 2u);
+
+    std::uint64_t retires = 0, substitutions = 0;
+    for (const auto &c : checkers) {
+        retires += c->stats().checkedRetires;
+        substitutions += c->stats().verifiedSubstitutions;
+    }
+    EXPECT_GT(retires, 0u);
+    EXPECT_GT(substitutions, 0u)
+        << "enhanced run never exercised the skip unit";
+}
+
+TEST(Server, MetricsIdenticalAcrossJobsAndBlockDispatch)
+{
+    // The exact grid bench/server_traffic's byte-identity contract
+    // rests on: {base, enhanced} x {blocks off, on}, executed with
+    // 1 and with 4 host workers.
+    const auto makeGrid = [] {
+        std::vector<std::function<ServerRun()>> work;
+        for (const bool enhanced : {false, true})
+            for (const bool blocks : {false, true})
+                work.push_back([enhanced, blocks] {
+                    return runServer(enhanced, blocks, 36, 9, 2);
+                });
+        return work;
+    };
+
+    const auto serial = sim::JobRunner(1).run(makeGrid());
+    const auto parallel = sim::JobRunner(4).run(makeGrid());
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(renderJson(serial), renderJson(parallel));
+
+    // Block dispatch is a simulator-internal acceleration: for
+    // each machine the blocks-on arm must report byte-identical
+    // metrics to the blocks-off arm.
+    const auto one = [&](const ServerRun &r) {
+        return renderJson({r});
+    };
+    EXPECT_EQ(one(serial[0]), one(serial[1])) << "base arm";
+    EXPECT_EQ(one(serial[2]), one(serial[3])) << "enhanced arm";
+}

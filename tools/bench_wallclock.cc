@@ -12,6 +12,10 @@
  *   warm      the same sweep fanned out from the serialized bytes
  *   sampled   --jobs N with sampled execution (detailed windows +
  *             functional fast-forward; see docs/performance.md)
+ *   server    the OS-layer stack (os::Kernel scheduler + sockets +
+ *             tenant churn, docs/server.md) serving requests end to
+ *             end, base and enhanced arms: requests/sec wall-clock
+ *             throughput plus p50/p99 latency in virtual cycles
  *
  * Every row records its wall-clock seconds and the job count it
  * actually ran with. Exact rows must be byte-identical across job
@@ -39,6 +43,8 @@
 #include <cmath>
 
 #include "common.hh"
+
+#include "os/server.hh"
 
 using namespace dlsim;
 using namespace dlsim::bench;
@@ -229,6 +235,57 @@ compareGrids(const GridRun &exact, const GridRun &sampled)
     return rep;
 }
 
+/** One OS-layer server arm, timed end to end (workbench build +
+ *  kernel run). The full experiment lives in bench/server_traffic;
+ *  this row only measures simulator throughput on that stack. The
+ *  latency percentiles are client-observed virtual cycles, so they
+ *  are host-independent; requests/sec is the host-dependent number
+ *  this benchmark exists to record. */
+struct ServerRow
+{
+    double seconds = 0;
+    std::uint64_t requests = 0;
+    double reqPerSec = 0;
+    double p50 = 0, p99 = 0;
+};
+
+ServerRow
+runServerRow(const BenchArgs &args,
+             const workload::WorkloadParams &wl,
+             workload::MachineConfig mc, std::uint64_t requests)
+{
+    mc.core.blockDispatch = args.blocks();
+    const auto start = std::chrono::steady_clock::now();
+    workload::Workbench wb(wl, mc);
+
+    sim::MultiCoreParams mp;
+    mp.numCores = 2;
+    mp.core = workload::makeCoreParams(mc);
+
+    os::ServerParams sp;
+    sp.workers = 3;
+    sp.clients = 6;
+    sp.tenants = 3;
+    sp.requests = requests;
+    sp.churnPeriod = std::max<std::uint64_t>(1, requests / 6);
+    sp.seed = args.seed();
+    os::Server server(wb, mp, sp);
+    server.run();
+    const auto stop = std::chrono::steady_clock::now();
+
+    ServerRow row;
+    row.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    row.requests = server.stats().requestsServed;
+    row.reqPerSec =
+        row.seconds > 0
+            ? static_cast<double>(row.requests) / row.seconds
+            : 0.0;
+    row.p50 = server.latency().percentile(0.50);
+    row.p99 = server.latency().percentile(0.99);
+    return row;
+}
+
 } // namespace
 
 int
@@ -372,6 +429,31 @@ main(int argc, char **argv)
     std::printf("sampled skip error: mean %.3f  max %.3f\n",
                 err.skipErrMean, err.skipErrMax);
 
+    // OS-layer server throughput: the kernel scheduler + sockets +
+    // tenant-churn stack serving requests end to end, base vs
+    // enhanced (ASID-retention) machine.
+    const std::uint64_t serverRequests =
+        args.quick() ? 240 : 20000;
+    auto serverWl = workload::memcachedProfile(args.seed());
+    serverWl.seed = args.seed();
+    const ServerRow serverBase =
+        runServerRow(args, serverWl, baseMachine(),
+                     serverRequests);
+    auto serverMc = enhancedMachine();
+    serverMc.asidRetention = true;
+    const ServerRow serverEnh =
+        runServerRow(args, serverWl, serverMc, serverRequests);
+    std::printf("\nserver   (os layer, %llu requests/arm):\n",
+                static_cast<unsigned long long>(serverRequests));
+    const auto printServer = [](const char *name,
+                                const ServerRow &r) {
+        std::printf("  %-8s %.3f s, %8.0f req/s, p50 %.0f, "
+                    "p99 %.0f virt cycles\n",
+                    name, r.seconds, r.reqPerSec, r.p50, r.p99);
+    };
+    printServer("base", serverBase);
+    printServer("enhanced", serverEnh);
+
     stats::MetricsDocument doc("bench_wallclock");
     const char *grid_desc = "fig5-style, 12 arms";
 
@@ -438,6 +520,21 @@ main(int argc, char **argv)
                               err.skipErrMean);
     sampledRun.registry.gauge("dlsim.sampled.skip_err_max",
                               err.skipErrMax);
+
+    const auto addServerRun = [&](const char *machine,
+                                  const ServerRow &r) {
+        auto &run = doc.addRun(std::string("server.") + machine);
+        run.with("grid", "os-layer server, 2 arms")
+            .with("machine", machine)
+            .with("requests", std::to_string(r.requests));
+        run.registry.gauge("dlsim.wallclock.seconds", r.seconds);
+        run.registry.gauge("dlsim.os.server.requests_per_sec",
+                           r.reqPerSec);
+        run.registry.gauge("dlsim.os.server.latency_p50", r.p50);
+        run.registry.gauge("dlsim.os.server.latency_p99", r.p99);
+    };
+    addServerRun("base", serverBase);
+    addServerRun("enhanced", serverEnh);
 
     const std::string path = args.jsonOut().empty()
                                  ? "BENCH_wallclock.json"

@@ -252,6 +252,11 @@ main(int argc, char **argv)
         } else if (arg == "--requests") {
             c.requests =
                 static_cast<std::uint32_t>(parseU64(next()));
+        } else if (arg == "--server") {
+            c.server = true;
+        } else if (arg == "--tenants") {
+            c.tenants =
+                static_cast<std::uint32_t>(parseU64(next()));
         } else if (arg == "--events") {
             c.eventsMask =
                 static_cast<std::uint32_t>(parseU64(next()));
